@@ -1,0 +1,103 @@
+// Ablation: collective algorithm choice on the simulated networks.
+//
+// The paper's MPICH inherits the classic binomial-tree collectives; this
+// bench quantifies what algorithm selection buys on each network class:
+// trees win the latency game on small payloads, rings win bandwidth on
+// large ones (they move 2(n-1)/n of the data per rank regardless of n).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace madmpi;
+
+namespace {
+
+usec_t time_allreduce(sim::Protocol protocol, int ranks,
+                      mpi::AllreduceAlgorithm algorithm, int count) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(ranks, protocol);
+  core::Session session(std::move(options));
+  usec_t elapsed = 0.0;
+  session.run([&](mpi::Comm comm) {
+    mpi::CollectiveConfig config;
+    config.allreduce = algorithm;
+    comm.set_collective_config(config);
+    std::vector<double> mine(static_cast<std::size_t>(count), 1.0);
+    std::vector<double> total(static_cast<std::size_t>(count));
+    comm.allreduce(mine.data(), total.data(), count, mpi::Datatype::float64(),
+                   mpi::Op::sum());  // warm-up
+    const usec_t t0 = comm.wtime_us();
+    comm.allreduce(mine.data(), total.data(), count, mpi::Datatype::float64(),
+                   mpi::Op::sum());
+    if (comm.rank() == 0) elapsed = comm.wtime_us() - t0;
+  });
+  return elapsed;
+}
+
+usec_t time_bcast(sim::Protocol protocol, int ranks,
+                  mpi::BcastAlgorithm algorithm, int count) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(ranks, protocol);
+  core::Session session(std::move(options));
+  usec_t elapsed = 0.0;
+  session.run([&](mpi::Comm comm) {
+    mpi::CollectiveConfig config;
+    config.bcast = algorithm;
+    comm.set_collective_config(config);
+    std::vector<double> data(static_cast<std::size_t>(count), 1.0);
+    comm.bcast(data.data(), count, mpi::Datatype::float64(), 0);  // warm-up
+    comm.barrier();
+    const usec_t t0 = comm.wtime_us();
+    comm.bcast(data.data(), count, mpi::Datatype::float64(), 0);
+    comm.barrier();
+    if (comm.rank() == 0) elapsed = comm.wtime_us() - t0;
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRanks = 8;
+  std::printf("### Allreduce on %d SCI nodes (completion time, us)\n",
+              kRanks);
+  std::printf("%10s %14s %18s %12s\n", "doubles", "reduce+bcast",
+              "recursive-dbl", "ring");
+  for (int count : {8, 256, 8192, 131072}) {
+    std::printf("%10d %14.1f %18.1f %12.1f\n", count,
+                time_allreduce(sim::Protocol::kSisci, kRanks,
+                               mpi::AllreduceAlgorithm::kReduceBcast, count),
+                time_allreduce(sim::Protocol::kSisci, kRanks,
+                               mpi::AllreduceAlgorithm::kRecursiveDoubling,
+                               count),
+                time_allreduce(sim::Protocol::kSisci, kRanks,
+                               mpi::AllreduceAlgorithm::kRing, count));
+  }
+
+  std::printf("\n### Same sweep on TCP (latency-dominated network)\n");
+  std::printf("%10s %14s %18s %12s\n", "doubles", "reduce+bcast",
+              "recursive-dbl", "ring");
+  for (int count : {8, 8192, 131072}) {
+    std::printf("%10d %14.1f %18.1f %12.1f\n", count,
+                time_allreduce(sim::Protocol::kTcp, kRanks,
+                               mpi::AllreduceAlgorithm::kReduceBcast, count),
+                time_allreduce(sim::Protocol::kTcp, kRanks,
+                               mpi::AllreduceAlgorithm::kRecursiveDoubling,
+                               count),
+                time_allreduce(sim::Protocol::kTcp, kRanks,
+                               mpi::AllreduceAlgorithm::kRing, count));
+  }
+
+  std::printf("\n### Bcast: binomial tree vs linear root fan-out "
+              "(%d Myrinet nodes, bcast+barrier time, us)\n",
+              kRanks);
+  std::printf("%10s %12s %12s\n", "doubles", "binomial", "linear");
+  for (int count : {8, 8192, 131072}) {
+    std::printf("%10d %12.1f %12.1f\n", count,
+                time_bcast(sim::Protocol::kBip, kRanks,
+                           mpi::BcastAlgorithm::kBinomial, count),
+                time_bcast(sim::Protocol::kBip, kRanks,
+                           mpi::BcastAlgorithm::kLinear, count));
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation: cost per packing operation (paper §4.2.1: "the number of
+// packets has to be kept low to ensure a high level of performance, since
+// each pack operation induces a significant overhead").
+//
+// Sends the same 1 KB payload built from 1, 2, 4 or 8 blocks over each
+// network and reports the one-way time — the per-block slope is the
+// protocol's per_block cost (write()/read() rounds on TCP, PIO
+// transactions on SCI, descriptors on BIP).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace madmpi;
+
+namespace {
+
+double pingpong_with_blocks(core::Session& session, mad::Channel& channel,
+                            int blocks, std::size_t total_bytes, int reps) {
+  (void)session;
+  mad::ChannelEndpoint* a = channel.at(0);
+  mad::ChannelEndpoint* b = channel.at(1);
+  const std::size_t per_block = total_bytes / static_cast<std::size_t>(blocks);
+  std::vector<std::vector<std::byte>> chunks(
+      static_cast<std::size_t>(blocks),
+      std::vector<std::byte>(per_block, std::byte{1}));
+
+  auto send = [&](mad::ChannelEndpoint& self, node_id_t peer) {
+    mad::Packing packing = self.begin_packing(peer);
+    for (auto& chunk : chunks) {
+      packing.pack(chunk.data(), chunk.size(), mad::SendMode::kLater,
+                   mad::RecvMode::kCheaper);
+    }
+    packing.end_packing();
+  };
+  auto recv = [&](mad::ChannelEndpoint& self) {
+    auto incoming = self.begin_unpacking();
+    for (auto& chunk : chunks) {
+      incoming->unpack(chunk.data(), chunk.size(), mad::SendMode::kLater,
+                       mad::RecvMode::kCheaper);
+    }
+    incoming->end_unpacking();
+  };
+
+  std::thread peer([&] {
+    for (int r = 0; r < reps + 1; ++r) {
+      recv(*b);
+      send(*b, 0);
+    }
+  });
+  send(*a, 1);
+  recv(*a);  // warm-up
+  const usec_t start = a->node().clock().now();
+  for (int r = 0; r < reps; ++r) {
+    send(*a, 1);
+    recv(*a);
+  }
+  const usec_t elapsed = a->node().clock().now() - start;
+  peer.join();
+  return elapsed / (2.0 * reps);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTotal = 1024;
+  std::printf("One-way time (us) for a %zu B message split into N blocks\n",
+              kTotal);
+  std::printf("%-8s %8s %8s %8s %8s %14s\n", "proto", "1", "2", "4", "8",
+              "us_per_block");
+  for (auto protocol : {sim::Protocol::kTcp, sim::Protocol::kSisci,
+                        sim::Protocol::kBip}) {
+    auto session = bench::make_chmad_session(protocol);
+    mad::Channel& channel = session->open_raw_channel();
+    double times[4];
+    int column = 0;
+    for (int blocks : {1, 2, 4, 8}) {
+      times[column++] =
+          pingpong_with_blocks(*session, channel, blocks, kTotal, 3);
+    }
+    // Least-squares-free slope estimate: (t8 - t1) / 7 extra blocks.
+    const double slope = (times[3] - times[0]) / 7.0;
+    std::printf("%-8s %8.1f %8.1f %8.1f %8.1f %14.2f\n",
+                sim::protocol_name(protocol), times[0], times[1], times[2],
+                times[3], slope);
+  }
+  std::printf("\n(ch_mad keeps every MPI message at <= 2 packets for this "
+              "reason, paper 4.2.1)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared helpers for the figure/table benchmarks: session construction for
+// ch_mad and each baseline, series runners, and paper-style printing.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/native_device.hpp"
+#include "common/stats.hpp"
+#include "core/pingpong.hpp"
+#include "core/session.hpp"
+
+namespace madmpi::bench {
+
+/// A measurable target: name + a (message size -> result) function.
+struct Target {
+  std::string name;
+  std::function<core::PingPongResult(std::size_t bytes, int reps)> measure;
+};
+
+/// Session with ch_mad over a two-node mono-protocol cluster (the paper's
+/// device compiled "in a mono-protocol fashion", §5).
+inline std::unique_ptr<core::Session> make_chmad_session(
+    sim::Protocol protocol) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, protocol);
+  return std::make_unique<core::Session>(std::move(options));
+}
+
+/// Session whose inter-node device is one of the published comparators.
+inline std::unique_ptr<core::Session> make_baseline_session(
+    const std::string& profile_name, sim::Protocol protocol) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, protocol);
+  options.internode_factory =
+      [profile_name](core::Session& session)
+      -> std::unique_ptr<core::ManagedDevice> {
+    return std::make_unique<baselines::NativeDevice>(
+        baselines::profile_by_name(profile_name), session.fabric(),
+        session.cluster(), session.directory());
+  };
+  return std::make_unique<core::Session>(std::move(options));
+}
+
+inline Target mpi_target(std::string name, core::Session& session) {
+  return Target{std::move(name),
+                [&session](std::size_t bytes, int reps) {
+                  return core::mpi_pingpong(session, bytes, reps);
+                }};
+}
+
+inline Target raw_madeleine_target(std::string name, mad::Channel& channel) {
+  return Target{std::move(name),
+                [&channel](std::size_t bytes, int reps) {
+                  return core::raw_madeleine_pingpong(channel, 0, 1, bytes,
+                                                      reps);
+                }};
+}
+
+/// Transfer-time series (paper's "(a)" panels): sizes 1 B .. 1 KB.
+inline Series latency_series(const std::vector<Target>& targets) {
+  Series series;
+  series.x_label = "bytes";
+  for (const auto& target : targets) {
+    series.y_labels.push_back(target.name + "_us");
+  }
+  for (std::size_t size : power_of_two_sizes(1024)) {
+    std::vector<double> ys;
+    for (const auto& target : targets) {
+      ys.push_back(target.measure(size, 3).one_way_us);
+    }
+    series.add(static_cast<double>(size), std::move(ys));
+  }
+  return series;
+}
+
+/// Bandwidth series (paper's "(b)" panels): sizes 1 B .. 1 MB.
+inline Series bandwidth_series(const std::vector<Target>& targets) {
+  Series series;
+  series.x_label = "bytes";
+  for (const auto& target : targets) {
+    series.y_labels.push_back(target.name + "_MB/s");
+  }
+  for (std::size_t size : power_of_two_sizes(1 << 20)) {
+    std::vector<double> ys;
+    for (const auto& target : targets) {
+      const int reps = size >= (64u << 10) ? 1 : 3;
+      ys.push_back(target.measure(size, reps).bandwidth_mb_s);
+    }
+    series.add(static_cast<double>(size), std::move(ys));
+  }
+  return series;
+}
+
+inline void print_figure(const char* title, const Series& series) {
+  std::printf("\n### %s\n%s", title, series.to_table().c_str());
+}
+
+}  // namespace madmpi::bench

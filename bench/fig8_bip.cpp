@@ -1,0 +1,32 @@
+// Figure 8 — "Comparison between ch_mad, Madeleine, MPI-GM and
+// MPICH-PM/SCore" on BIP/Myrinet.
+//
+// Expected shape (paper §5.4): raw Madeleine ~9 us, ch_mad ~20 us. Below
+// 512 B ch_mad beats MPI-GM and trails MPICH-PM by ~5 us; at 1 KB the BIP
+// short/long break dents the ch_mad curve and MPI-GM edges ahead. In
+// bandwidth MPI-GM is definitely outperformed by both; MPICH-PM wins below
+// 4 KB and above 256 KB, with the 7 KB ch_mad switch point in between.
+#include "bench_common.hpp"
+
+using namespace madmpi;
+
+int main() {
+  auto chmad_session = bench::make_chmad_session(sim::Protocol::kBip);
+  auto gm_session =
+      bench::make_baseline_session("MPI-GM", sim::Protocol::kBip);
+  auto pm_session =
+      bench::make_baseline_session("MPICH-PM", sim::Protocol::kBip);
+  mad::Channel& raw = chmad_session->open_raw_channel();
+
+  std::vector<bench::Target> targets;
+  targets.push_back(bench::mpi_target("ch_mad", *chmad_session));
+  targets.push_back(bench::raw_madeleine_target("raw_Madeleine", raw));
+  targets.push_back(bench::mpi_target("MPI-GM", *gm_session));
+  targets.push_back(bench::mpi_target("MPI-PM", *pm_session));
+
+  bench::print_figure("Figure 8(a): BIP/Myrinet transfer time (us)",
+                      bench::latency_series(targets));
+  bench::print_figure("Figure 8(b): BIP/Myrinet bandwidth (MB/s)",
+                      bench::bandwidth_series(targets));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 9 — "Comparison between SCI Alone and SCI + TCP": the cost of the
+// multi-protocol feature (paper §5.5).
+//
+// Both configurations communicate exclusively over SCI; the second one also
+// runs a TCP polling thread (the cluster declares a Fast-Ethernet network
+// too, so ch_mad spawns one poller per channel). The performance gap is the
+// polling interference of the second protocol — bounded by TCP's expensive
+// select()-style poll — and must remain limited, converging at large sizes
+// where the zero-copy rendezvous amortizes per-message handling.
+#include "bench_common.hpp"
+
+using namespace madmpi;
+
+namespace {
+
+std::unique_ptr<core::Session> make_sci_plus_tcp_session() {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kSisci);
+  sim::NetworkSpec tcp;
+  tcp.protocol = sim::Protocol::kTcp;
+  for (const auto& node : options.cluster.nodes) {
+    tcp.members.push_back(node.name);
+  }
+  options.cluster.networks.push_back(std::move(tcp));
+  return std::make_unique<core::Session>(std::move(options));
+}
+
+}  // namespace
+
+int main() {
+  auto sci_only = bench::make_chmad_session(sim::Protocol::kSisci);
+  auto sci_tcp = make_sci_plus_tcp_session();
+
+  // Sanity: the dual-network session must still route over SCI.
+  MADMPI_CHECK(sci_tcp->ch_mad()->router().route(0, 1)->protocol() ==
+               sim::Protocol::kSisci);
+
+  std::vector<bench::Target> targets;
+  targets.push_back(bench::mpi_target("SCI_thread_only", *sci_only));
+  targets.push_back(bench::mpi_target("SCI_thread_+_TCP_thread", *sci_tcp));
+
+  bench::print_figure("Figure 9(a): SCI alone vs SCI+TCP transfer time (us)",
+                      bench::latency_series(targets));
+  bench::print_figure("Figure 9(b): SCI alone vs SCI+TCP bandwidth (MB/s)",
+                      bench::bandwidth_series(targets));
+  return 0;
+}

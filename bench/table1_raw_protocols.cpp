@@ -1,0 +1,37 @@
+// Table 1 — "Latency and bandwidth for Various Network Protocols":
+// raw Madeleine over TCP / BIP / SISCI. Paper values: latency 121 / 9.2 /
+// 4.4 us; 8 MB bandwidth 11.2 / 122 / 82.6 MB/s.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace madmpi;
+
+int main() {
+  std::printf("Table 1: raw Madeleine latency (4 B) and bandwidth (8 MB)\n");
+  std::printf("%-8s %14s %18s\n", "proto", "latency_us", "bandwidth_MB/s");
+
+  struct Row {
+    sim::Protocol protocol;
+    double paper_latency;
+    double paper_bandwidth;
+  };
+  const Row rows[] = {
+      {sim::Protocol::kTcp, 121.0, 11.2},
+      {sim::Protocol::kBip, 9.2, 122.0},
+      {sim::Protocol::kSisci, 4.4, 82.6},
+  };
+
+  for (const auto& row : rows) {
+    auto session = bench::make_chmad_session(row.protocol);
+    mad::Channel& channel = session->open_raw_channel();
+    const auto latency = core::raw_madeleine_pingpong(channel, 0, 1, 4);
+    const auto bandwidth =
+        core::raw_madeleine_pingpong(channel, 0, 1, 8u << 20, 1);
+    std::printf("%-8s %8.1f (paper %5.1f) %8.1f (paper %5.1f)\n",
+                sim::protocol_name(row.protocol), latency.one_way_us,
+                row.paper_latency, bandwidth.bandwidth_mb_s,
+                row.paper_bandwidth);
+  }
+  return 0;
+}

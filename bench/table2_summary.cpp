@@ -1,0 +1,37 @@
+// Table 2 — "Summary of Performance": ch_mad latency at 0 B and 4 B plus
+// 8 MB bandwidth, per network. Paper values:
+//   TCP   130 / 148.7 us, 11.2 MB/s
+//   BIP   16.9 / 18.9 us, 115 MB/s
+//   SISCI 13 / 20 us,     82.5 MB/s
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace madmpi;
+
+int main() {
+  std::printf("Table 2: ch_mad summary of performance\n");
+  std::printf("%-8s %22s %22s %22s\n", "proto", "latency0_us", "latency4_us",
+              "bandwidth_MB/s");
+
+  struct Row {
+    sim::Protocol protocol;
+    double paper0, paper4, paper_bw;
+  };
+  const Row rows[] = {
+      {sim::Protocol::kTcp, 130.0, 148.7, 11.2},
+      {sim::Protocol::kBip, 16.9, 18.9, 115.0},
+      {sim::Protocol::kSisci, 13.0, 20.0, 82.5},
+  };
+
+  for (const auto& row : rows) {
+    auto session = bench::make_chmad_session(row.protocol);
+    const auto lat0 = core::mpi_pingpong(*session, 0);
+    const auto lat4 = core::mpi_pingpong(*session, 4);
+    const auto bw = core::mpi_pingpong(*session, 8u << 20, 1);
+    std::printf("%-8s %8.1f (paper %5.1f) %8.1f (paper %5.1f) %8.1f (paper %5.1f)\n",
+                sim::protocol_name(row.protocol), lat0.one_way_us, row.paper0,
+                lat4.one_way_us, row.paper4, bw.bandwidth_mb_s, row.paper_bw);
+  }
+  return 0;
+}

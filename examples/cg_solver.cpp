@@ -1,0 +1,141 @@
+// Distributed conjugate-gradient solver on a heterogeneous cluster —
+// a collective-heavy workload (dot products -> allreduce every iteration)
+// complementing the stencil's point-to-point pattern.
+//
+// Solves A x = b for a 1-D reaction-diffusion matrix (tridiagonal
+// [-1, 4, -1], diagonally dominant so CG converges in a few dozen
+// iterations) block-distributed across ranks. Matrix-vector products need
+// one halo cell from each neighbour; the two dot products per iteration
+// each need an allreduce that spans SCI, Myrinet and TCP at once.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/session.hpp"
+
+using namespace madmpi;
+
+namespace {
+
+constexpr int kRowsPerRank = 2048;
+constexpr double kTolerance = 1e-8;
+constexpr int kMaxIterations = 500;
+
+class DistributedVector {
+ public:
+  explicit DistributedVector(int n) : values_(n, 0.0) {}
+  double& operator[](int i) { return values_[static_cast<std::size_t>(i)]; }
+  double operator[](int i) const {
+    return values_[static_cast<std::size_t>(i)];
+  }
+  int size() const { return static_cast<int>(values_.size()); }
+  double* data() { return values_.data(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+double dot(mpi::Comm& comm, const DistributedVector& a,
+           const DistributedVector& b) {
+  double local = 0.0;
+  for (int i = 0; i < a.size(); ++i) local += a[i] * b[i];
+  double global = 0.0;
+  comm.allreduce(&local, &global, 1, mpi::Datatype::float64(),
+                 mpi::Op::sum());
+  return global;
+}
+
+/// y = A x for the 1-D reaction-diffusion matrix, with halo exchange for
+/// the boundary rows.
+void apply_operator(mpi::Comm& comm, DistributedVector& x,
+                   DistributedVector& y) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const auto f64 = mpi::Datatype::float64();
+
+  double left_halo = 0.0;
+  double right_halo = 0.0;
+  auto exchange = [&](int neighbour, double* mine, double* theirs) {
+    if (neighbour < 0 || neighbour >= size) return;
+    comm.sendrecv(mine, 1, f64, neighbour, 0, theirs, 1, f64, neighbour, 0);
+  };
+  double first = x[0];
+  double last = x[x.size() - 1];
+  if (rank % 2 == 0) {
+    exchange(rank + 1, &last, &right_halo);
+    exchange(rank - 1, &first, &left_halo);
+  } else {
+    exchange(rank - 1, &first, &left_halo);
+    exchange(rank + 1, &last, &right_halo);
+  }
+
+  for (int i = 0; i < x.size(); ++i) {
+    const double up = i > 0 ? x[i - 1] : left_halo;
+    const double down = i < x.size() - 1 ? x[i + 1] : right_halo;
+    y[i] = 4.0 * x[i] - up - down;
+  }
+}
+
+void cg_rank(mpi::Comm comm) {
+  const int n = kRowsPerRank;
+  DistributedVector x(n), r(n), p(n), ap(n);
+
+  // b = 1 everywhere; x0 = 0 so r0 = b, p0 = r0.
+  for (int i = 0; i < n; ++i) {
+    r[i] = 1.0;
+    p[i] = 1.0;
+  }
+
+  double rr = dot(comm, r, r);
+  const double rr0 = rr;
+  int iterations = 0;
+  for (; iterations < kMaxIterations && rr / rr0 > kTolerance;
+       ++iterations) {
+    apply_operator(comm, p, ap);
+    const double alpha = rr / dot(comm, p, ap);
+    for (int i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_next = dot(comm, r, r);
+    const double beta = rr_next / rr;
+    for (int i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_next;
+
+    if (comm.rank() == 0 && iterations % 100 == 0) {
+      std::printf("iter %4d  relative residual %.3e\n", iterations,
+                  std::sqrt(rr / rr0));
+    }
+  }
+
+  if (comm.rank() == 0) {
+    std::printf("converged to %.3e after %d iterations, %.2f ms virtual\n",
+                std::sqrt(rr / rr0), iterations, comm.wtime_us() / 1000.0);
+  }
+
+  // Verify: A x must equal b (within tolerance) — recompute the residual
+  // from scratch.
+  apply_operator(comm, x, ap);
+  double local_err = 0.0;
+  for (int i = 0; i < n; ++i) {
+    local_err = std::max(local_err, std::abs(ap[i] - 1.0));
+  }
+  double err = 0.0;
+  comm.allreduce(&local_err, &err, 1, mpi::Datatype::float64(),
+                 mpi::Op::max());
+  if (comm.rank() == 0) {
+    std::printf("max |Ax - b| = %.3e\n", err);
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::cluster_of_clusters(2, 2);
+  core::Session session(std::move(options));
+  std::printf("CG on 4 heterogeneous nodes (%d rows per rank)\n",
+              kRowsPerRank);
+  session.run(cg_rank);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Channel splitting — the paper's §3.1: "It is of course possible to have
+// several channels related to the same protocol and/or the same network
+// adapter, which may be used to logically split communication from two
+// different modules."
+//
+// Here an application module streams bulk data over one SCI channel while
+// a monitoring module exchanges small heartbeats over a second channel on
+// the SAME network. The channels share the wire (link serialization is
+// common) but never mix messages: the monitor cannot accidentally consume
+// a bulk block, whatever the interleaving.
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+
+using namespace madmpi;
+
+namespace {
+
+constexpr int kBulkMessages = 20;
+constexpr std::size_t kBulkBytes = 256 * 1024;
+constexpr int kHeartbeats = 50;
+
+void bulk_module(mad::Channel& channel) {
+  std::thread producer([&channel] {
+    std::vector<double> block(kBulkBytes / sizeof(double));
+    std::iota(block.begin(), block.end(), 0.0);
+    for (int i = 0; i < kBulkMessages; ++i) {
+      mad::Packing packing = channel.at(0)->begin_packing(1);
+      packing.pack(&i, sizeof i, mad::SendMode::kSafer,
+                   mad::RecvMode::kExpress);
+      packing.pack(block.data(), kBulkBytes, mad::SendMode::kLater,
+                   mad::RecvMode::kCheaper);
+      packing.end_packing();
+    }
+  });
+
+  std::vector<double> incoming(kBulkBytes / sizeof(double));
+  for (int i = 0; i < kBulkMessages; ++i) {
+    auto message = channel.at(1)->begin_unpacking();
+    int seq = -1;
+    message->unpack(&seq, sizeof seq, mad::SendMode::kSafer,
+                    mad::RecvMode::kExpress);
+    message->unpack(incoming.data(), kBulkBytes, mad::SendMode::kLater,
+                    mad::RecvMode::kCheaper);
+    message->end_unpacking();
+    if (seq != i || incoming[100] != 100.0) {
+      std::fprintf(stderr, "bulk corruption at %d!\n", i);
+      std::abort();
+    }
+  }
+  producer.join();
+  std::printf("bulk module: %d x %zu KB transferred intact, node1 virtual "
+              "t=%.2f ms\n",
+              kBulkMessages, kBulkBytes / 1024,
+              channel.at(1)->node().clock().now() / 1000.0);
+}
+
+void monitor_module(mad::Channel& channel, std::atomic<bool>& bulk_running) {
+  std::thread responder([&channel] {
+    for (int i = 0; i < kHeartbeats; ++i) {
+      auto ping = channel.at(1)->begin_unpacking();
+      std::uint32_t beat = 0;
+      ping->unpack(&beat, sizeof beat, mad::SendMode::kSafer,
+                   mad::RecvMode::kExpress);
+      ping->end_unpacking();
+      mad::Packing pong = channel.at(1)->begin_packing(0);
+      pong.pack(&beat, sizeof beat, mad::SendMode::kSafer,
+                mad::RecvMode::kExpress);
+      pong.end_packing();
+    }
+  });
+
+  for (std::uint32_t beat = 0; beat < kHeartbeats; ++beat) {
+    mad::Packing ping = channel.at(0)->begin_packing(1);
+    ping.pack(&beat, sizeof beat, mad::SendMode::kSafer,
+              mad::RecvMode::kExpress);
+    ping.end_packing();
+    auto pong = channel.at(0)->begin_unpacking();
+    std::uint32_t echoed = 0;
+    pong->unpack(&echoed, sizeof echoed, mad::SendMode::kSafer,
+                 mad::RecvMode::kExpress);
+    pong->end_unpacking();
+    if (echoed != beat) {
+      std::fprintf(stderr, "monitor heard the wrong module!\n");
+      std::abort();
+    }
+  }
+  responder.join();
+  std::printf("monitor module: %d heartbeats echoed correctly%s\n",
+              kHeartbeats,
+              bulk_running.load() ? " while bulk traffic was in flight"
+                                  : "");
+}
+
+}  // namespace
+
+int main() {
+  sim::Fabric fabric;
+  mad::Madeleine madeleine(
+      fabric, sim::ClusterSpec::homogeneous(2, sim::Protocol::kSisci));
+  const auto& network = madeleine.cluster().networks[0];
+
+  // Two channels, one physical SCI network.
+  mad::Channel& bulk = madeleine.open_channel(network, "app-bulk");
+  mad::Channel& monitor = madeleine.open_channel(network, "app-monitor");
+
+  std::atomic<bool> bulk_running{true};
+  std::thread bulk_thread([&] {
+    bulk_module(bulk);
+    bulk_running = false;
+  });
+  monitor_module(monitor, bulk_running);
+  bulk_thread.join();
+
+  const auto bulk_stats = bulk.traffic();
+  const auto monitor_stats = monitor.traffic();
+  std::printf("\nper-channel isolation (same NIC, same wire):\n");
+  std::printf("  %-12s %4llu messages %12llu bytes\n", "app-bulk",
+              static_cast<unsigned long long>(bulk_stats.messages_sent),
+              static_cast<unsigned long long>(bulk_stats.bytes_sent));
+  std::printf("  %-12s %4llu messages %12llu bytes\n", "app-monitor",
+              static_cast<unsigned long long>(monitor_stats.messages_sent),
+              static_cast<unsigned long long>(monitor_stats.bytes_sent));
+  return 0;
+}

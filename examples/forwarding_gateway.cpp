@@ -1,0 +1,71 @@
+// Gateway forwarding demo — the paper's Section 6 future work, working.
+//
+// Topology: an SCI island {a0, a1} and a Myrinet island {b0, b1} joined
+// only through the gateway node gw (member of both networks). The paper's
+// prototype required all nodes pairwise connected; with forwarding enabled
+// the islands exchange MPI messages transparently, the relay crossing the
+// gateway inside Madeleine.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/session.hpp"
+
+using namespace madmpi;
+
+int main() {
+  sim::ClusterSpec spec;
+  for (const char* name : {"a0", "a1", "gw", "b0", "b1"}) {
+    sim::NodeSpec node;
+    node.name = name;
+    spec.nodes.push_back(node);
+  }
+  spec.networks.push_back({sim::Protocol::kSisci, 0, {"a0", "a1", "gw"}});
+  spec.networks.push_back({sim::Protocol::kBip, 0, {"gw", "b0", "b1"}});
+
+  core::Session::Options options;
+  options.cluster = std::move(spec);
+  options.enable_forwarding = true;
+  core::Session session(std::move(options));
+
+  auto* device = session.ch_mad();
+  std::printf("topology: a0,a1 --SCI-- gw --Myrinet-- b0,b1\n");
+  std::printf("a0 -> b1 next hop: node %d (the gateway), %d hops total\n\n",
+              device->forward_router()->next_hop(0, 4),
+              device->forward_router()->hops(0, 4));
+
+  session.run([](mpi::Comm comm) {
+    // Rank layout: a0=0, a1=1, gw=2, b0=3, b1=4.
+    const char* names[] = {"a0", "a1", "gw", "b0", "b1"};
+    if (comm.rank() == 0) {
+      std::vector<double> data(32 * 1024);
+      std::iota(data.begin(), data.end(), 0.0);
+      const usec_t t0 = comm.wtime_us();
+      comm.send(data.data(), static_cast<int>(data.size()),
+                mpi::Datatype::float64(), 4, 0);
+      std::printf("a0 sent 256 KB to b1 (rendezvous across the gateway), "
+                  "send done at t=%.1f us\n",
+                  comm.wtime_us() - t0);
+    } else if (comm.rank() == 4) {
+      std::vector<double> data(32 * 1024, -1.0);
+      auto status = comm.recv(data.data(), static_cast<int>(data.size()),
+                              mpi::Datatype::float64(), 0, 0);
+      std::printf("b1 received %llu bytes from %s; data[12345]=%.0f\n",
+                  static_cast<unsigned long long>(status.bytes),
+                  names[status.source], data[12345]);
+    }
+
+    // And a collective spanning both islands plus the gateway.
+    int mine = comm.rank();
+    int sum = -1;
+    comm.allreduce(&mine, &sum, 1, mpi::Datatype::int32(), mpi::Op::sum());
+    if (comm.rank() == 2) {
+      std::printf("gateway sees allreduce total %d over %d ranks\n", sum,
+                  comm.size());
+    }
+  });
+
+  std::printf("\nmessages relayed by the gateway: %llu\n",
+              static_cast<unsigned long long>(device->forwarded()));
+  return 0;
+}

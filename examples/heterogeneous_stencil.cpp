@@ -1,0 +1,101 @@
+// 1-D heat diffusion with halo exchange across a heterogeneous
+// cluster-of-clusters — the workload class the paper's introduction
+// motivates: one application spanning an SCI cluster and a Myrinet cluster
+// joined by Fast-Ethernet, without dedicating TCP to "inter-cluster" use.
+//
+// The domain is block-partitioned across ranks; each iteration exchanges
+// one-cell halos with neighbours (SCI, Myrinet or TCP hops depending on
+// where the neighbour lives) and computes the explicit Euler update. Every
+// few iterations an allreduce computes the residual.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/session.hpp"
+
+using namespace madmpi;
+
+namespace {
+
+constexpr int kCellsPerRank = 4096;
+constexpr int kIterations = 200;
+constexpr double kAlpha = 0.25;  // diffusion number (stable: <= 0.5)
+
+void stencil_rank(mpi::Comm comm) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const auto f64 = mpi::Datatype::float64();
+
+  // Local block with two ghost cells; initial condition: a hot spike in
+  // the middle of rank 0's block.
+  std::vector<double> u(kCellsPerRank + 2, 0.0);
+  std::vector<double> next(kCellsPerRank + 2, 0.0);
+  if (rank == 0) u[kCellsPerRank / 2] = 1000.0;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    // Halo exchange. Even/odd pairing avoids send-send deadlocks without
+    // relying on eager buffering.
+    const int left = rank - 1;
+    const int right = rank + 1;
+    auto exchange = [&](int neighbour, double* send_cell, double* recv_cell) {
+      if (neighbour < 0 || neighbour >= size) {
+        *recv_cell = 0.0;  // fixed boundary
+        return;
+      }
+      comm.sendrecv(send_cell, 1, f64, neighbour, iter, recv_cell, 1, f64,
+                    neighbour, iter);
+    };
+    if (rank % 2 == 0) {
+      exchange(right, &u[kCellsPerRank], &u[kCellsPerRank + 1]);
+      exchange(left, &u[1], &u[0]);
+    } else {
+      exchange(left, &u[1], &u[0]);
+      exchange(right, &u[kCellsPerRank], &u[kCellsPerRank + 1]);
+    }
+
+    double local_delta = 0.0;
+    for (int i = 1; i <= kCellsPerRank; ++i) {
+      next[i] = u[i] + kAlpha * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+      local_delta += std::abs(next[i] - u[i]);
+    }
+    std::swap(u, next);
+
+    if (iter % 50 == 49) {
+      double delta = 0.0;
+      comm.allreduce(&local_delta, &delta, 1, f64, mpi::Op::sum());
+      if (rank == 0) {
+        std::printf("iter %4d  residual %.6f  t=%.2f ms (virtual)\n",
+                    iter + 1, delta, comm.wtime_us() / 1000.0);
+      }
+    }
+  }
+
+  // Conservation check: total heat must survive (up to boundary leakage).
+  double local_heat = 0.0;
+  for (int i = 1; i <= kCellsPerRank; ++i) local_heat += u[i];
+  double heat = 0.0;
+  comm.reduce(&local_heat, &heat, 1, f64, mpi::Op::sum(), 0);
+  if (rank == 0) {
+    std::printf("total heat after %d iterations: %.3f (initial 1000)\n",
+                kIterations, heat);
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::cluster_of_clusters(
+      /*sci_nodes=*/2, /*myri_nodes=*/2, /*ranks_per_node=*/2);
+  core::Session session(std::move(options));
+
+  std::printf("8 ranks on 4 nodes; neighbour hops use smp_plug / SISCI / "
+              "BIP / TCP as the pair dictates\n");
+  session.run(stencil_rank);
+
+  auto* device = session.ch_mad();
+  std::printf("ch_mad traffic: %llu eager, %llu rendezvous messages\n",
+              static_cast<unsigned long long>(device->eager_sent()),
+              static_cast<unsigned long long>(device->rendezvous_sent()));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a simulated cluster, run an MPI program on it.
+//
+//   $ ./quickstart
+//
+// Four dual-CPU nodes — two on SCI, two on Myrinet, all on Fast-Ethernet —
+// exactly the paper's "cluster of clusters". Each rank greets the world,
+// then the program measures a ring exchange and an allreduce, showing that
+// one ch_mad device carries SCI, Myrinet and TCP traffic simultaneously.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+using namespace madmpi;
+
+int main() {
+  // Topology: sci0, sci1 (SCI + TCP), myri0, myri1 (Myrinet + TCP).
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::cluster_of_clusters(
+      /*sci_nodes=*/2, /*myri_nodes=*/2);
+  core::Session session(std::move(options));
+
+  // Inspect ch_mad's routing decisions before running anything.
+  auto* device = session.ch_mad();
+  std::printf("ch_mad switch point: %zu bytes (SCI present -> 8 KB)\n",
+              device->switch_point());
+  std::printf("route sci0 <-> sci1 : %s\n",
+              sim::protocol_name(device->router().route(0, 1)->protocol()));
+  std::printf("route myri0<-> myri1: %s\n",
+              sim::protocol_name(device->router().route(2, 3)->protocol()));
+  std::printf("route sci0 <-> myri0: %s\n\n",
+              sim::protocol_name(device->router().route(0, 2)->protocol()));
+
+  session.run([](mpi::Comm comm) {
+    // Hello from every rank (stdout interleaving is fine for a demo).
+    std::printf("hello from rank %d of %d on node %s\n", comm.rank(),
+                comm.size(),
+                comm.rank() < 2 ? (comm.rank() == 0 ? "sci0" : "sci1")
+                                : (comm.rank() == 2 ? "myri0" : "myri1"));
+
+    // Ring exchange: each hop picks its own network transparently.
+    const int to = (comm.rank() + 1) % comm.size();
+    const int from = (comm.rank() - 1 + comm.size()) % comm.size();
+    double token = 1000.0 + comm.rank();
+    double incoming = 0.0;
+    comm.sendrecv(&token, 1, mpi::Datatype::float64(), to, 0, &incoming, 1,
+                  mpi::Datatype::float64(), from, 0);
+
+    // A collective across all three networks.
+    double my_value = static_cast<double>(comm.rank() + 1);
+    double sum = 0.0;
+    comm.allreduce(&my_value, &sum, 1, mpi::Datatype::float64(),
+                   mpi::Op::sum());
+    if (comm.rank() == 0) {
+      std::printf("\nallreduce(1+2+3+4) = %.0f   [virtual time %.1f us]\n",
+                  sum, comm.wtime_us());
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Protocol timeline demo: enable the tracer, run a rendezvous transfer
+// across the heterogeneous cluster, and print the event timeline — every
+// packet of the paper's Figure 4(b) handshake becomes visible, timed in
+// virtual microseconds.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/session.hpp"
+#include "sim/trace.hpp"
+
+using namespace madmpi;
+
+int main() {
+  sim::Tracer::global().enable();
+
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kSisci);
+  core::Session session(std::move(options));
+
+  session.run([](mpi::Comm comm) {
+    constexpr int kCount = 8 * 1024;  // 32 KB: rendezvous territory
+    if (comm.rank() == 0) {
+      std::vector<double> data(kCount);
+      std::iota(data.begin(), data.end(), 0.0);
+      comm.send(data.data(), kCount, mpi::Datatype::float64(), 1, 0);
+    } else {
+      std::vector<double> data(kCount);
+      comm.recv(data.data(), kCount, mpi::Datatype::float64(), 0, 0);
+    }
+  });
+
+  std::printf("rendezvous transfer event timeline (virtual us):\n\n");
+  std::printf("%10s %5s %-9s %9s %s\n", "time_us", "node", "event", "bytes",
+              "label");
+  auto events = sim::Tracer::global().snapshot();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.time_us < b.time_us;
+                   });
+  for (const auto& event : events) {
+    std::printf("%10.2f %5d %-9s %9llu %s\n", event.time_us, event.node,
+                sim::trace_category_name(event.category),
+                static_cast<unsigned long long>(event.bytes), event.label);
+  }
+  std::printf("\n(CSV via Tracer::to_csv(); the request -> ok-to-send -> "
+              "zero-copy data sequence is the paper's Figure 4b)\n");
+  sim::Tracer::global().disable();
+  return 0;
+}

@@ -1,0 +1,304 @@
+#include "baselines/native_device.hpp"
+
+#include <cstring>
+
+#include "common/byte_buffer.hpp"
+#include "common/log.hpp"
+#include "sim/cost_model.hpp"
+
+namespace madmpi::baselines {
+
+namespace {
+
+enum class WireKind : std::uint8_t {
+  kEager = 1,
+  kRndvRequest,
+  kRndvAck,
+  kRndvData,
+  kTerm,
+};
+
+}  // namespace
+
+/// Fixed-layout wire header prepended to every frame's control payload.
+struct NativeDevice::WireHeader {
+  WireKind kind = WireKind::kEager;
+  rank_t src_global = kInvalidRank;
+  rank_t dst_global = kInvalidRank;
+  mpi::Envelope envelope;
+  std::uint64_t handle = 0;        // rndv: sender pending-send id
+  std::uint64_t sync_address = 0;  // rndv: receiver rhandle id
+};
+
+NativeDevice::NativeDevice(NativeProfile profile, sim::Fabric& fabric,
+                           const sim::ClusterSpec& cluster,
+                           core::RankDirectory& directory)
+    : profile_(std::move(profile)), directory_(directory) {
+  driver_ = net::make_driver(profile_.protocol);
+
+  const sim::NetworkSpec* network = nullptr;
+  for (const auto& candidate : cluster.networks) {
+    if (candidate.protocol == profile_.protocol) {
+      network = &candidate;
+      break;
+    }
+  }
+  MADMPI_CHECK_MSG(network != nullptr,
+                   "cluster declares no network for the baseline protocol");
+
+  // Install the (possibly tweaked) NIC model on a dedicated adapter, then
+  // open the transport over it.
+  sim::NetworkSpec own = *network;
+  own.adapter = kAdapter;
+  for (const auto& member : own.members) {
+    const auto node_id = static_cast<node_id_t>(*cluster.node_index(member));
+    if (fabric.find_nic(node_id, profile_.protocol, kAdapter) == nullptr) {
+      fabric.add_nic(node_id, profile_.nic_model, kAdapter);
+    }
+  }
+  transport_ = driver_->open_channel(fabric, own, cluster,
+                                     profile_.name + "-transport");
+  for (node_id_t member : transport_->members()) {
+    auto state = std::make_unique<NodeState>();
+    state->node = &transport_->endpoint(member)->node();
+    states_[member] = std::move(state);
+  }
+}
+
+NativeDevice::~NativeDevice() {
+  if (started_) shutdown();
+}
+
+NativeDevice::NodeState& NativeDevice::state_of(node_id_t node) {
+  auto it = states_.find(node);
+  MADMPI_CHECK_MSG(it != states_.end(), "node outside the baseline network");
+  return *it->second;
+}
+
+bool NativeDevice::reaches(rank_t src, rank_t dst) const {
+  sim::Node& a = directory_.node_of(src);
+  sim::Node& b = directory_.node_of(dst);
+  if (a.id() == b.id()) return false;
+  const auto& members = transport_->members();
+  return std::find(members.begin(), members.end(), a.id()) != members.end() &&
+         std::find(members.begin(), members.end(), b.id()) != members.end();
+}
+
+void NativeDevice::transmit(net::Endpoint& endpoint, node_id_t dst,
+                            const WireHeader& header, byte_span payload,
+                            bool zero_copy) {
+  ByteWriter control(sizeof header);
+  control.put(header);
+  std::vector<net::DataBlock> blocks;
+  if (!payload.empty()) {
+    net::DataBlock block;
+    block.data = payload;
+    block.zero_copy = zero_copy;
+    blocks.push_back(block);
+  }
+  endpoint.send_message(dst, control.span(), blocks);
+}
+
+void NativeDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
+                        byte_span packed, mpi::TransferMode mode) {
+  sim::Node& src_node = directory_.node_of(src);
+  sim::Node& dst_node = directory_.node_of(dst);
+  net::Endpoint* endpoint = transport_->endpoint(src_node.id());
+  MADMPI_CHECK(endpoint != nullptr);
+
+  WireHeader header;
+  header.src_global = src;
+  header.dst_global = dst;
+  header.envelope = env;
+
+  // Implementation-specific software cost: fixed part plus any
+  // non-pipelined staging copies.
+  src_node.clock().advance(profile_.sw_send_us +
+                           static_cast<double>(packed.size()) *
+                               profile_.extra_copy_send_per_byte);
+
+  if (mode == mpi::TransferMode::kEager) {
+    header.kind = WireKind::kEager;
+    transmit(*endpoint, dst_node.id(), header, packed, /*zero_copy=*/false);
+    return;
+  }
+
+  NodeState& state = state_of(src_node.id());
+  PendingSend pending;
+  pending.data = packed;
+  pending.done = std::make_unique<marcel::Semaphore>(src_node, 0);
+  std::uint64_t handle = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    handle = state.next_handle++;
+    state.pending_sends[handle] = &pending;
+  }
+  header.kind = WireKind::kRndvRequest;
+  header.handle = handle;
+  transmit(*endpoint, dst_node.id(), header, {}, false);
+  pending.done->wait();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.pending_sends.erase(handle);
+  }
+}
+
+void NativeDevice::start() {
+  MADMPI_CHECK(!started_);
+  started_ = true;
+  for (auto& [node_id, state] : states_) {
+    net::Endpoint* endpoint = transport_->endpoint(node_id);
+    const int peers = static_cast<int>(transport_->members().size()) - 1;
+    NodeState* state_ptr = state.get();
+    state->poller = std::thread(
+        [this, state_ptr, endpoint, peers] {
+          poll_loop(*state_ptr, *endpoint, peers);
+        });
+  }
+}
+
+void NativeDevice::shutdown() {
+  if (!started_) return;
+  WireHeader term;
+  term.kind = WireKind::kTerm;
+  for (auto& [node_id, state] : states_) {
+    net::Endpoint* endpoint = transport_->endpoint(node_id);
+    for (node_id_t peer : transport_->members()) {
+      if (peer == node_id) continue;
+      transmit(*endpoint, peer, term, {}, false);
+    }
+  }
+  for (auto& [node_id, state] : states_) {
+    if (state->poller.joinable()) state->poller.join();
+  }
+  for (node_id_t member : transport_->members()) {
+    transport_->endpoint(member)->close();
+  }
+  started_ = false;
+}
+
+void NativeDevice::poll_loop(NodeState& state, net::Endpoint& endpoint,
+                             int peers) {
+  int terms_seen = 0;
+  while (terms_seen < peers) {
+    auto incoming = endpoint.next_message_blocking();
+    if (!incoming) return;  // closed underneath us
+
+    WireHeader header;
+    ByteReader reader(incoming->control_payload());
+    header = reader.get<WireHeader>();
+    sim::Node& node = endpoint.node();
+    node.clock().advance(profile_.sw_recv_us);
+
+    switch (header.kind) {
+      case WireKind::kEager: {
+        std::vector<std::byte> bounce(header.envelope.bytes);
+        if (!bounce.empty()) {
+          sim::Frame frame = incoming->take_data_block();
+          MADMPI_CHECK(frame.payload.size() == bounce.size());
+          std::memcpy(bounce.data(), frame.payload.data(), bounce.size());
+          node.clock().advance(static_cast<double>(bounce.size()) *
+                               profile_.extra_copy_recv_per_byte);
+        }
+        directory_.context_of(header.dst_global)
+            .deliver_eager(header.envelope,
+                           byte_span{bounce.data(), bounce.size()});
+        break;
+      }
+
+      case WireKind::kRndvRequest: {
+        NodeState* state_ptr = &state;
+        net::Endpoint* ep = &endpoint;
+        const node_id_t peer = incoming->source();
+        directory_.context_of(header.dst_global)
+            .deliver_rendezvous(
+                header.envelope,
+                [this, state_ptr, ep, peer, header](const mpi::Envelope&,
+                                                    mpi::PostedRecv posted) {
+                  std::uint64_t sync_address = 0;
+                  {
+                    std::lock_guard<std::mutex> lock(state_ptr->mutex);
+                    sync_address = state_ptr->next_handle++;
+                    state_ptr->rhandles[sync_address] =
+                        Rhandle{std::move(posted)};
+                  }
+                  WireHeader ack = header;
+                  ack.kind = WireKind::kRndvAck;
+                  ack.sync_address = sync_address;
+                  sim::Node* ack_node = state_ptr->node;
+                  const usec_t birth = ack_node->clock().advance(
+                      profile_.rndv_handshake_us * 0.5);
+                  std::thread([this, ack_node, birth, ep, peer, ack] {
+                    ack_node->clock().bind_lane(birth);
+                    transmit(*ep, peer, ack, {}, false);
+                  }).detach();
+                });
+        break;
+      }
+
+      case WireKind::kRndvAck: {
+        PendingSend* pending = nullptr;
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          auto it = state.pending_sends.find(header.handle);
+          MADMPI_CHECK(it != state.pending_sends.end());
+          pending = it->second;
+        }
+        const usec_t birth =
+            node.clock().advance(profile_.rndv_handshake_us * 0.5);
+        sim::Node* data_node = &node;
+        const node_id_t peer = incoming->source();
+        net::Endpoint* ep = &endpoint;
+        WireHeader data = header;
+        data.kind = WireKind::kRndvData;
+        std::thread([this, data_node, birth, ep, peer, data, pending] {
+          data_node->clock().bind_lane(birth);
+          transmit(*ep, peer, data, pending->data, profile_.rndv_zero_copy);
+          pending->done->signal();
+        }).detach();
+        break;
+      }
+
+      case WireKind::kRndvData: {
+        Rhandle rhandle;
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          auto it = state.rhandles.find(header.sync_address);
+          MADMPI_CHECK(it != state.rhandles.end());
+          rhandle = std::move(it->second);
+          state.rhandles.erase(it);
+        }
+        const mpi::PostedRecv& posted = rhandle.posted;
+        const std::uint64_t bytes = header.envelope.bytes;
+        MADMPI_CHECK_MSG(bytes <= posted.capacity_bytes,
+                         "baseline rendezvous truncation");
+        if (bytes != 0) {
+          sim::Frame frame = incoming->take_data_block();
+          MADMPI_CHECK(frame.payload.size() == bytes);
+          const std::size_t elem = posted.type.size();
+          const int elements = static_cast<int>(bytes / (elem ? elem : 1));
+          if (header.envelope.sender_big_endian) {
+            posted.type.swap_packed(frame.payload.data(), elements);
+          }
+          posted.type.unpack(frame.payload.data(), elements, posted.buffer);
+          if (!profile_.rndv_zero_copy) {
+            node.clock().advance(static_cast<double>(bytes) *
+                                 profile_.extra_copy_rndv_per_byte);
+          }
+        }
+        mpi::MpiStatus status;
+        status.source = header.envelope.src;
+        status.tag = header.envelope.tag;
+        status.bytes = bytes;
+        posted.request->complete(status);
+        break;
+      }
+
+      case WireKind::kTerm:
+        ++terms_seen;
+        break;
+    }
+  }
+}
+
+}  // namespace madmpi::baselines

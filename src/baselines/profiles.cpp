@@ -1,0 +1,128 @@
+// Calibrated profiles of the paper's comparator MPI implementations.
+//
+// Constants are fitted to the published curves (Figures 6-8): the fixed
+// software costs set the small-message latencies, the extra per-byte copy
+// costs set the bandwidth plateaus, and the thresholds/handshakes set the
+// crossovers. EXPERIMENTS.md records target-vs-measured for each.
+#include "baselines/native_device.hpp"
+
+#include "common/status.hpp"
+
+namespace madmpi::baselines {
+
+NativeProfile ch_p4_profile() {
+  NativeProfile p;
+  p.name = "ch_p4";
+  p.protocol = sim::Protocol::kTcp;
+  p.nic_model = sim::tcp_fast_ethernet_model();
+  // The venerable p4 layer: heavier bookkeeping than ch_mad at small sizes
+  // (Fig. 6a: ch_mad wins below 256 B)...
+  p.sw_send_us = 18.0;
+  p.sw_recv_us = 14.0;
+  // ...and a double-buffered receive path that caps bandwidth at ~10 MB/s
+  // (Fig. 6b: flat ceiling, no rendezvous recovery).
+  p.extra_copy_send_per_byte = 0.0032;
+  p.extra_copy_recv_per_byte = 0.0032;
+  p.eager_threshold = static_cast<std::size_t>(-1);  // no long-msg protocol
+  return p;
+}
+
+NativeProfile scampi_profile() {
+  NativeProfile p;
+  p.name = "ScaMPI";
+  p.protocol = sim::Protocol::kSisci;
+  p.nic_model = sim::sisci_sci_model();
+  // Commercial, hand-tuned directly on the SCI hardware: almost no
+  // software above the adapter (Fig. 7a: ~8 us latency).
+  p.sw_send_us = 0.3;
+  p.sw_recv_us = 0.2;
+  // Eager messages land by PIO directly in the mapped segment (no extra
+  // copy); the long-message path stages once, capping it near 65 MB/s —
+  // which is why ch_mad's zero-copy rendezvous passes it beyond 16 KB
+  // (Fig. 7b).
+  p.extra_copy_recv_per_byte = 0.0;
+  p.eager_threshold = 64 * 1024;
+  p.rndv_handshake_us = 10.0;
+  p.rndv_zero_copy = false;
+  p.extra_copy_rndv_per_byte = 0.0032;
+  return p;
+}
+
+NativeProfile sci_mpich_profile() {
+  NativeProfile p;
+  p.name = "SCI-MPICH";
+  p.protocol = sim::Protocol::kSisci;
+  p.nic_model = sim::sisci_sci_model();
+  // ch_smi: research code, a little more overhead than ScaMPI (Fig. 7a)
+  // and a heavier copy discipline (Fig. 7b plateau ~55 MB/s).
+  p.sw_send_us = 2.5;
+  p.sw_recv_us = 2.0;
+  p.extra_copy_send_per_byte = 0.0027;
+  p.extra_copy_recv_per_byte = 0.0032;
+  p.eager_threshold = 32 * 1024;
+  p.rndv_handshake_us = 15.0;
+  p.rndv_zero_copy = false;
+  p.extra_copy_rndv_per_byte = 0.0059;
+  return p;
+}
+
+NativeProfile mpi_gm_profile() {
+  NativeProfile p;
+  p.name = "MPI-GM";
+  p.protocol = sim::Protocol::kBip;
+  // GM 1.2.3 firmware: no BIP-style 1 KB short/long break (this is what
+  // lets MPI-GM beat ch_mad between 512 B and 1 KB in Fig. 8a — ch_mad
+  // inherits BIP's long-path penalty at exactly 1 KB).
+  p.nic_model = sim::bip_myrinet_model();
+  p.nic_model.short_message_limit = 4096;
+  p.sw_send_us = 3.8;
+  p.sw_recv_us = 3.8;
+  // Efficient small-message path but a staged long-message protocol
+  // through registered buffers: Fig. 8b's ~60 MB/s plateau, "definitely
+  // outperformed" by both ch_mad and MPICH-PM.
+  p.extra_copy_recv_per_byte = 0.004;
+  p.eager_threshold = 8 * 1024;
+  p.rndv_handshake_us = 20.0;
+  p.rndv_zero_copy = false;
+  p.extra_copy_rndv_per_byte = 0.009;
+  return p;
+}
+
+NativeProfile mpich_pm_profile() {
+  NativeProfile p;
+  p.name = "MPICH-PM";
+  p.protocol = sim::Protocol::kBip;
+  // RWCP's PM firmware on the same Myrinet hardware (measured on the RWC
+  // PC Cluster II): lower initiation costs and a slightly better-sustained
+  // long-message pipeline than BIP.
+  p.nic_model = sim::bip_myrinet_model();
+  p.nic_model.send_overhead_us = 1.8;
+  p.nic_model.recv_overhead_us = 2.0;
+  p.nic_model.wire_latency_us = 2.2;
+  p.nic_model.per_segment_us = 1.0;
+  p.nic_model.bandwidth_bytes_per_us = 150.0;
+  p.nic_model.short_message_limit = 4096;
+  p.nic_model.long_path_extra_us = 0.0;
+  p.sw_send_us = 2.5;
+  p.sw_recv_us = 2.0;
+  p.extra_copy_send_per_byte = 0.0002;
+  p.extra_copy_recv_per_byte = 0.0002;
+  // True zero-copy rendezvous (the paper cites it as *the* zero-copy MPI)
+  // with a deliberate, relatively costly handshake — best below 4 KB and
+  // above 256 KB, level with ch_mad in between (Fig. 8).
+  p.eager_threshold = 8 * 1024;
+  p.rndv_handshake_us = 45.0;
+  p.rndv_zero_copy = true;
+  return p;
+}
+
+NativeProfile profile_by_name(const std::string& name) {
+  if (name == "ch_p4") return ch_p4_profile();
+  if (name == "ScaMPI" || name == "scampi") return scampi_profile();
+  if (name == "SCI-MPICH" || name == "ch_smi") return sci_mpich_profile();
+  if (name == "MPI-GM" || name == "mpi_gm") return mpi_gm_profile();
+  if (name == "MPICH-PM" || name == "mpich_pm") return mpich_pm_profile();
+  fatal("unknown baseline profile: " + name);
+}
+
+}  // namespace madmpi::baselines

@@ -1,0 +1,73 @@
+// Growable byte buffer with typed append/read cursors. Used for packet
+// headers and eager payload staging throughout the stack.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace madmpi {
+
+/// Append-only binary writer. Values are stored in host byte order; the
+/// datatype layer handles heterogeneity conversions above this level.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { bytes_.reserve(reserve); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    append(&value, sizeof value);
+  }
+
+  void append(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::byte*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  void append(byte_span data) { append(data.data(), data.size()); }
+
+  std::size_t size() const { return bytes_.size(); }
+  byte_span span() const { return {bytes_.data(), bytes_.size()}; }
+  std::vector<std::byte> take() { return std::move(bytes_); }
+  void clear() { bytes_.clear(); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Sequential binary reader over a borrowed span.
+class ByteReader {
+ public:
+  explicit ByteReader(byte_span data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T value{};
+    MADMPI_CHECK_MSG(pos_ + sizeof value <= data_.size(),
+                     "byte reader underflow");
+    std::memcpy(&value, data_.data() + pos_, sizeof value);
+    pos_ += sizeof value;
+    return value;
+  }
+
+  void read(void* out, std::size_t size) {
+    MADMPI_CHECK_MSG(pos_ + size <= data_.size(), "byte reader underflow");
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  byte_span remaining() const { return data_.subspan(pos_); }
+  std::size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  byte_span data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace madmpi

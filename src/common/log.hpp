@@ -1,0 +1,43 @@
+// Minimal thread-safe leveled logger. Off by default above kWarn so tests
+// and benches stay quiet; MADMPI_LOG env var or set_level() raises verbosity.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace madmpi {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+namespace log {
+
+/// Current threshold; messages below it are dropped.
+LogLevel level();
+void set_level(LogLevel level);
+
+/// printf-style logging. `subsystem` tags the emitting module ("mad",
+/// "ch_mad", "sim", ...).
+void write(LogLevel level, const char* subsystem, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace log
+
+#define MADMPI_LOG_TRACE(subsys, ...) \
+  ::madmpi::log::write(::madmpi::LogLevel::kTrace, subsys, __VA_ARGS__)
+#define MADMPI_LOG_DEBUG(subsys, ...) \
+  ::madmpi::log::write(::madmpi::LogLevel::kDebug, subsys, __VA_ARGS__)
+#define MADMPI_LOG_INFO(subsys, ...) \
+  ::madmpi::log::write(::madmpi::LogLevel::kInfo, subsys, __VA_ARGS__)
+#define MADMPI_LOG_WARN(subsys, ...) \
+  ::madmpi::log::write(::madmpi::LogLevel::kWarn, subsys, __VA_ARGS__)
+#define MADMPI_LOG_ERROR(subsys, ...) \
+  ::madmpi::log::write(::madmpi::LogLevel::kError, subsys, __VA_ARGS__)
+
+}  // namespace madmpi

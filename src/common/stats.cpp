@@ -1,0 +1,114 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+#include "common/status.hpp"
+
+namespace madmpi {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  MADMPI_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void Series::add(double x, std::vector<double> ys) {
+  MADMPI_CHECK(ys.size() == y_labels.size());
+  points.push_back(SeriesPoint{x, std::move(ys)});
+}
+
+std::string Series::to_table() const {
+  std::string out = "# " + x_label;
+  for (const auto& label : y_labels) {
+    out += "\t";
+    out += label;
+  }
+  out += "\n";
+  char buf[64];
+  for (const auto& point : points) {
+    std::snprintf(buf, sizeof buf, "%.0f", point.x);
+    out += buf;
+    for (double y : point.ys) {
+      std::snprintf(buf, sizeof buf, "\t%.3f", y);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Series::to_csv() const {
+  std::string out = x_label;
+  for (const auto& label : y_labels) {
+    out += ",";
+    out += label;
+  }
+  out += "\n";
+  char buf[64];
+  for (const auto& point : points) {
+    std::snprintf(buf, sizeof buf, "%.0f", point.x);
+    out += buf;
+    for (double y : point.ys) {
+      std::snprintf(buf, sizeof buf, ",%.3f", y);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::size_t> power_of_two_sizes(std::size_t max_size) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 1; s <= max_size; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+}  // namespace madmpi

@@ -1,0 +1,73 @@
+// Running statistics and measurement series used by the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace madmpi {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed sample set supporting percentiles (used by latency reporting).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, q in [0, 1].
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// One (x, y...) row of a benchmark series, e.g. message size vs time.
+struct SeriesPoint {
+  double x = 0.0;
+  std::vector<double> ys;
+};
+
+/// A named multi-column series, printable as the paper's figure data.
+struct Series {
+  std::string x_label;
+  std::vector<std::string> y_labels;
+  std::vector<SeriesPoint> points;
+
+  void add(double x, std::vector<double> ys);
+  /// Render as an aligned text table (gnuplot-friendly: "# " comment header).
+  std::string to_table() const;
+  /// Render as CSV with a header row.
+  std::string to_csv() const;
+};
+
+/// The log-spaced message-size ladder used by mpptest-style figures:
+/// 1, 2, 4, ... up to `max_size` inclusive.
+std::vector<std::size_t> power_of_two_sizes(std::size_t max_size);
+
+}  // namespace madmpi

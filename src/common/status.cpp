@@ -1,0 +1,37 @@
+#include "common/status.hpp"
+
+namespace madmpi {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kNotConnected: return "not_connected";
+    case ErrorCode::kChannelClosed: return "channel_closed";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kUnreachable: return "unreachable";
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kResourceLimit: return "resource_limit";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void fatal(const std::string& message) {
+  std::fprintf(stderr, "[madmpi fatal] %s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace madmpi

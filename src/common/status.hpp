@@ -1,0 +1,76 @@
+// Lightweight status / result types. The library reports recoverable errors
+// through Status rather than exceptions; exceptions are reserved for
+// programming errors (contract violations).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace madmpi {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotConnected,
+  kChannelClosed,
+  kTruncated,       // MPI_ERR_TRUNCATE equivalent
+  kUnreachable,     // no channel between the two nodes
+  kProtocol,        // malformed packet / sequence error
+  kResourceLimit,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode.
+const char* error_code_name(ErrorCode code);
+
+/// A success-or-error value with a message. Cheap to copy on success.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Abort the process with a message. Used for contract violations in paths
+/// where throwing would corrupt the communication state machine.
+[[noreturn]] void fatal(const std::string& message);
+
+/// CHECK-style macro for invariants (enabled in all build types: these are
+/// protocol-state invariants whose violation means memory corruption ahead).
+#define MADMPI_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::madmpi::fatal(std::string("check failed: ") + #cond + " at " +    \
+                      __FILE__ + ":" + std::to_string(__LINE__));         \
+    }                                                                     \
+  } while (0)
+
+#define MADMPI_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::madmpi::fatal(std::string("check failed: ") + #cond + ": " +      \
+                      (msg) + " at " + __FILE__ + ":" +                   \
+                      std::to_string(__LINE__));                          \
+    }                                                                     \
+  } while (0)
+
+}  // namespace madmpi

@@ -1,0 +1,43 @@
+// Fundamental aliases and small vocabulary types shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace madmpi {
+
+/// Virtual time in microseconds. All simulated costs and clocks use this unit
+/// (the paper reports latencies in microseconds and bandwidth in MB/s).
+using usec_t = double;
+
+/// Global node (machine) identifier inside a simulated cluster.
+using node_id_t = std::int32_t;
+
+/// MPI rank within a communicator.
+using rank_t = std::int32_t;
+
+/// Identifier of a Madeleine channel (one per protocol/adapter pair).
+using channel_id_t = std::int32_t;
+
+/// Identifier of a network adapter within a node.
+using adapter_id_t = std::int32_t;
+
+inline constexpr node_id_t kInvalidNode = -1;
+inline constexpr rank_t kInvalidRank = -1;
+
+/// Bytes as used on the wire.
+using byte_span = std::span<const std::byte>;
+using mutable_byte_span = std::span<std::byte>;
+
+/// 1 MB as defined by the paper (Section 5.1: 1 MB = 2^20 bytes).
+inline constexpr double kMegabyte = 1024.0 * 1024.0;
+
+/// Convert an elapsed time and size into MB/s using the paper's convention.
+constexpr double bandwidth_mb_s(std::size_t bytes, usec_t elapsed_us) {
+  if (elapsed_us <= 0.0) return 0.0;
+  return (static_cast<double>(bytes) / kMegabyte) / (elapsed_us * 1e-6);
+}
+
+}  // namespace madmpi

@@ -1,0 +1,435 @@
+#include "core/ch_mad.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "common/log.hpp"
+#include "marcel/thread.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/trace.hpp"
+
+namespace madmpi::core {
+
+ChMadDevice::ChMadDevice(RankDirectory& directory,
+                         std::vector<mad::Channel*> channels, Config config)
+    : directory_(directory),
+      router_(std::move(channels)),
+      forward_channels_router_(std::move(config.forward_channels)) {
+  switch_point_ = config.switch_point_override.has_value()
+                      ? *config.switch_point_override
+                      : elect_switch_point(router_.protocols());
+  if (!forward_channels_router_.channels().empty()) {
+    forward_router_.emplace(router_);
+  }
+
+  // One NodeState per node appearing in any channel (direct or forward).
+  auto add_members = [this](const std::vector<mad::Channel*>& channels) {
+    for (mad::Channel* channel : channels) {
+      for (node_id_t member : channel->members()) {
+        auto& slot = states_[member];
+        if (!slot) {
+          slot = std::make_unique<NodeState>();
+          slot->node = &channel->at(member)->node();
+          slot->poll_server =
+              std::make_unique<marcel::PollServer>(*slot->node);
+        }
+      }
+    }
+  };
+  add_members(router_.channels());
+  add_members(forward_channels_router_.channels());
+}
+
+ChMadDevice::~ChMadDevice() {
+  if (started_) shutdown();
+}
+
+ChMadDevice::NodeState& ChMadDevice::state_of(node_id_t node) {
+  auto it = states_.find(node);
+  MADMPI_CHECK_MSG(it != states_.end(), "node not covered by ch_mad");
+  return *it->second;
+}
+
+bool ChMadDevice::reaches(rank_t src, rank_t dst) const {
+  if (src == dst) return false;
+  sim::Node& src_node = directory_.node_of(src);
+  sim::Node& dst_node = directory_.node_of(dst);
+  if (src_node.id() == dst_node.id()) return false;
+  if (router_.route(src_node.id(), dst_node.id()) != nullptr) return true;
+  return forward_router_.has_value() &&
+         forward_router_->connected(src_node.id(), dst_node.id());
+}
+
+void ChMadDevice::start() {
+  MADMPI_CHECK_MSG(!started_, "ch_mad started twice");
+  started_ = true;
+
+  // Direct channels: pollers dispatch ch_mad packets straight away.
+  // Forwarding channels: pollers first read the routing header and either
+  // relay (gateway role) or dispatch locally (final hop).
+  auto spawn_pollers = [this](mad::Channel* channel, bool forwarding) {
+    for (node_id_t member : channel->members()) {
+      mad::ChannelEndpoint* endpoint = channel->at(member);
+      NodeState* state = states_.at(member).get();
+      auto terms_seen = std::make_shared<int>(0);
+      const int peers = static_cast<int>(channel->members().size()) - 1;
+      state->poll_server->add_poller(
+          channel->id(), channel->poll_cost(),
+          [this, state, endpoint, channel, terms_seen, peers, forwarding,
+           member] {
+            auto incoming = endpoint->begin_unpacking();
+            if (!incoming) return false;  // channel closed
+            state->poll_server->charge_wakeup(channel->id());
+            if (forwarding) {
+              mad::ForwardHeader fwd;
+              incoming->unpack(&fwd, sizeof fwd, mad::SendMode::kSafer,
+                               mad::RecvMode::kExpress);
+              if (fwd.final_dst != member) {
+                relay(member, fwd, *incoming);
+                return true;
+              }
+            }
+            handle_message(*state, *incoming, terms_seen.get());
+            return *terms_seen < peers;
+          });
+    }
+  };
+  for (mad::Channel* channel : router_.channels()) {
+    spawn_pollers(channel, /*forwarding=*/false);
+  }
+  for (mad::Channel* channel : forward_channels_router_.channels()) {
+    spawn_pollers(channel, /*forwarding=*/true);
+  }
+}
+
+void ChMadDevice::shutdown() {
+  MADMPI_CHECK_MSG(started_, "ch_mad shutdown before start");
+  // Phase 1: every node announces termination to every direct peer, on
+  // direct channels plainly and on forwarding channels wrapped in a
+  // final-hop routing header.
+  PacketHeader term;
+  term.type = PacketType::kTerm;
+  for (mad::Channel* channel : router_.channels()) {
+    for (node_id_t member : channel->members()) {
+      mad::ChannelEndpoint* endpoint = channel->at(member);
+      for (node_id_t peer : channel->members()) {
+        if (peer == member) continue;
+        mad::Packing packing = endpoint->begin_packing(peer);
+        packing.pack(&term, sizeof term, mad::SendMode::kSafer,
+                     mad::RecvMode::kExpress);
+        packing.end_packing();
+      }
+    }
+  }
+  for (mad::Channel* channel : forward_channels_router_.channels()) {
+    for (node_id_t member : channel->members()) {
+      mad::ChannelEndpoint* endpoint = channel->at(member);
+      for (node_id_t peer : channel->members()) {
+        if (peer == member) continue;
+        mad::ForwardHeader header;
+        header.origin = member;
+        header.final_dst = peer;
+        mad::Packing packing = endpoint->begin_packing(peer);
+        packing.pack(&header, sizeof header, mad::SendMode::kSafer,
+                     mad::RecvMode::kExpress);
+        packing.pack(&term, sizeof term, mad::SendMode::kSafer,
+                     mad::RecvMode::kExpress);
+        packing.end_packing();
+      }
+    }
+  }
+  // Phase 2: pollers drain and exit, then channels close.
+  for (auto& [node_id, state] : states_) {
+    state->poll_server->join();
+  }
+  for (mad::Channel* channel : router_.channels()) channel->close();
+  for (mad::Channel* channel : forward_channels_router_.channels()) {
+    channel->close();
+  }
+  started_ = false;
+}
+
+void ChMadDevice::send_packet(node_id_t src_node, node_id_t dst_node,
+                              const PacketHeader& header, byte_span body) {
+  if (mad::Channel* direct = router_.route(src_node, dst_node)) {
+    mad::Packing packing = direct->at(src_node)->begin_packing(dst_node);
+    packing.pack(&header, sizeof header, mad::SendMode::kSafer,
+                 mad::RecvMode::kExpress);
+    if (!body.empty()) {
+      packing.pack(body.data(), body.size(), mad::SendMode::kLater,
+                   mad::RecvMode::kCheaper);
+    }
+    packing.end_packing();
+    return;
+  }
+
+  MADMPI_CHECK_MSG(forward_router_.has_value(),
+                   "no common network and forwarding is disabled");
+  const node_id_t next = forward_router_->next_hop(src_node, dst_node);
+  MADMPI_CHECK_MSG(next != kInvalidNode, "no forwarding path to the node");
+  mad::Channel* egress = forward_channels_router_.route(src_node, next);
+  MADMPI_CHECK_MSG(egress != nullptr,
+                   "forwarding channel missing for the first hop");
+
+  mad::ForwardHeader fwd;
+  fwd.origin = src_node;
+  fwd.final_dst = dst_node;
+  mad::Packing packing = egress->at(src_node)->begin_packing(next);
+  packing.pack(&fwd, sizeof fwd, mad::SendMode::kSafer,
+               mad::RecvMode::kExpress);
+  packing.pack(&header, sizeof header, mad::SendMode::kSafer,
+               mad::RecvMode::kExpress);
+  if (!body.empty()) {
+    packing.pack(body.data(), body.size(), mad::SendMode::kLater,
+                 mad::RecvMode::kCheaper);
+  }
+  packing.end_packing();
+}
+
+void ChMadDevice::relay(node_id_t me, mad::ForwardHeader fwd,
+                        mad::Unpacking& incoming) {
+  const node_id_t next = forward_router_->next_hop(me, fwd.final_dst);
+  MADMPI_CHECK_MSG(next != kInvalidNode,
+                   "gateway has no route to the final destination");
+  mad::Channel* egress = forward_channels_router_.route(me, next);
+  MADMPI_CHECK_MSG(egress != nullptr, "no forwarding channel to next hop");
+
+  ++fwd.hops;
+  mad::Packing out = egress->at(me)->begin_packing(next);
+  out.pack(&fwd, sizeof fwd, mad::SendMode::kSafer, mad::RecvMode::kExpress);
+  while (auto block = incoming.drain_block()) {
+    out.pack(block->bytes.data(), block->bytes.size(), mad::SendMode::kSafer,
+             block->express ? mad::RecvMode::kExpress
+                            : mad::RecvMode::kCheaper);
+  }
+  incoming.end_unpacking();
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  sim::trace(states_.at(me)->node->clock().now(), me,
+             sim::TraceCategory::kRelay, 0, "gateway");
+  out.end_packing();
+}
+
+void ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
+                       byte_span packed, mpi::TransferMode mode) {
+  sim::Node& src_node = directory_.node_of(src);
+  sim::Node& dst_node = directory_.node_of(dst);
+
+  PacketHeader header;
+  header.src_global = src;
+  header.dst_global = dst;
+  header.envelope = env;
+
+  if (mode == mpi::TransferMode::kEager) {
+    // MAD_SHORT_PKT: the ADI short packet is split (paper §4.2.2) — its
+    // header travels in the ch_mad message header, the user data directly
+    // as the message body, avoiding the copy into a padded
+    // MPID_PKT_MAX_DATA_SIZE buffer on the sending side.
+    header.type = PacketType::kShort;
+    eager_sent_.fetch_add(1, std::memory_order_relaxed);
+    send_packet(src_node.id(), dst_node.id(), header, packed);
+    return;
+  }
+
+  // Rendezvous (paper §4.2.2): 1) request; 2) peer acknowledges with its
+  // sync_address once a receive is posted; 3) data goes out zero-copy.
+  rendezvous_sent_.fetch_add(1, std::memory_order_relaxed);
+  NodeState& state = state_of(src_node.id());
+  PendingSend pending;
+  pending.data = packed;
+  pending.header = header;
+  pending.done = std::make_unique<marcel::Semaphore>(src_node, 0);
+
+  std::uint64_t handle = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    handle = state.next_send_handle++;
+    state.pending_sends[handle] = &pending;
+  }
+  header.type = PacketType::kRndvRequest;
+  header.sender_handle = handle;
+  send_packet(src_node.id(), dst_node.id(), header, {});
+
+  // Park until the polling thread's data-push thread finished step 3.
+  pending.done->wait();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.pending_sends.erase(handle);
+  }
+}
+
+void ChMadDevice::spawn_reply_thread(NodeState& state, node_id_t dst_node,
+                                     PacketHeader header) {
+  // Polling threads must not send (deadlock avoidance, §4.2.3): the
+  // OK_TO_SEND goes out on a temporary thread. Detached: after its single
+  // send it touches nothing.
+  const node_id_t src_node = state.node->id();
+  sim::Node* node = state.node;
+  const usec_t birth = node->clock().advance(marcel::ThreadCosts::kCreate);
+  std::thread([this, node, birth, src_node, dst_node, header] {
+    node->clock().bind_lane(birth);
+    send_packet(src_node, dst_node, header, {});
+  }).detach();
+}
+
+void ChMadDevice::spawn_data_thread(NodeState& state, node_id_t dst_node,
+                                    PendingSend& pending,
+                                    std::uint64_t sync_address) {
+  const node_id_t src_node = state.node->id();
+  sim::Node* node = state.node;
+  const usec_t birth = node->clock().advance(marcel::ThreadCosts::kCreate);
+  std::thread([this, node, birth, src_node, dst_node, &pending,
+               sync_address] {
+    node->clock().bind_lane(birth);
+    PacketHeader header = pending.header;
+    header.type = PacketType::kRndvData;
+    header.sync_address = sync_address;
+    send_packet(src_node, dst_node, header, pending.data);
+    pending.done->signal();  // unblocks the sender; `pending` dies after
+  }).detach();
+}
+
+void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
+                                 int* terms_seen) {
+  PacketHeader header;
+  incoming.unpack(&header, sizeof header, mad::SendMode::kSafer,
+                  mad::RecvMode::kExpress);
+  state.node->clock().advance(kDispatchUs);
+  if (sim::Tracer::global().enabled()) {
+    const char* kind = "short";
+    switch (header.type) {
+      case PacketType::kShort: kind = "short"; break;
+      case PacketType::kRndvRequest: kind = "rndv_req"; break;
+      case PacketType::kRndvOkToSend: kind = "rndv_ok"; break;
+      case PacketType::kRndvData: kind = "rndv_data"; break;
+      case PacketType::kTerm: kind = "term"; break;
+    }
+    sim::trace(state.node->clock().now(), state.node->id(),
+               sim::TraceCategory::kDispatch, header.envelope.bytes, kind);
+  }
+
+  switch (header.type) {
+    case PacketType::kShort: {
+      std::vector<std::byte> bounce;  // the device receive buffer
+      if (header.envelope.bytes != 0) {
+        bounce.resize(header.envelope.bytes);
+        incoming.unpack(bounce.data(), bounce.size(), mad::SendMode::kLater,
+                        mad::RecvMode::kCheaper);
+      }
+      incoming.end_unpacking();
+      directory_.context_of(header.dst_global)
+          .deliver_eager(header.envelope,
+                         byte_span{bounce.data(), bounce.size()});
+      return;
+    }
+
+    case PacketType::kRndvRequest: {
+      incoming.end_unpacking();
+      NodeState* state_ptr = &state;
+      // The acknowledgement routes to the requesting rank's node (which,
+      // under forwarding, is not necessarily the neighbour the request
+      // arrived from).
+      const node_id_t origin_node =
+          directory_.node_of(header.src_global).id();
+      directory_.context_of(header.dst_global)
+          .deliver_rendezvous(
+              header.envelope,
+              [this, state_ptr, origin_node, header](const mpi::Envelope&,
+                                                     mpi::PostedRecv posted) {
+                std::uint64_t sync_address = 0;
+                {
+                  std::lock_guard<std::mutex> lock(state_ptr->mutex);
+                  sync_address = state_ptr->next_rhandle++;
+                  state_ptr->rhandles[sync_address] =
+                      Rhandle{std::move(posted)};
+                }
+                PacketHeader ack = header;
+                ack.type = PacketType::kRndvOkToSend;
+                ack.sync_address = sync_address;
+                spawn_reply_thread(*state_ptr, origin_node, ack);
+              });
+      return;
+    }
+
+    case PacketType::kRndvOkToSend: {
+      incoming.end_unpacking();
+      PendingSend* pending = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        auto it = state.pending_sends.find(header.sender_handle);
+        MADMPI_CHECK_MSG(it != state.pending_sends.end(),
+                         "OK_TO_SEND for an unknown pending send");
+        pending = it->second;
+      }
+      const node_id_t receiver_node =
+          directory_.node_of(header.dst_global).id();
+      spawn_data_thread(state, receiver_node, *pending,
+                        header.sync_address);
+      return;
+    }
+
+    case PacketType::kRndvData: {
+      Rhandle rhandle;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        auto it = state.rhandles.find(header.sync_address);
+        MADMPI_CHECK_MSG(it != state.rhandles.end(),
+                         "rendezvous data for an unknown sync_address");
+        rhandle = std::move(it->second);
+        state.rhandles.erase(it);
+      }
+      const mpi::PostedRecv& posted = rhandle.posted;
+      const std::uint64_t bytes = header.envelope.bytes;
+      MADMPI_CHECK_MSG(bytes <= posted.capacity_bytes,
+                       "rendezvous truncation (MPI_ERR_TRUNCATE)");
+      if (bytes != 0) {
+        const std::size_t elem = posted.type.size();
+        const int elements = static_cast<int>(bytes / (elem ? elem : 1));
+        if (posted.type.is_contiguous()) {
+          // Zero-copy: straight into the posted user buffer.
+          incoming.unpack(posted.buffer, bytes, mad::SendMode::kLater,
+                          mad::RecvMode::kCheaper);
+          if (header.envelope.sender_big_endian) {
+            // Heterogeneity: the wire carried the sender's byte order
+            // (contiguous wire layout == buffer layout, so in-place).
+            posted.type.swap_packed(static_cast<std::byte*>(posted.buffer),
+                                    elements);
+          }
+        } else {
+          std::vector<std::byte> bounce(bytes);
+          incoming.unpack(bounce.data(), bytes, mad::SendMode::kLater,
+                          mad::RecvMode::kCheaper);
+          if (header.envelope.sender_big_endian) {
+            posted.type.swap_packed(bounce.data(), elements);
+          }
+          posted.type.unpack(bounce.data(), elements, posted.buffer);
+          state.node->clock().advance(static_cast<double>(bytes) *
+                                      sim::kHostCopyUsPerByte);
+        }
+        if (header.envelope.sender_big_endian !=
+            state.node->big_endian()) {
+          // Conversion work is real only across unlike nodes.
+          state.node->clock().advance(static_cast<double>(bytes) *
+                                      sim::kHostCopyUsPerByte);
+        }
+      }
+      incoming.end_unpacking();
+      mpi::MpiStatus status;
+      status.source = header.envelope.src;
+      status.tag = header.envelope.tag;
+      status.bytes = bytes;
+      // Releasing the rhandle's semaphore = completing the request: the
+      // blocked main thread resumes (paper §4.2.2, last step).
+      posted.request->complete(status);
+      return;
+    }
+
+    case PacketType::kTerm: {
+      incoming.end_unpacking();
+      ++(*terms_seen);
+      return;
+    }
+  }
+  fatal("corrupt ch_mad packet type");
+}
+
+}  // namespace madmpi::core

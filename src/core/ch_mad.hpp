@@ -1,0 +1,145 @@
+// The ch_mad device: inter-node communication over Madeleine (paper §4).
+//
+// One device handles every network simultaneously: each message picks the
+// best common channel to its destination (ChannelRouter), is built as one
+// Madeleine message — an EXPRESS header packet plus, for data-bearing
+// types, a CHEAPER body packet — and is received by one persistent polling
+// thread per channel (Marcel poll server). Two transfer modes, selected by
+// the single elected switch point:
+//
+//   eager       MAD_SHORT_PKT; intermediary copy on the receiving side.
+//   rendezvous  MAD_REQUEST_PKT -> MAD_SENDOK_PKT (carrying the receiver's
+//               sync_address) -> MAD_RNDV_PKT delivered zero-copy into the
+//               posted buffer; the receiver's control thread waits on the
+//               rhandle semaphore (here: the request's completion).
+//
+// Polling threads never send (deadlock avoidance, §4.2.3): rendezvous
+// replies and data pushes run on temporary threads.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/directory.hpp"
+#include "core/managed_device.hpp"
+#include "core/packet.hpp"
+#include "core/routing.hpp"
+#include "mad/forwarder.hpp"
+#include "mad/madeleine.hpp"
+#include "marcel/poll_server.hpp"
+#include "marcel/semaphore.hpp"
+#include "mpi/adi.hpp"
+
+namespace madmpi::core {
+
+class ChMadDevice final : public ManagedDevice {
+ public:
+  struct Config {
+    /// Ablation hook: force the eager/rendezvous switch point instead of
+    /// the paper's election rule.
+    std::optional<std::size_t> switch_point_override;
+
+    /// Gateway forwarding (the paper's §6 future work): dedicated
+    /// channels, one per network, carrying ForwardHeader-wrapped ch_mad
+    /// messages across nodes that share no direct network. Empty disables
+    /// forwarding.
+    std::vector<mad::Channel*> forward_channels;
+  };
+
+  ChMadDevice(RankDirectory& directory, std::vector<mad::Channel*> channels,
+              Config config = {});
+  ~ChMadDevice() override;
+
+  // --- mpi::Device ----------------------------------------------------
+  const char* name() const override { return "ch_mad"; }
+  std::size_t rendezvous_threshold() const override { return switch_point_; }
+  bool reaches(rank_t src, rank_t dst) const override;
+  void send(rank_t src, rank_t dst, const mpi::Envelope& env,
+            byte_span packed, mpi::TransferMode mode) override;
+
+  // --- lifecycle --------------------------------------------------------
+  /// Spawn the polling threads (one per channel per member node).
+  void start() override;
+
+  /// Distributed termination: every node broadcasts MAD_TERM_PKT on every
+  /// channel; pollers exit once all peers' terminations arrived. Must be
+  /// called after all application traffic has quiesced.
+  void shutdown() override;
+
+  // --- introspection ------------------------------------------------------
+  const ChannelRouter& router() const { return router_; }
+  std::size_t switch_point() const { return switch_point_; }
+  bool forwarding_enabled() const { return forward_router_.has_value(); }
+  const ForwardRouter* forward_router() const {
+    return forward_router_ ? &*forward_router_ : nullptr;
+  }
+
+  /// Per-device message counters (tests / ablations).
+  std::uint64_t eager_sent() const { return eager_sent_.load(); }
+  std::uint64_t rendezvous_sent() const { return rendezvous_sent_.load(); }
+  std::uint64_t forwarded() const { return forwarded_.load(); }
+
+ private:
+  struct PendingSend {
+    byte_span data;
+    PacketHeader header;
+    std::unique_ptr<marcel::Semaphore> done;
+  };
+
+  struct Rhandle {
+    mpi::PostedRecv posted;
+  };
+
+  /// Per member node: the polling server plus the rendezvous tables.
+  struct NodeState {
+    sim::Node* node = nullptr;
+    std::unique_ptr<marcel::PollServer> poll_server;
+
+    std::mutex mutex;
+    std::uint64_t next_send_handle = 1;
+    std::map<std::uint64_t, PendingSend*> pending_sends;
+    std::uint64_t next_rhandle = 1;
+    std::map<std::uint64_t, Rhandle> rhandles;
+  };
+
+  NodeState& state_of(node_id_t node);
+  void handle_message(NodeState& state, mad::Unpacking& incoming,
+                      int* terms_seen);
+
+  /// Transmit one ch_mad packet from node to node: directly over the best
+  /// common channel, or wrapped in a ForwardHeader over a forwarding
+  /// channel towards the next-hop gateway.
+  void send_packet(node_id_t src_node, node_id_t dst_node,
+                   const PacketHeader& header, byte_span body);
+
+  /// Relay a forwarded message one hop further (runs on a forwarding
+  /// channel's polling thread on the gateway node).
+  void relay(node_id_t me, mad::ForwardHeader fwd,
+             mad::Unpacking& incoming);
+
+  void spawn_reply_thread(NodeState& state, node_id_t dst_node,
+                          PacketHeader header);
+  void spawn_data_thread(NodeState& state, node_id_t dst_node,
+                         PendingSend& pending, std::uint64_t sync_address);
+
+  /// Device-level cost of dispatching one received packet (beyond Marcel's
+  /// wake + interference, charged by the poll server).
+  static constexpr usec_t kDispatchUs = 1.0;
+
+  RankDirectory& directory_;
+  ChannelRouter router_;
+  ChannelRouter forward_channels_router_;
+  std::optional<ForwardRouter> forward_router_;
+  std::size_t switch_point_;
+  std::map<node_id_t, std::unique_ptr<NodeState>> states_;
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> eager_sent_{0};
+  std::atomic<std::uint64_t> rendezvous_sent_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+};
+
+}  // namespace madmpi::core

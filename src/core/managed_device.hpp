@@ -1,0 +1,15 @@
+// A device with a polling/thread lifecycle (ch_mad and the baseline native
+// devices implement this; ch_self and smp_plug need no threads).
+#pragma once
+
+#include "mpi/adi.hpp"
+
+namespace madmpi::core {
+
+class ManagedDevice : public mpi::Device {
+ public:
+  virtual void start() {}
+  virtual void shutdown() {}
+};
+
+}  // namespace madmpi::core

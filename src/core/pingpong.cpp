@@ -1,0 +1,104 @@
+#include "core/pingpong.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace madmpi::core {
+
+PingPongResult mpi_pingpong(Session& session, std::size_t bytes, int reps) {
+  MADMPI_CHECK(session.world_size() >= 2);
+  MADMPI_CHECK(reps >= 1);
+
+  usec_t elapsed = 0.0;
+  session.run([&](mpi::Comm comm) {
+    if (comm.rank() > 1) return;
+    std::vector<std::byte> buffer(bytes, std::byte{0x5a});
+    const auto count = static_cast<int>(bytes);
+    const auto type = mpi::Datatype::byte();
+
+    // One untimed warm-up round trip settles first-use effects.
+    if (comm.rank() == 0) {
+      comm.send(buffer.data(), count, type, 1, 0);
+      comm.recv(buffer.data(), count, type, 1, 0);
+    } else {
+      comm.recv(buffer.data(), count, type, 0, 0);
+      comm.send(buffer.data(), count, type, 0, 0);
+    }
+
+    const usec_t start = comm.wtime_us();
+    for (int r = 0; r < reps; ++r) {
+      if (comm.rank() == 0) {
+        comm.send(buffer.data(), count, type, 1, 0);
+        comm.recv(buffer.data(), count, type, 1, 0);
+      } else {
+        comm.recv(buffer.data(), count, type, 0, 0);
+        comm.send(buffer.data(), count, type, 0, 0);
+      }
+    }
+    if (comm.rank() == 0) elapsed = comm.wtime_us() - start;
+  });
+
+  PingPongResult result;
+  result.one_way_us = elapsed / (2.0 * reps);
+  result.bandwidth_mb_s = bandwidth_mb_s(bytes, result.one_way_us);
+  return result;
+}
+
+PingPongResult raw_madeleine_pingpong(mad::Channel& channel, node_id_t a,
+                                      node_id_t b, std::size_t bytes,
+                                      int reps) {
+  mad::ChannelEndpoint* side_a = channel.at(a);
+  mad::ChannelEndpoint* side_b = channel.at(b);
+  MADMPI_CHECK(side_a != nullptr && side_b != nullptr);
+
+  std::vector<std::byte> buf_a(bytes, std::byte{0x11});
+  std::vector<std::byte> buf_b(bytes);
+
+  auto ping = [&](mad::ChannelEndpoint& self, node_id_t peer,
+                  std::vector<std::byte>& buffer) {
+    mad::Packing packing = self.begin_packing(peer);
+    if (!buffer.empty()) {
+      packing.pack(buffer.data(), buffer.size(), mad::SendMode::kCheaper,
+                   mad::RecvMode::kCheaper);
+    }
+    packing.end_packing();
+  };
+  auto pong = [&](mad::ChannelEndpoint& self, std::vector<std::byte>& buffer) {
+    auto incoming = self.begin_unpacking();
+    MADMPI_CHECK(incoming.has_value());
+    if (!buffer.empty()) {
+      incoming->unpack(buffer.data(), buffer.size(), mad::SendMode::kCheaper,
+                       mad::RecvMode::kCheaper);
+    }
+    incoming->end_unpacking();
+  };
+
+  usec_t elapsed = 0.0;
+  std::thread peer([&] {
+    for (int r = 0; r < reps + 1; ++r) {  // +1 warm-up
+      pong(*side_b, buf_b);
+      ping(*side_b, a, buf_b);
+    }
+  });
+
+  // Warm-up round trip.
+  ping(*side_a, b, buf_a);
+  pong(*side_a, buf_a);
+
+  const usec_t start = side_a->node().clock().now();
+  for (int r = 0; r < reps; ++r) {
+    ping(*side_a, b, buf_a);
+    pong(*side_a, buf_a);
+  }
+  elapsed = side_a->node().clock().now() - start;
+  peer.join();
+
+  PingPongResult result;
+  result.one_way_us = elapsed / (2.0 * reps);
+  result.bandwidth_mb_s = bandwidth_mb_s(bytes, result.one_way_us);
+  return result;
+}
+
+}  // namespace madmpi::core

@@ -1,0 +1,29 @@
+// mpptest-style ping-pong measurement in virtual time (the paper's test
+// program, §5.1). Used by every figure benchmark and by the switch-point
+// auto-tuner.
+#pragma once
+
+#include <cstddef>
+
+#include "core/session.hpp"
+
+namespace madmpi::core {
+
+struct PingPongResult {
+  usec_t one_way_us = 0.0;     // transfer time (half round trip)
+  double bandwidth_mb_s = 0.0; // paper convention: 1 MB = 2^20 bytes
+};
+
+/// MPI-level ping-pong between ranks 0 and 1 of the session's world:
+/// `reps` round trips of `bytes`-byte messages, timed on rank 0's node
+/// clock. Deterministic (virtual time), so few reps suffice.
+PingPongResult mpi_pingpong(Session& session, std::size_t bytes,
+                            int reps = 4);
+
+/// Raw Madeleine ping-pong over one channel between two nodes, one pack
+/// per message (exactly the paper's "raw Madeleine" baseline curves).
+PingPongResult raw_madeleine_pingpong(mad::Channel& channel, node_id_t a,
+                                      node_id_t b, std::size_t bytes,
+                                      int reps = 4);
+
+}  // namespace madmpi::core

@@ -1,0 +1,126 @@
+#include "core/session.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace madmpi::core {
+
+Session::Session(Options options) {
+  MADMPI_CHECK_MSG(options.cluster.validate().is_ok(),
+                   "invalid cluster specification");
+  madeleine_ =
+      std::make_unique<mad::Madeleine>(fabric_, std::move(options.cluster));
+
+  // Lay ranks out node-major, matching ClusterSpec::rank_location.
+  for (std::size_t n = 0; n < cluster().nodes.size(); ++n) {
+    sim::Node& node = fabric_.node(static_cast<node_id_t>(n));
+    for (int local = 0; local < cluster().nodes[n].ranks; ++local) {
+      directory_.add_rank(node, local);
+    }
+  }
+
+  ch_self_ = std::make_unique<ChSelfDevice>(directory_);
+  smp_plug_ = std::make_unique<SmpPlugDevice>(directory_);
+
+  if (options.internode_factory) {
+    internode_ = options.internode_factory(*this);
+  } else if (!cluster().networks.empty()) {
+    ChMadDevice::Config config;
+    config.switch_point_override = options.switch_point_override;
+    if (options.enable_forwarding) {
+      // A second channel per network, dedicated to forwarded traffic:
+      // channel isolation keeps relays from ever matching direct messages.
+      int counter = 0;
+      for (const auto& network : cluster().networks) {
+        std::string name = std::string("fwd-") +
+                           sim::protocol_keyword(network.protocol) + "-" +
+                           std::to_string(counter++);
+        config.forward_channels.push_back(
+            &madeleine_->open_channel(network, std::move(name)));
+      }
+    }
+    internode_ = std::make_unique<ChMadDevice>(
+        directory_, madeleine_->open_default_channels(), config);
+  }
+  if (internode_) internode_->start();
+}
+
+Session::~Session() { finalize(); }
+
+void Session::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (internode_) internode_->shutdown();
+  madeleine_->close_all();
+}
+
+mpi::Device& Session::device_for(rank_t src, rank_t dst) {
+  if (src == dst) return *ch_self_;
+  if (directory_.same_node(src, dst)) return *smp_plug_;
+  MADMPI_CHECK_MSG(internode_ != nullptr,
+                   "inter-node message but no inter-node device configured");
+  MADMPI_CHECK_MSG(internode_->reaches(src, dst),
+                   "destination unreachable: the nodes share no network "
+                   "(enable forwarding or fix the topology)");
+  return *internode_;
+}
+
+int Session::derive_context_id(int parent_context, std::int64_t key) {
+  std::lock_guard<std::mutex> lock(context_mutex_);
+  auto [it, inserted] =
+      derived_contexts_.try_emplace({parent_context, key}, next_context_);
+  if (inserted) next_context_ += 2;  // each comm owns (p2p, collective)
+  return it->second;
+}
+
+void Session::run(const std::function<void(mpi::Comm)>& rank_main) {
+  MADMPI_CHECK_MSG(!finalized_, "run() after finalize()");
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_size()));
+  for (rank_t rank = 0; rank < world_size(); ++rank) {
+    threads.emplace_back(
+        [this, rank, &rank_main] { rank_main(comm_world(rank)); });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+ChMadDevice* Session::ch_mad() {
+  return dynamic_cast<ChMadDevice*>(internode_.get());
+}
+
+mad::Channel& Session::open_raw_channel(std::size_t network_index,
+                                        const std::string& name) {
+  MADMPI_CHECK(network_index < cluster().networks.size());
+  return madeleine_->open_channel(cluster().networks[network_index], name);
+}
+
+void Session::print_stats(std::FILE* out) {
+  std::fprintf(out, "%-16s %-8s %10s %14s\n", "channel", "proto", "messages",
+               "bytes");
+  for (mad::Channel* channel : madeleine_->channels()) {
+    const auto stats = channel->traffic();
+    std::fprintf(out, "%-16s %-8s %10" PRIu64 " %14" PRIu64 "\n",
+                 channel->name().c_str(),
+                 sim::protocol_name(channel->protocol()),
+                 stats.messages_sent, stats.bytes_sent);
+  }
+  if (auto* device = ch_mad()) {
+    std::fprintf(out,
+                 "ch_mad: %" PRIu64 " eager, %" PRIu64 " rendezvous, %" PRIu64
+                 " forwarded (switch point %zu B)\n",
+                 device->eager_sent(), device->rendezvous_sent(),
+                 device->forwarded(), device->switch_point());
+  }
+}
+
+void Session::reset_clocks() {
+  for (std::size_t n = 0; n < cluster().nodes.size(); ++n) {
+    fabric_.node(static_cast<node_id_t>(n)).clock().reset();
+  }
+}
+
+}  // namespace madmpi::core

@@ -1,0 +1,114 @@
+// The MPICH/Madeleine session: builds the simulated cluster, Madeleine and
+// its channels, the three concurrent devices (ch_self, smp_plug, ch_mad),
+// hosts the rank threads, and implements the runtime services of the
+// generic MPI layer.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/ch_mad.hpp"
+#include "core/ch_self.hpp"
+#include "core/directory.hpp"
+#include "core/managed_device.hpp"
+#include "core/smp_plug.hpp"
+#include "mad/madeleine.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+
+namespace madmpi::core {
+
+class Session final : public mpi::Runtime {
+ public:
+  struct Options {
+    sim::ClusterSpec cluster;
+
+    /// Ablation hook forwarded to ch_mad.
+    std::optional<std::size_t> switch_point_override;
+
+    /// Enable gateway forwarding: nodes without a common network reach
+    /// each other through intermediate nodes over dedicated forwarding
+    /// channels (the paper's §6 future-work mechanism).
+    bool enable_forwarding = false;
+
+    /// Replace the inter-node device (used by the baseline benchmarks).
+    /// When empty, the default ch_mad over one channel per declared
+    /// network is built.
+    std::function<std::unique_ptr<ManagedDevice>(Session&)>
+        internode_factory;
+  };
+
+  explicit Session(Options options);
+  ~Session() override;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- mpi::Runtime -----------------------------------------------------
+  int world_size() const override { return directory_.size(); }
+  sim::Node& node_of(rank_t global) override {
+    return directory_.node_of(global);
+  }
+  mpi::RankContext& context_of(rank_t global) override {
+    return directory_.context_of(global);
+  }
+  mpi::Device& device_for(rank_t src, rank_t dst) override;
+  int derive_context_id(int parent_context, std::int64_t key) override;
+
+  // --- execution ----------------------------------------------------------
+  /// Run `rank_main` once per rank, each on its own thread bound to its
+  /// node. Returns when every rank returned. May be called repeatedly.
+  void run(const std::function<void(mpi::Comm)>& rank_main);
+
+  /// World communicator handle for one rank (for driving ranks manually).
+  mpi::Comm comm_world(rank_t rank) {
+    return mpi::Comm::world(this, rank, /*world_context=*/0);
+  }
+
+  /// Stop polling threads and close channels. Implicit in the destructor.
+  void finalize();
+
+  // --- introspection --------------------------------------------------------
+  sim::Fabric& fabric() { return fabric_; }
+  mad::Madeleine& madeleine() { return *madeleine_; }
+  RankDirectory& directory() { return directory_; }
+  const sim::ClusterSpec& cluster() const { return madeleine_->cluster(); }
+
+  /// The ch_mad device, or nullptr when a custom inter-node device is
+  /// installed.
+  ChMadDevice* ch_mad();
+  ManagedDevice& internode_device() { return *internode_; }
+
+  /// Reset every node clock to zero (benchmark warm-up isolation).
+  void reset_clocks();
+
+  /// Open an extra channel on the `index`-th declared network, private to
+  /// the caller (no ch_mad poller attached). Raw-Madeleine benchmarks use
+  /// this: channel isolation keeps their traffic away from the device.
+  mad::Channel& open_raw_channel(std::size_t network_index = 0,
+                                 const std::string& name = "raw");
+
+  /// Print a per-channel traffic report (messages/bytes, plus ch_mad's
+  /// eager/rendezvous/forwarded counters) to `out`.
+  void print_stats(std::FILE* out = stdout);
+
+ private:
+  sim::Fabric fabric_;
+  std::unique_ptr<mad::Madeleine> madeleine_;
+  RankDirectory directory_;
+
+  std::unique_ptr<ChSelfDevice> ch_self_;
+  std::unique_ptr<SmpPlugDevice> smp_plug_;
+  std::unique_ptr<ManagedDevice> internode_;
+
+  std::mutex context_mutex_;
+  std::map<std::pair<int, std::int64_t>, int> derived_contexts_;
+  int next_context_ = 2;  // 0/1 belong to the world communicator
+
+  bool finalized_ = false;
+};
+
+}  // namespace madmpi::core

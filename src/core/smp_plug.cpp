@@ -1,0 +1,58 @@
+#include "core/smp_plug.hpp"
+
+#include <cstring>
+
+#include "sim/cost_model.hpp"
+
+namespace madmpi::core {
+
+SmpPlugDevice::SmpPlugDevice(RankDirectory& directory)
+    : directory_(directory) {}
+
+bool SmpPlugDevice::reaches(rank_t src, rank_t dst) const {
+  return src != dst && directory_.same_node(src, dst);
+}
+
+void SmpPlugDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
+                         byte_span packed, mpi::TransferMode mode) {
+  MADMPI_CHECK_MSG(reaches(src, dst), "smp_plug used across nodes");
+  sim::Node& node = directory_.node_of(src);
+
+  if (mode == mpi::TransferMode::kEager) {
+    // Copy into the shared FIFO; the matching layer charges the copy out.
+    node.clock().advance(kPostUs + kWakeUs +
+                         static_cast<double>(packed.size()) *
+                             sim::kHostCopyUsPerByte);
+    directory_.context_of(dst).deliver_eager(env, packed);
+    return;
+  }
+
+  // Rendezvous: announce, park until the receive is posted, then deliver
+  // straight into the user buffer (single copy).
+  marcel::Semaphore matched(node, 0);
+  mpi::PostedRecv target;
+  node.clock().advance(kPostUs + kWakeUs);
+  directory_.context_of(dst).deliver_rendezvous(
+      env, [&matched, &target](const mpi::Envelope&, mpi::PostedRecv posted) {
+        target = std::move(posted);
+        matched.signal();
+      });
+  matched.wait();
+
+  MADMPI_CHECK_MSG(env.bytes <= target.capacity_bytes,
+                   "message truncation in smp_plug rendezvous");
+  node.clock().advance(static_cast<double>(packed.size()) *
+                       sim::kHostCopyUsPerByte);
+  const std::size_t elem_size = target.type.size();
+  const int elements =
+      elem_size == 0 ? 0 : static_cast<int>(packed.size() / elem_size);
+  target.type.unpack(packed.data(), elements, target.buffer);
+
+  mpi::MpiStatus status;
+  status.source = env.src;
+  status.tag = env.tag;
+  status.bytes = env.bytes;
+  target.request->complete(status);
+}
+
+}  // namespace madmpi::core

@@ -1,0 +1,43 @@
+// The smp_plug device: intra-node, inter-process communication over shared
+// memory (paper §4.1; originating in the SMP implementation of MPI-BIP).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "core/directory.hpp"
+#include "marcel/semaphore.hpp"
+#include "mpi/adi.hpp"
+
+namespace madmpi::core {
+
+/// Ranks on the same node exchange messages through a shared segment.
+/// Eager: copy in + copy out (the second copy is charged by the matching
+/// layer). Rendezvous (above the shared-segment size): the sender parks on
+/// a semaphore until the receive is posted, then writes straight into the
+/// destination buffer — a genuine single-copy handoff, no polling thread
+/// needed because both parties share the node.
+class SmpPlugDevice final : public mpi::Device {
+ public:
+  explicit SmpPlugDevice(RankDirectory& directory);
+
+  const char* name() const override { return "smp_plug"; }
+
+  std::size_t rendezvous_threshold() const override { return kSegmentBytes; }
+
+  bool reaches(rank_t src, rank_t dst) const override;
+
+  void send(rank_t src, rank_t dst, const mpi::Envelope& env,
+            byte_span packed, mpi::TransferMode mode) override;
+
+  /// Shared-segment capacity: eager messages up to this size.
+  static constexpr std::size_t kSegmentBytes = 32 * 1024;
+  static constexpr usec_t kPostUs = 0.3;   // FIFO slot reservation
+  static constexpr usec_t kWakeUs = 0.4;   // peer notification
+
+ private:
+  RankDirectory& directory_;
+};
+
+}  // namespace madmpi::core

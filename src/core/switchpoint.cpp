@@ -1,0 +1,47 @@
+#include "core/switchpoint.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace madmpi::core {
+
+std::size_t network_switch_point(sim::Protocol protocol) {
+  switch (protocol) {
+    case sim::Protocol::kTcp: return 64 * 1024;
+    case sim::Protocol::kSisci: return 8 * 1024;
+    case sim::Protocol::kBip: return 7 * 1024;
+    case sim::Protocol::kShmem: return 32 * 1024;
+  }
+  return 64 * 1024;
+}
+
+int protocol_performance_rank(sim::Protocol protocol) {
+  // Ordered by sustained bandwidth of the paper's testbed (Table 1):
+  // BIP/Myrinet 122 MB/s > SISCI/SCI 82.6 MB/s > TCP 11.2 MB/s.
+  switch (protocol) {
+    case sim::Protocol::kShmem: return 4;
+    case sim::Protocol::kBip: return 3;
+    case sim::Protocol::kSisci: return 2;
+    case sim::Protocol::kTcp: return 1;
+  }
+  return 0;
+}
+
+std::size_t elect_switch_point(
+    const std::vector<sim::Protocol>& protocols) {
+  MADMPI_CHECK_MSG(!protocols.empty(),
+                   "switch point election over an empty protocol set");
+  const bool has_sci =
+      std::find(protocols.begin(), protocols.end(), sim::Protocol::kSisci) !=
+      protocols.end();
+  if (has_sci) return network_switch_point(sim::Protocol::kSisci);
+
+  const sim::Protocol best = *std::max_element(
+      protocols.begin(), protocols.end(), [](auto a, auto b) {
+        return protocol_performance_rank(a) < protocol_performance_rank(b);
+      });
+  return network_switch_point(best);
+}
+
+}  // namespace madmpi::core

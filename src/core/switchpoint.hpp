@@ -1,0 +1,27 @@
+// Eager/rendezvous switch points (paper Section 4.2.2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace madmpi::core {
+
+/// The experimentally determined per-network switch values of the paper:
+/// TCP/Fast-Ethernet 64 KB, SISCI/SCI 8 KB, BIP/Myrinet 7 KB.
+std::size_t network_switch_point(sim::Protocol protocol);
+
+/// The single device-wide threshold the ADI allows (MPID_Device reserves
+/// one integer). Election rule from the paper: if SCI is among the
+/// supported networks its value (8 KB) wins, because SCI's switch point is
+/// the most influential; otherwise the most performant network's value is
+/// used (e.g. Myrinet's 7 KB beats TCP's 64 KB in a Myrinet+TCP cluster).
+std::size_t elect_switch_point(const std::vector<sim::Protocol>& protocols);
+
+/// Relative performance rank used by the election and by channel routing
+/// (higher is better).
+int protocol_performance_rank(sim::Protocol protocol);
+
+}  // namespace madmpi::core

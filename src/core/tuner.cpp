@@ -1,0 +1,68 @@
+#include "core/tuner.hpp"
+
+#include <memory>
+
+#include "core/pingpong.hpp"
+#include "core/session.hpp"
+
+namespace madmpi::core {
+
+namespace {
+
+/// Session with the device locked into one mode: threshold 0 forces every
+/// message onto the rendezvous path; SIZE_MAX keeps everything eager.
+std::unique_ptr<Session> forced_session(sim::Protocol protocol,
+                                        std::size_t threshold) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, protocol);
+  options.switch_point_override = threshold;
+  return std::make_unique<Session>(std::move(options));
+}
+
+}  // namespace
+
+TunerResult tune_switch_point(sim::Protocol protocol,
+                              std::size_t resolution) {
+  TunerResult result;
+  result.protocol = protocol;
+
+  auto eager = forced_session(protocol, static_cast<std::size_t>(-1));
+  auto rendezvous = forced_session(protocol, 0);
+
+  auto measure = [&](std::size_t bytes) {
+    const double t_eager = mpi_pingpong(*eager, bytes, 2).one_way_us;
+    const double t_rndv = mpi_pingpong(*rendezvous, bytes, 2).one_way_us;
+    result.samples.push_back({bytes, t_eager, t_rndv});
+    return t_rndv < t_eager;  // true once rendezvous wins
+  };
+
+  // Coarse ladder: find the first power of two where rendezvous wins.
+  std::size_t lo = 1;
+  std::size_t hi = 0;
+  for (std::size_t bytes = 1024; bytes <= (4u << 20); bytes *= 2) {
+    if (measure(bytes)) {
+      hi = bytes;
+      break;
+    }
+    lo = bytes;
+  }
+  if (hi == 0) {
+    // Rendezvous never won (a ch_p4-like transport): effectively infinite.
+    result.switch_point_bytes = static_cast<std::size_t>(-1);
+    return result;
+  }
+
+  // Bisect [lo, hi] down to the requested resolution.
+  while (hi - lo > resolution) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (measure(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.switch_point_bytes = hi;
+  return result;
+}
+
+}  // namespace madmpi::core

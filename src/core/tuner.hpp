@@ -1,0 +1,34 @@
+// Automatic eager/rendezvous switch-point calibration.
+//
+// The paper fixes the per-network switch points experimentally (64 KB /
+// 8 KB / 7 KB) and notes that "those values could be determined
+// automatically in future works". This tuner does exactly that: it times
+// ping-pongs with the device forced into each mode across a size ladder
+// and returns the crossover, refined by bisection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace madmpi::core {
+
+struct TunerResult {
+  sim::Protocol protocol;
+  std::size_t switch_point_bytes = 0;
+  /// (size, eager one-way us, rendezvous one-way us) samples taken.
+  struct Sample {
+    std::size_t bytes;
+    double eager_us;
+    double rendezvous_us;
+  };
+  std::vector<Sample> samples;
+};
+
+/// Measure the crossover for one protocol on a dedicated two-node cluster.
+/// `resolution` bounds the bisection interval width in bytes.
+TunerResult tune_switch_point(sim::Protocol protocol,
+                              std::size_t resolution = 256);
+
+}  // namespace madmpi::core

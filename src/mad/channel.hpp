@@ -1,0 +1,198 @@
+// Madeleine II channels, message packing and unpacking (paper Section 3).
+//
+// A channel is a closed communication world bound to one network protocol
+// and adapter (like an MPI communicator, §3.1). Each member node owns a
+// ChannelEndpoint. Messages are built incrementally: begin_packing, a
+// sequence of pack(block, send_mode, recv_mode), end_packing; mirrored by
+// begin_unpacking / unpack / end_unpacking on the receiving side.
+// In-order delivery is guaranteed per point-to-point connection within a
+// channel, never across channels.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.hpp"
+#include "mad/message.hpp"
+#include "mad/modes.hpp"
+#include "net/driver.hpp"
+
+namespace madmpi::mad {
+
+class ChannelEndpoint;
+
+/// Virtual CPU cost of one pack/unpack call's bookkeeping.
+inline constexpr usec_t kPackFixedUs = 0.3;
+
+/// The measured per-extra-block protocol overhead (LinkCostModel::
+/// per_block_us) is split between the two sides of the transfer.
+inline constexpr double kSenderBlockShare = 0.6;
+inline constexpr double kReceiverBlockShare = 0.4;
+
+/// An outgoing message under construction. Move-only; end_packing() must be
+/// called exactly once (checked). Maps to the paper's
+/// `connection = mad_begin_packing(channel, remote)` usage.
+class Packing {
+ public:
+  Packing(Packing&&) noexcept;
+  Packing& operator=(Packing&&) = delete;
+  Packing(const Packing&) = delete;
+  Packing& operator=(const Packing&) = delete;
+  ~Packing();
+
+  /// Append one block. The buffer must stay valid until end_packing()
+  /// unless send_mode is kSafer (copied immediately).
+  void pack(const void* data, std::size_t size, SendMode send_mode,
+            RecvMode recv_mode);
+
+  /// Flush the message to the wire. Blocking (Madeleine primitives are
+  /// blocking, §4.1); on return all buffers are reusable.
+  void end_packing();
+
+  node_id_t remote() const { return remote_; }
+  std::size_t blocks_packed() const { return blocks_packed_; }
+
+ private:
+  friend class ChannelEndpoint;
+  Packing(ChannelEndpoint* endpoint, node_id_t remote,
+          std::unique_lock<std::mutex> connection_lock);
+
+  ChannelEndpoint* endpoint_;
+  node_id_t remote_;
+  std::unique_lock<std::mutex> connection_lock_;
+
+  ByteWriter control_;
+  std::vector<net::DataBlock> separate_;
+  std::vector<std::vector<std::byte>> safer_copies_;  // kSafer staging
+  std::size_t blocks_packed_ = 0;
+  bool ended_ = false;
+};
+
+/// An incoming message being consumed. Obtained from begin_unpacking().
+class Unpacking {
+ public:
+  Unpacking(Unpacking&&) noexcept;
+  Unpacking& operator=(Unpacking&&) = delete;
+  Unpacking(const Unpacking&) = delete;
+  Unpacking& operator=(const Unpacking&) = delete;
+  ~Unpacking();
+
+  /// Extract the next block into `data`. Modes must mirror the sender's
+  /// pack call (checked). With kExpress the data is usable on return; with
+  /// kCheaper it is guaranteed by end_unpacking() (this implementation
+  /// delivers immediately, which is a permitted strengthening).
+  void unpack(void* data, std::size_t size, SendMode send_mode,
+              RecvMode recv_mode);
+
+  /// Size of the next block without consuming it (convenience beyond the
+  /// strict paper API; used by tests and by the forwarder).
+  std::optional<std::size_t> peek_size();
+
+  /// Consume the next block without knowing its size or modes in advance:
+  /// returns its bytes and whether it was packed for receive_EXPRESS.
+  /// This is the relay primitive of the gateway forwarder (the paper's
+  /// Section 6 future-work mechanism). Empty at end of message.
+  struct DrainedBlock {
+    std::vector<std::byte> bytes;
+    bool express = false;
+  };
+  std::optional<DrainedBlock> drain_block();
+
+  /// Finish; checks that every packed block was unpacked.
+  void end_unpacking();
+
+  node_id_t source() const { return message_.source(); }
+  std::size_t blocks_unpacked() const { return blocks_unpacked_; }
+
+ private:
+  friend class ChannelEndpoint;
+  Unpacking(ChannelEndpoint* endpoint, net::IncomingMessage message);
+
+  ChannelEndpoint* endpoint_;
+  net::IncomingMessage message_;
+  ByteReader reader_;
+  std::size_t blocks_unpacked_ = 0;
+  bool ended_ = false;
+};
+
+class Channel;
+
+/// Per-node view of a channel.
+class ChannelEndpoint {
+ public:
+  ChannelEndpoint(Channel* channel, net::Endpoint* net,
+                  const net::Driver* driver);
+
+  /// Start a message towards `remote`. Serializes with other messages on
+  /// the same point-to-point connection (in-order guarantee, §3.1).
+  Packing begin_packing(node_id_t remote);
+
+  /// Blocking receive of the next message on this channel (any source).
+  /// Empty when the channel has been closed.
+  std::optional<Unpacking> begin_unpacking();
+
+  /// Non-blocking variant for poll loops.
+  std::optional<Unpacking> try_begin_unpacking();
+
+  /// Cheap "is something waiting" test (Marcel poll integration).
+  bool incoming_available() { return net_->message_available(); }
+
+  Channel& channel() { return *channel_; }
+  sim::Node& node() { return net_->node(); }
+  node_id_t node_id() const { return net_->node_id(); }
+  const sim::LinkCostModel& model() const { return net_->model(); }
+  const net::Driver& driver() const { return *driver_; }
+  net::Endpoint::TrafficStats traffic() const { return net_->stats(); }
+
+ private:
+  friend class Packing;
+  friend class Unpacking;
+
+  Channel* channel_;
+  net::Endpoint* net_;
+  const net::Driver* driver_;
+
+  std::mutex lock_map_mutex_;
+  std::map<node_id_t, std::unique_ptr<std::mutex>> connection_locks_;
+
+  std::mutex& connection_lock(node_id_t remote);
+};
+
+/// A Madeleine channel: protocol + adapter + member endpoints.
+class Channel {
+ public:
+  Channel(channel_id_t id, std::string name, const net::Driver* driver,
+          std::unique_ptr<net::ChannelTransport> transport);
+
+  channel_id_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  sim::Protocol protocol() const { return transport_->protocol(); }
+  const net::Driver& driver() const { return *driver_; }
+  usec_t poll_cost() const { return driver_->poll_cost(); }
+
+  /// Endpoint on `node`; null when the node is not a channel member.
+  ChannelEndpoint* at(node_id_t node);
+
+  const std::vector<node_id_t>& members() const {
+    return transport_->members();
+  }
+  bool has_member(node_id_t node) const;
+
+  /// Shut the channel down: blocked begin_unpacking calls return empty.
+  void close();
+
+  /// Aggregate traffic over all member endpoints.
+  net::Endpoint::TrafficStats traffic() const;
+
+ private:
+  channel_id_t id_;
+  std::string name_;
+  const net::Driver* driver_;
+  std::unique_ptr<net::ChannelTransport> transport_;
+  std::vector<std::unique_ptr<ChannelEndpoint>> endpoints_;
+};
+
+}  // namespace madmpi::mad

@@ -1,0 +1,57 @@
+// The Madeleine II session object: owns the drivers and the channels built
+// over a simulated cluster.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mad/channel.hpp"
+#include "net/driver.hpp"
+#include "sim/fabric.hpp"
+#include "sim/topology.hpp"
+
+namespace madmpi::mad {
+
+class Madeleine {
+ public:
+  /// Builds the fabric's nodes/NICs from `cluster` and keeps both borrowed
+  /// references for the session's lifetime.
+  Madeleine(sim::Fabric& fabric, sim::ClusterSpec cluster);
+  ~Madeleine();
+
+  Madeleine(const Madeleine&) = delete;
+  Madeleine& operator=(const Madeleine&) = delete;
+
+  /// Open a channel over one of the cluster's networks. Several channels
+  /// may share a network (the paper uses this to split module traffic);
+  /// in-order delivery holds only within a channel.
+  Channel& open_channel(const sim::NetworkSpec& network, std::string name);
+
+  /// Open one channel per declared network, named after its protocol.
+  /// Returns them in declaration order.
+  std::vector<Channel*> open_default_channels();
+
+  Channel* channel_by_name(const std::string& name);
+  std::vector<Channel*> channels();
+
+  /// Channels on which `node` is a member.
+  std::vector<Channel*> channels_of(node_id_t node);
+
+  net::Driver& driver(sim::Protocol protocol);
+
+  sim::Fabric& fabric() { return fabric_; }
+  const sim::ClusterSpec& cluster() const { return cluster_; }
+
+  /// Close every channel (wakes all blocked receivers with EOF).
+  void close_all();
+
+ private:
+  sim::Fabric& fabric_;
+  sim::ClusterSpec cluster_;
+  std::vector<std::unique_ptr<net::Driver>> drivers_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  channel_id_t next_channel_id_ = 0;
+};
+
+}  // namespace madmpi::mad

@@ -1,0 +1,46 @@
+// On-the-wire layout of a Madeleine message's control portion.
+//
+// A message's control frame carries, for each packed block in order, a
+// record header followed (for inline blocks) by the block bytes. Separate
+// blocks (zero-copy / bulk) travel as their own data frames after the
+// control frame; their record only announces them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/byte_buffer.hpp"
+
+namespace madmpi::mad {
+
+enum class BlockPlacement : std::uint8_t {
+  kInline = 0,    // bytes live in the control frame
+  kSeparate = 1,  // bytes follow as a dedicated data frame
+};
+
+struct BlockRecord {
+  BlockPlacement placement = BlockPlacement::kInline;
+  bool zero_copy = false;  // separate blocks only
+  bool express = false;    // receiver asked for receive_EXPRESS
+  std::uint32_t length = 0;
+};
+
+inline void write_record(ByteWriter& writer, const BlockRecord& record) {
+  writer.put(static_cast<std::uint8_t>(record.placement));
+  std::uint8_t flags = 0;
+  if (record.zero_copy) flags |= 1u;
+  if (record.express) flags |= 2u;
+  writer.put(flags);
+  writer.put(record.length);
+}
+
+inline BlockRecord read_record(ByteReader& reader) {
+  BlockRecord record;
+  record.placement = static_cast<BlockPlacement>(reader.get<std::uint8_t>());
+  const auto flags = reader.get<std::uint8_t>();
+  record.zero_copy = (flags & 1u) != 0;
+  record.express = (flags & 2u) != 0;
+  record.length = reader.get<std::uint32_t>();
+  return record;
+}
+
+}  // namespace madmpi::mad

@@ -1,0 +1,47 @@
+// Madeleine pack/unpack semantics flags (paper Section 3.2).
+#pragma once
+
+namespace madmpi::mad {
+
+/// Constraints the sender puts on one packed block.
+enum class SendMode {
+  /// The user buffer may be reused as soon as mad_pack returns: Madeleine
+  /// must copy immediately.
+  kSafer,
+  /// The buffer must stay valid until mad_end_packing (deferred copy or
+  /// direct transmission allowed).
+  kLater,
+  /// No constraint: Madeleine picks the cheapest strategy for the network
+  /// (the common case for bulk data).
+  kCheaper,
+};
+
+/// Constraints the receiver puts on one unpacked block.
+enum class RecvMode {
+  /// The data must be available as soon as mad_unpack returns. Required
+  /// when the value controls the rest of the unpacking (message headers,
+  /// sizes). EXPRESS blocks travel with the control portion of the message.
+  kExpress,
+  /// The data is only guaranteed after mad_end_unpacking; Madeleine may
+  /// deliver it zero-copy at its convenience.
+  kCheaper,
+};
+
+constexpr const char* send_mode_name(SendMode mode) {
+  switch (mode) {
+    case SendMode::kSafer: return "send_SAFER";
+    case SendMode::kLater: return "send_LATER";
+    case SendMode::kCheaper: return "send_CHEAPER";
+  }
+  return "?";
+}
+
+constexpr const char* recv_mode_name(RecvMode mode) {
+  switch (mode) {
+    case RecvMode::kExpress: return "receive_EXPRESS";
+    case RecvMode::kCheaper: return "receive_CHEAPER";
+  }
+  return "?";
+}
+
+}  // namespace madmpi::mad

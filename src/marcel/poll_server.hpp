@@ -1,0 +1,68 @@
+// Factorized network polling (Marcel + Madeleine cooperation, paper §3.3).
+//
+// The poll server owns one persistent polling thread per registered source
+// (ch_mad registers one per Madeleine channel, §4.2.3). Each active poller
+// is declared on the node so concurrent pollers interfere: handling a
+// message on channel X is delayed by the other channels' polling costs —
+// exactly the effect the paper measures in Figure 9 (SCI alone vs SCI+TCP).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "marcel/thread.hpp"
+#include "sim/node.hpp"
+
+namespace madmpi::marcel {
+
+class PollServer {
+ public:
+  explicit PollServer(sim::Node& node) : node_(node) {}
+  PollServer(const PollServer&) = delete;
+  PollServer& operator=(const PollServer&) = delete;
+  ~PollServer() { join(); }
+
+  /// Spawn a persistent polling thread for one source. `iterate` must block
+  /// until the next event, handle it, and return true; it returns false when
+  /// the source has shut down (the thread then exits). `poll_cost_us` is the
+  /// price of one poll of this protocol and feeds the interference model.
+  void add_poller(channel_id_t channel, usec_t poll_cost_us,
+                  std::function<bool()> iterate) {
+    node_.register_poller(channel, poll_cost_us);
+    threads_.push_back(std::make_unique<Thread>(
+        node_, "poll-" + std::to_string(channel),
+        [this, channel, iterate = std::move(iterate)] {
+          while (iterate()) {
+          }
+          node_.unregister_poller(channel);
+        }));
+  }
+
+  /// Charge the virtual cost of waking up to handle one message on
+  /// `channel`: the Marcel wake plus the interference of the other pollers.
+  /// Called by the poller's own iterate body after its blocking wait ends.
+  usec_t charge_wakeup(channel_id_t channel) {
+    const usec_t extra =
+        ThreadCosts::kWake + node_.poll_interference(channel);
+    node_.clock().advance(extra);
+    return extra;
+  }
+
+  sim::Node& node() { return node_; }
+  std::size_t poller_count() const { return threads_.size(); }
+
+  /// Join every polling thread. The sources must have been closed first so
+  /// the iterate callbacks observe shutdown and return false.
+  void join() {
+    for (auto& thread : threads_) thread->join();
+    threads_.clear();
+  }
+
+ private:
+  sim::Node& node_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+};
+
+}  // namespace madmpi::marcel

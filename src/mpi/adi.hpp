@@ -1,0 +1,52 @@
+// The Abstract Device Interface (paper Section 2.2).
+//
+// The generic MPI layer talks to devices exclusively through this
+// interface: a device moves packed bytes between two global ranks and
+// delivers them into the destination rank's matching context. The choice
+// between the eager and rendezvous transfer modes is made by the generic
+// layer from the device's single switch-point value — deliberately a single
+// integer, mirroring the MPID_Device limitation the paper works around in
+// §4.2.2 (one threshold per device, even when the device multiplexes
+// several networks).
+#pragma once
+
+#include <memory>
+
+#include "mpi/matching.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+
+namespace madmpi::mpi {
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual const char* name() const = 0;
+
+  /// The eager->rendezvous switch point in bytes (messages strictly larger
+  /// use the rendezvous mode).
+  virtual std::size_t rendezvous_threshold() const = 0;
+
+  /// Transfer `packed` from `src` to `dst` (global ranks). Blocking:
+  /// returns once the message is locally complete — immediately after
+  /// injection for eager, after the data transfer for rendezvous. The
+  /// device is responsible for all virtual-time accounting on both sides
+  /// and for delivering into the destination RankContext.
+  virtual void send(rank_t src, rank_t dst, const Envelope& env,
+                    byte_span packed, TransferMode mode) = 0;
+
+  /// True when this device can carry src -> dst.
+  virtual bool reaches(rank_t src, rank_t dst) const = 0;
+
+  /// Transfer mode for a message of `bytes` under this device's protocol
+  /// selection (MPI_Ssend forces the rendezvous handshake so completion
+  /// implies a matching receive).
+  TransferMode select_mode(std::uint64_t bytes, bool synchronous) const {
+    if (synchronous) return TransferMode::kRendezvous;
+    return bytes > rendezvous_threshold() ? TransferMode::kRendezvous
+                                          : TransferMode::kEager;
+  }
+};
+
+}  // namespace madmpi::mpi

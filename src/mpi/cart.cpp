@@ -1,0 +1,101 @@
+#include "mpi/cart.hpp"
+
+#include <algorithm>
+
+namespace madmpi::mpi {
+
+CartComm CartComm::create(Comm& comm, std::span<const int> dims,
+                          std::span<const bool> periodic, bool reorder) {
+  (void)reorder;  // rank order preserved (permitted by the standard)
+  MADMPI_CHECK(dims.size() == periodic.size());
+  int total = 1;
+  for (int d : dims) {
+    MADMPI_CHECK_MSG(d >= 1, "cartesian dimension must be positive");
+    total *= d;
+  }
+  MADMPI_CHECK_MSG(total <= comm.size(),
+                   "cartesian grid larger than the communicator");
+
+  // Ranks [0, total) form the grid; the rest get an invalid handle.
+  Comm grid = comm.split(comm.rank() < total ? 0 : -1, comm.rank());
+
+  CartComm cart;
+  if (!grid.valid()) return cart;
+  cart.comm_ = std::move(grid);
+  cart.dims_.assign(dims.begin(), dims.end());
+  cart.periodic_.assign(periodic.begin(), periodic.end());
+  return cart;
+}
+
+std::vector<int> CartComm::balanced_dims(int size, int ndims) {
+  MADMPI_CHECK(size >= 1 && ndims >= 1);
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Prime-factorize, then assign the factors in decreasing order onto the
+  // currently-smallest dimension — the classic MPI_Dims_create balance
+  // (12 over 2 dims -> 4x3, not 6x2).
+  std::vector<int> factors;
+  int remaining = size;
+  for (int factor = 2; remaining > 1;) {
+    if (remaining % factor == 0) {
+      factors.push_back(factor);
+      remaining /= factor;
+    } else {
+      ++factor;
+    }
+  }
+  std::sort(factors.rbegin(), factors.rend());
+  for (int factor : factors) {
+    *std::min_element(dims.begin(), dims.end()) *= factor;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+std::vector<int> CartComm::coords(rank_t rank) const {
+  MADMPI_CHECK(rank >= 0 && rank < comm_.size());
+  std::vector<int> out(dims_.size());
+  int remainder = rank;
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    out[d] = remainder % dims_[d];
+    remainder /= dims_[d];
+  }
+  return out;
+}
+
+rank_t CartComm::rank_at(std::span<const int> coords) const {
+  MADMPI_CHECK(coords.size() == dims_.size());
+  rank_t rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    int c = coords[d];
+    if (periodic_[d]) {
+      c = ((c % dims_[d]) + dims_[d]) % dims_[d];
+    } else {
+      MADMPI_CHECK_MSG(c >= 0 && c < dims_[d],
+                       "coordinate outside a non-periodic dimension");
+    }
+    rank = rank * dims_[d] + c;
+  }
+  return rank;
+}
+
+CartComm::Shift CartComm::shift(int dim, int displacement) const {
+  MADMPI_CHECK(dim >= 0 && static_cast<std::size_t>(dim) < dims_.size());
+  const auto mine = my_coords();
+  Shift result;
+
+  auto neighbour = [&](int direction) -> rank_t {
+    std::vector<int> coords = mine;
+    coords[static_cast<std::size_t>(dim)] += direction * displacement;
+    const int c = coords[static_cast<std::size_t>(dim)];
+    if (!periodic_[static_cast<std::size_t>(dim)] &&
+        (c < 0 || c >= dims_[static_cast<std::size_t>(dim)])) {
+      return kInvalidRank;  // MPI_PROC_NULL
+    }
+    return rank_at(coords);
+  };
+  result.dest = neighbour(+1);
+  result.source = neighbour(-1);
+  return result;
+}
+
+}  // namespace madmpi::mpi

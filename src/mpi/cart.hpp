@@ -1,0 +1,56 @@
+// Cartesian process topologies (MPI_Cart_create and friends): the natural
+// addressing for the stencil workloads the paper's clusters ran.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace madmpi::mpi {
+
+class CartComm {
+ public:
+  CartComm() = default;
+
+  /// MPI_Cart_create: `dims[i]` processes along dimension i, `periodic[i]`
+  /// wrapping. The product of dims must not exceed comm.size(); surplus
+  /// ranks receive an invalid CartComm. `reorder` is accepted but this
+  /// implementation keeps ranks in place (allowed by the standard).
+  static CartComm create(Comm& comm, std::span<const int> dims,
+                         std::span<const bool> periodic, bool reorder = false);
+
+  /// MPI_Dims_create: factor `size` into `ndims` balanced dimensions.
+  static std::vector<int> balanced_dims(int size, int ndims);
+
+  bool valid() const { return comm_.valid(); }
+  Comm& comm() { return comm_; }
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+  bool periodic(int dim) const {
+    return periodic_[static_cast<std::size_t>(dim)];
+  }
+
+  /// MPI_Cart_coords: coordinates of `rank` (row-major layout).
+  std::vector<int> coords(rank_t rank) const;
+  std::vector<int> my_coords() const { return coords(comm_.rank()); }
+
+  /// MPI_Cart_rank: rank at `coords`; periodic dimensions wrap, and
+  /// out-of-range coordinates on non-periodic dimensions abort.
+  rank_t rank_at(std::span<const int> coords) const;
+
+  /// MPI_Cart_shift: (source, dest) pair for a displacement along `dim`.
+  /// Either may be kInvalidRank at a non-periodic boundary (MPI_PROC_NULL).
+  struct Shift {
+    rank_t source = kInvalidRank;
+    rank_t dest = kInvalidRank;
+  };
+  Shift shift(int dim, int displacement) const;
+
+ private:
+  Comm comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periodic_;
+};
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,715 @@
+// Collective operations over point-to-point (the "generic part: collective
+// ops" box of the MPICH structure, paper Figure 1). Algorithms are the
+// classic MPICH ones: binomial trees for bcast/reduce, dissemination
+// barrier, ring allgather, pairwise alltoall, linear scan.
+//
+// Collectives run on `context + 1` — the private collective context of the
+// communicator — so their traffic can never match user receives.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/comm_shared.hpp"
+#include "sim/cost_model.hpp"
+
+namespace madmpi::mpi {
+
+namespace {
+
+// Per-algorithm tags (unique within the collective context; collectives on
+// one communicator are serialized by MPI semantics).
+constexpr int kBarrierTag = 1;
+constexpr int kBcastTag = 2;
+constexpr int kReduceTag = 3;
+constexpr int kGatherTag = 4;
+constexpr int kScatterTag = 5;
+constexpr int kAllgatherTag = 6;
+constexpr int kAlltoallTag = 7;
+constexpr int kScanTag = 8;
+
+}  // namespace
+
+void Comm::coll_send(const void* buf, std::size_t bytes, rank_t dest,
+                     int tag) {
+  Envelope env = make_envelope(dest, tag, bytes, false);
+  env.context = shared_->context + 1;
+  Device& device = device_to(dest);
+  device.send(global_rank_of(rank_), global_rank_of(dest), env,
+              byte_span{static_cast<const std::byte*>(buf), bytes},
+              device.select_mode(bytes, false));
+}
+
+void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {
+  auto state = std::make_shared<RequestState>(my_node());
+  PostedRecv posted;
+  posted.context = shared_->context + 1;
+  posted.source = source;
+  posted.tag = tag;
+  posted.buffer = buf;
+  posted.type = Datatype::byte();
+  posted.count = static_cast<int>(bytes);
+  posted.capacity_bytes = bytes;
+  posted.request = state;
+  my_context().post_recv(std::move(posted));
+  state->wait();
+}
+
+void Comm::coll_sendrecv(const void* send, std::size_t send_bytes,
+                         rank_t dest, void* recv, std::size_t recv_bytes,
+                         rank_t source, int tag) {
+  auto state = std::make_shared<RequestState>(my_node());
+  PostedRecv posted;
+  posted.context = shared_->context + 1;
+  posted.source = source;
+  posted.tag = tag;
+  posted.buffer = recv;
+  posted.type = Datatype::byte();
+  posted.count = static_cast<int>(recv_bytes);
+  posted.capacity_bytes = recv_bytes;
+  posted.request = state;
+  my_context().post_recv(std::move(posted));
+  coll_send(send, send_bytes, dest, tag);
+  state->wait();
+}
+
+void Comm::set_collective_config(const CollectiveConfig& config) {
+  std::lock_guard<std::mutex> lock(shared_->seq_mutex);
+  shared_->collectives = config;
+}
+
+CollectiveConfig Comm::collective_config() const {
+  std::lock_guard<std::mutex> lock(shared_->seq_mutex);
+  return shared_->collectives;
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(size) rounds of zero-byte exchanges.
+  const int n = size();
+  for (int mask = 1; mask < n; mask <<= 1) {
+    const rank_t to = (rank_ + mask) % n;
+    const rank_t from = (rank_ - mask + n) % n;
+
+    auto state = std::make_shared<RequestState>(my_node());
+    PostedRecv posted;
+    posted.context = shared_->context + 1;
+    posted.source = from;
+    posted.tag = kBarrierTag;
+    posted.request = state;
+    my_context().post_recv(std::move(posted));
+
+    coll_send(nullptr, 0, to, kBarrierTag);
+    state->wait();
+  }
+}
+
+void Comm::bcast_binomial(std::byte* wire, std::size_t bytes, rank_t root) {
+  const int n = size();
+  const int vrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const rank_t src = ((vrank & ~mask) + root) % n;
+      coll_recv(wire, bytes, src, kBcastTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const rank_t dst = (vrank + mask + root) % n;
+      coll_send(wire, bytes, dst, kBcastTag);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::bcast_linear(std::byte* wire, std::size_t bytes, rank_t root) {
+  if (rank_ == root) {
+    for (rank_t dst = 0; dst < size(); ++dst) {
+      if (dst != root) coll_send(wire, bytes, dst, kBcastTag);
+    }
+  } else {
+    coll_recv(wire, bytes, root, kBcastTag);
+  }
+}
+
+void Comm::bcast(void* buf, int count, const Datatype& type, rank_t root) {
+  MADMPI_CHECK(root >= 0 && root < size());
+  const int n = size();
+  if (n == 1) return;
+  const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+
+  // The payload travels packed; non-contiguous types are staged.
+  std::vector<std::byte> staging;
+  std::byte* wire = nullptr;
+  if (type.is_contiguous()) {
+    wire = static_cast<std::byte*>(buf);
+  } else {
+    staging.resize(bytes);
+    wire = staging.data();
+    if (rank_ == root) type.pack(buf, count, wire);
+  }
+
+  switch (collective_config().bcast) {
+    case BcastAlgorithm::kBinomial:
+      bcast_binomial(wire, bytes, root);
+      break;
+    case BcastAlgorithm::kLinear:
+      bcast_linear(wire, bytes, root);
+      break;
+  }
+
+  if (!type.is_contiguous() && rank_ != root) {
+    type.unpack(wire, count, buf);
+  }
+}
+
+void Comm::reduce(const void* send_buf, void* recv_buf, int count,
+                  const Datatype& type, const Op& op, rank_t root) {
+  MADMPI_CHECK(root >= 0 && root < size());
+  MADMPI_CHECK_MSG(type.is_contiguous(),
+                   "reduce requires a contiguous datatype");
+  const int n = size();
+  const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+
+  // Local accumulator starts as this rank's contribution.
+  std::vector<std::byte> accum(bytes);
+  std::memcpy(accum.data(), send_buf, bytes);
+  std::vector<std::byte> incoming(bytes);
+
+  const int vrank = (rank_ - root + n) % n;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (vrank & mask) {
+      const rank_t dst = ((vrank & ~mask) + root) % n;
+      coll_send(accum.data(), bytes, dst, kReduceTag);
+      break;
+    }
+    const int src_v = vrank | mask;
+    if (src_v < n) {
+      const rank_t src = (src_v + root) % n;
+      coll_recv(incoming.data(), bytes, src, kReduceTag);
+      op.apply(incoming.data(), accum.data(), count, type);
+      my_node().clock().advance(static_cast<double>(bytes) *
+                                sim::kHostCopyUsPerByte);
+    }
+  }
+  if (rank_ == root) {
+    std::memcpy(recv_buf, accum.data(), bytes);
+  }
+}
+
+void Comm::allreduce_recursive_doubling(void* recv_buf, int count,
+                                        const Datatype& type, const Op& op) {
+  // Classic recursive doubling, with the standard pre/post folding step
+  // for non-power-of-two sizes: the `rem` highest "extra" ranks fold their
+  // contribution into a partner, sit out the log2 rounds, and get the
+  // result back at the end.
+  const int n = size();
+  const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+  std::vector<std::byte> incoming(bytes);
+  auto* accum = static_cast<std::byte*>(recv_buf);
+
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+
+  int my_core_rank;  // rank within the power-of-two core, -1 if folded out
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 1) {
+      // Odd ranks in the folded region send their data and wait.
+      coll_send(accum, bytes, rank_ - 1, kReduceTag);
+      my_core_rank = -1;
+    } else {
+      coll_recv(incoming.data(), bytes, rank_ + 1, kReduceTag);
+      op.apply(incoming.data(), accum, count, type);
+      my_core_rank = rank_ / 2;
+    }
+  } else {
+    my_core_rank = rank_ - rem;
+  }
+
+  if (my_core_rank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_core = my_core_rank ^ mask;
+      const rank_t partner = partner_core < rem ? partner_core * 2
+                                                : partner_core + rem;
+      coll_sendrecv(accum, bytes, partner, incoming.data(), bytes, partner,
+                    kReduceTag);
+      op.apply(incoming.data(), accum, count, type);
+      my_node().clock().advance(static_cast<double>(bytes) *
+                                sim::kHostCopyUsPerByte);
+    }
+  }
+
+  // Post step: return the result to the folded-out odd ranks.
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {
+      coll_send(accum, bytes, rank_ + 1, kReduceTag);
+    } else {
+      coll_recv(accum, bytes, rank_ - 1, kReduceTag);
+    }
+  }
+}
+
+void Comm::allreduce_ring(void* recv_buf, int count, const Datatype& type,
+                          const Op& op) {
+  // Bandwidth-optimal ring: a reduce-scatter pass (n-1 steps over count/n
+  // chunks) followed by an allgather pass (n-1 steps). Each rank sends
+  // 2*(n-1)/n of the data total, independent of n.
+  const int n = size();
+  const std::size_t elem = type.size();
+  auto* accum = static_cast<std::byte*>(recv_buf);
+
+  // Chunk c covers elements [offsets[c], offsets[c+1]).
+  std::vector<int> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (int c = 0; c < n; ++c) {
+    offsets[static_cast<std::size_t>(c) + 1] =
+        offsets[static_cast<std::size_t>(c)] + count / n +
+        (c < count % n ? 1 : 0);
+  }
+  auto chunk_ptr = [&](int c) {
+    return accum + elem * static_cast<std::size_t>(
+                              offsets[static_cast<std::size_t>(c)]);
+  };
+  auto chunk_elems = [&](int c) {
+    return offsets[static_cast<std::size_t>(c) + 1] -
+           offsets[static_cast<std::size_t>(c)];
+  };
+
+  const rank_t right = (rank_ + 1) % n;
+  const rank_t left = (rank_ - 1 + n) % n;
+  std::vector<std::byte> incoming(
+      elem * static_cast<std::size_t>(count / n + 1));
+
+  // Reduce-scatter: after step s, rank r holds the partial reduction of
+  // chunk (r - s) from ranks r-s..r.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = (rank_ - step + n) % n;
+    const int recv_chunk = (rank_ - step - 1 + n) % n;
+    const std::size_t send_bytes =
+        elem * static_cast<std::size_t>(chunk_elems(send_chunk));
+    const std::size_t recv_bytes =
+        elem * static_cast<std::size_t>(chunk_elems(recv_chunk));
+    coll_sendrecv(chunk_ptr(send_chunk), send_bytes, right, incoming.data(),
+                  recv_bytes, left, kReduceTag);
+    if (chunk_elems(recv_chunk) > 0) {
+      op.apply(incoming.data(), chunk_ptr(recv_chunk),
+               chunk_elems(recv_chunk), type);
+    }
+  }
+
+  // Allgather: circulate the fully-reduced chunks.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = (rank_ + 1 - step + n) % n;
+    const int recv_chunk = (rank_ - step + n) % n;
+    const std::size_t send_bytes =
+        elem * static_cast<std::size_t>(chunk_elems(send_chunk));
+    const std::size_t recv_bytes =
+        elem * static_cast<std::size_t>(chunk_elems(recv_chunk));
+    coll_sendrecv(chunk_ptr(send_chunk), send_bytes, right,
+                  chunk_ptr(recv_chunk), recv_bytes, left, kReduceTag);
+  }
+}
+
+void Comm::allreduce(const void* send_buf, void* recv_buf, int count,
+                     const Datatype& type, const Op& op) {
+  AllreduceAlgorithm algorithm = collective_config().allreduce;
+  // The ring needs at least one element per rank to be worthwhile (and
+  // correct chunking); degrade gracefully for tiny payloads.
+  if (algorithm == AllreduceAlgorithm::kRing && count < size()) {
+    algorithm = AllreduceAlgorithm::kRecursiveDoubling;
+  }
+  if (size() == 1 || algorithm == AllreduceAlgorithm::kReduceBcast) {
+    reduce(send_buf, recv_buf, count, type, op, 0);
+    bcast(recv_buf, count, type, 0);
+    return;
+  }
+
+  MADMPI_CHECK_MSG(type.is_contiguous(),
+                   "allreduce requires a contiguous datatype");
+  const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+  std::memcpy(recv_buf, send_buf, bytes);
+  if (algorithm == AllreduceAlgorithm::kRecursiveDoubling) {
+    allreduce_recursive_doubling(recv_buf, count, type, op);
+  } else {
+    allreduce_ring(recv_buf, count, type, op);
+  }
+}
+
+void Comm::gather(const void* send_buf, int send_count,
+                  const Datatype& send_type, void* recv_buf, int recv_count,
+                  const Datatype& recv_type, rank_t root) {
+  const int n = size();
+  const std::size_t bytes =
+      send_type.size() * static_cast<std::size_t>(send_count);
+  if (rank_ != root) {
+    std::vector<std::byte> staging;
+    const byte_span packed =
+        pack_for_send(send_buf, send_count, send_type, staging);
+    coll_send(packed.data(), packed.size(), root, kGatherTag);
+    return;
+  }
+
+  MADMPI_CHECK_MSG(
+      recv_type.size() * static_cast<std::size_t>(recv_count) == bytes,
+      "gather send/recv type signatures disagree");
+  auto* out = static_cast<std::byte*>(recv_buf);
+  const std::size_t slot =
+      recv_type.extent() * static_cast<std::size_t>(recv_count);
+  std::vector<std::byte> wire(bytes);
+  for (rank_t src = 0; src < n; ++src) {
+    std::byte* dst_elem = out + slot * static_cast<std::size_t>(src);
+    if (src == rank_) {
+      send_type.pack(send_buf, send_count, wire.data());
+      recv_type.unpack(wire.data(), recv_count, dst_elem);
+      continue;
+    }
+    coll_recv(wire.data(), bytes, src, kGatherTag);
+    recv_type.unpack(wire.data(), recv_count, dst_elem);
+  }
+}
+
+void Comm::gatherv(const void* send_buf, int send_count,
+                   const Datatype& send_type, void* recv_buf,
+                   std::span<const int> recv_counts,
+                   std::span<const int> displacements,
+                   const Datatype& recv_type, rank_t root) {
+  const int n = size();
+  if (rank_ != root) {
+    std::vector<std::byte> staging;
+    const byte_span packed =
+        pack_for_send(send_buf, send_count, send_type, staging);
+    coll_send(packed.data(), packed.size(), root, kGatherTag);
+    return;
+  }
+
+  MADMPI_CHECK(recv_counts.size() == static_cast<std::size_t>(n));
+  MADMPI_CHECK(displacements.size() == static_cast<std::size_t>(n));
+  auto* out = static_cast<std::byte*>(recv_buf);
+  for (rank_t src = 0; src < n; ++src) {
+    const std::size_t bytes =
+        recv_type.size() * static_cast<std::size_t>(recv_counts[src]);
+    std::byte* dst_elem =
+        out + recv_type.extent() * static_cast<std::size_t>(
+                                       displacements[src]);
+    std::vector<std::byte> wire(bytes);
+    if (src == rank_) {
+      MADMPI_CHECK(send_type.size() * static_cast<std::size_t>(send_count) ==
+                   bytes);
+      send_type.pack(send_buf, send_count, wire.data());
+    } else {
+      coll_recv(wire.data(), bytes, src, kGatherTag);
+    }
+    recv_type.unpack(wire.data(), recv_counts[src], dst_elem);
+  }
+}
+
+void Comm::scatter(const void* send_buf, int send_count,
+                   const Datatype& send_type, void* recv_buf, int recv_count,
+                   const Datatype& recv_type, rank_t root) {
+  const int n = size();
+  const std::size_t bytes =
+      recv_type.size() * static_cast<std::size_t>(recv_count);
+  if (rank_ == root) {
+    MADMPI_CHECK_MSG(
+        send_type.size() * static_cast<std::size_t>(send_count) == bytes,
+        "scatter send/recv type signatures disagree");
+    const auto* in = static_cast<const std::byte*>(send_buf);
+    const std::size_t slot =
+        send_type.extent() * static_cast<std::size_t>(send_count);
+    std::vector<std::byte> wire(bytes);
+    for (rank_t dst = 0; dst < n; ++dst) {
+      const std::byte* src_elem = in + slot * static_cast<std::size_t>(dst);
+      send_type.pack(src_elem, send_count, wire.data());
+      if (dst == rank_) {
+        recv_type.unpack(wire.data(), recv_count, recv_buf);
+      } else {
+        coll_send(wire.data(), bytes, dst, kScatterTag);
+      }
+    }
+  } else {
+    std::vector<std::byte> wire(bytes);
+    coll_recv(wire.data(), bytes, root, kScatterTag);
+    recv_type.unpack(wire.data(), recv_count, recv_buf);
+  }
+}
+
+void Comm::scatterv(const void* send_buf, std::span<const int> send_counts,
+                    std::span<const int> displacements,
+                    const Datatype& send_type, void* recv_buf, int recv_count,
+                    const Datatype& recv_type, rank_t root) {
+  const int n = size();
+  if (rank_ == root) {
+    MADMPI_CHECK(send_counts.size() == static_cast<std::size_t>(n));
+    MADMPI_CHECK(displacements.size() == static_cast<std::size_t>(n));
+    const auto* in = static_cast<const std::byte*>(send_buf);
+    for (rank_t dst = 0; dst < n; ++dst) {
+      const std::size_t bytes =
+          send_type.size() * static_cast<std::size_t>(send_counts[dst]);
+      const std::byte* src_elem =
+          in + send_type.extent() *
+                   static_cast<std::size_t>(displacements[dst]);
+      std::vector<std::byte> wire(bytes);
+      send_type.pack(src_elem, send_counts[dst], wire.data());
+      if (dst == rank_) {
+        MADMPI_CHECK(recv_type.size() *
+                         static_cast<std::size_t>(recv_count) == bytes);
+        recv_type.unpack(wire.data(), recv_count, recv_buf);
+      } else {
+        coll_send(wire.data(), bytes, dst, kScatterTag);
+      }
+    }
+  } else {
+    const std::size_t bytes =
+        recv_type.size() * static_cast<std::size_t>(recv_count);
+    std::vector<std::byte> wire(bytes);
+    coll_recv(wire.data(), bytes, root, kScatterTag);
+    recv_type.unpack(wire.data(), recv_count, recv_buf);
+  }
+}
+
+void Comm::allgather(const void* send_buf, int send_count,
+                     const Datatype& send_type, void* recv_buf,
+                     int recv_count, const Datatype& recv_type) {
+  // Ring algorithm: size-1 steps, each forwarding the freshest block.
+  const int n = size();
+  const std::size_t block =
+      send_type.size() * static_cast<std::size_t>(send_count);
+  MADMPI_CHECK_MSG(
+      recv_type.size() * static_cast<std::size_t>(recv_count) == block,
+      "allgather send/recv type signatures disagree");
+
+  std::vector<std::byte> wire(block * static_cast<std::size_t>(n));
+  send_type.pack(send_buf, send_count,
+                 wire.data() + block * static_cast<std::size_t>(rank_));
+
+  const rank_t right = (rank_ + 1) % n;
+  const rank_t left = (rank_ - 1 + n) % n;
+  int cur = rank_;
+  for (int step = 0; step < n - 1; ++step) {
+    const int incoming = (cur - 1 + n) % n;
+    // Post the receive before sending to avoid rendezvous cross-blocking.
+    auto state = std::make_shared<RequestState>(my_node());
+    PostedRecv posted;
+    posted.context = shared_->context + 1;
+    posted.source = left;
+    posted.tag = kAllgatherTag;
+    posted.buffer = wire.data() + block * static_cast<std::size_t>(incoming);
+    posted.type = Datatype::byte();
+    posted.count = static_cast<int>(block);
+    posted.capacity_bytes = block;
+    posted.request = state;
+    my_context().post_recv(std::move(posted));
+
+    coll_send(wire.data() + block * static_cast<std::size_t>(cur), block,
+              right, kAllgatherTag);
+    state->wait();
+    cur = incoming;
+  }
+
+  auto* out = static_cast<std::byte*>(recv_buf);
+  const std::size_t slot =
+      recv_type.extent() * static_cast<std::size_t>(recv_count);
+  for (rank_t r = 0; r < n; ++r) {
+    recv_type.unpack(wire.data() + block * static_cast<std::size_t>(r),
+                     recv_count, out + slot * static_cast<std::size_t>(r));
+  }
+}
+
+void Comm::allgatherv(const void* send_buf, int send_count,
+                      const Datatype& send_type, void* recv_buf,
+                      std::span<const int> recv_counts,
+                      std::span<const int> displacements,
+                      const Datatype& recv_type) {
+  // Gather-to-0 then bcast of the concatenated packed blocks (simple and
+  // correct for ragged sizes).
+  const int n = size();
+  MADMPI_CHECK(recv_counts.size() == static_cast<std::size_t>(n));
+  MADMPI_CHECK(displacements.size() == static_cast<std::size_t>(n));
+
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (int r = 0; r < n; ++r) {
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] +
+        recv_type.size() * static_cast<std::size_t>(recv_counts[r]);
+  }
+  std::vector<std::byte> wire(offsets.back());
+
+  if (rank_ == 0) {
+    MADMPI_CHECK(send_type.size() * static_cast<std::size_t>(send_count) ==
+                 offsets[1] - offsets[0]);
+    send_type.pack(send_buf, send_count, wire.data());
+    for (rank_t src = 1; src < n; ++src) {
+      coll_recv(wire.data() + offsets[static_cast<std::size_t>(src)],
+                offsets[static_cast<std::size_t>(src) + 1] -
+                    offsets[static_cast<std::size_t>(src)],
+                src, kAllgatherTag);
+    }
+  } else {
+    std::vector<std::byte> staging;
+    const byte_span packed =
+        pack_for_send(send_buf, send_count, send_type, staging);
+    coll_send(packed.data(), packed.size(), 0, kAllgatherTag);
+  }
+  bcast(wire.data(), static_cast<int>(wire.size()), Datatype::byte(), 0);
+
+  auto* out = static_cast<std::byte*>(recv_buf);
+  for (rank_t r = 0; r < n; ++r) {
+    recv_type.unpack(wire.data() + offsets[static_cast<std::size_t>(r)],
+                     recv_counts[r],
+                     out + recv_type.extent() *
+                               static_cast<std::size_t>(displacements[r]));
+  }
+}
+
+void Comm::alltoall(const void* send_buf, int send_count,
+                    const Datatype& send_type, void* recv_buf, int recv_count,
+                    const Datatype& recv_type) {
+  const int n = size();
+  const std::size_t block =
+      send_type.size() * static_cast<std::size_t>(send_count);
+  MADMPI_CHECK_MSG(
+      recv_type.size() * static_cast<std::size_t>(recv_count) == block,
+      "alltoall send/recv type signatures disagree");
+
+  const auto* in = static_cast<const std::byte*>(send_buf);
+  auto* out = static_cast<std::byte*>(recv_buf);
+  const std::size_t in_slot =
+      send_type.extent() * static_cast<std::size_t>(send_count);
+  const std::size_t out_slot =
+      recv_type.extent() * static_cast<std::size_t>(recv_count);
+
+  std::vector<std::byte> send_wire(block);
+  std::vector<std::byte> recv_wire(block);
+
+  // Own block first.
+  send_type.pack(in + in_slot * static_cast<std::size_t>(rank_), send_count,
+                 send_wire.data());
+  recv_type.unpack(send_wire.data(), recv_count,
+                   out + out_slot * static_cast<std::size_t>(rank_));
+
+  // Pairwise exchange: step i pairs (rank+i) with (rank-i).
+  for (int i = 1; i < n; ++i) {
+    const rank_t dst = (rank_ + i) % n;
+    const rank_t src = (rank_ - i + n) % n;
+
+    auto state = std::make_shared<RequestState>(my_node());
+    PostedRecv posted;
+    posted.context = shared_->context + 1;
+    posted.source = src;
+    posted.tag = kAlltoallTag;
+    posted.buffer = recv_wire.data();
+    posted.type = Datatype::byte();
+    posted.count = static_cast<int>(block);
+    posted.capacity_bytes = block;
+    posted.request = state;
+    my_context().post_recv(std::move(posted));
+
+    send_type.pack(in + in_slot * static_cast<std::size_t>(dst), send_count,
+                   send_wire.data());
+    coll_send(send_wire.data(), block, dst, kAlltoallTag);
+    state->wait();
+    recv_type.unpack(recv_wire.data(), recv_count,
+                     out + out_slot * static_cast<std::size_t>(src));
+  }
+}
+
+void Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
+                     std::span<const int> send_displs,
+                     const Datatype& send_type, void* recv_buf,
+                     std::span<const int> recv_counts,
+                     std::span<const int> recv_displs,
+                     const Datatype& recv_type) {
+  const int n = size();
+  MADMPI_CHECK(send_counts.size() == static_cast<std::size_t>(n));
+  MADMPI_CHECK(send_displs.size() == static_cast<std::size_t>(n));
+  MADMPI_CHECK(recv_counts.size() == static_cast<std::size_t>(n));
+  MADMPI_CHECK(recv_displs.size() == static_cast<std::size_t>(n));
+
+  const auto* in = static_cast<const std::byte*>(send_buf);
+  auto* out = static_cast<std::byte*>(recv_buf);
+
+  // Own block.
+  {
+    const std::size_t bytes =
+        send_type.size() * static_cast<std::size_t>(send_counts[rank_]);
+    MADMPI_CHECK_MSG(
+        recv_type.size() * static_cast<std::size_t>(recv_counts[rank_]) ==
+            bytes,
+        "alltoallv self block signatures disagree");
+    std::vector<std::byte> wire(bytes);
+    send_type.pack(in + send_type.extent() *
+                            static_cast<std::size_t>(send_displs[rank_]),
+                   send_counts[rank_], wire.data());
+    recv_type.unpack(wire.data(), recv_counts[rank_],
+                     out + recv_type.extent() *
+                               static_cast<std::size_t>(recv_displs[rank_]));
+  }
+
+  // Pairwise exchange, ragged block sizes per peer.
+  for (int i = 1; i < n; ++i) {
+    const rank_t dst = (rank_ + i) % n;
+    const rank_t src = (rank_ - i + n) % n;
+    const std::size_t send_bytes =
+        send_type.size() * static_cast<std::size_t>(send_counts[dst]);
+    const std::size_t recv_bytes =
+        recv_type.size() * static_cast<std::size_t>(recv_counts[src]);
+
+    std::vector<std::byte> recv_wire(recv_bytes);
+    auto state = std::make_shared<RequestState>(my_node());
+    PostedRecv posted;
+    posted.context = shared_->context + 1;
+    posted.source = src;
+    posted.tag = kAlltoallTag;
+    posted.buffer = recv_wire.data();
+    posted.type = Datatype::byte();
+    posted.count = static_cast<int>(recv_bytes);
+    posted.capacity_bytes = recv_bytes;
+    posted.request = state;
+    my_context().post_recv(std::move(posted));
+
+    std::vector<std::byte> send_wire(send_bytes);
+    send_type.pack(in + send_type.extent() *
+                            static_cast<std::size_t>(send_displs[dst]),
+                   send_counts[dst], send_wire.data());
+    coll_send(send_wire.data(), send_bytes, dst, kAlltoallTag);
+    state->wait();
+    recv_type.unpack(recv_wire.data(), recv_counts[src],
+                     out + recv_type.extent() *
+                               static_cast<std::size_t>(recv_displs[src]));
+  }
+}
+
+void Comm::scan(const void* send_buf, void* recv_buf, int count,
+                const Datatype& type, const Op& op) {
+  MADMPI_CHECK_MSG(type.is_contiguous(), "scan requires a contiguous datatype");
+  const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+  std::memcpy(recv_buf, send_buf, bytes);
+
+  if (rank_ > 0) {
+    std::vector<std::byte> prefix(bytes);
+    coll_recv(prefix.data(), bytes, rank_ - 1, kScanTag);
+    // recv_buf = prefix OP own.
+    op.apply(prefix.data(), recv_buf, count, type);
+  }
+  if (rank_ + 1 < size()) {
+    coll_send(recv_buf, bytes, rank_ + 1, kScanTag);
+  }
+}
+
+void Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
+                                int count, const Datatype& type,
+                                const Op& op) {
+  MADMPI_CHECK_MSG(type.is_contiguous(),
+                   "reduce_scatter requires a contiguous datatype");
+  const int n = size();
+  std::vector<std::byte> full(type.size() *
+                              static_cast<std::size_t>(count) *
+                              static_cast<std::size_t>(n));
+  reduce(send_buf, full.data(), count * n, type, op, 0);
+  scatter(full.data(), count, type, recv_buf, count, type, 0);
+}
+
+}  // namespace madmpi::mpi

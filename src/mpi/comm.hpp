@@ -1,0 +1,219 @@
+// Communicators and the user-facing MPI operation set.
+//
+// This is the "generic part" of the MPICH structure (paper Figure 1):
+// point-to-point semantics, non-blocking requests, probe, communicator
+// management and the collective operations, all expressed over the ADI.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpi/adi.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/group.hpp"
+#include "mpi/op.hpp"
+#include "mpi/request.hpp"
+#include "mpi/runtime.hpp"
+#include "mpi/types.hpp"
+
+namespace madmpi::mpi {
+
+/// Collective algorithm selection (settable per communicator; must be set
+/// identically on every rank, like any collective tuning knob).
+enum class AllreduceAlgorithm {
+  kReduceBcast,        // binomial reduce to 0 + binomial bcast (default)
+  kRecursiveDoubling,  // log2(p) exchange-and-combine rounds
+  kRing,               // reduce-scatter + allgather rings (bandwidth-optimal)
+};
+
+enum class BcastAlgorithm {
+  kBinomial,  // log2(p) tree (default)
+  kLinear,    // root sends to every rank (baseline for the ablation)
+};
+
+struct CollectiveConfig {
+  AllreduceAlgorithm allreduce = AllreduceAlgorithm::kReduceBcast;
+  BcastAlgorithm bcast = BcastAlgorithm::kBinomial;
+};
+
+class Comm {
+ public:
+  Comm() = default;  // invalid handle
+
+  bool valid() const { return shared_ != nullptr; }
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Global (world) rank of a communicator rank.
+  rank_t global_rank_of(rank_t comm_rank) const;
+
+  // --- Point-to-point ------------------------------------------------
+
+  /// MPI_Send: blocking, returns when the buffer is reusable (eager) or
+  /// when the transfer completed (rendezvous; mode is picked from the
+  /// device's switch point, paper §4.2.2).
+  void send(const void* buf, int count, const Datatype& type, rank_t dest,
+            int tag);
+
+  /// MPI_Ssend: completion implies a matching receive was posted (forces
+  /// the rendezvous handshake regardless of size).
+  void ssend(const void* buf, int count, const Datatype& type, rank_t dest,
+             int tag);
+
+  /// MPI_Bsend: returns as soon as the message is copied into the attached
+  /// buffer (buffer_attach); never blocks on the receiver. Aborts with an
+  /// MPI_ERR_BUFFER-style message when the attached buffer cannot hold the
+  /// message alongside the other pending buffered sends.
+  void bsend(const void* buf, int count, const Datatype& type, rank_t dest,
+             int tag);
+
+  /// MPI_Buffer_attach / MPI_Buffer_detach for this rank's thread. Detach
+  /// blocks until every pending buffered send has been delivered to the
+  /// device.
+  static void buffer_attach(std::size_t bytes);
+  static void buffer_detach();
+
+  /// Bytes needed in the attached buffer for one bsend of `bytes` payload
+  /// (MPI_BSEND_OVERHEAD included).
+  static std::size_t bsend_overhead() { return 64; }
+
+  /// MPI_Recv.
+  MpiStatus recv(void* buf, int count, const Datatype& type, rank_t source,
+                 int tag);
+
+  /// MPI_Isend: eager sizes complete inline; rendezvous sizes are handed
+  /// to a temporary thread, exactly the paper's §4.2.3 scheme.
+  Request isend(const void* buf, int count, const Datatype& type, rank_t dest,
+                int tag);
+
+  /// MPI_Issend.
+  Request issend(const void* buf, int count, const Datatype& type,
+                 rank_t dest, int tag);
+
+  /// MPI_Irecv.
+  Request irecv(void* buf, int count, const Datatype& type, rank_t source,
+                int tag);
+
+  /// MPI_Sendrecv.
+  MpiStatus sendrecv(const void* send_buf, int send_count,
+                     const Datatype& send_type, rank_t dest, int send_tag,
+                     void* recv_buf, int recv_count,
+                     const Datatype& recv_type, rank_t source, int recv_tag);
+
+  /// MPI_Probe / MPI_Iprobe.
+  MpiStatus probe(rank_t source, int tag);
+  bool iprobe(rank_t source, int tag, MpiStatus* status = nullptr);
+
+  // --- Collectives ----------------------------------------------------
+
+  /// Select collective algorithms for this rank's view of the
+  /// communicator. Collective semantics require every rank to set the same
+  /// configuration.
+  void set_collective_config(const CollectiveConfig& config);
+  CollectiveConfig collective_config() const;
+
+  void barrier();
+  void bcast(void* buf, int count, const Datatype& type, rank_t root);
+  void reduce(const void* send_buf, void* recv_buf, int count,
+              const Datatype& type, const Op& op, rank_t root);
+  void allreduce(const void* send_buf, void* recv_buf, int count,
+                 const Datatype& type, const Op& op);
+  void gather(const void* send_buf, int send_count, const Datatype& send_type,
+              void* recv_buf, int recv_count, const Datatype& recv_type,
+              rank_t root);
+  void gatherv(const void* send_buf, int send_count,
+               const Datatype& send_type, void* recv_buf,
+               std::span<const int> recv_counts,
+               std::span<const int> displacements, const Datatype& recv_type,
+               rank_t root);
+  void scatter(const void* send_buf, int send_count,
+               const Datatype& send_type, void* recv_buf, int recv_count,
+               const Datatype& recv_type, rank_t root);
+  void scatterv(const void* send_buf, std::span<const int> send_counts,
+                std::span<const int> displacements, const Datatype& send_type,
+                void* recv_buf, int recv_count, const Datatype& recv_type,
+                rank_t root);
+  void allgather(const void* send_buf, int send_count,
+                 const Datatype& send_type, void* recv_buf, int recv_count,
+                 const Datatype& recv_type);
+  void allgatherv(const void* send_buf, int send_count,
+                  const Datatype& send_type, void* recv_buf,
+                  std::span<const int> recv_counts,
+                  std::span<const int> displacements,
+                  const Datatype& recv_type);
+  void alltoall(const void* send_buf, int send_count,
+                const Datatype& send_type, void* recv_buf, int recv_count,
+                const Datatype& recv_type);
+  void alltoallv(const void* send_buf, std::span<const int> send_counts,
+                 std::span<const int> send_displs, const Datatype& send_type,
+                 void* recv_buf, std::span<const int> recv_counts,
+                 std::span<const int> recv_displs, const Datatype& recv_type);
+  void scan(const void* send_buf, void* recv_buf, int count,
+            const Datatype& type, const Op& op);
+  void reduce_scatter_block(const void* send_buf, void* recv_buf, int count,
+                            const Datatype& type, const Op& op);
+
+  // --- Communicator management ----------------------------------------
+
+  Comm dup();
+  /// MPI_Comm_split; color < 0 (MPI_UNDEFINED) returns an invalid Comm.
+  Comm split(int color, int key);
+
+  /// MPI_Comm_group: this communicator's membership in world ranks.
+  Group group() const;
+
+  /// MPI_Comm_create: collective over this communicator; callers inside
+  /// `subset` (which must be identical everywhere and a subgroup of this
+  /// communicator) receive the new communicator, others an invalid one.
+  Comm create(const Group& subset);
+
+  /// MPI_Wtime: the hosting node's virtual clock, in seconds.
+  double wtime() const;
+  /// Same clock in microseconds (native unit of the simulation).
+  usec_t wtime_us() const;
+
+  /// Charge local computation time to this rank's virtual clock —
+  /// simulation-aware applications model their compute phases with this
+  /// (host flops are free; only charged time shapes the schedule).
+  void compute_us(usec_t us);
+
+  int context() const;
+
+  /// Build the world communicator handle for `rank` (used by the session).
+  static Comm world(Runtime* runtime, rank_t rank, int world_context = 0);
+
+ private:
+  struct Shared;
+  Comm(std::shared_ptr<Shared> shared, rank_t rank)
+      : shared_(std::move(shared)), rank_(rank) {}
+
+  /// Internal p2p on the collective context (tags private to algorithms).
+  void coll_send(const void* buf, std::size_t bytes, rank_t dest, int tag);
+  void coll_recv(void* buf, std::size_t bytes, rank_t source, int tag);
+  void coll_sendrecv(const void* send, std::size_t send_bytes, rank_t dest,
+                     void* recv, std::size_t recv_bytes, rank_t source,
+                     int tag);
+
+  void allreduce_recursive_doubling(void* recv_buf, int count,
+                                    const Datatype& type, const Op& op);
+  void allreduce_ring(void* recv_buf, int count, const Datatype& type,
+                      const Op& op);
+  void bcast_binomial(std::byte* wire, std::size_t bytes, rank_t root);
+  void bcast_linear(std::byte* wire, std::size_t bytes, rank_t root);
+
+  Envelope make_envelope(rank_t dest, int tag, std::uint64_t bytes,
+                         bool synchronous) const;
+  Device& device_to(rank_t dest) const;
+  sim::Node& my_node() const;
+  RankContext& my_context() const;
+
+  /// Pack the send buffer if needed; returns a span over either the user
+  /// buffer (contiguous) or `staging`.
+  byte_span pack_for_send(const void* buf, int count, const Datatype& type,
+                          std::vector<std::byte>& staging) const;
+
+  std::shared_ptr<Shared> shared_;
+  rank_t rank_ = kInvalidRank;
+};
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,35 @@
+// Internal: the state shared by every rank's handle of one communicator.
+// Included by comm.cpp and collectives.cpp only.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace madmpi::mpi {
+
+/// The group maps communicator ranks to global ranks; `context` is the
+/// point-to-point context id and `context + 1` the collective one (the
+/// classic MPICH two-context scheme keeping collective traffic from
+/// matching user receives).
+struct Comm::Shared {
+  Runtime* runtime = nullptr;
+  int context = 0;
+  std::vector<rank_t> group;
+
+  /// Collective tuning; every rank must configure identically.
+  CollectiveConfig collectives;
+
+  // Per-rank count of derived-communicator creations (collective calls, so
+  // all ranks' counters stay equal; used to derive matching context ids).
+  std::vector<int> creation_seq;
+
+  std::mutex seq_mutex;
+  int next_seq(rank_t comm_rank) {
+    std::lock_guard<std::mutex> lock(seq_mutex);
+    return creation_seq[static_cast<std::size_t>(comm_rank)]++;
+  }
+};
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,694 @@
+#include "mpi/compat.hpp"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/session.hpp"
+#include "mpi/cart.hpp"
+#include "mpi/packbuf.hpp"
+#include "mpi/persistent.hpp"
+#include "mpi/request.hpp"
+
+namespace madmpi::compat {
+namespace detail {
+
+/// Per-rank-thread handle tables. Index 0 of `comms` is MPI_COMM_WORLD.
+struct ThreadState {
+  bool bound = false;
+  bool initialized = false;
+  std::vector<mpi::Comm> comms;
+  std::vector<mpi::Request> requests;
+  std::vector<mpi::Datatype> derived_types;
+  std::vector<mpi::PersistentRequest> persistents;
+  std::map<int, mpi::CartComm> carts;  // keyed by the comm handle
+  int bsend_attached_size = 0;
+};
+
+/// Handle-space layout: derived datatype handles start at kDerivedBase;
+/// persistent request handles at kPersistentBase.
+inline constexpr int kDerivedBase = 1000;
+inline constexpr int kPersistentBase = 1 << 20;
+
+thread_local ThreadState tls;
+
+ThreadState& state() {
+  MADMPI_CHECK_MSG(tls.bound,
+                   "MPI_* called outside madmpi::compat::run / bind_world");
+  return tls;
+}
+
+mpi::Comm& comm_of(MPI_Comm handle) {
+  ThreadState& s = state();
+  MADMPI_CHECK_MSG(handle >= 0 &&
+                       static_cast<std::size_t>(handle) < s.comms.size() &&
+                       s.comms[static_cast<std::size_t>(handle)].valid(),
+                   "invalid or freed MPI_Comm handle");
+  return s.comms[static_cast<std::size_t>(handle)];
+}
+
+MPI_Comm store_comm(mpi::Comm comm) {
+  if (!comm.valid()) return MPI_COMM_NULL;  // MPI_UNDEFINED color
+  ThreadState& s = state();
+  s.comms.push_back(std::move(comm));
+  return static_cast<MPI_Comm>(s.comms.size() - 1);
+}
+
+mpi::Datatype type_of(MPI_Datatype handle) {
+  if (handle >= kDerivedBase) {
+    ThreadState& s = state();
+    const auto index = static_cast<std::size_t>(handle - kDerivedBase);
+    MADMPI_CHECK_MSG(index < s.derived_types.size(),
+                     "invalid derived MPI_Datatype handle");
+    return s.derived_types[index];
+  }
+  switch (handle) {
+    case MPI_BYTE: return mpi::Datatype::byte();
+    case MPI_CHAR: return mpi::Datatype::int8();
+    case MPI_INT: return mpi::Datatype::int32();
+    case MPI_UNSIGNED: return mpi::Datatype::uint32();
+    case MPI_LONG_LONG: return mpi::Datatype::int64();
+    case MPI_UNSIGNED_LONG_LONG: return mpi::Datatype::uint64();
+    case MPI_FLOAT: return mpi::Datatype::float32();
+    case MPI_DOUBLE: return mpi::Datatype::float64();
+  }
+  fatal("unknown MPI_Datatype handle");
+}
+
+mpi::Op op_of(MPI_Op handle) {
+  switch (handle) {
+    case MPI_SUM: return mpi::Op::sum();
+    case MPI_PROD: return mpi::Op::prod();
+    case MPI_MIN: return mpi::Op::min();
+    case MPI_MAX: return mpi::Op::max();
+    case MPI_LAND: return mpi::Op::land();
+    case MPI_LOR: return mpi::Op::lor();
+    case MPI_BAND: return mpi::Op::band();
+    case MPI_BOR: return mpi::Op::bor();
+    case MPI_BXOR: return mpi::Op::bxor();
+  }
+  fatal("unknown MPI_Op handle");
+}
+
+void fill_status(MPI_Status* out, const mpi::MpiStatus& status) {
+  if (out == nullptr) return;
+  out->MPI_SOURCE = status.source;
+  out->MPI_TAG = status.tag;
+  out->internal_bytes = static_cast<int>(status.bytes);
+}
+
+MPI_Request store_request(mpi::Request request) {
+  ThreadState& s = state();
+  s.requests.push_back(std::move(request));
+  return static_cast<MPI_Request>(s.requests.size() - 1);
+}
+
+mpi::Request& request_of(MPI_Request handle) {
+  ThreadState& s = state();
+  MADMPI_CHECK_MSG(
+      handle >= 0 && static_cast<std::size_t>(handle) < s.requests.size() &&
+          s.requests[static_cast<std::size_t>(handle)].valid(),
+      "invalid or completed MPI_Request handle");
+  return s.requests[static_cast<std::size_t>(handle)];
+}
+
+MPI_Datatype store_type(mpi::Datatype type) {
+  ThreadState& s = state();
+  s.derived_types.push_back(std::move(type));
+  return kDerivedBase + static_cast<MPI_Datatype>(s.derived_types.size() - 1);
+}
+
+mpi::PersistentRequest& persistent_of(MPI_Request handle) {
+  ThreadState& s = state();
+  const auto index = static_cast<std::size_t>(handle - kPersistentBase);
+  MADMPI_CHECK_MSG(handle >= kPersistentBase &&
+                       index < s.persistents.size() &&
+                       s.persistents[index].valid(),
+                   "invalid persistent MPI_Request handle");
+  return s.persistents[index];
+}
+
+MPI_Request store_persistent(mpi::PersistentRequest request) {
+  ThreadState& s = state();
+  s.persistents.push_back(std::move(request));
+  return kPersistentBase + static_cast<MPI_Request>(s.persistents.size() - 1);
+}
+
+}  // namespace detail
+
+void bind_world(mpi::Comm world) {
+  MADMPI_CHECK_MSG(!detail::tls.bound, "world already bound on this thread");
+  detail::tls.bound = true;
+  detail::tls.initialized = false;
+  detail::tls.comms.clear();
+  detail::tls.requests.clear();
+  detail::tls.comms.push_back(std::move(world));
+}
+
+void unbind_world() { detail::tls = detail::ThreadState{}; }
+
+void run(const sim::ClusterSpec& cluster,
+         const std::function<void()>& rank_main) {
+  core::Session::Options options;
+  options.cluster = cluster;
+  core::Session session(std::move(options));
+  session.run([&rank_main](mpi::Comm world) {
+    bind_world(std::move(world));
+    rank_main();
+    unbind_world();
+  });
+}
+
+}  // namespace madmpi::compat
+
+// ------------------------------------------------------------------ C API
+
+namespace detail = madmpi::compat::detail;
+
+int MPI_Init(int*, char***) {
+  detail::state().initialized = true;
+  return MPI_SUCCESS;
+}
+
+int MPI_Finalize() {
+  detail::state().initialized = false;
+  return MPI_SUCCESS;
+}
+
+int MPI_Initialized(int* flag) {
+  *flag = detail::tls.bound && detail::tls.initialized ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  *rank = detail::comm_of(comm).rank();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  *size = detail::comm_of(comm).size();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* out) {
+  *out = detail::store_comm(detail::comm_of(comm).dup());
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* out) {
+  const int effective = color == MPI_UNDEFINED ? -1 : color;
+  *out = detail::store_comm(detail::comm_of(comm).split(effective, key));
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_free(MPI_Comm* comm) {
+  // Handles are cheap; just invalidate the slot.
+  auto& s = detail::state();
+  MADMPI_CHECK_MSG(*comm != MPI_COMM_WORLD, "cannot free MPI_COMM_WORLD");
+  if (*comm >= 0 && static_cast<std::size_t>(*comm) < s.comms.size()) {
+    s.comms[static_cast<std::size_t>(*comm)] = madmpi::mpi::Comm();
+  }
+  *comm = MPI_COMM_NULL;
+  return MPI_SUCCESS;
+}
+
+int MPI_Send(const void* buf, int count, MPI_Datatype type, int dest,
+             int tag, MPI_Comm comm) {
+  detail::comm_of(comm).send(buf, count, detail::type_of(type), dest, tag);
+  return MPI_SUCCESS;
+}
+
+int MPI_Ssend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm) {
+  detail::comm_of(comm).ssend(buf, count, detail::type_of(type), dest, tag);
+  return MPI_SUCCESS;
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag,
+             MPI_Comm comm, MPI_Status* status) {
+  const auto result = detail::comm_of(comm).recv(
+      buf, count, detail::type_of(type), source, tag);
+  detail::fill_status(status, result);
+  return MPI_SUCCESS;
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm, MPI_Request* request) {
+  *request = detail::store_request(detail::comm_of(comm).isend(
+      buf, count, detail::type_of(type), dest, tag));
+  return MPI_SUCCESS;
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype type, int source, int tag,
+              MPI_Comm comm, MPI_Request* request) {
+  *request = detail::store_request(detail::comm_of(comm).irecv(
+      buf, count, detail::type_of(type), source, tag));
+  return MPI_SUCCESS;
+}
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  if (*request >= detail::kPersistentBase) {
+    // Persistent requests become inactive but their handle stays valid;
+    // waiting on an inactive one returns immediately (MPI semantics).
+    auto& persistent = detail::persistent_of(*request);
+    if (!persistent.active()) return MPI_SUCCESS;
+    const auto result = persistent.wait();
+    detail::fill_status(status, result);
+    return MPI_SUCCESS;
+  }
+  const auto result = detail::request_of(*request).wait();
+  detail::fill_status(status, result);
+  *request = MPI_REQUEST_NULL;
+  return MPI_SUCCESS;
+}
+
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
+  madmpi::mpi::MpiStatus result;
+  if (*request >= detail::kPersistentBase) {
+    auto& persistent = detail::persistent_of(*request);
+    if (!persistent.active()) {  // inactive: trivially complete
+      *flag = 1;
+      return MPI_SUCCESS;
+    }
+    if (persistent.test(&result)) {
+      *flag = 1;
+      detail::fill_status(status, result);
+    } else {
+      *flag = 0;
+    }
+    return MPI_SUCCESS;
+  }
+  if (detail::request_of(*request).test(&result)) {
+    *flag = 1;
+    detail::fill_status(status, result);
+    *request = MPI_REQUEST_NULL;
+  } else {
+    *flag = 0;
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
+  for (int i = 0; i < count; ++i) {
+    MPI_Wait(&requests[i],
+             statuses == MPI_STATUSES_IGNORE ? nullptr : &statuses[i]);
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Sendrecv(const void* send_buf, int send_count, MPI_Datatype send_type,
+                 int dest, int send_tag, void* recv_buf, int recv_count,
+                 MPI_Datatype recv_type, int source, int recv_tag,
+                 MPI_Comm comm, MPI_Status* status) {
+  const auto result = detail::comm_of(comm).sendrecv(
+      send_buf, send_count, detail::type_of(send_type), dest, send_tag,
+      recv_buf, recv_count, detail::type_of(recv_type), source, recv_tag);
+  detail::fill_status(status, result);
+  return MPI_SUCCESS;
+}
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
+  detail::fill_status(status, detail::comm_of(comm).probe(source, tag));
+  return MPI_SUCCESS;
+}
+
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
+               MPI_Status* status) {
+  madmpi::mpi::MpiStatus result;
+  *flag = detail::comm_of(comm).iprobe(source, tag, &result) ? 1 : 0;
+  if (*flag) detail::fill_status(status, result);
+  return MPI_SUCCESS;
+}
+
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count) {
+  const auto size = detail::type_of(type).size();
+  if (size == 0 ||
+      static_cast<std::size_t>(status->internal_bytes) % size != 0) {
+    *count = MPI_UNDEFINED;
+  } else {
+    *count = static_cast<int>(
+        static_cast<std::size_t>(status->internal_bytes) / size);
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Barrier(MPI_Comm comm) {
+  detail::comm_of(comm).barrier();
+  return MPI_SUCCESS;
+}
+
+int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root,
+              MPI_Comm comm) {
+  detail::comm_of(comm).bcast(buf, count, detail::type_of(type), root);
+  return MPI_SUCCESS;
+}
+
+int MPI_Reduce(const void* send_buf, void* recv_buf, int count,
+               MPI_Datatype type, MPI_Op op, int root, MPI_Comm comm) {
+  detail::comm_of(comm).reduce(send_buf, recv_buf, count,
+                               detail::type_of(type), detail::op_of(op),
+                               root);
+  return MPI_SUCCESS;
+}
+
+int MPI_Allreduce(const void* send_buf, void* recv_buf, int count,
+                  MPI_Datatype type, MPI_Op op, MPI_Comm comm) {
+  detail::comm_of(comm).allreduce(send_buf, recv_buf, count,
+                                  detail::type_of(type), detail::op_of(op));
+  return MPI_SUCCESS;
+}
+
+int MPI_Gather(const void* send_buf, int send_count, MPI_Datatype send_type,
+               void* recv_buf, int recv_count, MPI_Datatype recv_type,
+               int root, MPI_Comm comm) {
+  detail::comm_of(comm).gather(send_buf, send_count,
+                               detail::type_of(send_type), recv_buf,
+                               recv_count, detail::type_of(recv_type), root);
+  return MPI_SUCCESS;
+}
+
+int MPI_Scatter(const void* send_buf, int send_count, MPI_Datatype send_type,
+                void* recv_buf, int recv_count, MPI_Datatype recv_type,
+                int root, MPI_Comm comm) {
+  detail::comm_of(comm).scatter(send_buf, send_count,
+                                detail::type_of(send_type), recv_buf,
+                                recv_count, detail::type_of(recv_type), root);
+  return MPI_SUCCESS;
+}
+
+int MPI_Allgather(const void* send_buf, int send_count,
+                  MPI_Datatype send_type, void* recv_buf, int recv_count,
+                  MPI_Datatype recv_type, MPI_Comm comm) {
+  detail::comm_of(comm).allgather(send_buf, send_count,
+                                  detail::type_of(send_type), recv_buf,
+                                  recv_count, detail::type_of(recv_type));
+  return MPI_SUCCESS;
+}
+
+int MPI_Alltoall(const void* send_buf, int send_count, MPI_Datatype send_type,
+                 void* recv_buf, int recv_count, MPI_Datatype recv_type,
+                 MPI_Comm comm) {
+  detail::comm_of(comm).alltoall(send_buf, send_count,
+                                 detail::type_of(send_type), recv_buf,
+                                 recv_count, detail::type_of(recv_type));
+  return MPI_SUCCESS;
+}
+
+int MPI_Scan(const void* send_buf, void* recv_buf, int count,
+             MPI_Datatype type, MPI_Op op, MPI_Comm comm) {
+  detail::comm_of(comm).scan(send_buf, recv_buf, count,
+                             detail::type_of(type), detail::op_of(op));
+  return MPI_SUCCESS;
+}
+
+namespace {
+
+std::span<const int> span_of(const int* data, int n) {
+  return std::span<const int>(data, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+int MPI_Gatherv(const void* send_buf, int send_count, MPI_Datatype send_type,
+                void* recv_buf, const int* recv_counts, const int* displs,
+                MPI_Datatype recv_type, int root, MPI_Comm comm) {
+  auto& c = detail::comm_of(comm);
+  c.gatherv(send_buf, send_count, detail::type_of(send_type), recv_buf,
+            c.rank() == root ? span_of(recv_counts, c.size())
+                             : std::span<const int>(),
+            c.rank() == root ? span_of(displs, c.size())
+                             : std::span<const int>(),
+            detail::type_of(recv_type), root);
+  return MPI_SUCCESS;
+}
+
+int MPI_Scatterv(const void* send_buf, const int* send_counts,
+                 const int* displs, MPI_Datatype send_type, void* recv_buf,
+                 int recv_count, MPI_Datatype recv_type, int root,
+                 MPI_Comm comm) {
+  auto& c = detail::comm_of(comm);
+  c.scatterv(send_buf,
+             c.rank() == root ? span_of(send_counts, c.size())
+                              : std::span<const int>(),
+             c.rank() == root ? span_of(displs, c.size())
+                              : std::span<const int>(),
+             detail::type_of(send_type), recv_buf, recv_count,
+             detail::type_of(recv_type), root);
+  return MPI_SUCCESS;
+}
+
+int MPI_Allgatherv(const void* send_buf, int send_count,
+                   MPI_Datatype send_type, void* recv_buf,
+                   const int* recv_counts, const int* displs,
+                   MPI_Datatype recv_type, MPI_Comm comm) {
+  auto& c = detail::comm_of(comm);
+  c.allgatherv(send_buf, send_count, detail::type_of(send_type), recv_buf,
+               span_of(recv_counts, c.size()), span_of(displs, c.size()),
+               detail::type_of(recv_type));
+  return MPI_SUCCESS;
+}
+
+int MPI_Alltoallv(const void* send_buf, const int* send_counts,
+                  const int* send_displs, MPI_Datatype send_type,
+                  void* recv_buf, const int* recv_counts,
+                  const int* recv_displs, MPI_Datatype recv_type,
+                  MPI_Comm comm) {
+  auto& c = detail::comm_of(comm);
+  c.alltoallv(send_buf, span_of(send_counts, c.size()),
+              span_of(send_displs, c.size()), detail::type_of(send_type),
+              recv_buf, span_of(recv_counts, c.size()),
+              span_of(recv_displs, c.size()), detail::type_of(recv_type));
+  return MPI_SUCCESS;
+}
+
+double MPI_Wtime() { return detail::comm_of(MPI_COMM_WORLD).wtime(); }
+
+// ------------------------------------------------- derived datatypes
+
+int MPI_Type_contiguous(int count, MPI_Datatype old_type,
+                        MPI_Datatype* new_type) {
+  *new_type = detail::store_type(
+      madmpi::mpi::Datatype::contiguous(count, detail::type_of(old_type)));
+  return MPI_SUCCESS;
+}
+
+int MPI_Type_vector(int count, int block_length, int stride,
+                    MPI_Datatype old_type, MPI_Datatype* new_type) {
+  *new_type = detail::store_type(madmpi::mpi::Datatype::vector(
+      count, block_length, stride, detail::type_of(old_type)));
+  return MPI_SUCCESS;
+}
+
+int MPI_Type_commit(MPI_Datatype*) { return MPI_SUCCESS; }
+
+int MPI_Type_free(MPI_Datatype* type) {
+  // Handles are cheap value objects; just neutralize the caller's handle.
+  *type = MPI_BYTE;
+  return MPI_SUCCESS;
+}
+
+int MPI_Type_size(MPI_Datatype type, int* size) {
+  *size = static_cast<int>(detail::type_of(type).size());
+  return MPI_SUCCESS;
+}
+
+int MPI_Pack_size(int count, MPI_Datatype type, MPI_Comm, int* size) {
+  *size = static_cast<int>(madmpi::mpi::pack_size(count,
+                                                  detail::type_of(type)));
+  return MPI_SUCCESS;
+}
+
+int MPI_Pack(const void* in, int count, MPI_Datatype type, void* out,
+             int out_size, int* position, MPI_Comm) {
+  auto pos = static_cast<std::size_t>(*position);
+  madmpi::mpi::pack(in, count, detail::type_of(type), out,
+                    static_cast<std::size_t>(out_size), &pos);
+  *position = static_cast<int>(pos);
+  return MPI_SUCCESS;
+}
+
+int MPI_Unpack(const void* in, int in_size, int* position, void* out,
+               int count, MPI_Datatype type, MPI_Comm) {
+  auto pos = static_cast<std::size_t>(*position);
+  madmpi::mpi::unpack(in, static_cast<std::size_t>(in_size), &pos, out,
+                      count, detail::type_of(type));
+  *position = static_cast<int>(pos);
+  return MPI_SUCCESS;
+}
+
+// ------------------------------------------------- persistent requests
+
+int MPI_Send_init(const void* buf, int count, MPI_Datatype type, int dest,
+                  int tag, MPI_Comm comm, MPI_Request* request) {
+  *request = detail::store_persistent(
+      madmpi::mpi::PersistentRequest::send_init(
+          detail::comm_of(comm), buf, count, detail::type_of(type), dest,
+          tag));
+  return MPI_SUCCESS;
+}
+
+int MPI_Recv_init(void* buf, int count, MPI_Datatype type, int source,
+                  int tag, MPI_Comm comm, MPI_Request* request) {
+  *request = detail::store_persistent(
+      madmpi::mpi::PersistentRequest::recv_init(
+          detail::comm_of(comm), buf, count, detail::type_of(type), source,
+          tag));
+  return MPI_SUCCESS;
+}
+
+int MPI_Start(MPI_Request* request) {
+  detail::persistent_of(*request).start();
+  return MPI_SUCCESS;
+}
+
+int MPI_Startall(int count, MPI_Request* requests) {
+  for (int i = 0; i < count; ++i) MPI_Start(&requests[i]);
+  return MPI_SUCCESS;
+}
+
+int MPI_Request_free(MPI_Request* request) {
+  if (*request >= detail::kPersistentBase) {
+    detail::persistent_of(*request) = madmpi::mpi::PersistentRequest();
+  }
+  *request = MPI_REQUEST_NULL;
+  return MPI_SUCCESS;
+}
+
+// ----------------------------------------------------- buffered sends
+
+int MPI_Buffer_attach(void*, int size) {
+  madmpi::mpi::Comm::buffer_attach(static_cast<std::size_t>(size));
+  detail::state().bsend_attached_size = size;
+  return MPI_SUCCESS;
+}
+
+int MPI_Buffer_detach(void* buffer_addr, int* size) {
+  madmpi::mpi::Comm::buffer_detach();
+  if (size != nullptr) *size = detail::state().bsend_attached_size;
+  if (buffer_addr != nullptr) {
+    *static_cast<void**>(buffer_addr) = nullptr;
+  }
+  detail::state().bsend_attached_size = 0;
+  return MPI_SUCCESS;
+}
+
+int MPI_Bsend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm) {
+  detail::comm_of(comm).bsend(buf, count, detail::type_of(type), dest, tag);
+  return MPI_SUCCESS;
+}
+
+// --------------------------------------------- multi-request completion
+
+int MPI_Waitany(int count, MPI_Request* requests, int* index,
+                MPI_Status* status) {
+  for (;;) {
+    bool any_valid = false;
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) continue;
+      any_valid = true;
+      int flag = 0;
+      MPI_Test(&requests[i], &flag, status);
+      if (flag != 0) {
+        *index = i;
+        return MPI_SUCCESS;
+      }
+    }
+    MADMPI_CHECK_MSG(any_valid, "MPI_Waitany on all-null requests");
+    std::this_thread::yield();
+  }
+}
+
+int MPI_Testall(int count, MPI_Request* requests, int* flag,
+                MPI_Status* statuses) {
+  // First a non-destructive completeness check...
+  for (int i = 0; i < count; ++i) {
+    if (requests[i] == MPI_REQUEST_NULL) continue;
+    const bool done =
+        requests[i] >= detail::kPersistentBase
+            ? (!detail::persistent_of(requests[i]).active() ||
+               detail::persistent_of(requests[i]).done())
+            : detail::request_of(requests[i]).state()->completed();
+    if (!done) {
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+  }
+  // ...then consume them all.
+  for (int i = 0; i < count; ++i) {
+    if (requests[i] == MPI_REQUEST_NULL) continue;
+    MPI_Wait(&requests[i],
+             statuses == MPI_STATUSES_IGNORE ? nullptr : &statuses[i]);
+  }
+  *flag = 1;
+  return MPI_SUCCESS;
+}
+
+// ------------------------------------------------ cartesian topologies
+
+int MPI_Dims_create(int nnodes, int ndims, int* dims) {
+  const auto balanced =
+      madmpi::mpi::CartComm::balanced_dims(nnodes, ndims);
+  for (int d = 0; d < ndims; ++d) {
+    // MPI semantics: nonzero entries are constraints; we only fill zeros
+    // (and require the all-zero common case).
+    if (dims[d] == 0) dims[d] = balanced[static_cast<std::size_t>(d)];
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Cart_create(MPI_Comm comm, int ndims, const int* dims,
+                    const int* periods, int reorder, MPI_Comm* cart_comm) {
+  std::vector<int> dim_vec(dims, dims + ndims);
+  // std::vector<bool> cannot view as span<const bool>; use a flat array.
+  auto period_arr = std::make_unique<bool[]>(static_cast<std::size_t>(ndims));
+  for (int d = 0; d < ndims; ++d) period_arr[d] = periods[d] != 0;
+  auto cart = madmpi::mpi::CartComm::create(
+      detail::comm_of(comm), dim_vec,
+      std::span<const bool>(period_arr.get(),
+                            static_cast<std::size_t>(ndims)),
+      reorder != 0);
+  if (!cart.valid()) {
+    *cart_comm = MPI_COMM_NULL;
+    return MPI_SUCCESS;
+  }
+  *cart_comm = detail::store_comm(cart.comm());
+  detail::state().carts[*cart_comm] = std::move(cart);
+  return MPI_SUCCESS;
+}
+
+namespace {
+
+madmpi::mpi::CartComm& cart_of(MPI_Comm handle) {
+  auto& carts = detail::state().carts;
+  auto it = carts.find(handle);
+  MADMPI_CHECK_MSG(it != carts.end(), "not a cartesian communicator handle");
+  return it->second;
+}
+
+}  // namespace
+
+int MPI_Cart_coords(MPI_Comm cart_comm, int rank, int maxdims, int* coords) {
+  const auto result = cart_of(cart_comm).coords(rank);
+  for (int d = 0; d < maxdims && d < static_cast<int>(result.size()); ++d) {
+    coords[d] = result[static_cast<std::size_t>(d)];
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Cart_rank(MPI_Comm cart_comm, const int* coords, int* rank) {
+  auto& cart = cart_of(cart_comm);
+  *rank = cart.rank_at(std::span<const int>(
+      coords, static_cast<std::size_t>(cart.ndims())));
+  return MPI_SUCCESS;
+}
+
+int MPI_Cart_shift(MPI_Comm cart_comm, int direction, int displacement,
+                   int* source, int* dest) {
+  const auto shift = cart_of(cart_comm).shift(direction, displacement);
+  *source = shift.source == madmpi::kInvalidRank ? MPI_PROC_NULL
+                                                 : shift.source;
+  *dest = shift.dest == madmpi::kInvalidRank ? MPI_PROC_NULL : shift.dest;
+  return MPI_SUCCESS;
+}

@@ -1,0 +1,203 @@
+// Classic MPI C API facade.
+//
+// Lets textbook MPI programs run on MPICH/Madeleine with minimal edits:
+// the familiar MPI_* functions, handle types and constants, implemented
+// over the C++ library. Each rank thread binds its world communicator via
+// compat::run(); the handles live in thread-local tables, mirroring how a
+// real MPI process owns its handles.
+//
+//   madmpi::compat::run(cluster, [] {
+//     MPI_Init(nullptr, nullptr);
+//     int rank, size;
+//     MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+//     MPI_Comm_size(MPI_COMM_WORLD, &size);
+//     ...
+//     MPI_Finalize();
+//   });
+#pragma once
+
+#include <functional>
+
+#include "mpi/comm.hpp"
+#include "sim/topology.hpp"
+
+// ---------------------------------------------------------------- handles
+
+using MPI_Comm = int;
+using MPI_Datatype = int;
+using MPI_Op = int;
+using MPI_Request = int;
+
+struct MPI_Status {
+  int MPI_SOURCE;
+  int MPI_TAG;
+  int internal_bytes;  // consumed by MPI_Get_count
+};
+
+// --------------------------------------------------------------- constants
+
+inline constexpr MPI_Comm MPI_COMM_NULL = -1;
+inline constexpr MPI_Comm MPI_COMM_WORLD = 0;
+
+inline constexpr MPI_Datatype MPI_BYTE = 0;
+inline constexpr MPI_Datatype MPI_CHAR = 1;
+inline constexpr MPI_Datatype MPI_INT = 2;
+inline constexpr MPI_Datatype MPI_UNSIGNED = 3;
+inline constexpr MPI_Datatype MPI_LONG_LONG = 4;
+inline constexpr MPI_Datatype MPI_UNSIGNED_LONG_LONG = 5;
+inline constexpr MPI_Datatype MPI_FLOAT = 6;
+inline constexpr MPI_Datatype MPI_DOUBLE = 7;
+
+inline constexpr MPI_Op MPI_SUM = 0;
+inline constexpr MPI_Op MPI_PROD = 1;
+inline constexpr MPI_Op MPI_MIN = 2;
+inline constexpr MPI_Op MPI_MAX = 3;
+inline constexpr MPI_Op MPI_LAND = 4;
+inline constexpr MPI_Op MPI_LOR = 5;
+inline constexpr MPI_Op MPI_BAND = 6;
+inline constexpr MPI_Op MPI_BOR = 7;
+inline constexpr MPI_Op MPI_BXOR = 8;
+
+inline constexpr int MPI_ANY_SOURCE = -2;
+inline constexpr int MPI_ANY_TAG = -1;
+inline constexpr int MPI_UNDEFINED = -32766;
+inline constexpr int MPI_SUCCESS = 0;
+
+inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
+inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
+inline constexpr MPI_Request MPI_REQUEST_NULL = -1;
+
+// ------------------------------------------------------------- entry point
+
+namespace madmpi::compat {
+
+/// Build a session over `cluster` and run `rank_main` once per rank, with
+/// MPI_COMM_WORLD bound for that thread. Returns when every rank returned.
+void run(const sim::ClusterSpec& cluster,
+         const std::function<void()>& rank_main);
+
+/// Bind/unbind the current thread manually (used by run(); exposed so a
+/// custom harness can drive the facade inside its own Session::run).
+void bind_world(mpi::Comm world);
+void unbind_world();
+
+}  // namespace madmpi::compat
+
+// ----------------------------------------------------------- the C-ish API
+
+int MPI_Init(int* argc, char*** argv);
+int MPI_Finalize();
+int MPI_Initialized(int* flag);
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* out);
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* out);
+int MPI_Comm_free(MPI_Comm* comm);
+
+int MPI_Send(const void* buf, int count, MPI_Datatype type, int dest,
+             int tag, MPI_Comm comm);
+int MPI_Ssend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag,
+             MPI_Comm comm, MPI_Status* status);
+int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm, MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype type, int source, int tag,
+              MPI_Comm comm, MPI_Request* request);
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+int MPI_Sendrecv(const void* send_buf, int send_count, MPI_Datatype send_type,
+                 int dest, int send_tag, void* recv_buf, int recv_count,
+                 MPI_Datatype recv_type, int source, int recv_tag,
+                 MPI_Comm comm, MPI_Status* status);
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
+               MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count);
+
+// Derived datatypes (handles are per-thread, like communicators).
+int MPI_Type_contiguous(int count, MPI_Datatype old_type,
+                        MPI_Datatype* new_type);
+int MPI_Type_vector(int count, int block_length, int stride,
+                    MPI_Datatype old_type, MPI_Datatype* new_type);
+int MPI_Type_commit(MPI_Datatype* type);  // no-op (types are immutable)
+int MPI_Type_free(MPI_Datatype* type);
+int MPI_Type_size(MPI_Datatype type, int* size);
+int MPI_Pack_size(int count, MPI_Datatype type, MPI_Comm comm, int* size);
+int MPI_Pack(const void* in, int count, MPI_Datatype type, void* out,
+             int out_size, int* position, MPI_Comm comm);
+int MPI_Unpack(const void* in, int in_size, int* position, void* out,
+               int count, MPI_Datatype type, MPI_Comm comm);
+
+// Persistent requests.
+int MPI_Send_init(const void* buf, int count, MPI_Datatype type, int dest,
+                  int tag, MPI_Comm comm, MPI_Request* request);
+int MPI_Recv_init(void* buf, int count, MPI_Datatype type, int source,
+                  int tag, MPI_Comm comm, MPI_Request* request);
+int MPI_Start(MPI_Request* request);
+int MPI_Startall(int count, MPI_Request* requests);
+int MPI_Request_free(MPI_Request* request);
+
+// Buffered sends.
+int MPI_Buffer_attach(void* buffer, int size);
+int MPI_Buffer_detach(void* buffer_addr, int* size);
+int MPI_Bsend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm);
+
+// Multi-request completion.
+int MPI_Waitany(int count, MPI_Request* requests, int* index,
+                MPI_Status* status);
+int MPI_Testall(int count, MPI_Request* requests, int* flag,
+                MPI_Status* statuses);
+
+// Cartesian topologies.
+int MPI_Dims_create(int nnodes, int ndims, int* dims);
+int MPI_Cart_create(MPI_Comm comm, int ndims, const int* dims,
+                    const int* periods, int reorder, MPI_Comm* cart_comm);
+int MPI_Cart_coords(MPI_Comm cart_comm, int rank, int maxdims, int* coords);
+int MPI_Cart_rank(MPI_Comm cart_comm, const int* coords, int* rank);
+int MPI_Cart_shift(MPI_Comm cart_comm, int direction, int displacement,
+                   int* source, int* dest);
+inline constexpr int MPI_PROC_NULL = -3;
+
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root,
+              MPI_Comm comm);
+int MPI_Reduce(const void* send_buf, void* recv_buf, int count,
+               MPI_Datatype type, MPI_Op op, int root, MPI_Comm comm);
+int MPI_Allreduce(const void* send_buf, void* recv_buf, int count,
+                  MPI_Datatype type, MPI_Op op, MPI_Comm comm);
+int MPI_Gather(const void* send_buf, int send_count, MPI_Datatype send_type,
+               void* recv_buf, int recv_count, MPI_Datatype recv_type,
+               int root, MPI_Comm comm);
+int MPI_Scatter(const void* send_buf, int send_count, MPI_Datatype send_type,
+                void* recv_buf, int recv_count, MPI_Datatype recv_type,
+                int root, MPI_Comm comm);
+int MPI_Allgather(const void* send_buf, int send_count,
+                  MPI_Datatype send_type, void* recv_buf, int recv_count,
+                  MPI_Datatype recv_type, MPI_Comm comm);
+int MPI_Alltoall(const void* send_buf, int send_count, MPI_Datatype send_type,
+                 void* recv_buf, int recv_count, MPI_Datatype recv_type,
+                 MPI_Comm comm);
+int MPI_Scan(const void* send_buf, void* recv_buf, int count,
+             MPI_Datatype type, MPI_Op op, MPI_Comm comm);
+int MPI_Gatherv(const void* send_buf, int send_count, MPI_Datatype send_type,
+                void* recv_buf, const int* recv_counts, const int* displs,
+                MPI_Datatype recv_type, int root, MPI_Comm comm);
+int MPI_Scatterv(const void* send_buf, const int* send_counts,
+                 const int* displs, MPI_Datatype send_type, void* recv_buf,
+                 int recv_count, MPI_Datatype recv_type, int root,
+                 MPI_Comm comm);
+int MPI_Allgatherv(const void* send_buf, int send_count,
+                   MPI_Datatype send_type, void* recv_buf,
+                   const int* recv_counts, const int* displs,
+                   MPI_Datatype recv_type, MPI_Comm comm);
+int MPI_Alltoallv(const void* send_buf, const int* send_counts,
+                  const int* send_displs, MPI_Datatype send_type,
+                  void* recv_buf, const int* recv_counts,
+                  const int* recv_displs, MPI_Datatype recv_type,
+                  MPI_Comm comm);
+
+double MPI_Wtime();

@@ -1,0 +1,118 @@
+// MPI datatype engine: primitive types plus the derived-type constructors
+// (contiguous / vector / indexed / struct), with pack/unpack to a
+// contiguous wire representation. This is the "datatype management,
+// heterogeneity" box of the MPICH generic ADI layer (paper Figure 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace madmpi::mpi {
+
+/// Primitive class of a datatype's leaves; drives reduction operators.
+enum class TypeClass {
+  kInt8,
+  kUInt8,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+  kByte,
+  kDerived,  // mixed or structured leaves
+};
+
+/// Immutable datatype description. Cheap to copy (shared internals).
+class Datatype {
+ public:
+  /// Primitive factories.
+  static Datatype int8();
+  static Datatype uint8();
+  static Datatype int32();
+  static Datatype uint32();
+  static Datatype int64();
+  static Datatype uint64();
+  static Datatype float32();
+  static Datatype float64();
+  static Datatype byte();
+
+  /// `count` consecutive elements of `base`.
+  static Datatype contiguous(int count, const Datatype& base);
+
+  /// `count` blocks of `block_length` elements, successive blocks
+  /// `stride` elements apart (MPI_Type_vector).
+  static Datatype vector(int count, int block_length, int stride,
+                         const Datatype& base);
+
+  /// Blocks of varying length at varying element displacements
+  /// (MPI_Type_indexed).
+  static Datatype indexed(std::span<const int> block_lengths,
+                          std::span<const int> displacements,
+                          const Datatype& base);
+
+  /// Heterogeneous struct: `block_lengths[i]` elements of `types[i]` at
+  /// byte displacement `byte_displacements[i]` (MPI_Type_create_struct).
+  static Datatype create_struct(std::span<const int> block_lengths,
+                                std::span<const std::ptrdiff_t> byte_displacements,
+                                std::span<const Datatype> types);
+
+  /// Override the extent (MPI_Type_create_resized).
+  static Datatype resized(const Datatype& base, std::size_t new_extent);
+
+  /// Number of data bytes one element packs to.
+  std::size_t size() const;
+
+  /// Memory span one element occupies (distance between consecutive
+  /// elements in an array).
+  std::size_t extent() const;
+
+  /// True when the element's bytes are contiguous in memory and extent ==
+  /// size (pack is a single memcpy).
+  bool is_contiguous() const;
+
+  TypeClass type_class() const;
+  const std::string& name() const;
+
+  /// Serialize `count` elements starting at `src` into `dst` (which must
+  /// hold size()*count bytes).
+  void pack(const void* src, int count, std::byte* dst) const;
+
+  /// Inverse of pack.
+  void unpack(const std::byte* src, int count, void* dst) const;
+
+  /// The flattened typemap: (byte offset within the element, byte length)
+  /// runs, in packing order, each annotated with its primitive width so
+  /// heterogeneity conversion can byte-swap correctly. Adjacent runs only
+  /// coalesce when their widths match. Exposed for tests, the reduction
+  /// engine and the endianness converter.
+  struct Segment {
+    std::size_t offset;
+    std::size_t length;
+    std::size_t width = 1;  // primitive element width within the run
+  };
+  const std::vector<Segment>& segments() const;
+
+  /// Reverse the byte order of every primitive inside `count` packed
+  /// elements of this type, in place on the wire representation. This is
+  /// the "heterogeneity management" conversion of the ADI (paper Figure
+  /// 1): messages travel in the sender's byte order and the receiver makes
+  /// them right.
+  void swap_packed(std::byte* wire, int count) const;
+
+  bool operator==(const Datatype& other) const { return impl_ == other.impl_; }
+
+  /// Internal representation; public so the implementation file's free
+  /// helpers can build instances, but opaque to library users.
+  struct Impl;
+
+ private:
+  explicit Datatype(std::shared_ptr<const Impl> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,107 @@
+#include "mpi/group.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace madmpi::mpi {
+
+Group::Group(std::vector<rank_t> world_ranks)
+    : members_(std::move(world_ranks)) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    MADMPI_CHECK_MSG(members_[i] >= 0, "negative rank in group");
+    for (std::size_t j = i + 1; j < members_.size(); ++j) {
+      MADMPI_CHECK_MSG(members_[i] != members_[j], "duplicate rank in group");
+    }
+  }
+}
+
+rank_t Group::world_rank(int index) const {
+  MADMPI_CHECK(index >= 0 && index < size());
+  return members_[static_cast<std::size_t>(index)];
+}
+
+int Group::rank_of(rank_t world_rank) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == world_rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Group Group::set_union(const Group& a, const Group& b) {
+  std::vector<rank_t> out = a.members_;
+  for (rank_t member : b.members_) {
+    if (!a.contains(member)) out.push_back(member);
+  }
+  return Group(std::move(out));
+}
+
+Group Group::set_intersection(const Group& a, const Group& b) {
+  std::vector<rank_t> out;
+  for (rank_t member : a.members_) {
+    if (b.contains(member)) out.push_back(member);
+  }
+  return Group(std::move(out));
+}
+
+Group Group::set_difference(const Group& a, const Group& b) {
+  std::vector<rank_t> out;
+  for (rank_t member : a.members_) {
+    if (!b.contains(member)) out.push_back(member);
+  }
+  return Group(std::move(out));
+}
+
+Group Group::incl(std::span<const int> ranks) const {
+  std::vector<rank_t> out;
+  out.reserve(ranks.size());
+  for (int position : ranks) {
+    out.push_back(world_rank(position));
+  }
+  return Group(std::move(out));
+}
+
+Group Group::excl(std::span<const int> ranks) const {
+  std::vector<rank_t> out;
+  for (int i = 0; i < size(); ++i) {
+    if (std::find(ranks.begin(), ranks.end(), i) == ranks.end()) {
+      out.push_back(members_[static_cast<std::size_t>(i)]);
+    }
+  }
+  return Group(std::move(out));
+}
+
+std::vector<int> Group::translate_ranks(const Group& a,
+                                        std::span<const int> a_ranks,
+                                        const Group& b) {
+  std::vector<int> out;
+  out.reserve(a_ranks.size());
+  for (int position : a_ranks) {
+    out.push_back(b.rank_of(a.world_rank(position)));
+  }
+  return out;
+}
+
+bool Group::similar(const Group& other) const {
+  if (size() != other.size()) return false;
+  for (rank_t member : members_) {
+    if (!other.contains(member)) return false;
+  }
+  return true;
+}
+
+std::uint32_t Group::digest() const {
+  // FNV-1a over the member list; stable across ranks by construction
+  // (all callers of a collective pass an identical group).
+  std::uint32_t hash = 2166136261u;
+  for (rank_t member : members_) {
+    auto word = static_cast<std::uint32_t>(member);
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (word >> shift) & 0xffu;
+      hash *= 16777619u;
+    }
+  }
+  return hash;
+}
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,71 @@
+// Process groups (MPI_Group): ordered sets of world ranks with the
+// standard set operations, used to derive communicators.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace madmpi::mpi {
+
+class Group {
+ public:
+  /// The empty group (MPI_GROUP_EMPTY).
+  Group() = default;
+
+  /// Group containing `world_ranks` in that order (duplicates rejected).
+  explicit Group(std::vector<rank_t> world_ranks);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  bool empty() const { return members_.empty(); }
+
+  /// World rank of the i-th member.
+  rank_t world_rank(int index) const;
+
+  /// Rank of a world rank within this group, or -1 (MPI_UNDEFINED).
+  int rank_of(rank_t world_rank) const;
+  bool contains(rank_t world_rank) const { return rank_of(world_rank) >= 0; }
+
+  const std::vector<rank_t>& members() const { return members_; }
+
+  // --- set operations (member order follows the MPI rules) -------------
+
+  /// Members of `a`, then members of `b` not in `a` (MPI_Group_union).
+  static Group set_union(const Group& a, const Group& b);
+
+  /// Members of `a` that are also in `b`, in `a`'s order
+  /// (MPI_Group_intersection).
+  static Group set_intersection(const Group& a, const Group& b);
+
+  /// Members of `a` not in `b`, in `a`'s order (MPI_Group_difference).
+  static Group set_difference(const Group& a, const Group& b);
+
+  /// Subset by positions (MPI_Group_incl).
+  Group incl(std::span<const int> ranks) const;
+
+  /// Complement of positions (MPI_Group_excl).
+  Group excl(std::span<const int> ranks) const;
+
+  /// MPI_Group_translate_ranks: for each position in `a_ranks` (ranks in
+  /// group `a`), the corresponding rank in `b` or -1.
+  static std::vector<int> translate_ranks(const Group& a,
+                                          std::span<const int> a_ranks,
+                                          const Group& b);
+
+  /// Identical members in identical order (MPI_IDENT).
+  bool operator==(const Group& other) const {
+    return members_ == other.members_;
+  }
+
+  /// Same members, any order (MPI_SIMILAR or MPI_IDENT).
+  bool similar(const Group& other) const;
+
+  /// Stable 32-bit digest of the member list (context-id derivation).
+  std::uint32_t digest() const;
+
+ private:
+  std::vector<rank_t> members_;
+};
+
+}  // namespace madmpi::mpi

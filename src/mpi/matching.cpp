@@ -1,0 +1,186 @@
+#include "mpi/matching.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/trace.hpp"
+
+namespace madmpi::mpi {
+
+void RankContext::finish_recv(const PostedRecv& posted, const Envelope& env,
+                              byte_span payload) {
+  MADMPI_CHECK_MSG(env.bytes <= posted.capacity_bytes,
+                   "message truncation: incoming message larger than the "
+                   "posted receive buffer (MPI_ERR_TRUNCATE)");
+  // Heterogeneity: big-endian wire data must be byte-swapped into host
+  // order before unpacking. The conversion pass is only *charged* when the
+  // two nodes genuinely differ (a big-endian pair exchanges big-endian
+  // wire data for free).
+  std::vector<std::byte> converted;
+  if (env.sender_big_endian && !payload.empty()) {
+    converted.assign(payload.begin(), payload.end());
+    const std::size_t elem = posted.type.size();
+    posted.type.swap_packed(converted.data(),
+                            static_cast<int>(payload.size() /
+                                             (elem == 0 ? 1 : elem)));
+    payload = byte_span{converted.data(), converted.size()};
+  }
+  if (env.sender_big_endian != node_.big_endian() && !payload.empty()) {
+    node_.clock().advance(static_cast<double>(payload.size()) *
+                          sim::kHostCopyUsPerByte);
+  }
+  if (!payload.empty()) {
+    // Unpack the wire representation through the receive datatype. The
+    // element count actually received may be smaller than posted.
+    const std::size_t elem_size = posted.type.size();
+    const int elements =
+        elem_size == 0 ? 0 : static_cast<int>(payload.size() / elem_size);
+    posted.type.unpack(payload.data(), elements, posted.buffer);
+    // A possible ragged tail (partial element) is delivered raw.
+    const std::size_t tail = elem_size == 0 ? 0 : payload.size() % elem_size;
+    if (tail != 0) {
+      auto* base = static_cast<std::byte*>(posted.buffer);
+      std::memcpy(base + posted.type.extent() * static_cast<std::size_t>(
+                             elements),
+                  payload.data() + payload.size() - tail, tail);
+    }
+  }
+  MpiStatus status;
+  status.source = env.src;
+  status.tag = env.tag;
+  status.bytes = env.bytes;
+  sim::trace(node_.clock().now(), node_.id(), sim::TraceCategory::kComplete,
+             env.bytes, "recv");
+  posted.request->complete(status);
+}
+
+void RankContext::post_recv(PostedRecv posted) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(posted, it->env)) continue;
+    Unexpected message = std::move(*it);
+    unexpected_.erase(it);
+    lock.unlock();
+
+    // Causal edge: the match cannot happen before the message was
+    // delivered, whatever the posting thread's own lane says.
+    node_.clock().sync_to(message.available_at);
+    if (message.rendezvous) {
+      // Late receive for an early rendezvous request: fire the stored
+      // acknowledgement action (paper §4.2.2, step 2).
+      message.on_match(message.env, std::move(posted));
+    } else {
+      node_.clock().advance(static_cast<double>(message.payload.size()) *
+                            sim::kHostCopyUsPerByte);
+      finish_recv(posted, message.env,
+                  byte_span{message.payload.data(), message.payload.size()});
+    }
+    return;
+  }
+  posted_.push_back(std::move(posted));
+}
+
+void RankContext::deliver_eager(const Envelope& env, byte_span payload) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (!matches(*it, env)) continue;
+    PostedRecv posted = std::move(*it);
+    posted_.erase(it);
+    lock.unlock();
+
+    node_.clock().advance(static_cast<double>(payload.size()) *
+                          sim::kHostCopyUsPerByte);
+    sim::trace(node_.clock().now(), node_.id(), sim::TraceCategory::kMatch,
+               payload.size(), "posted");
+    finish_recv(posted, env, payload);
+    return;
+  }
+  // No receive posted yet: buffer the payload (the eager bounce).
+  Unexpected message;
+  message.env = env;
+  message.payload.assign(payload.begin(), payload.end());
+  message.available_at =
+      node_.clock().advance(static_cast<double>(payload.size()) *
+                            sim::kHostCopyUsPerByte);
+  sim::trace(message.available_at, node_.id(), sim::TraceCategory::kMatch,
+             payload.size(), "unexpected");
+  unexpected_.push_back(std::move(message));
+  lock.unlock();
+  unexpected_arrived_.notify_all();
+}
+
+void RankContext::deliver_rendezvous(const Envelope& env,
+                                     RendezvousMatch on_match) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (!matches(*it, env)) continue;
+    PostedRecv posted = std::move(*it);
+    posted_.erase(it);
+    lock.unlock();
+    on_match(env, std::move(posted));
+    return;
+  }
+  Unexpected message;
+  message.env = env;
+  message.rendezvous = true;
+  message.on_match = std::move(on_match);
+  message.available_at = node_.clock().now();
+  unexpected_.push_back(std::move(message));
+  lock.unlock();
+  unexpected_arrived_.notify_all();
+}
+
+bool RankContext::iprobe(int context, rank_t source, int tag,
+                         MpiStatus* status) {
+  PostedRecv pattern;
+  pattern.context = context;
+  pattern.source = source;
+  pattern.tag = tag;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& message : unexpected_) {
+    if (!matches(pattern, message.env)) continue;
+    node_.clock().sync_to(message.available_at);
+    if (status != nullptr) {
+      status->source = message.env.src;
+      status->tag = message.env.tag;
+      status->bytes = message.env.bytes;
+    }
+    return true;
+  }
+  return false;
+}
+
+void RankContext::probe(int context, rank_t source, int tag,
+                        MpiStatus* status) {
+  PostedRecv pattern;
+  pattern.context = context;
+  pattern.source = source;
+  pattern.tag = tag;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (const auto& message : unexpected_) {
+      if (!matches(pattern, message.env)) continue;
+      node_.clock().sync_to(message.available_at);
+      if (status != nullptr) {
+        status->source = message.env.src;
+        status->tag = message.env.tag;
+        status->bytes = message.env.bytes;
+      }
+      return;
+    }
+    unexpected_arrived_.wait(lock);
+  }
+}
+
+std::size_t RankContext::posted_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return posted_.size();
+}
+
+std::size_t RankContext::unexpected_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unexpected_.size();
+}
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,117 @@
+// Per-rank message matching: the posted-receive and unexpected-message
+// queues of the generic ADI ("request queues management", paper Figure 1).
+//
+// Devices deliver inbound messages here; receives are posted here. Matching
+// is on (context, source, tag) with MPI wildcard semantics, FIFO within a
+// (context, source) pair — devices deliver in order per source, and both
+// queues are scanned in arrival order, which preserves the MPI
+// non-overtaking rule.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpi/datatype.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+#include "sim/node.hpp"
+
+namespace madmpi::mpi {
+
+/// A posted receive waiting for its message.
+struct PostedRecv {
+  int context = 0;
+  rank_t source = kAnySource;
+  int tag = kAnyTag;
+
+  void* buffer = nullptr;          // user buffer (element layout)
+  Datatype type = Datatype::byte();
+  int count = 0;                   // max elements
+  std::size_t capacity_bytes = 0;  // type.size() * count
+
+  std::shared_ptr<RequestState> request;
+};
+
+/// Called when a rendezvous request finds (or is found by) its posted
+/// receive: the device must send the OK_TO_SEND acknowledgement carrying
+/// a handle onto `posted` (paper §4.2.2 step 2).
+using RendezvousMatch = std::function<void(const Envelope&, PostedRecv)>;
+
+/// One rank's matching engine.
+class RankContext {
+ public:
+  RankContext(rank_t global_rank, sim::Node& node)
+      : global_rank_(global_rank), node_(node) {}
+
+  RankContext(const RankContext&) = delete;
+  RankContext& operator=(const RankContext&) = delete;
+
+  rank_t global_rank() const { return global_rank_; }
+  sim::Node& node() { return node_; }
+
+  /// Post a receive. If an unexpected message already matches: an eager one
+  /// is delivered on the spot (charging the bounce copy out of the
+  /// unexpected store), a rendezvous one triggers its stored match
+  /// callback. Otherwise the receive is queued.
+  void post_recv(PostedRecv posted);
+
+  /// Device entry: an eager message has arrived with its packed payload.
+  /// If a posted receive matches, the payload is unpacked into the user
+  /// buffer; otherwise it is copied into the unexpected queue. Either way
+  /// one host copy is charged — the paper's "intermediary copy on the
+  /// receiving side" that defines the eager mode (§4.1). The caller must
+  /// have synchronized the node clock with the arrival already.
+  void deliver_eager(const Envelope& env, byte_span payload);
+
+  /// Device entry: a rendezvous request has arrived. If a posted receive
+  /// matches, `on_match` runs immediately (on the delivering thread);
+  /// otherwise it is stored and runs when a matching receive is posted.
+  void deliver_rendezvous(const Envelope& env, RendezvousMatch on_match);
+
+  /// MPI_Iprobe: matching unexpected envelope, if any.
+  bool iprobe(int context, rank_t source, int tag, MpiStatus* status);
+
+  /// MPI_Probe: block until a matching message is available.
+  void probe(int context, rank_t source, int tag, MpiStatus* status);
+
+  /// Counters for tests/diagnostics.
+  std::size_t posted_count() const;
+  std::size_t unexpected_count() const;
+
+ private:
+  struct Unexpected {
+    Envelope env;
+    std::vector<std::byte> payload;  // eager only
+    bool rendezvous = false;
+    RendezvousMatch on_match;        // rendezvous only
+    /// Virtual time at which the message became available (the delivering
+    /// thread's lane). A later-posted receive synchronizes to this before
+    /// completing — the causal edge from delivery to matching.
+    usec_t available_at = 0.0;
+  };
+
+  static bool matches(const PostedRecv& posted, const Envelope& env) {
+    return posted.context == env.context &&
+           (posted.source == kAnySource || posted.source == env.src) &&
+           (posted.tag == kAnyTag || posted.tag == env.tag);
+  }
+
+  /// Unpack `payload` into the posted buffer and complete its request,
+  /// converting byte order when the sender's wire format differs from
+  /// this node's (the ADI's heterogeneity management).
+  void finish_recv(const PostedRecv& posted, const Envelope& env,
+                   byte_span payload);
+
+  rank_t global_rank_;
+  sim::Node& node_;
+  mutable std::mutex mutex_;
+  std::condition_variable unexpected_arrived_;
+  std::deque<PostedRecv> posted_;
+  std::deque<Unexpected> unexpected_;
+};
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,50 @@
+// Reduction operators (MPI_Op). Built-ins cover the usual arithmetic and
+// logical reductions over primitive type classes; user-defined operators
+// receive raw buffers like MPI_User_function.
+#pragma once
+
+#include <functional>
+
+#include "mpi/datatype.hpp"
+
+namespace madmpi::mpi {
+
+class Op {
+ public:
+  /// Built-ins.
+  static Op sum();
+  static Op prod();
+  static Op min();
+  static Op max();
+  static Op land();  // logical and
+  static Op lor();   // logical or
+  static Op band();  // bitwise and
+  static Op bor();   // bitwise or
+  static Op bxor();
+
+  /// User-defined: fn(in, inout, count, datatype) combines `count` elements
+  /// of `in` into `inout` (MPI_Op_create; commutativity is assumed by the
+  /// collective algorithms, as with commute=1).
+  using UserFunction =
+      std::function<void(const void* in, void* inout, int count,
+                         const Datatype& type)>;
+  static Op user(UserFunction fn);
+
+  /// Apply: inout[i] = inout[i] OP in[i] for count elements of `type`.
+  /// Built-ins require a primitive (or contiguous-of-primitive) type class.
+  void apply(const void* in, void* inout, int count,
+             const Datatype& type) const;
+
+  const char* name() const { return name_; }
+
+ private:
+  enum class Kind { kSum, kProd, kMin, kMax, kLand, kLor, kBand, kBor, kBxor,
+                    kUser };
+  Op(Kind kind, const char* name) : kind_(kind), name_(name) {}
+
+  Kind kind_;
+  const char* name_;
+  UserFunction user_fn_;
+};
+
+}  // namespace madmpi::mpi

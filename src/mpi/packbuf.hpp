@@ -1,0 +1,39 @@
+// Explicit packing into user-managed buffers (MPI_Pack / MPI_Unpack /
+// MPI_Pack_size): lets applications build heterogeneous messages manually,
+// the pre-derived-datatype idiom many 2001-era codes used.
+#pragma once
+
+#include "common/status.hpp"
+#include "mpi/datatype.hpp"
+
+namespace madmpi::mpi {
+
+/// MPI_Pack_size: bytes `count` elements of `type` need in a pack buffer.
+inline std::size_t pack_size(int count, const Datatype& type) {
+  return type.size() * static_cast<std::size_t>(count);
+}
+
+/// MPI_Pack: serialize `count` elements of `type` from `in` into
+/// `out[*position ...]`, advancing *position. Aborts when the buffer is
+/// too small (MPI_ERR_TRUNCATE equivalent).
+inline void pack(const void* in, int count, const Datatype& type,
+                 void* out, std::size_t out_size, std::size_t* position) {
+  const std::size_t needed = pack_size(count, type);
+  MADMPI_CHECK_MSG(*position + needed <= out_size,
+                   "pack buffer overflow");
+  type.pack(in, count, static_cast<std::byte*>(out) + *position);
+  *position += needed;
+}
+
+/// MPI_Unpack: the inverse.
+inline void unpack(const void* in, std::size_t in_size,
+                   std::size_t* position, void* out, int count,
+                   const Datatype& type) {
+  const std::size_t needed = pack_size(count, type);
+  MADMPI_CHECK_MSG(*position + needed <= in_size,
+                   "unpack past the end of the buffer");
+  type.unpack(static_cast<const std::byte*>(in) + *position, count, out);
+  *position += needed;
+}
+
+}  // namespace madmpi::mpi

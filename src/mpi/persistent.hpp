@@ -1,0 +1,95 @@
+// Persistent communication requests (MPI_Send_init / MPI_Recv_init /
+// MPI_Start): the argument list is frozen once, the operation restarted
+// cheaply per iteration — the classic optimization for fixed halo-exchange
+// patterns.
+#pragma once
+
+#include "common/status.hpp"
+#include "mpi/comm.hpp"
+
+namespace madmpi::mpi {
+
+class PersistentRequest {
+ public:
+  PersistentRequest() = default;
+
+  /// MPI_Send_init.
+  static PersistentRequest send_init(Comm comm, const void* buf, int count,
+                                     const Datatype& type, rank_t dest,
+                                     int tag) {
+    PersistentRequest request;
+    request.kind_ = Kind::kSend;
+    request.comm_ = std::move(comm);
+    request.buffer_ = const_cast<void*>(buf);
+    request.count_ = count;
+    request.type_ = type;
+    request.peer_ = dest;
+    request.tag_ = tag;
+    return request;
+  }
+
+  /// MPI_Recv_init.
+  static PersistentRequest recv_init(Comm comm, void* buf, int count,
+                                     const Datatype& type, rank_t source,
+                                     int tag) {
+    PersistentRequest request;
+    request.kind_ = Kind::kRecv;
+    request.comm_ = std::move(comm);
+    request.buffer_ = buf;
+    request.count_ = count;
+    request.type_ = type;
+    request.peer_ = source;
+    request.tag_ = tag;
+    return request;
+  }
+
+  bool valid() const { return kind_ != Kind::kNone; }
+  bool active() const { return active_.valid(); }
+
+  /// Non-consuming: true when the active operation has completed (a
+  /// subsequent wait()/test() will not block). False when inactive.
+  bool done() {
+    return active_.valid() && active_.state()->completed();
+  }
+
+  /// MPI_Start: post the operation. The request must not be active.
+  void start() {
+    MADMPI_CHECK_MSG(valid(), "start on an uninitialized persistent request");
+    MADMPI_CHECK_MSG(!active(), "start on an already active request");
+    if (kind_ == Kind::kSend) {
+      active_ = comm_.isend(buffer_, count_, type_, peer_, tag_);
+    } else {
+      active_ = comm_.irecv(buffer_, count_, type_, peer_, tag_);
+    }
+  }
+
+  /// MPI_Wait on the active operation; the request becomes inactive and
+  /// can be started again.
+  MpiStatus wait() {
+    MADMPI_CHECK_MSG(active(), "wait on an inactive persistent request");
+    const MpiStatus status = active_.wait();
+    active_ = Request();
+    return status;
+  }
+
+  /// MPI_Test; on completion the request becomes inactive.
+  bool test(MpiStatus* status = nullptr) {
+    MADMPI_CHECK_MSG(active(), "test on an inactive persistent request");
+    if (!active_.test(status)) return false;
+    active_ = Request();
+    return true;
+  }
+
+ private:
+  enum class Kind { kNone, kSend, kRecv };
+  Kind kind_ = Kind::kNone;
+  Comm comm_;
+  void* buffer_ = nullptr;
+  int count_ = 0;
+  Datatype type_ = Datatype::byte();
+  rank_t peer_ = kInvalidRank;
+  int tag_ = 0;
+  Request active_;
+};
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,123 @@
+// MPI request objects. A request is completed exactly once — by a polling
+// thread (ch_mad), by the sender thread (smp_plug/ch_self), or by a
+// temporary rendezvous thread — and waited on by the rank's control thread.
+// Completion carries virtual time through the marcel::Semaphore, so a
+// waiter's clock never runs behind its completer's.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "marcel/semaphore.hpp"
+#include "mpi/types.hpp"
+
+namespace madmpi::mpi {
+
+class RequestState {
+ public:
+  explicit RequestState(sim::Node& node) : done_(node, 0) {}
+
+  /// Called by the completing thread.
+  void complete(const MpiStatus& status) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      MADMPI_CHECK_MSG(!completed_, "request completed twice");
+      status_ = status;
+      completed_ = true;
+    }
+    done_.signal();
+  }
+
+  /// Blocking wait (MPI_Wait).
+  MpiStatus wait() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (consumed_) return status_;  // already waited/tested successfully
+    }
+    done_.wait();
+    std::lock_guard<std::mutex> lock(mutex_);
+    consumed_ = true;
+    return status_;
+  }
+
+  /// Non-blocking test (MPI_Test).
+  bool test(MpiStatus* status_out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (consumed_) {
+      if (status_out != nullptr) *status_out = status_;
+      return true;
+    }
+    if (!completed_) return false;
+    // Consume the semaphore permit so a later wait() does not block.
+    MADMPI_CHECK(done_.try_wait());
+    consumed_ = true;
+    if (status_out != nullptr) *status_out = status_;
+    return true;
+  }
+
+  bool completed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  marcel::Semaphore done_;
+  MpiStatus status_;
+  bool completed_ = false;
+  bool consumed_ = false;
+};
+
+/// Value-semantic handle (MPI_Request).
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  MpiStatus wait() {
+    MADMPI_CHECK_MSG(valid(), "wait on a null request");
+    return state_->wait();
+  }
+
+  bool test(MpiStatus* status = nullptr) {
+    MADMPI_CHECK_MSG(valid(), "test on a null request");
+    return state_->test(status);
+  }
+
+  static void wait_all(std::span<Request> requests) {
+    for (auto& request : requests) request.wait();
+  }
+
+  /// MPI_Waitany: block until one request completes; returns its index and
+  /// fills `status`. Completed requests are identified by test(), so the
+  /// returned request is consumed. Aborts on an all-null span.
+  static std::size_t wait_any(std::span<Request> requests,
+                              MpiStatus* status = nullptr);
+
+  /// MPI_Testany: non-blocking variant; returns the index or npos.
+  static std::size_t test_any(std::span<Request> requests,
+                              MpiStatus* status = nullptr);
+
+  /// MPI_Testall: true when every request has completed (all consumed).
+  static bool test_all(std::span<Request> requests);
+
+  /// MPI_Waitsome: block until at least one completes; returns the indices
+  /// of every completed request.
+  static std::vector<std::size_t> wait_some(std::span<Request> requests);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::shared_ptr<RequestState> state() { return state_; }
+
+ private:
+  std::shared_ptr<RequestState> state_;
+};
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,36 @@
+// The runtime services the generic MPI layer needs from its host (the
+// core::Session implements this over the simulated cluster).
+#pragma once
+
+#include "mpi/adi.hpp"
+#include "mpi/matching.hpp"
+#include "sim/node.hpp"
+
+namespace madmpi::mpi {
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Number of ranks in the world.
+  virtual int world_size() const = 0;
+
+  /// The machine hosting a global rank (its clock is MPI_Wtime's source).
+  virtual sim::Node& node_of(rank_t global) = 0;
+
+  /// The matching context of a global rank.
+  virtual RankContext& context_of(rank_t global) = 0;
+
+  /// Device selected for src -> dst traffic (the ADI multi-device
+  /// dispatch: ch_self for self, smp_plug within a node, ch_mad across
+  /// nodes — paper §4.1).
+  virtual Device& device_for(rank_t src, rank_t dst) = 0;
+
+  /// Deterministic collective context-id derivation: all ranks of a
+  /// communicator calling with the same (parent_context, key) receive the
+  /// same fresh id; distinct keys receive distinct ids. `key` encodes the
+  /// creation sequence number and (for split) the color.
+  virtual int derive_context_id(int parent_context, std::int64_t key) = 0;
+};
+
+}  // namespace madmpi::mpi

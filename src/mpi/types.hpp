@@ -1,0 +1,53 @@
+// MPI-level vocabulary: wildcards, message envelopes, status objects.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace madmpi::mpi {
+
+/// Wildcards (values chosen to never collide with valid ranks/tags).
+inline constexpr rank_t kAnySource = -2;
+inline constexpr int kAnyTag = -1;
+
+/// Highest tag value the implementation guarantees (MPI_TAG_UB).
+inline constexpr int kTagUpperBound = (1 << 22) - 1;
+
+/// The message envelope: what matching operates on. `src`/`dst` are ranks
+/// within the communicator identified by `context`.
+struct Envelope {
+  int context = 0;
+  rank_t src = kInvalidRank;
+  rank_t dst = kInvalidRank;
+  int tag = 0;
+  std::uint64_t bytes = 0;     // payload size after datatype packing
+  bool synchronous = false;    // MPI_Ssend: completion needs the rendezvous
+  /// Wire byte order: true when the sender transmits big-endian data. The
+  /// receiver converts when its own order differs (receiver-makes-right).
+  bool sender_big_endian = false;
+};
+
+/// Result of a completed receive (MPI_Status equivalent).
+struct MpiStatus {
+  rank_t source = kInvalidRank;
+  int tag = kAnyTag;
+  std::uint64_t bytes = 0;
+
+  /// MPI_Get_count: number of `type_size`-byte elements, or -1 (MPI_UNDEFINED)
+  /// when the byte count is not a multiple of the element size.
+  std::int64_t count(std::size_t type_size) const {
+    if (type_size == 0) return 0;
+    if (bytes % type_size != 0) return -1;
+    return static_cast<std::int64_t>(bytes / type_size);
+  }
+};
+
+/// Transfer protocol selected by the ADI for one message (paper §2.2.1:
+/// short/eager/rendez-vous; ch_mad merges short into eager, §4.2.1).
+enum class TransferMode {
+  kEager,       // data travels immediately, bounce copy on the receiver
+  kRendezvous,  // request/ack handshake, zero-copy data
+};
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,30 @@
+// BIP over Myrinet (LANai 4.x firmware).
+#pragma once
+
+#include "net/driver.hpp"
+
+namespace madmpi::net {
+
+/// BIP's short messages ride a preallocated receive queue (bounce copy,
+/// but a single descriptor); long messages require a posted receive and are
+/// delivered zero-copy. The fixed extra cost of the long path is what
+/// produces the 1 KB notch visible in the paper's Figure 8b.
+class BipDriver final : public Driver {
+ public:
+  BipDriver() : Driver(sim::bip_myrinet_model()) {}
+
+  sim::Protocol protocol() const override { return sim::Protocol::kBip; }
+
+  BlockPlan plan_block(std::size_t size) const override {
+    BlockPlan plan;
+    plan.aggregate = size <= kInlineLimit;
+    plan.zero_copy = !plan.aggregate;
+    return plan;
+  }
+
+  usec_t poll_cost() const override { return model().poll_us; }
+
+  static constexpr std::size_t kInlineLimit = 64;
+};
+
+}  // namespace madmpi::net

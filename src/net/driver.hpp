@@ -1,0 +1,213 @@
+// Network drivers: the protocol-specific bottom of the Madeleine stack
+// (what Madeleine II calls "transfer modules"). A driver knows how to move
+// a message — one aggregated control buffer plus optional separate data
+// blocks — between two endpoints of the same network, and how to plan the
+// transfer of a user block (aggregate-and-copy vs separate frame vs
+// zero-copy) for its protocol.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/fabric.hpp"
+#include "sim/topology.hpp"
+
+namespace madmpi::net {
+
+/// Frame kinds used on the wire by all drivers.
+enum FrameKind : std::uint16_t {
+  kControlFrame = 1,  // aggregated EXPRESS data + small CHEAPER blocks
+  kDataFrame = 2,     // one separate CHEAPER block
+};
+
+/// How a driver wants to move one user block.
+struct BlockPlan {
+  /// Copy the block into the message's control buffer (good for small
+  /// blocks: no extra frame).
+  bool aggregate = false;
+  /// When sent separately, the NIC can deliver into a posted user buffer
+  /// without a bounce copy.
+  bool zero_copy = false;
+};
+
+/// One separate (non-aggregated) block of an outgoing message.
+struct DataBlock {
+  byte_span data;
+  bool zero_copy = false;
+};
+
+class Endpoint;
+
+/// An incoming message being consumed: the control frame plus a stream of
+/// separate data frames from the same source, delivered in order.
+class IncomingMessage {
+ public:
+  IncomingMessage(Endpoint* endpoint, sim::Frame control)
+      : endpoint_(endpoint), control_(std::move(control)) {}
+
+  node_id_t source() const { return control_.src_node; }
+  byte_span control_payload() const {
+    return {control_.payload.data(), control_.payload.size()};
+  }
+  usec_t control_arrival() const { return control_.arrival_time; }
+
+  /// Blocking: next separate data frame of this message. Protocol error if
+  /// the message had no further frames.
+  sim::Frame take_data_block();
+
+  bool control_was_last() const { return control_.last_of_message; }
+
+ private:
+  Endpoint* endpoint_;
+  sim::Frame control_;
+};
+
+/// A channel endpoint on one node: the send side towards every peer and the
+/// receive queue for the whole channel. Created by ChannelTransport.
+class Endpoint {
+ public:
+  Endpoint(sim::Node& node, const sim::LinkCostModel& model,
+           sim::Port& port);
+
+  node_id_t node_id() const { return node_.id(); }
+  sim::Node& node() { return node_; }
+  const sim::LinkCostModel& model() const { return model_; }
+
+  /// Register the outgoing path to a peer (done by ChannelTransport).
+  void add_peer(node_id_t peer, sim::WirePath path);
+
+  bool has_peer(node_id_t peer) const;
+
+  /// Send one message: charges the sender clock with the protocol's send
+  /// overhead, transmits the control frame then each separate block on the
+  /// same serialized link. `blocks[i].zero_copy` follows the BlockPlan.
+  void send_message(node_id_t dst, byte_span control,
+                    std::span<const DataBlock> blocks);
+
+  /// Non-blocking: hand over the next fully-startable incoming message
+  /// (its control frame has arrived). Synchronizes the node clock with the
+  /// frame arrival and charges the receive overhead.
+  std::optional<IncomingMessage> poll_message();
+
+  /// Blocking variant; empty when the channel is shut down.
+  std::optional<IncomingMessage> next_message_blocking();
+
+  /// True if a control frame is already waiting (cheap check for pollers).
+  bool message_available();
+
+  /// Used by IncomingMessage: wait for the next frame from `src`.
+  std::optional<sim::Frame> wait_frame_from(node_id_t src);
+
+  /// Traffic counters (introspection, tests, the session stats report).
+  /// Atomics: pollers and senders update them concurrently.
+  std::uint64_t messages_sent() const { return messages_sent_.load(); }
+  std::uint64_t messages_received() const {
+    return messages_received_.load();
+  }
+  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  std::uint64_t bytes_received() const { return bytes_received_.load(); }
+
+  struct TrafficStats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+
+    TrafficStats& operator+=(const TrafficStats& other) {
+      messages_sent += other.messages_sent;
+      messages_received += other.messages_received;
+      bytes_sent += other.bytes_sent;
+      bytes_received += other.bytes_received;
+      return *this;
+    }
+  };
+  TrafficStats stats() const {
+    return {messages_sent(), messages_received(), bytes_sent(),
+            bytes_received()};
+  }
+
+  /// Shut down the receive side: blocked waits wake and observe EOF.
+  void close() { port_.close(); }
+
+ private:
+  void pump();  // drain the port into per-source queues (mutex held)
+
+  sim::Node& node_;
+  const sim::LinkCostModel model_;
+  sim::Port& port_;
+
+  mutable std::mutex mutex_;
+  std::map<node_id_t, sim::WirePath> paths_;
+  std::map<node_id_t, std::deque<sim::Frame>> per_source_;
+  std::map<node_id_t, std::uint32_t> send_seq_;
+
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+/// The transport of one Madeleine channel: one endpoint per member node,
+/// full-mesh wire paths among them.
+class ChannelTransport {
+ public:
+  ChannelTransport(sim::Protocol protocol, std::string name)
+      : protocol_(protocol), name_(std::move(name)) {}
+
+  sim::Protocol protocol() const { return protocol_; }
+  const std::string& name() const { return name_; }
+
+  /// Endpoint hosted on `node`; null when the node is not a member.
+  Endpoint* endpoint(node_id_t node);
+
+  const std::vector<node_id_t>& members() const { return members_; }
+
+  /// Builder API used by drivers.
+  Endpoint& add_endpoint(sim::Node& node, const sim::LinkCostModel& model,
+                         sim::Port& port);
+
+ private:
+  sim::Protocol protocol_;
+  std::string name_;
+  std::vector<node_id_t> members_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+/// Abstract protocol driver.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+
+  virtual sim::Protocol protocol() const = 0;
+
+  /// Transfer policy for one user block of `size` bytes.
+  virtual BlockPlan plan_block(std::size_t size) const = 0;
+
+  /// Cost of one unsuccessful poll (exposed for the poll server).
+  virtual usec_t poll_cost() const = 0;
+
+  /// Instantiate the transport of a channel over `network`: creates NICs'
+  /// ports and the full mesh of wire paths.
+  std::unique_ptr<ChannelTransport> open_channel(
+      sim::Fabric& fabric, const sim::NetworkSpec& network,
+      const sim::ClusterSpec& cluster, const std::string& channel_name);
+
+ protected:
+  explicit Driver(sim::LinkCostModel model) : model_(model) {}
+  const sim::LinkCostModel& model() const { return model_; }
+
+ private:
+  sim::LinkCostModel model_;
+};
+
+/// Concrete drivers (policies calibrated per protocol).
+std::unique_ptr<Driver> make_driver(sim::Protocol protocol);
+
+}  // namespace madmpi::net

@@ -1,0 +1,19 @@
+#include "net/bip_driver.hpp"
+#include "net/driver.hpp"
+#include "net/shmem_driver.hpp"
+#include "net/sisci_driver.hpp"
+#include "net/tcp_driver.hpp"
+
+namespace madmpi::net {
+
+std::unique_ptr<Driver> make_driver(sim::Protocol protocol) {
+  switch (protocol) {
+    case sim::Protocol::kTcp: return std::make_unique<TcpDriver>();
+    case sim::Protocol::kSisci: return std::make_unique<SisciDriver>();
+    case sim::Protocol::kBip: return std::make_unique<BipDriver>();
+    case sim::Protocol::kShmem: return std::make_unique<ShmemDriver>();
+  }
+  fatal("unknown protocol in make_driver");
+}
+
+}  // namespace madmpi::net

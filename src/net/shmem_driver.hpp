@@ -1,0 +1,27 @@
+// Intra-node shared-memory transport (substrate of smp_plug).
+#pragma once
+
+#include "net/driver.hpp"
+
+namespace madmpi::net {
+
+/// Processes on the same node exchange data through a shared segment: one
+/// copy in, one copy out, no wire. Used by smp_plug and by tests that need
+/// a trivial network.
+class ShmemDriver final : public Driver {
+ public:
+  ShmemDriver() : Driver(sim::shmem_model()) {}
+
+  sim::Protocol protocol() const override { return sim::Protocol::kShmem; }
+
+  BlockPlan plan_block(std::size_t size) const override {
+    BlockPlan plan;
+    plan.aggregate = size <= 512;
+    plan.zero_copy = false;
+    return plan;
+  }
+
+  usec_t poll_cost() const override { return model().poll_us; }
+};
+
+}  // namespace madmpi::net

@@ -1,0 +1,31 @@
+// SISCI over SCI (Dolphin D310 boards).
+#pragma once
+
+#include "net/driver.hpp"
+
+namespace madmpi::net {
+
+/// SCI exposes remote memory windows: small blocks travel as PIO writes
+/// aggregated with the control information; large blocks are DMA'd straight
+/// into a posted buffer (zero-copy). Polling a mapped completion word is
+/// nearly free, which is why the paper polls SCI much more often than TCP.
+class SisciDriver final : public Driver {
+ public:
+  SisciDriver() : Driver(sim::sisci_sci_model()) {}
+
+  sim::Protocol protocol() const override { return sim::Protocol::kSisci; }
+
+  BlockPlan plan_block(std::size_t size) const override {
+    BlockPlan plan;
+    plan.aggregate = size <= kPioLimit;
+    plan.zero_copy = !plan.aggregate;  // DMA path for separate blocks
+    return plan;
+  }
+
+  usec_t poll_cost() const override { return model().poll_us; }
+
+  /// Above this size, DMA setup beats PIO store streams.
+  static constexpr std::size_t kPioLimit = 64;
+};
+
+}  // namespace madmpi::net

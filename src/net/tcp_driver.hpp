@@ -1,0 +1,33 @@
+// TCP over Fast-Ethernet (the ch_p4-era commodity transport).
+#pragma once
+
+#include "net/driver.hpp"
+
+namespace madmpi::net {
+
+/// Kernel-socket semantics: every payload crosses the kernel boundary with a
+/// copy, there is no zero-copy receive, and polling means an expensive
+/// select() call. Small blocks are aggregated into the control frame to
+/// save write() rounds.
+class TcpDriver final : public Driver {
+ public:
+  TcpDriver() : Driver(sim::tcp_fast_ethernet_model()) {}
+
+  sim::Protocol protocol() const override { return sim::Protocol::kTcp; }
+
+  BlockPlan plan_block(std::size_t size) const override {
+    BlockPlan plan;
+    // Aggregating costs a memcpy but saves a write()/read() round. Above
+    // the limit a separate write lets the payload pipeline with the
+    // receiver's handling instead of stretching the control frame.
+    plan.aggregate = size <= kAggregateLimit;
+    plan.zero_copy = false;  // sockets always bounce through the kernel
+    return plan;
+  }
+
+  usec_t poll_cost() const override { return model().poll_us; }
+
+  static constexpr std::size_t kAggregateLimit = 64;
+};
+
+}  // namespace madmpi::net

@@ -1,0 +1,235 @@
+#include <algorithm>
+#include <thread>
+
+#include "common/log.hpp"
+#include "net/driver.hpp"
+#include "sim/trace.hpp"
+
+namespace madmpi::net {
+
+sim::Frame IncomingMessage::take_data_block() {
+  auto frame = endpoint_->wait_frame_from(control_.src_node);
+  MADMPI_CHECK_MSG(frame.has_value(),
+                   "channel closed while a data block was expected");
+  MADMPI_CHECK_MSG(frame->kind == kDataFrame,
+                   "control frame where a data block was expected");
+  return std::move(*frame);
+}
+
+Endpoint::Endpoint(sim::Node& node, const sim::LinkCostModel& model,
+                   sim::Port& port)
+    : node_(node), model_(model), port_(port) {}
+
+void Endpoint::add_peer(node_id_t peer, sim::WirePath path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paths_.insert_or_assign(peer, path);
+}
+
+bool Endpoint::has_peer(node_id_t peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return paths_.count(peer) != 0;
+}
+
+void Endpoint::send_message(node_id_t dst, byte_span control,
+                            std::span<const DataBlock> blocks) {
+  sim::WirePath* path = nullptr;
+  std::uint32_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = paths_.find(dst);
+    MADMPI_CHECK_MSG(it != paths_.end(), "no path to destination node");
+    path = &it->second;
+    seq = send_seq_[dst]++;
+  }
+  ++messages_sent_;
+  std::uint64_t total = control.size();
+  for (const auto& block : blocks) total += block.data.size();
+  bytes_sent_ += total;
+
+  // Sender-side fixed software cost; the departure time is taken before any
+  // staging copies so those pipeline with the wire (handled in WirePath).
+  const usec_t depart = node_.clock().now() + model_.send_overhead_us;
+  node_.clock().advance(model_.send_overhead_us);
+
+  sim::Frame ctrl;
+  ctrl.src_node = node_.id();
+  ctrl.dst_node = dst;
+  ctrl.seq = seq;
+  ctrl.kind = kControlFrame;
+  ctrl.block_index = 0;
+  ctrl.last_of_message = blocks.empty();
+  ctrl.depart_time = depart;
+  ctrl.payload.assign(control.begin(), control.end());
+
+  sim::trace(depart, node_.id(), sim::TraceCategory::kSend, total,
+             sim::protocol_name(model_.protocol));
+
+  sim::TransmitHints ctrl_hints;
+  ctrl_hints.copied_send = true;  // control buffer is staged by definition
+  ctrl_hints.copied_recv = true;  // and read out of a driver buffer
+  path->transmit(std::move(ctrl), ctrl_hints);
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    sim::Frame data;
+    data.src_node = node_.id();
+    data.dst_node = dst;
+    data.seq = seq;
+    data.kind = kDataFrame;
+    data.block_index = static_cast<std::uint16_t>(i + 1);
+    data.last_of_message = (i + 1 == blocks.size());
+    data.depart_time = depart;  // posted back-to-back; link serializes
+    data.payload.assign(blocks[i].data.begin(), blocks[i].data.end());
+
+    sim::TransmitHints hints;
+    hints.copied_send = !blocks[i].zero_copy;
+    hints.copied_recv = !blocks[i].zero_copy;
+    path->transmit(std::move(data), hints);
+  }
+}
+
+void Endpoint::pump() {
+  while (auto frame = port_.try_take()) {
+    per_source_[frame->src_node].push_back(std::move(*frame));
+  }
+}
+
+bool Endpoint::message_available() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pump();
+  for (const auto& [src, queue] : per_source_) {
+    if (!queue.empty() && queue.front().kind == kControlFrame) return true;
+  }
+  return false;
+}
+
+std::optional<IncomingMessage> Endpoint::poll_message() {
+  // The poller's lane before this call marks when its CPU became free
+  // (handling work only — waiting for arrivals does not occupy it).
+  const usec_t cpu_free = node_.clock().now();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  pump();
+  // Handle queued messages in *virtual arrival order*, not real enqueue
+  // order: a bulk frame whose arrival lies far in the virtual future must
+  // not delay the handling of a control frame that (virtually) arrived
+  // long before it.
+  std::deque<sim::Frame>* best = nullptr;
+  for (auto& [src, queue] : per_source_) {
+    if (queue.empty() || queue.front().kind != kControlFrame) continue;
+    if (best == nullptr ||
+        queue.front().arrival_time < best->front().arrival_time) {
+      best = &queue;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+
+  sim::Frame control = std::move(best->front());
+  best->pop_front();
+  ++messages_received_;
+  bytes_received_ += control.payload.size();
+  // Handling starts once the frame has arrived AND the CPU is free; a
+  // plain monotone sync would wrongly charge time spent merely waiting.
+  node_.clock().bind_lane(std::max(control.arrival_time, cpu_free));
+  node_.clock().advance(model_.recv_overhead_us);
+  sim::trace(control.arrival_time, node_.id(), sim::TraceCategory::kArrive,
+             control.payload.size(), sim::protocol_name(model_.protocol));
+  return IncomingMessage(this, std::move(control));
+}
+
+std::optional<IncomingMessage> Endpoint::next_message_blocking() {
+  for (;;) {
+    if (auto message = poll_message()) return message;
+    // No startable message buffered: block on the port for the next frame,
+    // stash it, and retry. The yield narrows the window in which a
+    // virtually-earlier frame from another peer is still in flight in real
+    // time, keeping arrival-order handling (and thus timing) stable.
+    auto frame = port_.take_blocking();
+    if (!frame.has_value()) return std::nullopt;  // shut down
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      per_source_[frame->src_node].push_back(std::move(*frame));
+    }
+    std::this_thread::yield();
+  }
+}
+
+std::optional<sim::Frame> Endpoint::wait_frame_from(node_id_t src) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pump();
+      auto& queue = per_source_[src];
+      if (!queue.empty()) {
+        sim::Frame frame = std::move(queue.front());
+        queue.pop_front();
+        bytes_received_ += frame.payload.size();
+        node_.clock().sync_to(frame.arrival_time);
+        return frame;
+      }
+    }
+    auto frame = port_.take_blocking();
+    if (!frame.has_value()) return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    per_source_[frame->src_node].push_back(std::move(*frame));
+  }
+}
+
+Endpoint* ChannelTransport::endpoint(node_id_t node) {
+  for (auto& ep : endpoints_) {
+    if (ep->node_id() == node) return ep.get();
+  }
+  return nullptr;
+}
+
+Endpoint& ChannelTransport::add_endpoint(sim::Node& node,
+                                         const sim::LinkCostModel& model,
+                                         sim::Port& port) {
+  endpoints_.push_back(std::make_unique<Endpoint>(node, model, port));
+  members_.push_back(node.id());
+  return *endpoints_.back();
+}
+
+std::unique_ptr<ChannelTransport> Driver::open_channel(
+    sim::Fabric& fabric, const sim::NetworkSpec& network,
+    const sim::ClusterSpec& cluster, const std::string& channel_name) {
+  MADMPI_CHECK_MSG(network.protocol == protocol(),
+                   "driver/network protocol mismatch");
+  auto transport =
+      std::make_unique<ChannelTransport>(protocol(), channel_name);
+
+  struct MemberInfo {
+    sim::Nic* nic;
+    sim::Port* port;
+    Endpoint* endpoint;
+  };
+  std::vector<MemberInfo> members;
+
+  for (const auto& member : network.members) {
+    auto index = cluster.node_index(member);
+    MADMPI_CHECK_MSG(index.has_value(), "network member missing from cluster");
+    const auto node_id = static_cast<node_id_t>(*index);
+    sim::Nic* nic = fabric.find_nic(node_id, protocol(), network.adapter);
+    if (nic == nullptr) {
+      nic = &fabric.add_nic(node_id, model_, network.adapter);
+    }
+    sim::Port& port = fabric.make_port(node_id);
+    Endpoint& endpoint =
+        transport->add_endpoint(fabric.node(node_id), nic->model(), port);
+    members.push_back({nic, &port, &endpoint});
+
+    // Wire the new member to the already-created ones (full mesh).
+    MemberInfo& self = members.back();
+    for (auto& other : members) {
+      if (other.endpoint == self.endpoint) continue;
+      self.endpoint->add_peer(
+          other.nic->node(),
+          fabric.make_path(*self.nic, *other.nic, *other.port));
+      other.endpoint->add_peer(
+          self.nic->node(),
+          fabric.make_path(*other.nic, *self.nic, *self.port));
+    }
+  }
+  return transport;
+}
+
+}  // namespace madmpi::net

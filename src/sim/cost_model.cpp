@@ -1,0 +1,149 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace madmpi::sim {
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kTcp: return "TCP";
+    case Protocol::kSisci: return "SISCI";
+    case Protocol::kBip: return "BIP";
+    case Protocol::kShmem: return "SHMEM";
+  }
+  return "?";
+}
+
+std::size_t LinkCostModel::segments(std::size_t size) const {
+  if (size == 0) return 1;
+  return (size + mtu_bytes - 1) / mtu_bytes;
+}
+
+usec_t LinkCostModel::send_cost(std::size_t size, bool copied) const {
+  usec_t cost = send_overhead_us;
+  if (copied) cost += static_cast<usec_t>(size) * copy_us_per_byte;
+  return cost;
+}
+
+usec_t LinkCostModel::recv_cost(std::size_t size, bool copied) const {
+  usec_t cost = recv_overhead_us;
+  if (copied) cost += static_cast<usec_t>(size) * copy_us_per_byte;
+  return cost;
+}
+
+usec_t LinkCostModel::wire_time(std::size_t size) const {
+  // Fixed part: propagation plus the first segment's processing. The
+  // remaining per-segment costs are folded into the per-byte rate so that
+  // large transfers see the paper's sustained bandwidth.
+  const double per_byte =
+      1.0 / bandwidth_bytes_per_us +
+      per_segment_us / static_cast<double>(mtu_bytes);
+  usec_t t = wire_latency_us + per_segment_us +
+             static_cast<double>(size) * per_byte;
+  if (short_message_limit != 0 && size > short_message_limit) {
+    t += long_path_extra_us;
+  }
+  return t;
+}
+
+// --- Calibration ------------------------------------------------------------
+//
+// Targets come from the paper (Table 1, raw Madeleine over each protocol):
+//   TCP/Fast-Ethernet : 121 us one-way (4 B), 11.2 MB/s (8 MB message)
+//   SISCI/SCI         : 4.4 us,              82.6 MB/s
+//   BIP/Myrinet       : 9.2 us,              122  MB/s
+// Raw Madeleine adds one pack/unpack pair (~0.3 us per side of CPU cost) on
+// top of the raw driver, so the driver fixed path below is calibrated to
+// (paper latency - 0.6 us). Bandwidth: effective rate = 1 / (1/bw + seg/mtu).
+
+LinkCostModel tcp_fast_ethernet_model() {
+  LinkCostModel m;
+  m.protocol = Protocol::kTcp;
+  m.send_overhead_us = 33.0;   // write() syscall + kernel TCP path
+  m.recv_overhead_us = 33.0;   // read() syscall + wakeup
+  m.wire_latency_us = 46.4;    // interrupt + stack + Fast-Ethernet wire
+  m.bandwidth_bytes_per_us = 12.5;   // 100 Mb/s
+  m.per_segment_us = 7.5;      // per-1460 B segment processing
+  m.mtu_bytes = 1460;
+  m.copy_us_per_byte = 0.0032;  // PII-450 memcpy ~300 MB/s
+  m.poll_us = 15.0;             // select() is expensive (paper Sec. 3.3)
+  m.supports_zero_copy = false; // kernel sockets always bounce
+  m.short_message_limit = 0;
+  // Extra block bookkeeping per pack beyond the first. Calibrated so the
+  // ch_mad endpoint numbers land on Table 2 (0 B: 130 us, 4 B: 148.7 us);
+  // the paper's own per-component estimate (21% ~ 25 us) does not sum to
+  // its measured endpoints, so the endpoints win.
+  m.per_block_us = 15.0;
+  return m;
+}
+
+LinkCostModel sisci_sci_model() {
+  LinkCostModel m;
+  m.protocol = Protocol::kSisci;
+  m.send_overhead_us = 1.0;    // PIO write initiation
+  m.recv_overhead_us = 1.0;    // mapped-memory completion check
+  m.wire_latency_us = 1.25;    // SCI ringlet traversal
+  m.bandwidth_bytes_per_us = 88.0;  // Dolphin D310 sustained PIO/DMA
+  m.per_segment_us = 0.5;
+  m.mtu_bytes = 8192;
+  m.copy_us_per_byte = 0.0032;
+  m.poll_us = 0.4;             // cheap mapped-segment poll
+  m.supports_zero_copy = true; // DMA into a posted user buffer
+  m.short_message_limit = 0;
+  m.per_block_us = 6.5;        // extra PIO transaction per block
+  return m;
+}
+
+LinkCostModel bip_myrinet_model() {
+  LinkCostModel m;
+  m.protocol = Protocol::kBip;
+  m.send_overhead_us = 2.0;    // descriptor post to LANai
+  m.recv_overhead_us = 2.4;
+  m.wire_latency_us = 2.6;     // LANai firmware + Myrinet wire
+  m.bandwidth_bytes_per_us = 136.0;  // 1.28 Gb/s link, firmware limited
+  m.per_segment_us = 1.6;
+  m.mtu_bytes = 4096;
+  m.copy_us_per_byte = 0.0032;
+  m.poll_us = 0.3;
+  m.supports_zero_copy = true;
+  // BIP distinguishes short messages (delivered through a preallocated
+  // queue) from long ones (requiring a posted receive); crossing the limit
+  // pays a fixed penalty, which reproduces the 1 KB notch of Figure 8b.
+  m.short_message_limit = 1000;
+  m.long_path_extra_us = 6.0;
+  // Table 2 shows only a 2 us gap between 0 B and 4 B ch_mad latency, so
+  // the effective extra-block cost is 2 us (the paper's 4.5 us estimate
+  // again does not match its measured endpoints).
+  m.per_block_us = 2.0;
+  return m;
+}
+
+LinkCostModel shmem_model() {
+  LinkCostModel m;
+  m.protocol = Protocol::kShmem;
+  m.send_overhead_us = 0.3;
+  m.recv_overhead_us = 0.3;
+  m.wire_latency_us = 0.0;
+  m.bandwidth_bytes_per_us = 320.0;  // memcpy through a shared segment
+  m.per_segment_us = 0.0;
+  m.mtu_bytes = 1 << 20;
+  m.copy_us_per_byte = 0.0032;
+  m.poll_us = 0.2;
+  m.supports_zero_copy = false;
+  m.short_message_limit = 0;
+  m.per_block_us = 0.5;
+  return m;
+}
+
+LinkCostModel model_for(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kTcp: return tcp_fast_ethernet_model();
+    case Protocol::kSisci: return sisci_sci_model();
+    case Protocol::kBip: return bip_myrinet_model();
+    case Protocol::kShmem: return shmem_model();
+  }
+  return tcp_fast_ethernet_model();
+}
+
+}  // namespace madmpi::sim

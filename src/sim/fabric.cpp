@@ -1,0 +1,111 @@
+#include "sim/fabric.hpp"
+
+#include <algorithm>
+
+namespace madmpi::sim {
+
+usec_t WirePath::transmit(Frame frame, const TransmitHints& hints) {
+  const LinkCostModel& m = *model_;
+  const std::size_t n = frame.payload.size();
+
+  // Per-byte rate: wire serialization plus amortized per-segment processing,
+  // with staging copies pipelined segment-by-segment (the max, not the sum,
+  // of the stage rates — the slowest pipeline stage dominates).
+  double per_byte = 1.0 / m.bandwidth_bytes_per_us +
+                    m.per_segment_us / static_cast<double>(m.mtu_bytes);
+  if (hints.copied_send) per_byte = std::max(per_byte, m.copy_us_per_byte);
+  if (hints.copied_recv) per_byte = std::max(per_byte, m.copy_us_per_byte);
+
+  const usec_t occupation = static_cast<double>(n) * per_byte;
+  const usec_t start = serializer_->reserve(frame.depart_time, occupation);
+
+  usec_t arrival =
+      start + occupation + m.wire_latency_us + m.per_segment_us + hints.extra_us;
+  if (m.short_message_limit != 0 && n > m.short_message_limit) {
+    arrival += m.long_path_extra_us;
+  }
+  if (m.jitter_us > 0.0) {
+    // Deterministic per-frame pseudo-jitter (splitmix64 of the frame
+    // identity): reproducible timing faults, no RNG state.
+    std::uint64_t x = frame.seq * 0x9e3779b97f4a7c15ULL +
+                      (static_cast<std::uint64_t>(frame.src_node) << 32) +
+                      static_cast<std::uint64_t>(frame.dst_node) +
+                      frame.block_index;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    arrival += m.jitter_us *
+               (static_cast<double>(x >> 11) * 0x1.0p-53);
+  }
+
+  frame.arrival_time = arrival;
+  frame.zero_copy = !hints.copied_recv;
+  dst_->deliver(std::move(frame));
+  return arrival;
+}
+
+Node& Fabric::add_node(std::string name, int cpus, bool big_endian) {
+  const auto id = static_cast<node_id_t>(nodes_.size());
+  nodes_.push_back(
+      std::make_unique<Node>(id, std::move(name), cpus, big_endian));
+  return *nodes_.back();
+}
+
+Node& Fabric::node(node_id_t id) {
+  MADMPI_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Fabric::node(node_id_t id) const {
+  MADMPI_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+Nic& Fabric::add_nic(node_id_t node, LinkCostModel model,
+                     adapter_id_t adapter) {
+  MADMPI_CHECK(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  const int index = static_cast<int>(nics_.size());
+  nics_.push_back(std::make_unique<Nic>(index, node, adapter, model));
+  return *nics_.back();
+}
+
+Nic* Fabric::find_nic(node_id_t node, Protocol protocol,
+                      adapter_id_t adapter) {
+  for (auto& nic : nics_) {
+    if (nic->node() == node && nic->protocol() == protocol &&
+        nic->adapter() == adapter) {
+      return nic.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Nic*> Fabric::nics_of(node_id_t node) {
+  std::vector<Nic*> out;
+  for (auto& nic : nics_) {
+    if (nic->node() == node) out.push_back(nic.get());
+  }
+  return out;
+}
+
+Port& Fabric::make_port(node_id_t node) {
+  MADMPI_CHECK(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  ports_.push_back(std::make_unique<Port>());
+  return *ports_.back();
+}
+
+WirePath Fabric::make_path(const Nic& src, const Nic& dst, Port& dst_port) {
+  MADMPI_CHECK_MSG(src.protocol() == dst.protocol(),
+                   "wire path requires matching protocols");
+  std::lock_guard<std::mutex> lock(serializer_mutex_);
+  auto key = std::make_pair(src.index(), dst.index());
+  auto& slot = serializers_[key];
+  if (!slot) slot = std::make_unique<LinkSerializer>();
+  return WirePath(src.model(), *slot, dst_port);
+}
+
+void Fabric::close_all_ports() {
+  for (auto& port : ports_) port->close();
+}
+
+}  // namespace madmpi::sim

@@ -1,0 +1,143 @@
+// The simulated cluster fabric: nodes, NICs, serialized links, wire paths.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/frame.hpp"
+#include "sim/node.hpp"
+#include "sim/port.hpp"
+
+namespace madmpi::sim {
+
+class Fabric;
+
+/// A network interface card installed in a node. Its cost model is a copy,
+/// so tests can perturb one NIC without affecting others.
+class Nic {
+ public:
+  Nic(int index, node_id_t node, adapter_id_t adapter, LinkCostModel model)
+      : index_(index), node_(node), adapter_(adapter), model_(model) {}
+
+  int index() const { return index_; }
+  node_id_t node() const { return node_; }
+  adapter_id_t adapter() const { return adapter_; }
+  Protocol protocol() const { return model_.protocol; }
+  const LinkCostModel& model() const { return model_; }
+  LinkCostModel& mutable_model() { return model_; }
+
+ private:
+  int index_;
+  node_id_t node_;
+  adapter_id_t adapter_;
+  LinkCostModel model_;
+};
+
+/// Serialization state of one unidirectional physical link: a transfer
+/// occupies the medium for its serialization time, delaying later frames.
+class LinkSerializer {
+ public:
+  /// Reserve the medium starting no earlier than `earliest` for
+  /// `occupation` microseconds; returns the actual start time.
+  usec_t reserve(usec_t earliest, usec_t occupation) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const usec_t start = std::max(earliest, busy_until_);
+    busy_until_ = start + occupation;
+    return start;
+  }
+
+  usec_t busy_until() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return busy_until_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  usec_t busy_until_ = 0.0;
+};
+
+/// Hints the sending driver passes to the wire-time computation.
+struct TransmitHints {
+  /// Sender stages the payload through an intermediate buffer (its memcpy
+  /// pipelines with segment transmission).
+  bool copied_send = false;
+  /// Receiver side lands in a bounce buffer (kernel socket buffer, BIP
+  /// short-message queue) rather than a posted user buffer.
+  bool copied_recv = false;
+  /// Additional fixed delay (protocol handshakes modelled by the driver).
+  usec_t extra_us = 0.0;
+};
+
+/// A unidirectional timed path from a source NIC to a destination port.
+/// transmit() computes the frame's arrival time from the NIC's cost model
+/// and the link serializer, stamps it, and delivers to the port.
+class WirePath {
+ public:
+  WirePath(const LinkCostModel& model, LinkSerializer& serializer, Port& dst)
+      : model_(&model), serializer_(&serializer), dst_(&dst) {}
+
+  /// `frame.depart_time` must be set by the caller (sender clock after its
+  /// send overhead). Returns the computed arrival time.
+  usec_t transmit(Frame frame, const TransmitHints& hints = {});
+
+  const LinkCostModel& model() const { return *model_; }
+
+ private:
+  const LinkCostModel* model_;
+  LinkSerializer* serializer_;
+  Port* dst_;
+};
+
+/// The fabric owns every node, NIC, port, and link-serialization state of a
+/// simulated cluster. Drivers are built on top of it.
+class Fabric {
+ public:
+  Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  Node& add_node(std::string name, int cpus = 2, bool big_endian = false);
+  Node& node(node_id_t id);
+  const Node& node(node_id_t id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Install a NIC with the given (typically calibrated) cost model.
+  Nic& add_nic(node_id_t node, LinkCostModel model,
+               adapter_id_t adapter = 0);
+  Nic& add_nic(node_id_t node, Protocol protocol, adapter_id_t adapter = 0) {
+    return add_nic(node, model_for(protocol), adapter);
+  }
+
+  /// First NIC of `protocol` on `node`, or nullptr.
+  Nic* find_nic(node_id_t node, Protocol protocol, adapter_id_t adapter = 0);
+
+  /// All NICs of a node.
+  std::vector<Nic*> nics_of(node_id_t node);
+
+  /// Allocate a receive port on a node. The fabric keeps ownership.
+  Port& make_port(node_id_t node);
+
+  /// Build a timed path src-NIC -> dst port. Both NICs must share a
+  /// protocol; timing uses the source NIC's model. The per-direction
+  /// serializer is shared by every path between the same NIC pair.
+  WirePath make_path(const Nic& src, const Nic& dst, Port& dst_port);
+
+  /// Close all ports (session teardown).
+  void close_all_ports();
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Port>> ports_;
+
+  std::mutex serializer_mutex_;
+  std::map<std::pair<int, int>, std::unique_ptr<LinkSerializer>> serializers_;
+};
+
+}  // namespace madmpi::sim

@@ -1,0 +1,40 @@
+// Wire frames exchanged over simulated circuits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace madmpi::sim {
+
+/// One block of a message as it travels the simulated wire. Drivers may
+/// aggregate several user blocks into one frame (TCP) or send one frame per
+/// block (zero-copy paths on SISCI/BIP).
+struct Frame {
+  node_id_t src_node = kInvalidNode;
+  node_id_t dst_node = kInvalidNode;
+
+  /// Circuit-local sequence number (debugging / ordering assertions).
+  std::uint64_t seq = 0;
+
+  /// Driver-defined frame kind (e.g. control vs data).
+  std::uint16_t kind = 0;
+
+  /// Index of the user block within its message, and whether more frames of
+  /// the same message follow. Lets receivers reassemble multi-frame messages.
+  std::uint16_t block_index = 0;
+  bool last_of_message = true;
+
+  /// True when the frame was DMA'd straight into a posted user buffer
+  /// (receiver must not charge a bounce-copy for it).
+  bool zero_copy = false;
+
+  /// Virtual timestamps stamped by the sending driver / the link.
+  usec_t depart_time = 0.0;
+  usec_t arrival_time = 0.0;
+
+  std::vector<std::byte> payload;
+};
+
+}  // namespace madmpi::sim

@@ -1,0 +1,239 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace madmpi::sim {
+
+ClusterSpec ClusterSpec::homogeneous(int count, Protocol protocol,
+                                     int ranks_per_node) {
+  ClusterSpec spec;
+  NetworkSpec net;
+  net.protocol = protocol;
+  for (int i = 0; i < count; ++i) {
+    NodeSpec node;
+    node.name = "node" + std::to_string(i);
+    node.ranks = ranks_per_node;
+    spec.nodes.push_back(node);
+    net.members.push_back(node.name);
+  }
+  spec.networks.push_back(std::move(net));
+  return spec;
+}
+
+ClusterSpec ClusterSpec::cluster_of_clusters(int sci_nodes, int myri_nodes,
+                                             int ranks_per_node) {
+  ClusterSpec spec;
+  NetworkSpec tcp{Protocol::kTcp, 0, {}};
+  NetworkSpec sci{Protocol::kSisci, 0, {}};
+  NetworkSpec myri{Protocol::kBip, 0, {}};
+  for (int i = 0; i < sci_nodes; ++i) {
+    NodeSpec node;
+    node.name = "sci" + std::to_string(i);
+    node.ranks = ranks_per_node;
+    spec.nodes.push_back(node);
+    tcp.members.push_back(node.name);
+    sci.members.push_back(node.name);
+  }
+  for (int i = 0; i < myri_nodes; ++i) {
+    NodeSpec node;
+    node.name = "myri" + std::to_string(i);
+    node.ranks = ranks_per_node;
+    spec.nodes.push_back(node);
+    tcp.members.push_back(node.name);
+    myri.members.push_back(node.name);
+  }
+  spec.networks.push_back(std::move(tcp));
+  if (sci_nodes > 1) spec.networks.push_back(std::move(sci));
+  if (myri_nodes > 1) spec.networks.push_back(std::move(myri));
+  return spec;
+}
+
+namespace {
+
+Status parse_key_value(const std::string& token, const std::string& key,
+                       int* out) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    return {ErrorCode::kInvalidArgument, "expected " + prefix + "N"};
+  }
+  try {
+    *out = std::stoi(token.substr(prefix.size()));
+  } catch (const std::exception&) {
+    return {ErrorCode::kInvalidArgument, "bad integer in " + token};
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status ClusterSpec::parse(const std::string& text, ClusterSpec* out) {
+  ClusterSpec spec;
+  std::istringstream stream(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(stream, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) continue;  // blank line
+
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (word == "node") {
+      NodeSpec node;
+      if (!(words >> node.name)) {
+        return {ErrorCode::kInvalidArgument, "node needs a name" + where};
+      }
+      std::string option;
+      while (words >> option) {
+        Status status;
+        if (option.rfind("cpus=", 0) == 0) {
+          status = parse_key_value(option, "cpus", &node.cpus);
+        } else if (option.rfind("ranks=", 0) == 0) {
+          status = parse_key_value(option, "ranks", &node.ranks);
+        } else if (option == "endian=big") {
+          node.big_endian = true;
+        } else if (option == "endian=little") {
+          node.big_endian = false;
+        } else {
+          return {ErrorCode::kInvalidArgument,
+                  "unknown node option " + option + where};
+        }
+        if (!status) return status;
+      }
+      spec.nodes.push_back(std::move(node));
+    } else if (word == "network") {
+      NetworkSpec net;
+      std::string keyword;
+      if (!(words >> keyword)) {
+        return {ErrorCode::kInvalidArgument,
+                "network needs a protocol" + where};
+      }
+      auto protocol = protocol_from_keyword(keyword);
+      if (!protocol) {
+        return {ErrorCode::kInvalidArgument,
+                "unknown protocol " + keyword + where};
+      }
+      net.protocol = *protocol;
+      std::string member;
+      while (words >> member) {
+        if (member.rfind("adapter=", 0) == 0) {
+          int adapter = 0;
+          if (auto status = parse_key_value(member, "adapter", &adapter);
+              !status) {
+            return status;
+          }
+          net.adapter = adapter;
+        } else {
+          net.members.push_back(member);
+        }
+      }
+      spec.networks.push_back(std::move(net));
+    } else {
+      return {ErrorCode::kInvalidArgument, "unknown keyword " + word + where};
+    }
+  }
+  if (auto status = spec.validate(); !status) return status;
+  *out = std::move(spec);
+  return Status::ok();
+}
+
+Status ClusterSpec::validate() const {
+  if (nodes.empty()) {
+    return {ErrorCode::kInvalidArgument, "cluster has no nodes"};
+  }
+  for (const auto& node : nodes) {
+    if (node.ranks < 1 || node.cpus < 1) {
+      return {ErrorCode::kInvalidArgument,
+              "node " + node.name + " needs ranks >= 1 and cpus >= 1"};
+    }
+    const auto matches = std::count_if(
+        nodes.begin(), nodes.end(),
+        [&](const NodeSpec& other) { return other.name == node.name; });
+    if (matches != 1) {
+      return {ErrorCode::kInvalidArgument,
+              "duplicate node name " + node.name};
+    }
+  }
+  for (const auto& net : networks) {
+    if (net.members.size() < 2) {
+      return {ErrorCode::kInvalidArgument,
+              "network " + std::string(protocol_keyword(net.protocol)) +
+                  " needs at least 2 members"};
+    }
+    for (const auto& member : net.members) {
+      if (!node_index(member)) {
+        return {ErrorCode::kInvalidArgument,
+                "network references unknown node " + member};
+      }
+    }
+  }
+  return Status::ok();
+}
+
+int ClusterSpec::total_ranks() const {
+  int total = 0;
+  for (const auto& node : nodes) total += node.ranks;
+  return total;
+}
+
+std::optional<int> ClusterSpec::node_index(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+std::pair<int, int> ClusterSpec::rank_location(rank_t rank) const {
+  MADMPI_CHECK(rank >= 0);
+  int remaining = rank;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (remaining < nodes[i].ranks) {
+      return {static_cast<int>(i), remaining};
+    }
+    remaining -= nodes[i].ranks;
+  }
+  fatal("rank " + std::to_string(rank) + " beyond cluster size");
+}
+
+std::vector<Protocol> ClusterSpec::common_protocols(int node_a,
+                                                    int node_b) const {
+  std::vector<Protocol> out;
+  const std::string& name_a = nodes[static_cast<std::size_t>(node_a)].name;
+  const std::string& name_b = nodes[static_cast<std::size_t>(node_b)].name;
+  for (const auto& net : networks) {
+    const bool has_a =
+        std::find(net.members.begin(), net.members.end(), name_a) !=
+        net.members.end();
+    const bool has_b =
+        std::find(net.members.begin(), net.members.end(), name_b) !=
+        net.members.end();
+    if (has_a && has_b &&
+        std::find(out.begin(), out.end(), net.protocol) == out.end()) {
+      out.push_back(net.protocol);
+    }
+  }
+  return out;
+}
+
+std::optional<Protocol> protocol_from_keyword(const std::string& word) {
+  if (word == "tcp" || word == "ethernet") return Protocol::kTcp;
+  if (word == "sci" || word == "sisci") return Protocol::kSisci;
+  if (word == "myrinet" || word == "bip") return Protocol::kBip;
+  if (word == "shmem") return Protocol::kShmem;
+  return std::nullopt;
+}
+
+const char* protocol_keyword(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kSisci: return "sci";
+    case Protocol::kBip: return "myrinet";
+    case Protocol::kShmem: return "shmem";
+  }
+  return "?";
+}
+
+}  // namespace madmpi::sim

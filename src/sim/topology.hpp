@@ -1,0 +1,75 @@
+// Cluster topology specification: which machines exist, which networks
+// connect them, and how many MPI ranks each machine hosts. Mirrors the
+// paper's "cluster of clusters": every node on Fast-Ethernet, subsets also
+// on SCI and/or Myrinet.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/cost_model.hpp"
+
+namespace madmpi::sim {
+
+struct NicSpec {
+  Protocol protocol = Protocol::kTcp;
+  adapter_id_t adapter = 0;
+};
+
+struct NodeSpec {
+  std::string name;
+  int cpus = 2;    // dual-PentiumII nodes in the paper's testbed
+  int ranks = 1;   // MPI processes hosted on this node
+  /// Declared byte order: heterogeneous clusters may mix endianness, and
+  /// the ADI's heterogeneity management converts on the receiving side.
+  bool big_endian = false;
+};
+
+/// A physical network: a protocol/adapter pair plus its member nodes
+/// (named). Every member gets a NIC; members are pairwise connected.
+struct NetworkSpec {
+  Protocol protocol = Protocol::kTcp;
+  adapter_id_t adapter = 0;
+  std::vector<std::string> members;
+};
+
+struct ClusterSpec {
+  std::vector<NodeSpec> nodes;
+  std::vector<NetworkSpec> networks;
+
+  /// `count` identical nodes all connected by one network of `protocol`.
+  static ClusterSpec homogeneous(int count, Protocol protocol,
+                                 int ranks_per_node = 1);
+
+  /// The paper's meta-cluster: `sci_nodes` machines on SCI, `myri_nodes`
+  /// machines on Myrinet, everything also connected by Fast-Ethernet.
+  static ClusterSpec cluster_of_clusters(int sci_nodes, int myri_nodes,
+                                         int ranks_per_node = 1);
+
+  /// Parse the tiny text format:
+  ///   node <name> [cpus=N] [ranks=N]
+  ///   network <tcp|sci|myrinet> [adapter=N] <name>...
+  /// '#' starts a comment. Returns an error status on malformed input.
+  static Status parse(const std::string& text, ClusterSpec* out);
+
+  Status validate() const;
+
+  int total_ranks() const;
+  std::optional<int> node_index(const std::string& name) const;
+
+  /// Map a global rank to (node index, local index on that node). Ranks are
+  /// laid out node-major: node 0 hosts ranks [0, ranks0), etc.
+  std::pair<int, int> rank_location(rank_t rank) const;
+
+  /// Protocols shared by two nodes (every network containing both).
+  std::vector<Protocol> common_protocols(int node_a, int node_b) const;
+};
+
+/// Protocol <-> config-file keyword.
+std::optional<Protocol> protocol_from_keyword(const std::string& word);
+const char* protocol_keyword(Protocol protocol);
+
+}  // namespace madmpi::sim

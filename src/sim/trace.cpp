@@ -1,0 +1,71 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace madmpi::sim {
+
+const char* trace_category_name(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kSend: return "send";
+    case TraceCategory::kArrive: return "arrive";
+    case TraceCategory::kDispatch: return "dispatch";
+    case TraceCategory::kMatch: return "match";
+    case TraceCategory::kComplete: return "complete";
+    case TraceCategory::kRelay: return "relay";
+  }
+  return "?";
+}
+
+void Tracer::record(usec_t time_us, node_id_t node, TraceCategory category,
+                    std::uint64_t bytes, const char* label) {
+  TraceEvent event;
+  event.time_us = time_us;
+  event.node = node;
+  event.category = category;
+  event.bytes = bytes;
+  std::strncpy(event.label, label, sizeof event.label - 1);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string Tracer::to_csv() const {
+  auto events = snapshot();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time_us < b.time_us;
+                   });
+  std::string out = "time_us,node,category,bytes,label\n";
+  char line[128];
+  for (const auto& event : events) {
+    std::snprintf(line, sizeof line, "%.3f,%d,%s,%llu,%s\n", event.time_us,
+                  event.node, trace_category_name(event.category),
+                  static_cast<unsigned long long>(event.bytes), event.label);
+    out += line;
+  }
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace madmpi::sim

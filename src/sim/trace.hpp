@@ -1,0 +1,78 @@
+// Event tracing: a timeline of protocol events in virtual time.
+//
+// When enabled, the transport and device layers record one event per
+// message milestone (injection, arrival, dispatch, rendezvous steps).
+// Dumps render as CSV for timeline tools or as an aligned text log —
+// the observability a simulator owes its users.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace madmpi::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kSend,      // message injected into a channel
+  kArrive,    // control frame arrival observed by a poller
+  kDispatch,  // device packet dispatched (eager deliver, rndv step...)
+  kMatch,     // matching decision (posted hit / unexpected store)
+  kComplete,  // request completion
+  kRelay,     // gateway forwarding hop
+};
+
+const char* trace_category_name(TraceCategory category);
+
+struct TraceEvent {
+  usec_t time_us = 0.0;
+  node_id_t node = kInvalidNode;
+  TraceCategory category = TraceCategory::kSend;
+  std::uint64_t bytes = 0;
+  // Small fixed-size label (channel or packet kind); avoids allocation on
+  // the hot path.
+  char label[24] = {};
+};
+
+/// A bounded, thread-safe event sink. Disabled by default: recording is a
+/// single relaxed atomic load when off.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16) { events_.reserve(capacity); }
+
+  void enable() { enabled_.store(true, std::memory_order_release); }
+  void disable() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  void record(usec_t time_us, node_id_t node, TraceCategory category,
+              std::uint64_t bytes, const char* label);
+
+  std::size_t size() const;
+  std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// Events sorted by virtual time, rendered as CSV with a header row.
+  std::string to_csv() const;
+
+  /// The process-wide tracer every hook reports to.
+  static Tracer& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Convenience hook: record into the global tracer when it is enabled.
+inline void trace(usec_t time_us, node_id_t node, TraceCategory category,
+                  std::uint64_t bytes, const char* label) {
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) {
+    tracer.record(time_us, node, category, bytes, label);
+  }
+}
+
+}  // namespace madmpi::sim

@@ -1,0 +1,108 @@
+// Per-node virtual clocks with per-thread lanes.
+//
+// Ranks, polling threads and temporary protocol threads are real OS
+// threads, but time is simulated. A naive single clock per node breaks
+// causality under concurrency: a polling thread that synchronizes to a
+// late arrival would inflate the departure timestamps of *independent*
+// work other threads do on the same node (and the inflation depends on
+// host scheduling — goodbye determinism).
+//
+// So each (thread, clock) pair owns a *lane*: the thread's causal time on
+// that node. advance() and sync_to() act on the caller's lane; causal
+// edges between threads are expressed explicitly — message arrival
+// timestamps, semaphore release stamps, and bind_lane() at thread spawn.
+// The clock itself keeps a monotone high-water mark over all lanes, which
+// is what external observers (tests, stats) read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace madmpi::sim {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(usec_t start) { reset(start); }
+
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  /// The calling thread's causal time on this clock. A thread's first
+  /// touch adopts the current high-water mark (right for observers and
+  /// sequential phases; causally-spawned threads use bind_lane instead).
+  usec_t now() const { return lane().time; }
+
+  /// Charge `dt` microseconds of local work to the caller's lane.
+  usec_t advance(usec_t dt) {
+    Lane& lane_ref = lane();
+    lane_ref.time += dt;
+    raise_high_water(lane_ref.time);
+    return lane_ref.time;
+  }
+
+  /// Move the caller's lane forward to at least `t` (message arrival,
+  /// semaphore release stamp, ...). Never moves backwards.
+  usec_t sync_to(usec_t t) {
+    Lane& lane_ref = lane();
+    if (lane_ref.time < t) {
+      lane_ref.time = t;
+      raise_high_water(t);
+    }
+    return lane_ref.time;
+  }
+
+  /// Set the caller's lane explicitly — used at thread spawn to hand the
+  /// new thread its causal birth time.
+  void bind_lane(usec_t t) {
+    Lane& lane_ref = lane();
+    lane_ref.time = t;
+    raise_high_water(t);
+  }
+
+  /// Largest time any lane has reached (what tests and stats observe).
+  usec_t high_water() const {
+    return high_water_.load(std::memory_order_acquire);
+  }
+
+  /// Restart from `t`: bumps the generation so every thread's stale lane
+  /// reinitializes on next touch.
+  void reset(usec_t t = 0.0) {
+    high_water_.store(t, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  struct Lane {
+    usec_t time = 0.0;
+    std::uint64_t generation = 0;
+  };
+
+  Lane& lane() const {
+    thread_local std::unordered_map<const VirtualClock*, Lane> lanes;
+    Lane& lane_ref = lanes[this];
+    const std::uint64_t generation =
+        generation_.load(std::memory_order_acquire);
+    if (lane_ref.generation != generation) {
+      lane_ref.generation = generation;
+      lane_ref.time = high_water();
+    }
+    return lane_ref;
+  }
+
+  void raise_high_water(usec_t t) {
+    usec_t observed = high_water_.load(std::memory_order_relaxed);
+    while (observed < t &&
+           !high_water_.compare_exchange_weak(observed, t,
+                                              std::memory_order_acq_rel)) {
+    }
+  }
+
+  std::atomic<usec_t> high_water_{0.0};
+  std::atomic<std::uint64_t> generation_{1};
+};
+
+}  // namespace madmpi::sim

@@ -1,0 +1,85 @@
+// Calibration guardrails: the simulated stack must stay close to the
+// paper's published numbers (Tables 1 and 2). Tolerances are deliberately
+// loose — the goal is shape fidelity, and these tests pin the anchors so a
+// refactor cannot silently drift the cost models.
+#include <gtest/gtest.h>
+
+#include "core/pingpong.hpp"
+#include "core/session.hpp"
+
+namespace madmpi {
+namespace {
+
+using core::Session;
+
+struct Anchor {
+  sim::Protocol protocol;
+  double raw_latency_us;     // Table 1 (4 B message)
+  double raw_bandwidth;      // Table 1 (8 MB message), MB/s
+  double chmad_latency0_us;  // Table 2, 0 B
+  double chmad_latency4_us;  // Table 2, 4 B
+  double chmad_bandwidth;    // Table 2, 8 MB, MB/s
+};
+
+// Paper values.
+const Anchor kAnchors[] = {
+    {sim::Protocol::kTcp, 121.0, 11.2, 130.0, 148.7, 11.2},
+    {sim::Protocol::kBip, 9.2, 122.0, 16.9, 18.9, 115.0},
+    {sim::Protocol::kSisci, 4.4, 82.6, 13.0, 20.0, 82.5},
+};
+
+class CalibrationTest : public ::testing::TestWithParam<Anchor> {};
+
+TEST_P(CalibrationTest, RawMadeleineMatchesTable1) {
+  const Anchor& anchor = GetParam();
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, anchor.protocol);
+  Session session(std::move(options));
+  mad::Channel* channel = &session.open_raw_channel();
+
+  const auto latency = core::raw_madeleine_pingpong(*channel, 0, 1, 4);
+  EXPECT_NEAR(latency.one_way_us, anchor.raw_latency_us,
+              anchor.raw_latency_us * 0.15)
+      << "raw latency off for " << sim::protocol_name(anchor.protocol);
+
+  const auto bandwidth =
+      core::raw_madeleine_pingpong(*channel, 0, 1, 8u << 20, 1);
+  EXPECT_NEAR(bandwidth.bandwidth_mb_s, anchor.raw_bandwidth,
+              anchor.raw_bandwidth * 0.10)
+      << "raw bandwidth off for " << sim::protocol_name(anchor.protocol);
+}
+
+TEST_P(CalibrationTest, ChMadMatchesTable2) {
+  const Anchor& anchor = GetParam();
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, anchor.protocol);
+  Session session(std::move(options));
+
+  const auto lat0 = core::mpi_pingpong(session, 0);
+  EXPECT_NEAR(lat0.one_way_us, anchor.chmad_latency0_us,
+              anchor.chmad_latency0_us * 0.25)
+      << "0-byte ch_mad latency off for "
+      << sim::protocol_name(anchor.protocol);
+
+  const auto lat4 = core::mpi_pingpong(session, 4);
+  EXPECT_NEAR(lat4.one_way_us, anchor.chmad_latency4_us,
+              anchor.chmad_latency4_us * 0.25)
+      << "4-byte ch_mad latency off for "
+      << sim::protocol_name(anchor.protocol);
+
+  const auto bw = core::mpi_pingpong(session, 8u << 20, 1);
+  EXPECT_NEAR(bw.bandwidth_mb_s, anchor.chmad_bandwidth,
+              anchor.chmad_bandwidth * 0.15)
+      << "8 MB ch_mad bandwidth off for "
+      << sim::protocol_name(anchor.protocol);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, CalibrationTest,
+                         ::testing::ValuesIn(kAnchors),
+                         [](const auto& info) {
+                           return std::string(
+                               sim::protocol_name(info.param.protocol));
+                         });
+
+}  // namespace
+}  // namespace madmpi

@@ -1,0 +1,123 @@
+// Tests for cartesian topologies.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "mpi/cart.hpp"
+
+namespace madmpi::mpi {
+namespace {
+
+std::unique_ptr<core::Session> session_of(int ranks) {
+  core::Session::Options options;
+  options.cluster =
+      sim::ClusterSpec::homogeneous(ranks, sim::Protocol::kSisci);
+  return std::make_unique<core::Session>(std::move(options));
+}
+
+TEST(Cart, BalancedDims) {
+  EXPECT_EQ(CartComm::balanced_dims(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(CartComm::balanced_dims(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(CartComm::balanced_dims(7, 2), (std::vector<int>{7, 1}));
+  EXPECT_EQ(CartComm::balanced_dims(1, 2), (std::vector<int>{1, 1}));
+  EXPECT_EQ(CartComm::balanced_dims(36, 2), (std::vector<int>{6, 6}));
+}
+
+TEST(Cart, CoordsRankRoundTrip) {
+  auto session = session_of(6);
+  session->run([](Comm comm) {
+    const int dims[] = {3, 2};
+    const bool periods[] = {false, false};
+    CartComm cart = CartComm::create(comm, dims, periods);
+    ASSERT_TRUE(cart.valid());
+    EXPECT_EQ(cart.ndims(), 2);
+
+    // Row-major: rank = x*2 + y.
+    const auto mine = cart.my_coords();
+    EXPECT_EQ(cart.rank_at(mine), cart.comm().rank());
+    EXPECT_EQ(mine[0], cart.comm().rank() / 2);
+    EXPECT_EQ(mine[1], cart.comm().rank() % 2);
+
+    for (rank_t r = 0; r < cart.comm().size(); ++r) {
+      EXPECT_EQ(cart.rank_at(cart.coords(r)), r);
+    }
+  });
+}
+
+TEST(Cart, SurplusRanksGetInvalidComm) {
+  auto session = session_of(5);
+  session->run([](Comm comm) {
+    const int dims[] = {2, 2};
+    const bool periods[] = {false, false};
+    CartComm cart = CartComm::create(comm, dims, periods);
+    if (comm.rank() < 4) {
+      EXPECT_TRUE(cart.valid());
+    } else {
+      EXPECT_FALSE(cart.valid());
+    }
+  });
+}
+
+TEST(Cart, ShiftNonPeriodicBoundaries) {
+  auto session = session_of(4);
+  session->run([](Comm comm) {
+    const int dims[] = {4};
+    const bool periods[] = {false};
+    CartComm cart = CartComm::create(comm, dims, periods);
+    ASSERT_TRUE(cart.valid());
+    const auto shift = cart.shift(0, 1);
+    const int r = cart.comm().rank();
+    EXPECT_EQ(shift.dest, r == 3 ? kInvalidRank : r + 1);
+    EXPECT_EQ(shift.source, r == 0 ? kInvalidRank : r - 1);
+  });
+}
+
+TEST(Cart, ShiftPeriodicWraps) {
+  auto session = session_of(4);
+  session->run([](Comm comm) {
+    const int dims[] = {4};
+    const bool periods[] = {true};
+    CartComm cart = CartComm::create(comm, dims, periods);
+    const auto shift = cart.shift(0, 1);
+    const int r = cart.comm().rank();
+    EXPECT_EQ(shift.dest, (r + 1) % 4);
+    EXPECT_EQ(shift.source, (r + 3) % 4);
+    // Larger displacement also wraps.
+    const auto far = cart.shift(0, 3);
+    EXPECT_EQ(far.dest, (r + 3) % 4);
+  });
+}
+
+TEST(Cart, TorusHaloExchange) {
+  auto session = session_of(4);
+  session->run([](Comm comm) {
+    const int dims[] = {2, 2};
+    const bool periods[] = {true, true};
+    CartComm cart = CartComm::create(comm, dims, periods);
+    ASSERT_TRUE(cart.valid());
+    Comm& grid = cart.comm();
+
+    // Exchange along each dimension; verify the received value matches the
+    // expected neighbour rank.
+    for (int dim = 0; dim < 2; ++dim) {
+      const auto shift = cart.shift(dim, 1);
+      int mine = grid.rank();
+      int incoming = -1;
+      grid.sendrecv(&mine, 1, Datatype::int32(), shift.dest, dim, &incoming,
+                    1, Datatype::int32(), shift.source, dim);
+      EXPECT_EQ(incoming, shift.source);
+    }
+  });
+}
+
+TEST(Cart, GridLargerThanCommAborts) {
+  auto session = session_of(2);
+  session->run([](Comm comm) {
+    if (comm.rank() != 0) return;
+    const int dims[] = {2, 2};
+    const bool periods[] = {false, false};
+    EXPECT_DEATH(CartComm::create(comm, dims, periods), "larger");
+  });
+}
+
+}  // namespace
+}  // namespace madmpi::mpi

@@ -1,0 +1,215 @@
+// Tests for the classic MPI C facade.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/compat.hpp"
+#include "sim/topology.hpp"
+
+namespace madmpi {
+namespace {
+
+sim::ClusterSpec four_nodes() {
+  return sim::ClusterSpec::homogeneous(4, sim::Protocol::kSisci);
+}
+
+TEST(Compat, InitRankSizeFinalize) {
+  compat::run(four_nodes(), [] {
+    int flag = -1;
+    MPI_Initialized(&flag);
+    EXPECT_EQ(flag, 0);
+    MPI_Init(nullptr, nullptr);
+    MPI_Initialized(&flag);
+    EXPECT_EQ(flag, 1);
+
+    int rank = -1, size = 0;
+    EXPECT_EQ(MPI_Comm_rank(MPI_COMM_WORLD, &rank), MPI_SUCCESS);
+    EXPECT_EQ(MPI_Comm_size(MPI_COMM_WORLD, &size), MPI_SUCCESS);
+    EXPECT_EQ(size, 4);
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, 4);
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, SendRecvWithStatusAndGetCount) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      std::vector<double> data(10, 3.5);
+      MPI_Send(data.data(), 10, MPI_DOUBLE, 1, 99, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+      std::vector<double> data(32, 0.0);
+      MPI_Status status;
+      MPI_Recv(data.data(), 32, MPI_DOUBLE, MPI_ANY_SOURCE, MPI_ANY_TAG,
+               MPI_COMM_WORLD, &status);
+      EXPECT_EQ(status.MPI_SOURCE, 0);
+      EXPECT_EQ(status.MPI_TAG, 99);
+      int count = -1;
+      MPI_Get_count(&status, MPI_DOUBLE, &count);
+      EXPECT_EQ(count, 10);
+      EXPECT_EQ(data[9], 3.5);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, NonBlockingAndWaitall) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    const int right = (rank + 1) % size;
+    const int left = (rank + size - 1) % size;
+    int out = rank * 7;
+    int in = -1;
+    MPI_Request requests[2];
+    MPI_Irecv(&in, 1, MPI_INT, left, 5, MPI_COMM_WORLD, &requests[0]);
+    MPI_Isend(&out, 1, MPI_INT, right, 5, MPI_COMM_WORLD, &requests[1]);
+    MPI_Waitall(2, requests, MPI_STATUSES_IGNORE);
+    EXPECT_EQ(in, left * 7);
+    EXPECT_EQ(requests[0], MPI_REQUEST_NULL);
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, TestPollsUntilDone) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      int value = 0;
+      MPI_Request request;
+      MPI_Irecv(&value, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, &request);
+      int flag = 0;
+      MPI_Status status;
+      while (flag == 0) {
+        MPI_Test(&request, &flag, &status);
+      }
+      EXPECT_EQ(value, 1234);
+    } else if (rank == 1) {
+      int value = 1234;
+      MPI_Send(&value, 1, MPI_INT, 0, 0, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, CollectivesAndWtime) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+    const double t0 = MPI_Wtime();
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_GT(MPI_Wtime(), t0);
+
+    int root_value = rank == 2 ? 77 : -1;
+    MPI_Bcast(&root_value, 1, MPI_INT, 2, MPI_COMM_WORLD);
+    EXPECT_EQ(root_value, 77);
+
+    long long mine = rank + 1;
+    long long total = 0;
+    MPI_Allreduce(&mine, &total, 1, MPI_LONG_LONG, MPI_SUM, MPI_COMM_WORLD);
+    EXPECT_EQ(total, 10);
+
+    float gathered[4] = {-1, -1, -1, -1};
+    float contribution = static_cast<float>(rank) + 0.5f;
+    MPI_Gather(&contribution, 1, MPI_FLOAT, gathered, 1, MPI_FLOAT, 0,
+               MPI_COMM_WORLD);
+    if (rank == 0) {
+      for (int r = 0; r < size; ++r) EXPECT_EQ(gathered[r], r + 0.5f);
+    }
+
+    int scanned = 0;
+    int one = 1;
+    MPI_Scan(&one, &scanned, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+    EXPECT_EQ(scanned, rank + 1);
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, CommSplitAndFree) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+
+    MPI_Comm half;
+    MPI_Comm_split(MPI_COMM_WORLD, rank % 2, rank, &half);
+    ASSERT_NE(half, MPI_COMM_NULL);
+    int half_size;
+    MPI_Comm_size(half, &half_size);
+    EXPECT_EQ(half_size, 2);
+
+    MPI_Comm dup;
+    MPI_Comm_dup(half, &dup);
+    int dup_rank, half_rank;
+    MPI_Comm_rank(dup, &dup_rank);
+    MPI_Comm_rank(half, &half_rank);
+    EXPECT_EQ(dup_rank, half_rank);
+
+    MPI_Comm_free(&dup);
+    EXPECT_EQ(dup, MPI_COMM_NULL);
+    MPI_Comm_free(&half);
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, UndefinedColorGivesNullComm) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm sub;
+    MPI_Comm_split(MPI_COMM_WORLD, rank == 0 ? MPI_UNDEFINED : 0, 0, &sub);
+    if (rank == 0) {
+      EXPECT_EQ(sub, MPI_COMM_NULL);
+    } else {
+      ASSERT_NE(sub, MPI_COMM_NULL);
+      int sub_size;
+      MPI_Comm_size(sub, &sub_size);
+      EXPECT_EQ(sub_size, 3);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, ProbeAndIprobe) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      int data[3] = {1, 2, 3};
+      MPI_Send(data, 3, MPI_INT, 1, 8, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+      MPI_Status status;
+      MPI_Probe(0, 8, MPI_COMM_WORLD, &status);
+      int count;
+      MPI_Get_count(&status, MPI_INT, &count);
+      ASSERT_EQ(count, 3);
+      int flag = 0;
+      MPI_Iprobe(0, 8, MPI_COMM_WORLD, &flag, &status);
+      EXPECT_EQ(flag, 1);
+      int data[3];
+      MPI_Recv(data, 3, MPI_INT, 0, 8, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(data[2], 3);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, CallOutsideRunAborts) {
+  int rank;
+  EXPECT_DEATH(MPI_Comm_rank(MPI_COMM_WORLD, &rank), "outside");
+}
+
+}  // namespace
+}  // namespace madmpi

@@ -1,0 +1,386 @@
+// Extended C facade: derived datatypes, persistent requests, buffered
+// sends, multi-request completion, cartesian topologies — textbook MPI
+// patterns running unmodified.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/compat.hpp"
+#include "sim/topology.hpp"
+
+namespace madmpi {
+namespace {
+
+sim::ClusterSpec four_nodes() {
+  return sim::ClusterSpec::homogeneous(4, sim::Protocol::kSisci);
+}
+
+TEST(CompatExtended, DerivedDatatypeVector) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+
+    MPI_Datatype column;
+    MPI_Type_vector(4, 1, 4, MPI_INT, &column);
+    MPI_Type_commit(&column);
+    int type_size = 0;
+    MPI_Type_size(column, &type_size);
+    EXPECT_EQ(type_size, 16);
+
+    if (rank == 0) {
+      std::vector<int> matrix(16);
+      std::iota(matrix.begin(), matrix.end(), 0);
+      MPI_Send(matrix.data(), 1, column, 1, 0, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+      std::vector<int> col(4, -1);
+      MPI_Recv(col.data(), 4, MPI_INT, 0, 0, MPI_COMM_WORLD,
+               MPI_STATUS_IGNORE);
+      EXPECT_EQ(col, (std::vector<int>{0, 4, 8, 12}));
+    }
+    MPI_Type_free(&column);
+    MPI_Finalize();
+  });
+}
+
+TEST(CompatExtended, PackUnpack) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      char buffer[64];
+      int position = 0;
+      int header = 3;
+      double values[3] = {1.5, 2.5, 3.5};
+      int needed = 0;
+      MPI_Pack_size(3, MPI_DOUBLE, MPI_COMM_WORLD, &needed);
+      EXPECT_EQ(needed, 24);
+      MPI_Pack(&header, 1, MPI_INT, buffer, 64, &position, MPI_COMM_WORLD);
+      MPI_Pack(values, 3, MPI_DOUBLE, buffer, 64, &position, MPI_COMM_WORLD);
+      MPI_Send(buffer, position, MPI_BYTE, 1, 0, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+      char buffer[64];
+      MPI_Status status;
+      MPI_Recv(buffer, 64, MPI_BYTE, 0, 0, MPI_COMM_WORLD, &status);
+      int bytes = 0;
+      MPI_Get_count(&status, MPI_BYTE, &bytes);
+      int position = 0;
+      int header = 0;
+      MPI_Unpack(buffer, bytes, &position, &header, 1, MPI_INT,
+                 MPI_COMM_WORLD);
+      ASSERT_EQ(header, 3);
+      std::vector<double> values(3);
+      MPI_Unpack(buffer, bytes, &position, values.data(), 3, MPI_DOUBLE,
+                 MPI_COMM_WORLD);
+      EXPECT_EQ(values[2], 3.5);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(CompatExtended, PersistentHaloPattern) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    const int right = (rank + 1) % size;
+    const int left = (rank + size - 1) % size;
+
+    int out = 0;
+    int in = -1;
+    MPI_Request requests[2];
+    MPI_Recv_init(&in, 1, MPI_INT, left, 0, MPI_COMM_WORLD, &requests[0]);
+    MPI_Send_init(&out, 1, MPI_INT, right, 0, MPI_COMM_WORLD, &requests[1]);
+
+    for (int iter = 0; iter < 10; ++iter) {
+      out = rank * 100 + iter;
+      MPI_Startall(2, requests);
+      int flag = 0;
+      MPI_Testall(2, requests, &flag, MPI_STATUSES_IGNORE);
+      while (flag == 0) {
+        MPI_Testall(2, requests, &flag, MPI_STATUSES_IGNORE);
+      }
+      ASSERT_EQ(in, left * 100 + iter);
+    }
+    MPI_Request_free(&requests[0]);
+    MPI_Request_free(&requests[1]);
+    MPI_Finalize();
+  });
+}
+
+TEST(CompatExtended, BsendWithAttachedBuffer) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      static char pool[1 << 16];
+      MPI_Buffer_attach(pool, sizeof pool);
+      std::vector<int> data(1000, 7);
+      MPI_Bsend(data.data(), 1000, MPI_INT, 1, 0, MPI_COMM_WORLD);
+      std::fill(data.begin(), data.end(), -1);  // reusable immediately
+      void* detached = nullptr;
+      int detached_size = 0;
+      MPI_Buffer_detach(&detached, &detached_size);
+      EXPECT_EQ(detached_size, 1 << 16);
+    } else if (rank == 1) {
+      std::vector<int> data(1000, 0);
+      MPI_Recv(data.data(), 1000, MPI_INT, 0, 0, MPI_COMM_WORLD,
+               MPI_STATUS_IGNORE);
+      for (int v : data) ASSERT_EQ(v, 7);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(CompatExtended, WaitanyPicksCompleted) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      int a = -1, b = -1;
+      MPI_Request requests[2];
+      MPI_Irecv(&a, 1, MPI_INT, 1, 1, MPI_COMM_WORLD, &requests[0]);
+      MPI_Irecv(&b, 1, MPI_INT, 2, 2, MPI_COMM_WORLD, &requests[1]);
+      MPI_Status status;
+      int index = -1;
+      MPI_Waitany(2, requests, &index, &status);
+      ASSERT_TRUE(index == 0 || index == 1);
+      EXPECT_EQ(requests[index], MPI_REQUEST_NULL);
+      int second = -1;
+      MPI_Waitany(2, requests, &second, &status);
+      EXPECT_NE(second, index);
+      EXPECT_EQ(a, 111);
+      EXPECT_EQ(b, 222);
+    } else if (rank == 1) {
+      int v = 111;
+      MPI_Send(&v, 1, MPI_INT, 0, 1, MPI_COMM_WORLD);
+    } else if (rank == 2) {
+      int v = 222;
+      MPI_Send(&v, 1, MPI_INT, 0, 2, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(CompatExtended, CartesianTorus) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+    int dims[2] = {0, 0};
+    MPI_Dims_create(size, 2, dims);
+    EXPECT_EQ(dims[0] * dims[1], size);
+
+    int periods[2] = {1, 1};
+    MPI_Comm torus;
+    MPI_Cart_create(MPI_COMM_WORLD, 2, dims, periods, 0, &torus);
+    ASSERT_NE(torus, MPI_COMM_NULL);
+
+    int coords[2] = {-1, -1};
+    MPI_Cart_coords(torus, rank, 2, coords);
+    int back = -1;
+    MPI_Cart_rank(torus, coords, &back);
+    EXPECT_EQ(back, rank);
+
+    int source = MPI_PROC_NULL, dest = MPI_PROC_NULL;
+    MPI_Cart_shift(torus, 0, 1, &source, &dest);
+    ASSERT_NE(dest, MPI_PROC_NULL);  // periodic: always a neighbour
+
+    int token = rank;
+    int incoming = -1;
+    MPI_Sendrecv(&token, 1, MPI_INT, dest, 0, &incoming, 1, MPI_INT, source,
+                 0, torus, MPI_STATUS_IGNORE);
+    EXPECT_EQ(incoming, source);
+    MPI_Finalize();
+  });
+}
+
+TEST(CompatExtended, NonPeriodicBoundaryIsProcNull) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    int dims[1] = {4};
+    int periods[1] = {0};
+    MPI_Comm line;
+    MPI_Cart_create(MPI_COMM_WORLD, 1, dims, periods, 0, &line);
+    int source, dest;
+    MPI_Cart_shift(line, 0, 1, &source, &dest);
+    if (rank == 3) {
+      EXPECT_EQ(dest, MPI_PROC_NULL);
+    }
+    if (rank == 0) {
+      EXPECT_EQ(source, MPI_PROC_NULL);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(CompatExtended, GathervScattervAllgatherv) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+    // Ragged gatherv: rank r contributes r+1 ints.
+    std::vector<int> mine(static_cast<std::size_t>(rank + 1), rank);
+    const int counts[4] = {1, 2, 3, 4};
+    const int displs[4] = {0, 1, 3, 6};
+    std::vector<int> gathered(10, -1);
+    MPI_Gatherv(mine.data(), rank + 1, MPI_INT, gathered.data(), counts,
+                displs, MPI_INT, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+      EXPECT_EQ(gathered,
+                (std::vector<int>{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}));
+    }
+
+    // allgatherv: everyone sees the ragged concatenation.
+    std::vector<int> all(10, -1);
+    MPI_Allgatherv(mine.data(), rank + 1, MPI_INT, all.data(), counts,
+                   displs, MPI_INT, MPI_COMM_WORLD);
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}));
+
+    // scatterv sends each rank its slice back.
+    std::vector<int> back(static_cast<std::size_t>(rank + 1), -1);
+    MPI_Scatterv(rank == 0 ? all.data() : nullptr, counts, displs, MPI_INT,
+                 back.data(), rank + 1, MPI_INT, 0, MPI_COMM_WORLD);
+    EXPECT_EQ(back, mine);
+    MPI_Finalize();
+  });
+}
+
+TEST(CompatExtended, Alltoallv) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    // Uniform one int per peer (alltoallv degenerate case).
+    std::vector<int> out(static_cast<std::size_t>(size));
+    std::vector<int> counts(static_cast<std::size_t>(size), 1);
+    std::vector<int> displs(static_cast<std::size_t>(size));
+    for (int d = 0; d < size; ++d) {
+      out[static_cast<std::size_t>(d)] = rank * 10 + d;
+      displs[static_cast<std::size_t>(d)] = d;
+    }
+    std::vector<int> in(static_cast<std::size_t>(size), -1);
+    MPI_Alltoallv(out.data(), counts.data(), displs.data(), MPI_INT,
+                  in.data(), counts.data(), displs.data(), MPI_INT,
+                  MPI_COMM_WORLD);
+    for (int s = 0; s < size; ++s) {
+      ASSERT_EQ(in[static_cast<std::size_t>(s)], s * 10 + rank);
+    }
+    MPI_Finalize();
+  });
+}
+
+}  // namespace
+}  // namespace madmpi
+
+// Alltoallv lives in the C++ API; test it here alongside for convenience.
+#include "core/session.hpp"
+
+namespace madmpi {
+namespace {
+
+TEST(Alltoallv, RaggedExchange) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(3, sim::Protocol::kBip);
+  core::Session session(std::move(options));
+  session.run([](mpi::Comm comm) {
+    const int n = comm.size();
+    // Rank r sends (d + 1) ints to rank d, values r*100+d repeated.
+    std::vector<int> send_counts(static_cast<std::size_t>(n));
+    std::vector<int> send_displs(static_cast<std::size_t>(n));
+    std::vector<int> send_data;
+    for (int d = 0; d < n; ++d) {
+      send_counts[static_cast<std::size_t>(d)] = d + 1;
+      send_displs[static_cast<std::size_t>(d)] =
+          static_cast<int>(send_data.size());
+      for (int k = 0; k <= d; ++k) send_data.push_back(comm.rank() * 100 + d);
+    }
+    // Rank r receives (r + 1) ints from every source.
+    std::vector<int> recv_counts(static_cast<std::size_t>(n),
+                                 comm.rank() + 1);
+    std::vector<int> recv_displs(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      recv_displs[static_cast<std::size_t>(s)] = s * (comm.rank() + 1);
+    }
+    std::vector<int> recv_data(
+        static_cast<std::size_t>(n * (comm.rank() + 1)), -1);
+
+    comm.alltoallv(send_data.data(), send_counts, send_displs,
+                   mpi::Datatype::int32(), recv_data.data(), recv_counts,
+                   recv_displs, mpi::Datatype::int32());
+
+    for (int s = 0; s < n; ++s) {
+      for (int k = 0; k <= comm.rank(); ++k) {
+        ASSERT_EQ(recv_data[static_cast<std::size_t>(
+                      s * (comm.rank() + 1) + k)],
+                  s * 100 + comm.rank())
+            << "from " << s << " item " << k;
+      }
+    }
+  });
+}
+
+TEST(Alltoallv, ZeroCountsAreFine) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kTcp);
+  core::Session session(std::move(options));
+  session.run([](mpi::Comm comm) {
+    // Only rank 0 -> rank 1 carries data; all other blocks are empty.
+    std::vector<int> counts_send(2, 0), counts_recv(2, 0);
+    std::vector<int> displs(2, 0);
+    int payload = 5;
+    int received = -1;
+    if (comm.rank() == 0) counts_send[1] = 1;
+    if (comm.rank() == 1) counts_recv[0] = 1;
+    comm.alltoallv(&payload, counts_send, displs, mpi::Datatype::int32(),
+                   &received, counts_recv, displs, mpi::Datatype::int32());
+    if (comm.rank() == 1) {
+      EXPECT_EQ(received, 5);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace madmpi
+
+namespace madmpi {
+namespace {
+
+TEST(CompatExtended, WaitOnInactivePersistentIsImmediate) {
+  compat::run(sim::ClusterSpec::homogeneous(2, sim::Protocol::kTcp), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      int buf = 0;
+      MPI_Request request;
+      MPI_Recv_init(&buf, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, &request);
+      // Never started: wait/test must return immediately (MPI semantics
+      // for inactive persistent requests).
+      MPI_Wait(&request, MPI_STATUS_IGNORE);
+      int flag = 0;
+      MPI_Test(&request, &flag, MPI_STATUS_IGNORE);
+      EXPECT_EQ(flag, 1);
+      MPI_Testall(1, &request, &flag, MPI_STATUSES_IGNORE);
+      EXPECT_EQ(flag, 1);
+      MPI_Request_free(&request);
+      EXPECT_EQ(request, MPI_REQUEST_NULL);
+    }
+    MPI_Finalize();
+  });
+}
+
+}  // namespace
+}  // namespace madmpi

@@ -1,0 +1,142 @@
+// End-to-end from a topology description file: parse -> session -> traffic.
+// This is the path a downstream user takes (write a cluster file, run).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/session.hpp"
+
+namespace madmpi {
+namespace {
+
+using core::Session;
+using mpi::Comm;
+using mpi::Datatype;
+
+constexpr const char* kMetaClusterConfig = R"(
+# The paper's testbed, as a user would describe it.
+node sci0  cpus=2 ranks=2
+node sci1  cpus=2 ranks=2
+node myri0 cpus=2 ranks=1
+node myri1 cpus=2 ranks=1
+
+network tcp     sci0 sci1 myri0 myri1
+network sci     sci0 sci1
+network myrinet myri0 myri1
+)";
+
+TEST(ConfigIntegration, MetaClusterFromText) {
+  sim::ClusterSpec spec;
+  ASSERT_TRUE(sim::ClusterSpec::parse(kMetaClusterConfig, &spec).is_ok());
+  EXPECT_EQ(spec.total_ranks(), 6);
+
+  Session::Options options;
+  options.cluster = std::move(spec);
+  Session session(std::move(options));
+
+  // Routing shaped by the file: SCI inside, TCP across.
+  auto* device = session.ch_mad();
+  EXPECT_EQ(device->router().route(0, 1)->protocol(), sim::Protocol::kSisci);
+  EXPECT_EQ(device->router().route(2, 3)->protocol(), sim::Protocol::kBip);
+  EXPECT_EQ(device->router().route(0, 2)->protocol(), sim::Protocol::kTcp);
+  EXPECT_EQ(device->switch_point(), 8u * 1024u);
+
+  session.run([](Comm comm) {
+    // All-pairs exchange touching smp_plug (ranks 0/1 and 2/3 share
+    // nodes), SISCI, BIP and TCP.
+    std::vector<int> received(static_cast<std::size_t>(comm.size()), -1);
+    std::vector<mpi::Request> recvs;
+    for (int src = 0; src < comm.size(); ++src) {
+      if (src == comm.rank()) continue;
+      recvs.push_back(
+          comm.irecv(&received[static_cast<std::size_t>(src)], 1,
+                     Datatype::int32(), src, 0));
+    }
+    for (int dst = 0; dst < comm.size(); ++dst) {
+      if (dst == comm.rank()) continue;
+      int token = comm.rank() * 7;
+      comm.send(&token, 1, Datatype::int32(), dst, 0);
+    }
+    mpi::Request::wait_all(recvs);
+    for (int src = 0; src < comm.size(); ++src) {
+      if (src == comm.rank()) continue;
+      ASSERT_EQ(received[static_cast<std::size_t>(src)], src * 7);
+    }
+  });
+}
+
+TEST(ConfigIntegration, MixedEndianClusterFromText) {
+  sim::ClusterSpec spec;
+  ASSERT_TRUE(sim::ClusterSpec::parse(
+                  "node intel endian=little ranks=1\n"
+                  "node sparc endian=big ranks=1\n"
+                  "network myrinet intel sparc\n",
+                  &spec)
+                  .is_ok());
+  Session::Options options;
+  options.cluster = std::move(spec);
+  Session session(std::move(options));
+  session.run([](Comm comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<std::int64_t> out(64);
+    std::iota(out.begin(), out.end(), comm.rank() * 1000);
+    std::vector<std::int64_t> in(64, -1);
+    comm.sendrecv(out.data(), 64, Datatype::int64(), peer, 0, in.data(), 64,
+                  Datatype::int64(), peer, 0);
+    EXPECT_EQ(in[0], peer * 1000);
+    EXPECT_EQ(in[63], peer * 1000 + 63);
+  });
+}
+
+TEST(ConfigIntegration, ForwardedIslandsFromText) {
+  sim::ClusterSpec spec;
+  ASSERT_TRUE(sim::ClusterSpec::parse(
+                  "node a\nnode gw\nnode b\n"
+                  "network sci a gw\n"
+                  "network myrinet gw b\n",
+                  &spec)
+                  .is_ok());
+  Session::Options options;
+  options.cluster = std::move(spec);
+  options.enable_forwarding = true;
+  Session session(std::move(options));
+  session.run([](Comm comm) {
+    if (comm.rank() == 0) {
+      double value = 6.5;
+      comm.send(&value, 1, Datatype::float64(), 2, 0);
+    } else if (comm.rank() == 2) {
+      double value = 0.0;
+      comm.recv(&value, 1, Datatype::float64(), 0, 0);
+      EXPECT_EQ(value, 6.5);
+    }
+  });
+  EXPECT_GE(session.ch_mad()->forwarded(), 1u);
+}
+
+TEST(ConfigIntegration, StatsReportNamesFileChannels) {
+  sim::ClusterSpec spec;
+  ASSERT_TRUE(sim::ClusterSpec::parse(
+                  "node x\nnode y\nnetwork tcp x y\nnetwork sci x y\n",
+                  &spec)
+                  .is_ok());
+  Session::Options options;
+  options.cluster = std::move(spec);
+  Session session(std::move(options));
+  session.run([](Comm comm) { comm.barrier(); });
+
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  session.print_stats(sink);
+  std::rewind(sink);
+  char buffer[4096] = {};
+  const auto read = std::fread(buffer, 1, sizeof buffer - 1, sink);
+  std::fclose(sink);
+  ASSERT_GT(read, 0u);
+  const std::string report(buffer);
+  EXPECT_NE(report.find("tcp-0"), std::string::npos);
+  EXPECT_NE(report.find("sci-1"), std::string::npos);
+  EXPECT_NE(report.find("ch_mad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace madmpi

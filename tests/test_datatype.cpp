@@ -1,0 +1,212 @@
+// Tests for the MPI datatype engine.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "mpi/datatype.hpp"
+
+namespace madmpi::mpi {
+namespace {
+
+TEST(Datatype, PrimitiveSizes) {
+  EXPECT_EQ(Datatype::int8().size(), 1u);
+  EXPECT_EQ(Datatype::uint8().size(), 1u);
+  EXPECT_EQ(Datatype::int32().size(), 4u);
+  EXPECT_EQ(Datatype::uint32().size(), 4u);
+  EXPECT_EQ(Datatype::int64().size(), 8u);
+  EXPECT_EQ(Datatype::uint64().size(), 8u);
+  EXPECT_EQ(Datatype::float32().size(), 4u);
+  EXPECT_EQ(Datatype::float64().size(), 8u);
+  EXPECT_EQ(Datatype::byte().size(), 1u);
+}
+
+TEST(Datatype, PrimitivesAreContiguous) {
+  EXPECT_TRUE(Datatype::int32().is_contiguous());
+  EXPECT_EQ(Datatype::int32().extent(), Datatype::int32().size());
+  EXPECT_EQ(Datatype::float64().type_class(), TypeClass::kDouble);
+}
+
+TEST(Datatype, ContiguousOfPrimitive) {
+  const auto type = Datatype::contiguous(10, Datatype::int32());
+  EXPECT_EQ(type.size(), 40u);
+  EXPECT_EQ(type.extent(), 40u);
+  EXPECT_TRUE(type.is_contiguous());
+  EXPECT_EQ(type.type_class(), TypeClass::kInt32);
+  ASSERT_EQ(type.segments().size(), 1u);  // coalesced into one run
+}
+
+TEST(Datatype, VectorStridedLayout) {
+  // 3 blocks of 2 ints, stride 4 ints: |XX..|XX..|XX|
+  const auto type = Datatype::vector(3, 2, 4, Datatype::int32());
+  EXPECT_EQ(type.size(), 24u);
+  EXPECT_EQ(type.extent(), (2 * 4 + 2) * 4u);
+  EXPECT_FALSE(type.is_contiguous());
+  ASSERT_EQ(type.segments().size(), 3u);
+  EXPECT_EQ(type.segments()[1].offset, 16u);
+  EXPECT_EQ(type.segments()[1].length, 8u);
+}
+
+TEST(Datatype, VectorPackUnpackRoundTrip) {
+  const auto column = Datatype::vector(4, 1, 5, Datatype::int32());
+  // A 4x5 row-major matrix; the type extracts column 0.
+  std::array<int, 20> matrix;
+  std::iota(matrix.begin(), matrix.end(), 0);
+  std::array<std::byte, 16> wire;
+  column.pack(matrix.data(), 1, wire.data());
+  std::array<int, 4> unpacked;
+  std::memcpy(unpacked.data(), wire.data(), sizeof unpacked);
+  EXPECT_EQ(unpacked, (std::array<int, 4>{0, 5, 10, 15}));
+
+  std::array<int, 20> restored;
+  restored.fill(-1);
+  column.unpack(wire.data(), 1, restored.data());
+  EXPECT_EQ(restored[0], 0);
+  EXPECT_EQ(restored[5], 5);
+  EXPECT_EQ(restored[10], 10);
+  EXPECT_EQ(restored[15], 15);
+  EXPECT_EQ(restored[1], -1);  // untouched holes
+}
+
+TEST(Datatype, UnitStrideVectorCoalesces) {
+  const auto type = Datatype::vector(5, 1, 1, Datatype::float64());
+  EXPECT_TRUE(type.is_contiguous());
+  EXPECT_EQ(type.size(), 40u);
+}
+
+TEST(Datatype, IndexedRaggedBlocks) {
+  const int lengths[] = {2, 1, 3};
+  const int displs[] = {0, 4, 6};
+  const auto type = Datatype::indexed(lengths, displs, Datatype::int32());
+  EXPECT_EQ(type.size(), 24u);
+  EXPECT_EQ(type.extent(), 36u);  // up to element 9
+
+  std::array<int, 9> data{10, 11, 12, 13, 14, 15, 16, 17, 18};
+  std::array<std::byte, 24> wire;
+  type.pack(data.data(), 1, wire.data());
+  std::array<int, 6> packed;
+  std::memcpy(packed.data(), wire.data(), sizeof packed);
+  EXPECT_EQ(packed, (std::array<int, 6>{10, 11, 14, 16, 17, 18}));
+}
+
+TEST(Datatype, StructHeterogeneous) {
+  struct Particle {
+    double position[3];
+    float mass;
+    std::int32_t id;
+    std::int32_t padding_do_not_send;
+  };
+  const int lengths[] = {3, 1, 1};
+  const std::ptrdiff_t displs[] = {offsetof(Particle, position),
+                                   offsetof(Particle, mass),
+                                   offsetof(Particle, id)};
+  const Datatype types[] = {Datatype::float64(), Datatype::float32(),
+                            Datatype::int32()};
+  auto particle = Datatype::create_struct(lengths, displs, types);
+  particle = Datatype::resized(particle, sizeof(Particle));
+
+  EXPECT_EQ(particle.size(), 3 * 8 + 4 + 4u);
+  EXPECT_EQ(particle.extent(), sizeof(Particle));
+  EXPECT_EQ(particle.type_class(), TypeClass::kDerived);
+
+  std::array<Particle, 2> particles{};
+  particles[0] = {{1.0, 2.0, 3.0}, 0.5f, 7, -999};
+  particles[1] = {{4.0, 5.0, 6.0}, 1.5f, 8, -999};
+  std::vector<std::byte> wire(particle.size() * 2);
+  particle.pack(particles.data(), 2, wire.data());
+
+  std::array<Particle, 2> restored{};
+  restored[0].padding_do_not_send = 42;
+  particle.unpack(wire.data(), 2, restored.data());
+  EXPECT_EQ(restored[0].position[2], 3.0);
+  EXPECT_EQ(restored[1].position[0], 4.0);
+  EXPECT_EQ(restored[0].mass, 0.5f);
+  EXPECT_EQ(restored[1].id, 8);
+  EXPECT_EQ(restored[0].padding_do_not_send, 42);  // never transmitted
+}
+
+TEST(Datatype, NestedDerivedTypes) {
+  // vector of contiguous: 2 blocks of (3 ints), stride 2 in units of the
+  // inner type's extent.
+  const auto inner = Datatype::contiguous(3, Datatype::int32());
+  const auto outer = Datatype::vector(2, 1, 2, inner);
+  EXPECT_EQ(outer.size(), 24u);
+  EXPECT_EQ(outer.extent(), 3 * 4 * 2 + 12u);
+
+  std::array<int, 9> data{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<std::byte> wire(outer.size());
+  outer.pack(data.data(), 1, wire.data());
+  std::array<int, 6> packed;
+  std::memcpy(packed.data(), wire.data(), sizeof packed);
+  EXPECT_EQ(packed, (std::array<int, 6>{0, 1, 2, 6, 7, 8}));
+}
+
+TEST(Datatype, MultiElementPackUsesExtent) {
+  const auto type = Datatype::vector(2, 1, 2, Datatype::int32());
+  // extent = 3 ints (stride 2 blocks minus trailing hole -> 2*2-1 = 3).
+  EXPECT_EQ(type.extent(), 12u);
+  std::array<int, 7> data{0, 1, 2, 3, 4, 5, 6};
+  std::vector<std::byte> wire(type.size() * 2);
+  type.pack(data.data(), 2, wire.data());
+  std::array<int, 4> packed;
+  std::memcpy(packed.data(), wire.data(), sizeof packed);
+  // Element 0 picks data[0], data[2]; element 1 starts at data[3].
+  EXPECT_EQ(packed, (std::array<int, 4>{0, 2, 3, 5}));
+}
+
+TEST(Datatype, ResizedChangesExtentOnly) {
+  const auto base = Datatype::contiguous(2, Datatype::int32());
+  const auto resized = Datatype::resized(base, 32);
+  EXPECT_EQ(resized.size(), 8u);
+  EXPECT_EQ(resized.extent(), 32u);
+  EXPECT_FALSE(resized.is_contiguous());
+}
+
+TEST(Datatype, ZeroCountTypes) {
+  const auto type = Datatype::contiguous(0, Datatype::float64());
+  EXPECT_EQ(type.size(), 0u);
+  EXPECT_EQ(type.extent(), 0u);
+}
+
+TEST(Datatype, EqualityIsIdentity) {
+  const auto a = Datatype::int32();
+  const auto b = Datatype::int32();
+  EXPECT_TRUE(a == b);  // primitives share a singleton
+  const auto c = Datatype::contiguous(1, a);
+  EXPECT_FALSE(c == a);
+}
+
+TEST(Datatype, PropertyRandomIndexedRoundTrips) {
+  Rng rng(2026);
+  for (int round = 0; round < 50; ++round) {
+    const int blocks = static_cast<int>(rng.next_range(1, 8));
+    std::vector<int> lengths, displs;
+    int cursor = 0;
+    for (int b = 0; b < blocks; ++b) {
+      displs.push_back(cursor + static_cast<int>(rng.next_range(0, 3)));
+      lengths.push_back(static_cast<int>(rng.next_range(1, 5)));
+      cursor = displs.back() + lengths.back();
+    }
+    const auto type = Datatype::indexed(lengths, displs, Datatype::int32());
+    const int total = cursor;
+    std::vector<int> data(static_cast<std::size_t>(total));
+    std::iota(data.begin(), data.end(), round * 100);
+    std::vector<std::byte> wire(type.size());
+    type.pack(data.data(), 1, wire.data());
+    std::vector<int> restored(static_cast<std::size_t>(total), -1);
+    type.unpack(wire.data(), 1, restored.data());
+    for (int b = 0; b < blocks; ++b) {
+      for (int j = 0; j < lengths[b]; ++j) {
+        const int at = displs[b] + j;
+        ASSERT_EQ(restored[static_cast<std::size_t>(at)],
+                  data[static_cast<std::size_t>(at)])
+            << "round " << round;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace madmpi::mpi

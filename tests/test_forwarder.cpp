@@ -1,0 +1,203 @@
+// Gateway forwarding (the paper's Section 6 future work, implemented here):
+// Madeleine-level relay of messages across heterogeneous networks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "mad/forwarder.hpp"
+#include "mad/madeleine.hpp"
+
+namespace madmpi::mad {
+namespace {
+
+/// Topology: n0 --SCI-- n1(gateway) --Myrinet-- n2. n0 and n2 share no
+/// network; traffic crosses via forwarding channels on n1.
+struct GatewayWorld {
+  GatewayWorld() : madeleine(fabric, make_spec()) {
+    sci = &madeleine.open_channel(madeleine.cluster().networks[0], "fwd-sci");
+    myri =
+        &madeleine.open_channel(madeleine.cluster().networks[1], "fwd-myri");
+    forwarder = std::make_unique<Forwarder>(fabric.node(1));
+    forwarder->add_ingress(sci->at(1));
+    forwarder->add_ingress(myri->at(1));
+    forwarder->add_route(2, myri->at(1), 2);
+    forwarder->add_route(0, sci->at(1), 0);
+    forwarder->start();
+  }
+
+  ~GatewayWorld() {
+    madeleine.close_all();
+    forwarder->stop();
+  }
+
+  static sim::ClusterSpec make_spec() {
+    sim::ClusterSpec spec;
+    for (const char* name : {"n0", "n1", "n2"}) {
+      sim::NodeSpec node;
+      node.name = name;
+      spec.nodes.push_back(node);
+    }
+    spec.networks.push_back({sim::Protocol::kSisci, 0, {"n0", "n1"}});
+    spec.networks.push_back({sim::Protocol::kBip, 0, {"n1", "n2"}});
+    return spec;
+  }
+
+  sim::Fabric fabric;
+  Madeleine madeleine;
+  Channel* sci = nullptr;
+  Channel* myri = nullptr;
+  std::unique_ptr<Forwarder> forwarder;
+};
+
+TEST(Forwarder, SingleHopRelayPreservesPayload) {
+  GatewayWorld world;
+
+  std::thread sender([&] {
+    std::vector<char> body(5000, 'f');
+    int size = static_cast<int>(body.size());
+    Packing packing = begin_forward_packing(*world.sci->at(0), 1, 2);
+    packing.pack(&size, sizeof size, SendMode::kSafer, RecvMode::kExpress);
+    packing.pack(body.data(), body.size(), SendMode::kSafer,
+                 RecvMode::kCheaper);
+    packing.end_packing();
+  });
+
+  auto incoming = world.myri->at(2)->begin_unpacking();
+  ASSERT_TRUE(incoming.has_value());
+  const ForwardHeader header = read_forward_header(*incoming);
+  EXPECT_EQ(header.origin, 0);
+  EXPECT_EQ(header.final_dst, 2);
+  EXPECT_EQ(header.hops, 1);
+  int size = 0;
+  incoming->unpack(&size, sizeof size, SendMode::kSafer, RecvMode::kExpress);
+  ASSERT_EQ(size, 5000);
+  std::vector<char> body(static_cast<std::size_t>(size));
+  incoming->unpack(body.data(), body.size(), SendMode::kSafer,
+                   RecvMode::kCheaper);
+  incoming->end_unpacking();
+  EXPECT_EQ(body[0], 'f');
+  EXPECT_EQ(body[4999], 'f');
+  EXPECT_EQ(world.forwarder->forwarded(), 1u);
+  sender.join();
+}
+
+TEST(Forwarder, ReverseDirectionWorksToo) {
+  GatewayWorld world;
+  std::thread sender([&] {
+    double value = 2.75;
+    Packing packing = begin_forward_packing(*world.myri->at(2), 1, 0);
+    packing.pack(&value, sizeof value, SendMode::kSafer, RecvMode::kExpress);
+    packing.end_packing();
+  });
+  auto incoming = world.sci->at(0)->begin_unpacking();
+  ASSERT_TRUE(incoming.has_value());
+  const ForwardHeader header = read_forward_header(*incoming);
+  EXPECT_EQ(header.origin, 2);
+  double value = 0.0;
+  incoming->unpack(&value, sizeof value, SendMode::kSafer,
+                   RecvMode::kExpress);
+  incoming->end_unpacking();
+  EXPECT_EQ(value, 2.75);
+  sender.join();
+}
+
+TEST(Forwarder, ManyMessagesStayOrdered) {
+  GatewayWorld world;
+  constexpr int kMessages = 30;
+  std::thread sender([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      Packing packing = begin_forward_packing(*world.sci->at(0), 1, 2);
+      packing.pack(&i, sizeof i, SendMode::kSafer, RecvMode::kExpress);
+      packing.end_packing();
+    }
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    auto incoming = world.myri->at(2)->begin_unpacking();
+    ASSERT_TRUE(incoming.has_value());
+    read_forward_header(*incoming);
+    int seq = -1;
+    incoming->unpack(&seq, sizeof seq, SendMode::kSafer, RecvMode::kExpress);
+    incoming->end_unpacking();
+    ASSERT_EQ(seq, i);
+  }
+  EXPECT_EQ(world.forwarder->forwarded(), kMessages);
+  sender.join();
+}
+
+TEST(Forwarder, VirtualTimeCoversBothHops) {
+  GatewayWorld world;
+  std::thread sender([&] {
+    int token = 1;
+    Packing packing = begin_forward_packing(*world.sci->at(0), 1, 2);
+    packing.pack(&token, sizeof token, SendMode::kSafer, RecvMode::kExpress);
+    packing.end_packing();
+  });
+  auto incoming = world.myri->at(2)->begin_unpacking();
+  ASSERT_TRUE(incoming.has_value());
+  read_forward_header(*incoming);
+  int token = 0;
+  incoming->unpack(&token, sizeof token, SendMode::kSafer,
+                   RecvMode::kExpress);
+  incoming->end_unpacking();
+  // SCI hop (~4 us) + gateway handling + BIP hop (~9 us): the receiver's
+  // clock must reflect both wire traversals.
+  EXPECT_GT(world.fabric.node(2).clock().now(), 12.0);
+  sender.join();
+}
+
+TEST(Forwarder, TwoHopChain) {
+  // n0 --SCI-- n1 --TCP-- n2 --Myrinet-- n3, forwarded twice.
+  sim::ClusterSpec spec;
+  for (const char* name : {"n0", "n1", "n2", "n3"}) {
+    sim::NodeSpec node;
+    node.name = name;
+    spec.nodes.push_back(node);
+  }
+  spec.networks.push_back({sim::Protocol::kSisci, 0, {"n0", "n1"}});
+  spec.networks.push_back({sim::Protocol::kTcp, 0, {"n1", "n2"}});
+  spec.networks.push_back({sim::Protocol::kBip, 0, {"n2", "n3"}});
+
+  sim::Fabric fabric;
+  Madeleine madeleine(fabric, spec);
+  Channel& sci = madeleine.open_channel(spec.networks[0], "hop0");
+  Channel& tcp = madeleine.open_channel(spec.networks[1], "hop1");
+  Channel& myri = madeleine.open_channel(spec.networks[2], "hop2");
+
+  Forwarder gw1(fabric.node(1));
+  gw1.add_ingress(sci.at(1));
+  gw1.add_route(3, tcp.at(1), 2);  // not the final destination: next hop
+  gw1.start();
+
+  Forwarder gw2(fabric.node(2));
+  gw2.add_ingress(tcp.at(2));
+  gw2.add_route(3, myri.at(2), 3);
+  gw2.start();
+
+  std::thread sender([&] {
+    std::uint64_t payload = 0xabcdef;
+    Packing packing = begin_forward_packing(*sci.at(0), 1, 3);
+    packing.pack(&payload, sizeof payload, SendMode::kSafer,
+                 RecvMode::kExpress);
+    packing.end_packing();
+  });
+
+  auto incoming = myri.at(3)->begin_unpacking();
+  ASSERT_TRUE(incoming.has_value());
+  const ForwardHeader header = read_forward_header(*incoming);
+  EXPECT_EQ(header.hops, 2);
+  EXPECT_EQ(header.origin, 0);
+  std::uint64_t payload = 0;
+  incoming->unpack(&payload, sizeof payload, SendMode::kSafer,
+                   RecvMode::kExpress);
+  incoming->end_unpacking();
+  EXPECT_EQ(payload, 0xabcdefu);
+  sender.join();
+
+  madeleine.close_all();
+  gw1.stop();
+  gw2.stop();
+}
+
+}  // namespace
+}  // namespace madmpi::mad

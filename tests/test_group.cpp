@@ -1,0 +1,161 @@
+// Tests for process groups and group-based communicator creation.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "mpi/group.hpp"
+
+namespace madmpi::mpi {
+namespace {
+
+TEST(Group, EmptyAndBasics) {
+  Group empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.rank_of(0), -1);
+
+  Group group({4, 2, 7});
+  EXPECT_EQ(group.size(), 3);
+  EXPECT_EQ(group.world_rank(0), 4);
+  EXPECT_EQ(group.world_rank(2), 7);
+  EXPECT_EQ(group.rank_of(2), 1);
+  EXPECT_EQ(group.rank_of(9), -1);
+  EXPECT_TRUE(group.contains(7));
+  EXPECT_FALSE(group.contains(5));
+}
+
+TEST(Group, DuplicatesRejected) {
+  EXPECT_DEATH(Group({1, 2, 1}), "duplicate");
+  EXPECT_DEATH(Group({-1}), "negative");
+}
+
+TEST(Group, UnionKeepsOrderAThenNewB) {
+  Group a({0, 2, 4});
+  Group b({4, 1, 2, 5});
+  const Group u = Group::set_union(a, b);
+  EXPECT_EQ(u.members(), (std::vector<rank_t>{0, 2, 4, 1, 5}));
+}
+
+TEST(Group, IntersectionInAOrder) {
+  Group a({5, 3, 1});
+  Group b({1, 2, 3});
+  EXPECT_EQ(Group::set_intersection(a, b).members(),
+            (std::vector<rank_t>{3, 1}));
+}
+
+TEST(Group, Difference) {
+  Group a({0, 1, 2, 3});
+  Group b({1, 3});
+  EXPECT_EQ(Group::set_difference(a, b).members(),
+            (std::vector<rank_t>{0, 2}));
+  EXPECT_TRUE(Group::set_difference(b, a).empty());
+}
+
+TEST(Group, InclExcl) {
+  Group group({10, 20, 30, 40});
+  const int pick[] = {3, 0};
+  EXPECT_EQ(group.incl(pick).members(), (std::vector<rank_t>{40, 10}));
+  const int drop[] = {1, 2};
+  EXPECT_EQ(group.excl(drop).members(), (std::vector<rank_t>{10, 40}));
+}
+
+TEST(Group, TranslateRanks) {
+  Group a({0, 1, 2, 3});
+  Group b({3, 1});
+  const int queries[] = {0, 1, 2, 3};
+  EXPECT_EQ(Group::translate_ranks(a, queries, b),
+            (std::vector<int>{-1, 1, -1, 0}));
+}
+
+TEST(Group, EqualityAndSimilarity) {
+  Group a({1, 2, 3});
+  Group b({1, 2, 3});
+  Group c({3, 2, 1});
+  Group d({1, 2});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a.similar(c));
+  EXPECT_FALSE(a.similar(d));
+}
+
+TEST(Group, DigestSeparatesGroups) {
+  EXPECT_NE(Group({0, 1}).digest(), Group({1, 0}).digest());
+  EXPECT_NE(Group({0, 1}).digest(), Group({0, 2}).digest());
+  EXPECT_EQ(Group({0, 1, 2}).digest(), Group({0, 1, 2}).digest());
+}
+
+TEST(GroupComm, CommGroupReflectsMembership) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(4, sim::Protocol::kSisci);
+  core::Session session(std::move(options));
+  session.run([](Comm comm) {
+    const Group world = comm.group();
+    EXPECT_EQ(world.size(), 4);
+    EXPECT_EQ(world.rank_of(comm.global_rank_of(comm.rank())), comm.rank());
+
+    Comm odds_comm = comm.split(comm.rank() % 2, comm.rank());
+    const Group sub = odds_comm.group();
+    EXPECT_EQ(sub.size(), 2);
+  });
+}
+
+TEST(GroupComm, CommCreateSubgroup) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(4, sim::Protocol::kBip);
+  core::Session session(std::move(options));
+  session.run([](Comm comm) {
+    // Everyone collectively creates the {3, 1} communicator (reversed
+    // order: rank 3 becomes rank 0 of the new comm).
+    const Group subset({3, 1});
+    Comm sub = comm.create(subset);
+    if (comm.rank() == 1 || comm.rank() == 3) {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 2);
+      EXPECT_EQ(sub.rank(), comm.rank() == 3 ? 0 : 1);
+      // Exchange across the new comm to prove the wiring.
+      const int peer = 1 - sub.rank();
+      int token = comm.rank() * 10;
+      int incoming = -1;
+      sub.sendrecv(&token, 1, Datatype::int32(), peer, 0, &incoming, 1,
+                   Datatype::int32(), peer, 0);
+      EXPECT_EQ(incoming, comm.rank() == 3 ? 10 : 30);
+    } else {
+      EXPECT_FALSE(sub.valid());
+    }
+  });
+}
+
+TEST(GroupComm, DisjointCreatesInOneCall) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(4, sim::Protocol::kTcp);
+  core::Session session(std::move(options));
+  session.run([](Comm comm) {
+    // MPI-2.2 style: different callers pass disjoint groups in the same
+    // collective call; each subgroup gets its own context.
+    const Group mine = comm.rank() < 2 ? Group({0, 1}) : Group({2, 3});
+    Comm sub = comm.create(mine);
+    ASSERT_TRUE(sub.valid());
+    int total = 0;
+    int one = comm.rank();
+    sub.allreduce(&one, &total, 1, Datatype::int32(), Op::sum());
+    EXPECT_EQ(total, comm.rank() < 2 ? 1 : 5);
+  });
+}
+
+TEST(GroupComm, CreateRejectsNonSubgroup) {
+  core::Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kTcp);
+  core::Session session(std::move(options));
+  session.run([](Comm comm) {
+    // Collective: both ranks create their singleton communicator.
+    Comm solo = comm.create(Group({comm.global_rank_of(comm.rank())}));
+    ASSERT_TRUE(solo.valid());
+    EXPECT_EQ(solo.size(), 1);
+    if (comm.rank() == 0) {
+      // Rank 1's world rank is not a member of rank 0's solo comm.
+      EXPECT_DEATH(solo.create(Group({1})), "subgroup");
+    }
+  });
+}
+
+}  // namespace
+}  // namespace madmpi::mpi

@@ -1,0 +1,220 @@
+// Tests for the per-rank matching engine (posted/unexpected queues).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "mpi/matching.hpp"
+
+namespace madmpi::mpi {
+namespace {
+
+struct MatchFixture : ::testing::Test {
+  sim::Node node{0, "n0", 2};
+  RankContext context{0, node};
+
+  static Envelope envelope(int ctx, rank_t src, int tag, std::uint64_t bytes) {
+    Envelope env;
+    env.context = ctx;
+    env.src = src;
+    env.tag = tag;
+    env.bytes = bytes;
+    return env;
+  }
+
+  std::shared_ptr<RequestState> post(int ctx, rank_t src, int tag,
+                                     void* buffer, std::size_t capacity) {
+    auto state = std::make_shared<RequestState>(node);
+    PostedRecv posted;
+    posted.context = ctx;
+    posted.source = src;
+    posted.tag = tag;
+    posted.buffer = buffer;
+    posted.type = Datatype::byte();
+    posted.count = static_cast<int>(capacity);
+    posted.capacity_bytes = capacity;
+    posted.request = state;
+    context.post_recv(std::move(posted));
+    return state;
+  }
+
+  static byte_span bytes_of(const char* text) {
+    return byte_span{reinterpret_cast<const std::byte*>(text),
+                     std::strlen(text)};
+  }
+};
+
+TEST_F(MatchFixture, PostedThenDelivered) {
+  char buffer[16] = {};
+  auto request = post(0, 1, 5, buffer, sizeof buffer);
+  EXPECT_EQ(context.posted_count(), 1u);
+  context.deliver_eager(envelope(0, 1, 5, 5), bytes_of("hello"));
+  ASSERT_TRUE(request->completed());
+  MpiStatus status;
+  EXPECT_TRUE(request->test(&status));
+  EXPECT_EQ(status.source, 1);
+  EXPECT_EQ(status.tag, 5);
+  EXPECT_EQ(status.bytes, 5u);
+  EXPECT_STREQ(buffer, "hello");
+  EXPECT_EQ(context.posted_count(), 0u);
+}
+
+TEST_F(MatchFixture, DeliveredThenPosted) {
+  context.deliver_eager(envelope(0, 2, 9, 3), bytes_of("abc"));
+  EXPECT_EQ(context.unexpected_count(), 1u);
+  char buffer[8] = {};
+  auto request = post(0, 2, 9, buffer, sizeof buffer);
+  EXPECT_TRUE(request->completed());
+  EXPECT_STREQ(buffer, "abc");
+  EXPECT_EQ(context.unexpected_count(), 0u);
+}
+
+TEST_F(MatchFixture, WildcardSourceAndTag) {
+  char buffer[8] = {};
+  auto request = post(0, kAnySource, kAnyTag, buffer, sizeof buffer);
+  context.deliver_eager(envelope(0, 3, 77, 2), bytes_of("zz"));
+  MpiStatus status;
+  ASSERT_TRUE(request->test(&status));
+  EXPECT_EQ(status.source, 3);
+  EXPECT_EQ(status.tag, 77);
+}
+
+TEST_F(MatchFixture, ContextSegregation) {
+  char buffer[8] = {};
+  auto request = post(7, kAnySource, kAnyTag, buffer, sizeof buffer);
+  context.deliver_eager(envelope(8, 0, 0, 1), bytes_of("x"));
+  EXPECT_FALSE(request->completed());
+  EXPECT_EQ(context.unexpected_count(), 1u);
+  context.deliver_eager(envelope(7, 0, 0, 1), bytes_of("y"));
+  EXPECT_TRUE(request->completed());
+}
+
+TEST_F(MatchFixture, FifoWithinSourceAndTag) {
+  context.deliver_eager(envelope(0, 1, 5, 1), bytes_of("a"));
+  context.deliver_eager(envelope(0, 1, 5, 1), bytes_of("b"));
+  char first = 0, second = 0;
+  post(0, 1, 5, &first, 1);
+  post(0, 1, 5, &second, 1);
+  EXPECT_EQ(first, 'a');  // non-overtaking
+  EXPECT_EQ(second, 'b');
+}
+
+TEST_F(MatchFixture, PostedQueueScansInPostOrder) {
+  char first = 0, second = 0;
+  auto r1 = post(0, kAnySource, kAnyTag, &first, 1);
+  auto r2 = post(0, kAnySource, kAnyTag, &second, 1);
+  context.deliver_eager(envelope(0, 0, 0, 1), bytes_of("x"));
+  EXPECT_TRUE(r1->completed());
+  EXPECT_FALSE(r2->completed());
+}
+
+TEST_F(MatchFixture, TruncationAborts) {
+  char tiny[2];
+  post(0, kAnySource, kAnyTag, tiny, sizeof tiny);
+  EXPECT_DEATH(context.deliver_eager(envelope(0, 0, 0, 10),
+                                     bytes_of("0123456789")),
+               "TRUNCATE");
+}
+
+TEST_F(MatchFixture, ZeroByteMessages) {
+  char buffer[1] = {42};
+  auto request = post(0, 0, 0, buffer, 0);
+  context.deliver_eager(envelope(0, 0, 0, 0), {});
+  MpiStatus status;
+  ASSERT_TRUE(request->test(&status));
+  EXPECT_EQ(status.bytes, 0u);
+  EXPECT_EQ(status.count(4), 0);
+  EXPECT_EQ(buffer[0], 42);
+}
+
+TEST_F(MatchFixture, StatusCountArithmetic) {
+  MpiStatus status;
+  status.bytes = 12;
+  EXPECT_EQ(status.count(4), 3);
+  EXPECT_EQ(status.count(8), -1);  // MPI_UNDEFINED
+  EXPECT_EQ(status.count(1), 12);
+}
+
+TEST_F(MatchFixture, RendezvousMatchRunsOnPost) {
+  bool matched = false;
+  context.deliver_rendezvous(envelope(0, 1, 3, 100),
+                             [&](const Envelope& env, PostedRecv posted) {
+                               matched = true;
+                               EXPECT_EQ(env.src, 1);
+                               EXPECT_EQ(posted.capacity_bytes, 128u);
+                             });
+  EXPECT_FALSE(matched);
+  EXPECT_EQ(context.unexpected_count(), 1u);
+  char buffer[128];
+  post(0, 1, 3, buffer, sizeof buffer);
+  EXPECT_TRUE(matched);
+  EXPECT_EQ(context.unexpected_count(), 0u);
+}
+
+TEST_F(MatchFixture, RendezvousMatchRunsImmediatelyWhenPosted) {
+  char buffer[64];
+  auto request = post(0, kAnySource, kAnyTag, buffer, sizeof buffer);
+  bool matched = false;
+  context.deliver_rendezvous(envelope(0, 2, 2, 10),
+                             [&](const Envelope&, PostedRecv) {
+                               matched = true;
+                             });
+  EXPECT_TRUE(matched);
+  EXPECT_FALSE(request->completed());  // completion comes with the data
+}
+
+TEST_F(MatchFixture, IprobeSeesOnlyUnexpected) {
+  EXPECT_FALSE(context.iprobe(0, kAnySource, kAnyTag, nullptr));
+  context.deliver_eager(envelope(0, 4, 11, 3), bytes_of("xyz"));
+  MpiStatus status;
+  ASSERT_TRUE(context.iprobe(0, 4, 11, &status));
+  EXPECT_EQ(status.source, 4);
+  EXPECT_EQ(status.bytes, 3u);
+  // Probe does not consume.
+  EXPECT_TRUE(context.iprobe(0, kAnySource, kAnyTag, nullptr));
+  EXPECT_FALSE(context.iprobe(0, 5, kAnyTag, nullptr));
+  EXPECT_FALSE(context.iprobe(1, kAnySource, kAnyTag, nullptr));
+}
+
+TEST_F(MatchFixture, BlockingProbeWakesOnArrival) {
+  std::thread deliverer([&] {
+    context.deliver_eager(envelope(0, 1, 8, 1), bytes_of("k"));
+  });
+  MpiStatus status;
+  context.probe(0, kAnySource, 8, &status);
+  EXPECT_EQ(status.tag, 8);
+  deliverer.join();
+}
+
+TEST_F(MatchFixture, EagerCopiesChargeTheClock) {
+  const usec_t before = node.clock().now();
+  std::vector<std::byte> big(10000, std::byte{1});
+  context.deliver_eager(envelope(0, 0, 0, big.size()),
+                        byte_span{big.data(), big.size()});
+  const usec_t after_store = node.clock().now();
+  EXPECT_GT(after_store, before);  // copy into the unexpected store
+  std::vector<char> buffer(big.size());
+  post(0, 0, 0, buffer.data(), buffer.size());
+  EXPECT_GT(node.clock().now(), after_store);  // copy out to the user
+}
+
+TEST_F(MatchFixture, RequestWaitAfterTestReturnsSameStatus) {
+  char buffer[4];
+  auto request = post(0, 0, 1, buffer, sizeof buffer);
+  context.deliver_eager(envelope(0, 0, 1, 2), bytes_of("hi"));
+  MpiStatus via_test;
+  ASSERT_TRUE(request->test(&via_test));
+  const MpiStatus via_wait = request->wait();
+  EXPECT_EQ(via_wait.bytes, via_test.bytes);
+  EXPECT_EQ(via_wait.tag, via_test.tag);
+}
+
+TEST_F(MatchFixture, TestBeforeCompletionReturnsFalse) {
+  char buffer[4];
+  auto request = post(0, 0, 1, buffer, sizeof buffer);
+  EXPECT_FALSE(request->test(nullptr));
+  EXPECT_FALSE(request->completed());
+}
+
+}  // namespace
+}  // namespace madmpi::mpi

@@ -1,0 +1,270 @@
+// Extended point-to-point machinery: persistent requests, buffered sends,
+// multi-request waits, explicit pack buffers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/session.hpp"
+#include "mpi/packbuf.hpp"
+#include "mpi/persistent.hpp"
+
+namespace madmpi {
+namespace {
+
+using core::Session;
+using mpi::Comm;
+using mpi::Datatype;
+using mpi::PersistentRequest;
+using mpi::Request;
+
+std::unique_ptr<Session> two_nodes(sim::Protocol protocol) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, protocol);
+  return std::make_unique<Session>(std::move(options));
+}
+
+TEST(Persistent, RepeatedStartWaitCycles) {
+  auto session = two_nodes(sim::Protocol::kSisci);
+  constexpr int kIterations = 20;
+  session->run([](Comm comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<int> out(64);
+    std::vector<int> in(64, -1);
+    auto send = PersistentRequest::send_init(comm, out.data(), 64,
+                                             Datatype::int32(), peer, 0);
+    auto recv = PersistentRequest::recv_init(comm, in.data(), 64,
+                                             Datatype::int32(), peer, 0);
+    for (int iter = 0; iter < kIterations; ++iter) {
+      std::fill(out.begin(), out.end(), comm.rank() * 1000 + iter);
+      recv.start();
+      send.start();
+      send.wait();
+      const auto status = recv.wait();
+      EXPECT_EQ(status.source, peer);
+      for (int v : in) ASSERT_EQ(v, peer * 1000 + iter);
+    }
+    EXPECT_FALSE(send.active());
+    EXPECT_FALSE(recv.active());
+  });
+}
+
+TEST(Persistent, MisuseAborts) {
+  auto session = two_nodes(sim::Protocol::kTcp);
+  session->run([](Comm comm) {
+    if (comm.rank() != 0) return;
+    PersistentRequest uninitialized;
+    EXPECT_DEATH(uninitialized.start(), "uninitialized");
+    int buf = 0;
+    auto recv = PersistentRequest::recv_init(comm, &buf, 1,
+                                             Datatype::int32(), 0, 0);
+    EXPECT_DEATH(recv.wait(), "inactive");
+    recv.start();
+    EXPECT_DEATH(recv.start(), "already active");
+    // Self-send completes the pending receive so the session can drain.
+    int value = 9;
+    comm.send(&value, 1, Datatype::int32(), 0, 0);
+    recv.wait();
+    EXPECT_EQ(buf, 9);
+  });
+}
+
+TEST(Bsend, ReturnsBeforeReceiverPosts) {
+  auto session = two_nodes(sim::Protocol::kSisci);
+  constexpr std::size_t kCount = 8 * 1024;  // 32 KB: rendezvous territory
+  session->run([](Comm comm) {
+    if (comm.rank() == 0) {
+      Comm::buffer_attach(kCount * sizeof(int) + Comm::bsend_overhead());
+      std::vector<int> data(kCount);
+      std::iota(data.begin(), data.end(), 0);
+      const usec_t t0 = comm.wtime_us();
+      comm.bsend(data.data(), static_cast<int>(kCount), Datatype::int32(), 1,
+                 0);
+      // A blocking rendezvous send would wait a full request/ack round
+      // trip; bsend returns after staging the copy (~110 us of virtual
+      // time for 32 KB at host-memcpy speed).
+      EXPECT_LT(comm.wtime_us() - t0, 300.0);
+      // Buffer reusable right away.
+      std::fill(data.begin(), data.end(), -1);
+      Comm::buffer_detach();  // blocks until the message left the buffer
+    } else {
+      std::vector<int> in(kCount, -1);
+      comm.recv(in.data(), static_cast<int>(kCount), Datatype::int32(), 0,
+                0);
+      EXPECT_EQ(in.front(), 0);
+      EXPECT_EQ(in.back(), static_cast<int>(kCount) - 1);
+    }
+  });
+}
+
+TEST(Bsend, OverflowAborts) {
+  auto session = two_nodes(sim::Protocol::kTcp);
+  session->run([](Comm comm) {
+    if (comm.rank() != 0) return;
+    Comm::buffer_attach(256);  // one small message + overhead fits
+    std::vector<std::byte> big(1024);
+    EXPECT_DEATH(
+        comm.bsend(big.data(), 1024, Datatype::byte(), 0, 0),
+        "too small");
+    // Small message fits (self-delivery keeps the session clean).
+    int value = 5;
+    auto req = comm.irecv(&value, 1, Datatype::int32(), 0, 1);
+    int out = 6;
+    comm.bsend(&out, 1, Datatype::int32(), 0, 1);
+    req.wait();
+    EXPECT_EQ(value, 6);
+    Comm::buffer_detach();
+  });
+}
+
+TEST(Bsend, WithoutAttachAborts) {
+  auto session = two_nodes(sim::Protocol::kTcp);
+  session->run([](Comm comm) {
+    if (comm.rank() != 0) return;
+    int value = 1;
+    EXPECT_DEATH(comm.bsend(&value, 1, Datatype::int32(), 0, 0),
+                 "without an attached buffer");
+  });
+}
+
+TEST(MultiWait, WaitAnyReturnsFirstCompleted) {
+  auto session = two_nodes(sim::Protocol::kSisci);
+  session->run([](Comm comm) {
+    if (comm.rank() == 0) {
+      int a = -1, b = -1;
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(&a, 1, Datatype::int32(), 1, 10));
+      requests.push_back(comm.irecv(&b, 1, Datatype::int32(), 1, 20));
+      mpi::MpiStatus status;
+      const std::size_t first = Request::wait_any(requests, &status);
+      // wait_any scans by index, so with both possibly complete it
+      // returns some completed request; verify the status/value pairing
+      // and that the handle was nulled.
+      ASSERT_NE(first, Request::npos);
+      EXPECT_EQ(status.tag, first == 0 ? 10 : 20);
+      EXPECT_FALSE(requests[first].valid());  // consumed -> null
+      const std::size_t second = Request::wait_any(requests);
+      ASSERT_NE(second, Request::npos);
+      EXPECT_NE(second, first);
+      EXPECT_EQ(a, 111);
+      EXPECT_EQ(b, 222);
+    } else {
+      int v20 = 222;
+      comm.send(&v20, 1, Datatype::int32(), 0, 20);
+      int v10 = 111;
+      comm.send(&v10, 1, Datatype::int32(), 0, 10);
+    }
+  });
+}
+
+TEST(MultiWait, TestAnyAndTestAll) {
+  auto session = two_nodes(sim::Protocol::kBip);
+  session->run([](Comm comm) {
+    if (comm.rank() == 0) {
+      int a = -1;
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(&a, 1, Datatype::int32(), 1, 0));
+      EXPECT_EQ(Request::test_any(requests), Request::npos);
+      EXPECT_FALSE(Request::test_all(requests));
+      int go = 1;
+      comm.send(&go, 1, Datatype::int32(), 1, 1);
+      while (Request::test_any(requests) == Request::npos) {
+      }
+      EXPECT_EQ(a, 77);
+      EXPECT_TRUE(Request::test_all(requests));  // all null now
+    } else {
+      int go = 0;
+      comm.recv(&go, 1, Datatype::int32(), 0, 1);
+      int value = 77;
+      comm.send(&value, 1, Datatype::int32(), 0, 0);
+    }
+  });
+}
+
+TEST(MultiWait, WaitSomeCollectsBatch) {
+  auto session = two_nodes(sim::Protocol::kSisci);
+  session->run([](Comm comm) {
+    if (comm.rank() == 0) {
+      std::array<int, 3> values{-1, -1, -1};
+      std::vector<Request> requests;
+      for (int i = 0; i < 3; ++i) {
+        requests.push_back(comm.irecv(&values[static_cast<std::size_t>(i)],
+                                      1, Datatype::int32(), 1, i));
+      }
+      std::size_t total = 0;
+      while (total < 3) {
+        total += Request::wait_some(requests).size();
+      }
+      EXPECT_EQ(values, (std::array<int, 3>{0, 10, 20}));
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        int value = i * 10;
+        comm.send(&value, 1, Datatype::int32(), 0, i);
+      }
+    }
+  });
+}
+
+TEST(PackBuf, PackUnpackRoundTrip) {
+  const auto i32 = Datatype::int32();
+  const auto f64 = Datatype::float64();
+  EXPECT_EQ(mpi::pack_size(3, i32), 12u);
+
+  std::array<std::byte, 64> buffer;
+  std::size_t position = 0;
+  const int header[2] = {42, 7};
+  const double payload[3] = {1.5, 2.5, 3.5};
+  mpi::pack(header, 2, i32, buffer.data(), buffer.size(), &position);
+  mpi::pack(payload, 3, f64, buffer.data(), buffer.size(), &position);
+  EXPECT_EQ(position, 8u + 24u);
+
+  std::size_t read = 0;
+  int header_out[2] = {};
+  double payload_out[3] = {};
+  mpi::unpack(buffer.data(), position, &read, header_out, 2, i32);
+  mpi::unpack(buffer.data(), position, &read, payload_out, 3, f64);
+  EXPECT_EQ(read, position);
+  EXPECT_EQ(header_out[0], 42);
+  EXPECT_EQ(payload_out[2], 3.5);
+}
+
+TEST(PackBuf, OverflowAborts) {
+  std::array<std::byte, 4> tiny;
+  std::size_t position = 0;
+  const double value = 1.0;
+  EXPECT_DEATH(mpi::pack(&value, 1, Datatype::float64(), tiny.data(),
+                         tiny.size(), &position),
+               "overflow");
+}
+
+TEST(PackBuf, PackedBufferTravelsAsBytes) {
+  auto session = two_nodes(sim::Protocol::kSisci);
+  session->run([](Comm comm) {
+    const auto i32 = Datatype::int32();
+    const auto f32 = Datatype::float32();
+    if (comm.rank() == 0) {
+      std::array<std::byte, 32> wire;
+      std::size_t position = 0;
+      const int count = 3;
+      const float values[3] = {1.0f, 2.0f, 4.0f};
+      mpi::pack(&count, 1, i32, wire.data(), wire.size(), &position);
+      mpi::pack(values, 3, f32, wire.data(), wire.size(), &position);
+      comm.send(wire.data(), static_cast<int>(position), Datatype::byte(),
+                1, 0);
+    } else {
+      std::array<std::byte, 32> wire;
+      const auto status =
+          comm.recv(wire.data(), 32, Datatype::byte(), 0, 0);
+      std::size_t position = 0;
+      int count = 0;
+      mpi::unpack(wire.data(), status.bytes, &position, &count, 1, i32);
+      ASSERT_EQ(count, 3);
+      std::vector<float> values(3);
+      mpi::unpack(wire.data(), status.bytes, &position, values.data(), 3,
+                  f32);
+      EXPECT_EQ(values[2], 4.0f);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace madmpi

@@ -1,0 +1,152 @@
+// Tests for cluster topology specification and parsing.
+#include <gtest/gtest.h>
+
+#include "sim/topology.hpp"
+
+namespace madmpi::sim {
+namespace {
+
+TEST(Topology, HomogeneousBuilder) {
+  const auto spec = ClusterSpec::homogeneous(3, Protocol::kSisci, 2);
+  EXPECT_TRUE(spec.validate().is_ok());
+  EXPECT_EQ(spec.nodes.size(), 3u);
+  EXPECT_EQ(spec.total_ranks(), 6);
+  ASSERT_EQ(spec.networks.size(), 1u);
+  EXPECT_EQ(spec.networks[0].protocol, Protocol::kSisci);
+  EXPECT_EQ(spec.networks[0].members.size(), 3u);
+}
+
+TEST(Topology, ClusterOfClustersBuilder) {
+  const auto spec = ClusterSpec::cluster_of_clusters(2, 3);
+  EXPECT_TRUE(spec.validate().is_ok());
+  EXPECT_EQ(spec.nodes.size(), 5u);
+  ASSERT_EQ(spec.networks.size(), 3u);  // tcp + sci + myrinet
+  EXPECT_EQ(spec.networks[0].protocol, Protocol::kTcp);
+  EXPECT_EQ(spec.networks[0].members.size(), 5u);
+  EXPECT_EQ(spec.networks[1].members.size(), 2u);  // sci
+  EXPECT_EQ(spec.networks[2].members.size(), 3u);  // myrinet
+}
+
+TEST(Topology, ClusterOfClustersSkipsSingletonNetworks) {
+  const auto spec = ClusterSpec::cluster_of_clusters(1, 3);
+  // A single SCI node forms no SCI network.
+  ASSERT_EQ(spec.networks.size(), 2u);
+  EXPECT_EQ(spec.networks[1].protocol, Protocol::kBip);
+}
+
+TEST(Topology, RankLocationNodeMajor) {
+  auto spec = ClusterSpec::homogeneous(2, Protocol::kTcp, 2);
+  spec.nodes[1].ranks = 3;
+  EXPECT_EQ(spec.rank_location(0), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(spec.rank_location(1), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(spec.rank_location(2), (std::pair<int, int>{1, 0}));
+  EXPECT_EQ(spec.rank_location(4), (std::pair<int, int>{1, 2}));
+  EXPECT_DEATH(spec.rank_location(5), "beyond cluster size");
+}
+
+TEST(Topology, CommonProtocols) {
+  const auto spec = ClusterSpec::cluster_of_clusters(2, 2);
+  const auto sci_pair = spec.common_protocols(0, 1);
+  EXPECT_EQ(sci_pair.size(), 2u);  // tcp + sci
+  const auto cross = spec.common_protocols(0, 2);
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0], Protocol::kTcp);
+}
+
+TEST(TopologyParse, FullConfig) {
+  const std::string text = R"(
+# the paper's testbed
+node n0 cpus=2 ranks=2
+node n1 cpus=2
+node n2
+network tcp n0 n1 n2
+network sci n0 n1
+network myrinet adapter=1 n1 n2
+)";
+  ClusterSpec spec;
+  ASSERT_TRUE(ClusterSpec::parse(text, &spec).is_ok());
+  EXPECT_EQ(spec.nodes.size(), 3u);
+  EXPECT_EQ(spec.nodes[0].ranks, 2);
+  EXPECT_EQ(spec.nodes[2].cpus, 2);  // default
+  ASSERT_EQ(spec.networks.size(), 3u);
+  EXPECT_EQ(spec.networks[2].adapter, 1);
+  EXPECT_EQ(spec.networks[2].protocol, Protocol::kBip);
+  EXPECT_EQ(spec.total_ranks(), 4);
+}
+
+TEST(TopologyParse, CommentsAndBlankLines) {
+  ClusterSpec spec;
+  ASSERT_TRUE(ClusterSpec::parse(
+                  "\n# nothing\nnode a\nnode b # inline\nnetwork tcp a b\n",
+                  &spec)
+                  .is_ok());
+  EXPECT_EQ(spec.nodes.size(), 2u);
+}
+
+TEST(TopologyParse, RejectsUnknownKeyword) {
+  ClusterSpec spec;
+  const auto status = ClusterSpec::parse("machine x\n", &spec);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("unknown keyword"), std::string::npos);
+}
+
+TEST(TopologyParse, RejectsUnknownProtocol) {
+  ClusterSpec spec;
+  EXPECT_FALSE(
+      ClusterSpec::parse("node a\nnode b\nnetwork infiniband a b\n", &spec)
+          .is_ok());
+}
+
+TEST(TopologyParse, RejectsUnknownMember) {
+  ClusterSpec spec;
+  const auto status =
+      ClusterSpec::parse("node a\nnode b\nnetwork tcp a ghost\n", &spec);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("unknown node"), std::string::npos);
+}
+
+TEST(TopologyParse, RejectsSingletonNetwork) {
+  ClusterSpec spec;
+  EXPECT_FALSE(
+      ClusterSpec::parse("node a\nnode b\nnetwork tcp a\n", &spec).is_ok());
+}
+
+TEST(TopologyParse, RejectsDuplicateNodeNames) {
+  ClusterSpec spec;
+  EXPECT_FALSE(
+      ClusterSpec::parse("node a\nnode a\nnetwork tcp a a\n", &spec).is_ok());
+}
+
+TEST(TopologyParse, RejectsBadInteger) {
+  ClusterSpec spec;
+  EXPECT_FALSE(ClusterSpec::parse("node a cpus=banana\n", &spec).is_ok());
+  EXPECT_FALSE(ClusterSpec::parse("node a frobs=1\n", &spec).is_ok());
+}
+
+TEST(TopologyParse, RejectsZeroRanks) {
+  ClusterSpec spec;
+  EXPECT_FALSE(ClusterSpec::parse(
+                   "node a ranks=0\nnode b\nnetwork tcp a b\n", &spec)
+                   .is_ok());
+}
+
+TEST(Topology, ProtocolKeywordRoundTrip) {
+  for (auto protocol : {Protocol::kTcp, Protocol::kSisci, Protocol::kBip,
+                        Protocol::kShmem}) {
+    const auto parsed = protocol_from_keyword(protocol_keyword(protocol));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, protocol);
+  }
+  EXPECT_EQ(protocol_from_keyword("sisci"), Protocol::kSisci);
+  EXPECT_EQ(protocol_from_keyword("bip"), Protocol::kBip);
+  EXPECT_EQ(protocol_from_keyword("ethernet"), Protocol::kTcp);
+  EXPECT_EQ(protocol_from_keyword("token-ring"), std::nullopt);
+}
+
+TEST(Topology, ValidateEmptyCluster) {
+  ClusterSpec spec;
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+}  // namespace
+}  // namespace madmpi::sim

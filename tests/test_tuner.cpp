@@ -1,0 +1,53 @@
+// Switch-point auto-tuner tests: the measured crossovers must land near
+// the paper's experimentally chosen values.
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"
+
+namespace madmpi {
+namespace {
+
+TEST(Tuner, SciCrossoverNearEightKilobytes) {
+  const auto result = core::tune_switch_point(sim::Protocol::kSisci);
+  // Paper: 8 KB. Accept the right order of magnitude — the tuner measures
+  // OUR cost model, which was calibrated to endpoints, not the crossover.
+  EXPECT_GE(result.switch_point_bytes, 1u * 1024u);
+  EXPECT_LE(result.switch_point_bytes, 32u * 1024u);
+  EXPECT_FALSE(result.samples.empty());
+}
+
+TEST(Tuner, BipCrossoverNearSevenKilobytes) {
+  const auto result = core::tune_switch_point(sim::Protocol::kBip);
+  EXPECT_GE(result.switch_point_bytes, 1u * 1024u);
+  EXPECT_LE(result.switch_point_bytes, 32u * 1024u);
+}
+
+TEST(Tuner, TcpCrossoverIsMuchLarger) {
+  const auto tcp = core::tune_switch_point(sim::Protocol::kTcp);
+  const auto sci = core::tune_switch_point(sim::Protocol::kSisci);
+  // Paper ordering: TCP's switch point (64 KB) is far above SCI's (8 KB)
+  // because the rendezvous handshake costs three TCP latencies.
+  EXPECT_GT(tcp.switch_point_bytes, 2 * sci.switch_point_bytes);
+}
+
+TEST(Tuner, SamplesRecordBothModes) {
+  const auto result = core::tune_switch_point(sim::Protocol::kBip, 1024);
+  for (const auto& sample : result.samples) {
+    EXPECT_GT(sample.eager_us, 0.0);
+    EXPECT_GT(sample.rendezvous_us, 0.0);
+  }
+  // Below the crossover eager must win; above, rendezvous.
+  const auto& first = result.samples.front();
+  EXPECT_LT(first.eager_us, first.rendezvous_us);
+}
+
+TEST(Tuner, ResolutionBoundsRespected) {
+  const auto coarse = core::tune_switch_point(sim::Protocol::kSisci, 4096);
+  const auto fine = core::tune_switch_point(sim::Protocol::kSisci, 128);
+  // Both must land in the same region; the finer one within its interval.
+  EXPECT_NEAR(static_cast<double>(coarse.switch_point_bytes),
+              static_cast<double>(fine.switch_point_bytes), 4096.0);
+}
+
+}  // namespace
+}  // namespace madmpi
