@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collectives.dir/ablation_collectives.cpp.o"
+  "CMakeFiles/ablation_collectives.dir/ablation_collectives.cpp.o.d"
+  "ablation_collectives"
+  "ablation_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_forwarding.dir/ablation_forwarding.cpp.o"
+  "CMakeFiles/ablation_forwarding.dir/ablation_forwarding.cpp.o.d"
+  "ablation_forwarding"
+  "ablation_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

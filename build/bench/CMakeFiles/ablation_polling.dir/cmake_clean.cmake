@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_polling.dir/ablation_polling.cpp.o"
+  "CMakeFiles/ablation_polling.dir/ablation_polling.cpp.o.d"
+  "ablation_polling"
+  "ablation_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_short_split.dir/ablation_short_split.cpp.o"
+  "CMakeFiles/ablation_short_split.dir/ablation_short_split.cpp.o.d"
+  "ablation_short_split"
+  "ablation_short_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_short_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switchpoint.dir/ablation_switchpoint.cpp.o"
+  "CMakeFiles/ablation_switchpoint.dir/ablation_switchpoint.cpp.o.d"
+  "ablation_switchpoint"
+  "ablation_switchpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switchpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

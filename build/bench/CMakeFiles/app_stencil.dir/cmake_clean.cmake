@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_stencil.dir/app_stencil.cpp.o"
+  "CMakeFiles/app_stencil.dir/app_stencil.cpp.o.d"
+  "app_stencil"
+  "app_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tcp.dir/fig6_tcp.cpp.o"
+  "CMakeFiles/fig6_tcp.dir/fig6_tcp.cpp.o.d"
+  "fig6_tcp"
+  "fig6_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

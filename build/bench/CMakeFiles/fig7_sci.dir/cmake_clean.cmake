@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sci.dir/fig7_sci.cpp.o"
+  "CMakeFiles/fig7_sci.dir/fig7_sci.cpp.o.d"
+  "fig7_sci"
+  "fig7_sci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bip.dir/fig8_bip.cpp.o"
+  "CMakeFiles/fig8_bip.dir/fig8_bip.cpp.o.d"
+  "fig8_bip"
+  "fig8_bip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_multiprotocol.dir/fig9_multiprotocol.cpp.o"
+  "CMakeFiles/fig9_multiprotocol.dir/fig9_multiprotocol.cpp.o.d"
+  "fig9_multiprotocol"
+  "fig9_multiprotocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_multiprotocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

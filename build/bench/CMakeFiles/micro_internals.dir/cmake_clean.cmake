@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_internals.dir/micro_internals.cpp.o"
+  "CMakeFiles/micro_internals.dir/micro_internals.cpp.o.d"
+  "micro_internals"
+  "micro_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

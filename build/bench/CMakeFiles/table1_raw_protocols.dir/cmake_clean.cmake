@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_raw_protocols.dir/table1_raw_protocols.cpp.o"
+  "CMakeFiles/table1_raw_protocols.dir/table1_raw_protocols.cpp.o.d"
+  "table1_raw_protocols"
+  "table1_raw_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_raw_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

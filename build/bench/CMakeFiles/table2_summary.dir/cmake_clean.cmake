@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_summary.dir/table2_summary.cpp.o"
+  "CMakeFiles/table2_summary.dir/table2_summary.cpp.o.d"
+  "table2_summary"
+  "table2_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

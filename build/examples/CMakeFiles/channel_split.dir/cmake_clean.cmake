@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_split.dir/channel_split.cpp.o"
+  "CMakeFiles/channel_split.dir/channel_split.cpp.o.d"
+  "channel_split"
+  "channel_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

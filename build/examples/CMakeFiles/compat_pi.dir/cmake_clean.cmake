@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compat_pi.dir/compat_pi.cpp.o"
+  "CMakeFiles/compat_pi.dir/compat_pi.cpp.o.d"
+  "compat_pi"
+  "compat_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compat_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarding_gateway.dir/forwarding_gateway.cpp.o"
+  "CMakeFiles/forwarding_gateway.dir/forwarding_gateway.cpp.o.d"
+  "forwarding_gateway"
+  "forwarding_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarding_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_stencil.dir/heterogeneous_stencil.cpp.o"
+  "CMakeFiles/heterogeneous_stencil.dir/heterogeneous_stencil.cpp.o.d"
+  "heterogeneous_stencil"
+  "heterogeneous_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pingpong_explorer.dir/pingpong_explorer.cpp.o"
+  "CMakeFiles/pingpong_explorer.dir/pingpong_explorer.cpp.o.d"
+  "pingpong_explorer"
+  "pingpong_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pingpong_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_timeline.dir/trace_timeline.cpp.o"
+  "CMakeFiles/trace_timeline.dir/trace_timeline.cpp.o.d"
+  "trace_timeline"
+  "trace_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

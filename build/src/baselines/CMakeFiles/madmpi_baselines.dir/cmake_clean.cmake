@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_baselines.dir/native_device.cpp.o"
+  "CMakeFiles/madmpi_baselines.dir/native_device.cpp.o.d"
+  "CMakeFiles/madmpi_baselines.dir/profiles.cpp.o"
+  "CMakeFiles/madmpi_baselines.dir/profiles.cpp.o.d"
+  "libmadmpi_baselines.a"
+  "libmadmpi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

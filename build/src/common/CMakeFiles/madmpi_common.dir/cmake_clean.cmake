@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_common.dir/log.cpp.o"
+  "CMakeFiles/madmpi_common.dir/log.cpp.o.d"
+  "CMakeFiles/madmpi_common.dir/stats.cpp.o"
+  "CMakeFiles/madmpi_common.dir/stats.cpp.o.d"
+  "CMakeFiles/madmpi_common.dir/status.cpp.o"
+  "CMakeFiles/madmpi_common.dir/status.cpp.o.d"
+  "libmadmpi_common.a"
+  "libmadmpi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

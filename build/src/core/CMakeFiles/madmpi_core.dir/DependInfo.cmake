@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ch_mad.cpp" "src/core/CMakeFiles/madmpi_core.dir/ch_mad.cpp.o" "gcc" "src/core/CMakeFiles/madmpi_core.dir/ch_mad.cpp.o.d"
+  "/root/repo/src/core/pingpong.cpp" "src/core/CMakeFiles/madmpi_core.dir/pingpong.cpp.o" "gcc" "src/core/CMakeFiles/madmpi_core.dir/pingpong.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/madmpi_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/madmpi_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/smp_plug.cpp" "src/core/CMakeFiles/madmpi_core.dir/smp_plug.cpp.o" "gcc" "src/core/CMakeFiles/madmpi_core.dir/smp_plug.cpp.o.d"
+  "/root/repo/src/core/switchpoint.cpp" "src/core/CMakeFiles/madmpi_core.dir/switchpoint.cpp.o" "gcc" "src/core/CMakeFiles/madmpi_core.dir/switchpoint.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/madmpi_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/madmpi_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/madmpi_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mad/CMakeFiles/madmpi_mad.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/madmpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/madmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/madmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

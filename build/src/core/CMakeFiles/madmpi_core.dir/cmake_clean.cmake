@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_core.dir/ch_mad.cpp.o"
+  "CMakeFiles/madmpi_core.dir/ch_mad.cpp.o.d"
+  "CMakeFiles/madmpi_core.dir/pingpong.cpp.o"
+  "CMakeFiles/madmpi_core.dir/pingpong.cpp.o.d"
+  "CMakeFiles/madmpi_core.dir/session.cpp.o"
+  "CMakeFiles/madmpi_core.dir/session.cpp.o.d"
+  "CMakeFiles/madmpi_core.dir/smp_plug.cpp.o"
+  "CMakeFiles/madmpi_core.dir/smp_plug.cpp.o.d"
+  "CMakeFiles/madmpi_core.dir/switchpoint.cpp.o"
+  "CMakeFiles/madmpi_core.dir/switchpoint.cpp.o.d"
+  "CMakeFiles/madmpi_core.dir/tuner.cpp.o"
+  "CMakeFiles/madmpi_core.dir/tuner.cpp.o.d"
+  "libmadmpi_core.a"
+  "libmadmpi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

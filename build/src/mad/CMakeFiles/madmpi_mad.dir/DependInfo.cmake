@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mad/channel.cpp" "src/mad/CMakeFiles/madmpi_mad.dir/channel.cpp.o" "gcc" "src/mad/CMakeFiles/madmpi_mad.dir/channel.cpp.o.d"
+  "/root/repo/src/mad/forwarder.cpp" "src/mad/CMakeFiles/madmpi_mad.dir/forwarder.cpp.o" "gcc" "src/mad/CMakeFiles/madmpi_mad.dir/forwarder.cpp.o.d"
+  "/root/repo/src/mad/madeleine.cpp" "src/mad/CMakeFiles/madmpi_mad.dir/madeleine.cpp.o" "gcc" "src/mad/CMakeFiles/madmpi_mad.dir/madeleine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/madmpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/madmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/madmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_mad.dir/channel.cpp.o"
+  "CMakeFiles/madmpi_mad.dir/channel.cpp.o.d"
+  "CMakeFiles/madmpi_mad.dir/forwarder.cpp.o"
+  "CMakeFiles/madmpi_mad.dir/forwarder.cpp.o.d"
+  "CMakeFiles/madmpi_mad.dir/madeleine.cpp.o"
+  "CMakeFiles/madmpi_mad.dir/madeleine.cpp.o.d"
+  "libmadmpi_mad.a"
+  "libmadmpi_mad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_mad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

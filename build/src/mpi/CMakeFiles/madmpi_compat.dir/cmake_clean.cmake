@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_compat.dir/compat.cpp.o"
+  "CMakeFiles/madmpi_compat.dir/compat.cpp.o.d"
+  "libmadmpi_compat.a"
+  "libmadmpi_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/cart.cpp" "src/mpi/CMakeFiles/madmpi_mpi.dir/cart.cpp.o" "gcc" "src/mpi/CMakeFiles/madmpi_mpi.dir/cart.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/madmpi_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/madmpi_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/madmpi_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/madmpi_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/madmpi_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/madmpi_mpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpi/group.cpp" "src/mpi/CMakeFiles/madmpi_mpi.dir/group.cpp.o" "gcc" "src/mpi/CMakeFiles/madmpi_mpi.dir/group.cpp.o.d"
+  "/root/repo/src/mpi/matching.cpp" "src/mpi/CMakeFiles/madmpi_mpi.dir/matching.cpp.o" "gcc" "src/mpi/CMakeFiles/madmpi_mpi.dir/matching.cpp.o.d"
+  "/root/repo/src/mpi/op.cpp" "src/mpi/CMakeFiles/madmpi_mpi.dir/op.cpp.o" "gcc" "src/mpi/CMakeFiles/madmpi_mpi.dir/op.cpp.o.d"
+  "/root/repo/src/mpi/request.cpp" "src/mpi/CMakeFiles/madmpi_mpi.dir/request.cpp.o" "gcc" "src/mpi/CMakeFiles/madmpi_mpi.dir/request.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/madmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/madmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_mpi.dir/cart.cpp.o"
+  "CMakeFiles/madmpi_mpi.dir/cart.cpp.o.d"
+  "CMakeFiles/madmpi_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/madmpi_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/madmpi_mpi.dir/comm.cpp.o"
+  "CMakeFiles/madmpi_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/madmpi_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/madmpi_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/madmpi_mpi.dir/group.cpp.o"
+  "CMakeFiles/madmpi_mpi.dir/group.cpp.o.d"
+  "CMakeFiles/madmpi_mpi.dir/matching.cpp.o"
+  "CMakeFiles/madmpi_mpi.dir/matching.cpp.o.d"
+  "CMakeFiles/madmpi_mpi.dir/op.cpp.o"
+  "CMakeFiles/madmpi_mpi.dir/op.cpp.o.d"
+  "CMakeFiles/madmpi_mpi.dir/request.cpp.o"
+  "CMakeFiles/madmpi_mpi.dir/request.cpp.o.d"
+  "libmadmpi_mpi.a"
+  "libmadmpi_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

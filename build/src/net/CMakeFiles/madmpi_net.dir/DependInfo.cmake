@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/driver_registry.cpp" "src/net/CMakeFiles/madmpi_net.dir/driver_registry.cpp.o" "gcc" "src/net/CMakeFiles/madmpi_net.dir/driver_registry.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/madmpi_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/madmpi_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/madmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/madmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

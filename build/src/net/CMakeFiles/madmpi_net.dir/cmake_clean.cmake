@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_net.dir/driver_registry.cpp.o"
+  "CMakeFiles/madmpi_net.dir/driver_registry.cpp.o.d"
+  "CMakeFiles/madmpi_net.dir/transport.cpp.o"
+  "CMakeFiles/madmpi_net.dir/transport.cpp.o.d"
+  "libmadmpi_net.a"
+  "libmadmpi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/madmpi_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/madmpi_sim.dir/fabric.cpp.o"
+  "CMakeFiles/madmpi_sim.dir/fabric.cpp.o.d"
+  "CMakeFiles/madmpi_sim.dir/topology.cpp.o"
+  "CMakeFiles/madmpi_sim.dir/topology.cpp.o.d"
+  "CMakeFiles/madmpi_sim.dir/trace.cpp.o"
+  "CMakeFiles/madmpi_sim.dir/trace.cpp.o.d"
+  "libmadmpi_sim.a"
+  "libmadmpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmadmpi_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart.dir/test_cart.cpp.o"
+  "CMakeFiles/test_cart.dir/test_cart.cpp.o.d"
+  "test_cart"
+  "test_cart.pdb"
+  "test_cart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective_algos.dir/test_collective_algos.cpp.o"
+  "CMakeFiles/test_collective_algos.dir/test_collective_algos.cpp.o.d"
+  "test_collective_algos"
+  "test_collective_algos.pdb"
+  "test_collective_algos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

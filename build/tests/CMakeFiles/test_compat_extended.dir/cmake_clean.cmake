@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compat_extended.dir/test_compat_extended.cpp.o"
+  "CMakeFiles/test_compat_extended.dir/test_compat_extended.cpp.o.d"
+  "test_compat_extended"
+  "test_compat_extended.pdb"
+  "test_compat_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compat_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_integration.dir/test_config_integration.cpp.o"
+  "CMakeFiles/test_config_integration.dir/test_config_integration.cpp.o.d"
+  "test_config_integration"
+  "test_config_integration.pdb"
+  "test_config_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forwarder.dir/test_forwarder.cpp.o"
+  "CMakeFiles/test_forwarder.dir/test_forwarder.cpp.o.d"
+  "test_forwarder"
+  "test_forwarder.pdb"
+  "test_forwarder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forwarder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

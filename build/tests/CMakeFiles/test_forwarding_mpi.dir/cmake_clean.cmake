@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forwarding_mpi.dir/test_forwarding_mpi.cpp.o"
+  "CMakeFiles/test_forwarding_mpi.dir/test_forwarding_mpi.cpp.o.d"
+  "test_forwarding_mpi"
+  "test_forwarding_mpi.pdb"
+  "test_forwarding_mpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forwarding_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group.dir/test_group.cpp.o"
+  "CMakeFiles/test_group.dir/test_group.cpp.o.d"
+  "test_group"
+  "test_group.pdb"
+  "test_group[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heterogeneity.dir/test_heterogeneity.cpp.o"
+  "CMakeFiles/test_heterogeneity.dir/test_heterogeneity.cpp.o.d"
+  "test_heterogeneity"
+  "test_heterogeneity.pdb"
+  "test_heterogeneity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mad.dir/test_mad.cpp.o"
+  "CMakeFiles/test_mad.dir/test_mad.cpp.o.d"
+  "test_mad"
+  "test_mad.pdb"
+  "test_mad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

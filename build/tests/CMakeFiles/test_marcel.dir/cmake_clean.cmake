@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marcel.dir/test_marcel.cpp.o"
+  "CMakeFiles/test_marcel.dir/test_marcel.cpp.o.d"
+  "test_marcel"
+  "test_marcel.pdb"
+  "test_marcel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

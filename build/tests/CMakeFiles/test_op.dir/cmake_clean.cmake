@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op.dir/test_op.cpp.o"
+  "CMakeFiles/test_op.dir/test_op.cpp.o.d"
+  "test_op"
+  "test_op.pdb"
+  "test_op[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2p_extended.dir/test_p2p_extended.cpp.o"
+  "CMakeFiles/test_p2p_extended.dir/test_p2p_extended.cpp.o.d"
+  "test_p2p_extended"
+  "test_p2p_extended.pdb"
+  "test_p2p_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2p_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
