@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_faults.cpp" "bench/CMakeFiles/ablation_faults.dir/ablation_faults.cpp.o" "gcc" "bench/CMakeFiles/ablation_faults.dir/ablation_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/madmpi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/madmpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/madmpi_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mad/CMakeFiles/madmpi_mad.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/madmpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/madmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/madmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

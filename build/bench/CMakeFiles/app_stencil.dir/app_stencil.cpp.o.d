@@ -238,9 +238,9 @@ bench/CMakeFiles/app_stencil.dir/app_stencil.cpp.o: \
  /root/repo/src/core/managed_device.hpp /root/repo/src/mpi/adi.hpp \
  /root/repo/src/net/driver.hpp /usr/include/c++/12/optional \
  /root/repo/src/sim/fabric.hpp /root/repo/src/sim/frame.hpp \
- /root/repo/src/sim/port.hpp /root/repo/src/sim/topology.hpp \
- /root/repo/src/common/stats.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/port.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/topology.hpp /root/repo/src/common/stats.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -242,8 +242,9 @@ examples/CMakeFiles/forwarding_gateway.dir/forwarding_gateway.cpp.o: \
  /root/repo/src/mad/message.hpp /root/repo/src/mad/modes.hpp \
  /root/repo/src/net/driver.hpp /root/repo/src/sim/fabric.hpp \
  /root/repo/src/sim/frame.hpp /root/repo/src/sim/port.hpp \
- /root/repo/src/sim/topology.hpp /root/repo/src/mad/forwarder.hpp \
- /root/repo/src/marcel/poll_server.hpp /root/repo/src/mad/madeleine.hpp \
- /root/repo/src/core/ch_self.hpp /root/repo/src/core/smp_plug.hpp \
- /root/repo/src/mpi/comm.hpp /root/repo/src/mpi/group.hpp \
- /root/repo/src/mpi/op.hpp /root/repo/src/mpi/runtime.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/topology.hpp \
+ /root/repo/src/mad/forwarder.hpp /root/repo/src/marcel/poll_server.hpp \
+ /root/repo/src/mad/madeleine.hpp /root/repo/src/core/ch_self.hpp \
+ /root/repo/src/core/smp_plug.hpp /root/repo/src/mpi/comm.hpp \
+ /root/repo/src/mpi/group.hpp /root/repo/src/mpi/op.hpp \
+ /root/repo/src/mpi/runtime.hpp

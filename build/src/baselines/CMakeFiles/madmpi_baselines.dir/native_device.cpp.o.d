@@ -234,7 +234,7 @@ src/baselines/CMakeFiles/madmpi_baselines.dir/native_device.cpp.o: \
  /root/repo/src/mpi/adi.hpp /root/repo/src/net/driver.hpp \
  /usr/include/c++/12/optional /root/repo/src/sim/fabric.hpp \
  /root/repo/src/sim/frame.hpp /root/repo/src/sim/port.hpp \
- /root/repo/src/sim/topology.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/topology.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/byte_buffer.hpp /root/repo/src/common/log.hpp \
  /usr/include/c++/12/cstdarg

@@ -234,4 +234,4 @@ src/baselines/CMakeFiles/madmpi_baselines.dir/profiles.cpp.o: \
  /root/repo/src/mpi/adi.hpp /root/repo/src/net/driver.hpp \
  /usr/include/c++/12/optional /root/repo/src/sim/fabric.hpp \
  /root/repo/src/sim/frame.hpp /root/repo/src/sim/port.hpp \
- /root/repo/src/sim/topology.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/topology.hpp

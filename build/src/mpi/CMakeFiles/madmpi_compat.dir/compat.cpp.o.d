@@ -244,7 +244,8 @@ src/mpi/CMakeFiles/madmpi_compat.dir/compat.cpp.o: \
  /root/repo/src/mad/message.hpp /root/repo/src/mad/modes.hpp \
  /root/repo/src/net/driver.hpp /root/repo/src/sim/fabric.hpp \
  /root/repo/src/sim/frame.hpp /root/repo/src/sim/port.hpp \
- /root/repo/src/mad/forwarder.hpp /root/repo/src/marcel/poll_server.hpp \
- /root/repo/src/mad/madeleine.hpp /root/repo/src/core/ch_self.hpp \
- /root/repo/src/core/smp_plug.hpp /root/repo/src/mpi/cart.hpp \
- /root/repo/src/mpi/packbuf.hpp /root/repo/src/mpi/persistent.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/mad/forwarder.hpp \
+ /root/repo/src/marcel/poll_server.hpp /root/repo/src/mad/madeleine.hpp \
+ /root/repo/src/core/ch_self.hpp /root/repo/src/core/smp_plug.hpp \
+ /root/repo/src/mpi/cart.hpp /root/repo/src/mpi/packbuf.hpp \
+ /root/repo/src/mpi/persistent.hpp

@@ -224,5 +224,6 @@ src/net/CMakeFiles/madmpi_net.dir/driver_registry.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/sim/topology.hpp /root/repo/src/net/shmem_driver.hpp \
- /root/repo/src/net/sisci_driver.hpp /root/repo/src/net/tcp_driver.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/topology.hpp \
+ /root/repo/src/net/shmem_driver.hpp /root/repo/src/net/sisci_driver.hpp \
+ /root/repo/src/net/tcp_driver.hpp

@@ -232,5 +232,5 @@ src/net/CMakeFiles/madmpi_net.dir/transport.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/port.hpp \
- /usr/include/c++/12/condition_variable /root/repo/src/sim/topology.hpp \
- /root/repo/src/sim/trace.hpp
+ /usr/include/c++/12/condition_variable /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/topology.hpp /root/repo/src/sim/trace.hpp

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/madmpi_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/madmpi_sim.dir/cost_model.cpp.o.d"
   "/root/repo/src/sim/fabric.cpp" "src/sim/CMakeFiles/madmpi_sim.dir/fabric.cpp.o" "gcc" "src/sim/CMakeFiles/madmpi_sim.dir/fabric.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/madmpi_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/madmpi_sim.dir/fault.cpp.o.d"
   "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/madmpi_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/madmpi_sim.dir/topology.cpp.o.d"
   "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/madmpi_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/madmpi_sim.dir/trace.cpp.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/madmpi_sim.dir/cost_model.cpp.o.d"
   "CMakeFiles/madmpi_sim.dir/fabric.cpp.o"
   "CMakeFiles/madmpi_sim.dir/fabric.cpp.o.d"
+  "CMakeFiles/madmpi_sim.dir/fault.cpp.o"
+  "CMakeFiles/madmpi_sim.dir/fault.cpp.o.d"
   "CMakeFiles/madmpi_sim.dir/topology.cpp.o"
   "CMakeFiles/madmpi_sim.dir/topology.cpp.o.d"
   "CMakeFiles/madmpi_sim.dir/trace.cpp.o"

@@ -202,19 +202,18 @@ src/sim/CMakeFiles/madmpi_sim.dir/fabric.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/types.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/frame.hpp \
- /root/repo/src/sim/node.hpp /root/repo/src/sim/virtual_clock.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/variant /root/repo/src/common/types.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/sim/cost_model.hpp \
+ /root/repo/src/sim/frame.hpp /root/repo/src/sim/node.hpp \
+ /root/repo/src/sim/virtual_clock.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/port.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
@@ -225,11 +224,11 @@ src/sim/CMakeFiles/madmpi_sim.dir/fabric.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/optional /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/fault.hpp

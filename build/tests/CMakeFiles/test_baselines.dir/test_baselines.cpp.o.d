@@ -316,14 +316,14 @@ tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o: \
  /root/repo/src/core/managed_device.hpp /root/repo/src/mpi/adi.hpp \
  /root/repo/src/net/driver.hpp /root/repo/src/sim/fabric.hpp \
  /root/repo/src/sim/frame.hpp /root/repo/src/sim/port.hpp \
- /root/repo/src/sim/topology.hpp /root/repo/src/core/pingpong.hpp \
- /root/repo/src/core/session.hpp /root/repo/src/core/ch_mad.hpp \
- /root/repo/src/core/packet.hpp /root/repo/src/core/routing.hpp \
- /root/repo/src/core/switchpoint.hpp /root/repo/src/mad/channel.hpp \
- /root/repo/src/common/byte_buffer.hpp /usr/include/c++/12/cstring \
- /root/repo/src/mad/message.hpp /root/repo/src/mad/modes.hpp \
- /root/repo/src/mad/forwarder.hpp /root/repo/src/marcel/poll_server.hpp \
- /root/repo/src/mad/madeleine.hpp /root/repo/src/core/ch_self.hpp \
- /root/repo/src/core/smp_plug.hpp /root/repo/src/mpi/comm.hpp \
- /root/repo/src/mpi/group.hpp /root/repo/src/mpi/op.hpp \
- /root/repo/src/mpi/runtime.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/topology.hpp \
+ /root/repo/src/core/pingpong.hpp /root/repo/src/core/session.hpp \
+ /root/repo/src/core/ch_mad.hpp /root/repo/src/core/packet.hpp \
+ /root/repo/src/core/routing.hpp /root/repo/src/core/switchpoint.hpp \
+ /root/repo/src/mad/channel.hpp /root/repo/src/common/byte_buffer.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/mad/message.hpp \
+ /root/repo/src/mad/modes.hpp /root/repo/src/mad/forwarder.hpp \
+ /root/repo/src/marcel/poll_server.hpp /root/repo/src/mad/madeleine.hpp \
+ /root/repo/src/core/ch_self.hpp /root/repo/src/core/smp_plug.hpp \
+ /root/repo/src/mpi/comm.hpp /root/repo/src/mpi/group.hpp \
+ /root/repo/src/mpi/op.hpp /root/repo/src/mpi/runtime.hpp

@@ -311,6 +311,6 @@ tests/CMakeFiles/test_forwarder.dir/test_forwarder.cpp.o: \
  /root/repo/src/sim/fabric.hpp /root/repo/src/sim/cost_model.hpp \
  /root/repo/src/sim/frame.hpp /root/repo/src/sim/node.hpp \
  /root/repo/src/sim/virtual_clock.hpp /root/repo/src/sim/port.hpp \
- /usr/include/c++/12/condition_variable /root/repo/src/sim/topology.hpp \
- /root/repo/src/marcel/poll_server.hpp /root/repo/src/marcel/thread.hpp \
- /root/repo/src/mad/madeleine.hpp
+ /usr/include/c++/12/condition_variable /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/topology.hpp /root/repo/src/marcel/poll_server.hpp \
+ /root/repo/src/marcel/thread.hpp /root/repo/src/mad/madeleine.hpp

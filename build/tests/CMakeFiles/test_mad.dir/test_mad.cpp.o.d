@@ -312,4 +312,5 @@ tests/CMakeFiles/test_mad.dir/test_mad.cpp.o: \
  /root/repo/src/sim/fabric.hpp /root/repo/src/sim/cost_model.hpp \
  /root/repo/src/sim/frame.hpp /root/repo/src/sim/node.hpp \
  /root/repo/src/sim/virtual_clock.hpp /root/repo/src/sim/port.hpp \
- /usr/include/c++/12/condition_variable /root/repo/src/sim/topology.hpp
+ /usr/include/c++/12/condition_variable /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/topology.hpp

@@ -309,6 +309,6 @@ tests/CMakeFiles/test_net.dir/test_net.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sim/cost_model.hpp \
  /root/repo/src/sim/frame.hpp /root/repo/src/sim/node.hpp \
  /root/repo/src/sim/virtual_clock.hpp /root/repo/src/sim/port.hpp \
- /usr/include/c++/12/condition_variable /root/repo/src/sim/topology.hpp \
- /root/repo/src/net/shmem_driver.hpp /root/repo/src/net/sisci_driver.hpp \
- /root/repo/src/net/tcp_driver.hpp
+ /usr/include/c++/12/condition_variable /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/topology.hpp /root/repo/src/net/shmem_driver.hpp \
+ /root/repo/src/net/sisci_driver.hpp /root/repo/src/net/tcp_driver.hpp

@@ -293,5 +293,6 @@ tests/CMakeFiles/test_tuner.dir/test_tuner.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/tuner.hpp /root/repo/src/sim/cost_model.hpp \
- /root/repo/src/common/types.hpp /usr/include/c++/12/span
+ /root/repo/src/core/switchpoint.hpp /root/repo/src/sim/cost_model.hpp \
+ /root/repo/src/common/types.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/tuner.hpp

@@ -99,8 +99,8 @@ void NativeDevice::transmit(net::Endpoint& endpoint, node_id_t dst,
   endpoint.send_message(dst, control.span(), blocks);
 }
 
-void NativeDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
-                        byte_span packed, mpi::TransferMode mode) {
+Status NativeDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
+                          byte_span packed, mpi::TransferMode mode) {
   sim::Node& src_node = directory_.node_of(src);
   sim::Node& dst_node = directory_.node_of(dst);
   net::Endpoint* endpoint = transport_->endpoint(src_node.id());
@@ -120,7 +120,7 @@ void NativeDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
   if (mode == mpi::TransferMode::kEager) {
     header.kind = WireKind::kEager;
     transmit(*endpoint, dst_node.id(), header, packed, /*zero_copy=*/false);
-    return;
+    return Status::ok();
   }
 
   NodeState& state = state_of(src_node.id());
@@ -141,6 +141,7 @@ void NativeDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
     std::lock_guard<std::mutex> lock(state.mutex);
     state.pending_sends.erase(handle);
   }
+  return Status::ok();
 }
 
 void NativeDevice::start() {
@@ -270,17 +271,28 @@ void NativeDevice::poll_loop(NodeState& state, net::Endpoint& endpoint,
         }
         const mpi::PostedRecv& posted = rhandle.posted;
         const std::uint64_t bytes = header.envelope.bytes;
-        MADMPI_CHECK_MSG(bytes <= posted.capacity_bytes,
-                         "baseline rendezvous truncation");
+        // Truncation policy mirrors finish_recv: deliver the prefix that
+        // fits, flag MPI_ERR_TRUNCATE on the status.
+        const bool truncated = bytes > posted.capacity_bytes;
+        const std::uint64_t delivered =
+            truncated ? posted.capacity_bytes : bytes;
         if (bytes != 0) {
           sim::Frame frame = incoming->take_data_block();
           MADMPI_CHECK(frame.payload.size() == bytes);
           const std::size_t elem = posted.type.size();
-          const int elements = static_cast<int>(bytes / (elem ? elem : 1));
+          const int elements =
+              static_cast<int>(delivered / (elem ? elem : 1));
           if (header.envelope.sender_big_endian) {
-            posted.type.swap_packed(frame.payload.data(), elements);
+            posted.type.swap_packed_bytes(frame.payload.data(), delivered);
           }
           posted.type.unpack(frame.payload.data(), elements, posted.buffer);
+          if (posted.type.is_contiguous() && elem != 0 &&
+              delivered % elem != 0) {
+            const std::size_t tail = delivered % elem;
+            auto* base = static_cast<std::byte*>(posted.buffer);
+            std::memcpy(base + static_cast<std::size_t>(elements) * elem,
+                        frame.payload.data() + delivered - tail, tail);
+          }
           if (!profile_.rndv_zero_copy) {
             node.clock().advance(static_cast<double>(bytes) *
                                  profile_.extra_copy_rndv_per_byte);
@@ -289,7 +301,8 @@ void NativeDevice::poll_loop(NodeState& state, net::Endpoint& endpoint,
         mpi::MpiStatus status;
         status.source = header.envelope.src;
         status.tag = header.envelope.tag;
-        status.bytes = bytes;
+        status.bytes = delivered;
+        if (truncated) status.error = ErrorCode::kTruncated;
         posted.request->complete(status);
         break;
       }

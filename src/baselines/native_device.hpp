@@ -82,8 +82,8 @@ class NativeDevice final : public core::ManagedDevice {
     return profile_.eager_threshold;
   }
   bool reaches(rank_t src, rank_t dst) const override;
-  void send(rank_t src, rank_t dst, const mpi::Envelope& env,
-            byte_span packed, mpi::TransferMode mode) override;
+  Status send(rank_t src, rank_t dst, const mpi::Envelope& env,
+              byte_span packed, mpi::TransferMode mode) override;
 
   void start() override;
   void shutdown() override;

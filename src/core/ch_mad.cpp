@@ -107,6 +107,9 @@ void ChMadDevice::shutdown() {
   // Phase 1: every node announces termination to every direct peer, on
   // direct channels plainly and on forwarding channels wrapped in a
   // final-hop routing header.
+  // Termination packets travel in teardown mode: out-of-band delivery that
+  // bypasses fault injection, so pollers always drain their term quota and
+  // join() cannot hang behind a dead link.
   PacketHeader term;
   term.type = PacketType::kTerm;
   for (mad::Channel* channel : router_.channels()) {
@@ -114,7 +117,8 @@ void ChMadDevice::shutdown() {
       mad::ChannelEndpoint* endpoint = channel->at(member);
       for (node_id_t peer : channel->members()) {
         if (peer == member) continue;
-        mad::Packing packing = endpoint->begin_packing(peer);
+        mad::Packing packing =
+            endpoint->begin_packing(peer, net::DeliveryMode::kTeardown);
         packing.pack(&term, sizeof term, mad::SendMode::kSafer,
                      mad::RecvMode::kExpress);
         packing.end_packing();
@@ -129,7 +133,8 @@ void ChMadDevice::shutdown() {
         mad::ForwardHeader header;
         header.origin = member;
         header.final_dst = peer;
-        mad::Packing packing = endpoint->begin_packing(peer);
+        mad::Packing packing =
+            endpoint->begin_packing(peer, net::DeliveryMode::kTeardown);
         packing.pack(&header, sizeof header, mad::SendMode::kSafer,
                      mad::RecvMode::kExpress);
         packing.pack(&term, sizeof term, mad::SendMode::kSafer,
@@ -149,9 +154,14 @@ void ChMadDevice::shutdown() {
   started_ = false;
 }
 
-void ChMadDevice::send_packet(node_id_t src_node, node_id_t dst_node,
-                              const PacketHeader& header, byte_span body) {
-  if (mad::Channel* direct = router_.route(src_node, dst_node)) {
+Status ChMadDevice::send_packet(node_id_t src_node, node_id_t dst_node,
+                                const PacketHeader& header, byte_span body) {
+  // Failover loop: elect the best *live* direct channel and try it. A
+  // failed delivery marks the link dead inside the transport, so the next
+  // route() election yields the next-best protocol (e.g. SCI down -> TCP).
+  // The loop terminates because link health only ever worsens and the
+  // channel set is finite.
+  while (mad::Channel* direct = router_.route(src_node, dst_node)) {
     mad::Packing packing = direct->at(src_node)->begin_packing(dst_node);
     packing.pack(&header, sizeof header, mad::SendMode::kSafer,
                  mad::RecvMode::kExpress);
@@ -159,17 +169,35 @@ void ChMadDevice::send_packet(node_id_t src_node, node_id_t dst_node,
       packing.pack(body.data(), body.size(), mad::SendMode::kLater,
                    mad::RecvMode::kCheaper);
     }
-    packing.end_packing();
-    return;
+    Status status = packing.end_packing();
+    if (status.is_ok()) return status;
+
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    sim::trace(state_of(src_node).node->clock().now(), src_node,
+               sim::TraceCategory::kFailover, body.size(),
+               sim::protocol_name(direct->protocol()));
+    // Multi-hop routes may have crossed the dead link too.
+    if (forward_router_.has_value()) forward_router_->rebuild();
   }
 
-  MADMPI_CHECK_MSG(forward_router_.has_value(),
-                   "no common network and forwarding is disabled");
+  // Every direct protocol is down (or the pair never shared a network):
+  // gateway forwarding is the last resort.
+  if (!forward_router_.has_value()) {
+    return Status(ErrorCode::kUnreachable,
+                  "no live channel to node " + std::to_string(dst_node) +
+                      " and forwarding is disabled");
+  }
   const node_id_t next = forward_router_->next_hop(src_node, dst_node);
-  MADMPI_CHECK_MSG(next != kInvalidNode, "no forwarding path to the node");
+  if (next == kInvalidNode) {
+    return Status(ErrorCode::kUnreachable,
+                  "no forwarding path to node " + std::to_string(dst_node));
+  }
   mad::Channel* egress = forward_channels_router_.route(src_node, next);
-  MADMPI_CHECK_MSG(egress != nullptr,
-                   "forwarding channel missing for the first hop");
+  if (egress == nullptr) {
+    return Status(ErrorCode::kUnreachable,
+                  "no live forwarding channel towards node " +
+                      std::to_string(next));
+  }
 
   mad::ForwardHeader fwd;
   fwd.origin = src_node;
@@ -183,11 +211,20 @@ void ChMadDevice::send_packet(node_id_t src_node, node_id_t dst_node,
     packing.pack(body.data(), body.size(), mad::SendMode::kLater,
                  mad::RecvMode::kCheaper);
   }
-  packing.end_packing();
+  return packing.end_packing();
 }
 
 void ChMadDevice::relay(node_id_t me, mad::ForwardHeader fwd,
                         mad::Unpacking& incoming) {
+  // Drain everything before touching the egress channel: a message whose
+  // sender aborted mid-flight must be discarded here, not half-relayed.
+  std::vector<mad::Unpacking::DrainedBlock> blocks;
+  while (auto block = incoming.drain_block()) {
+    blocks.push_back(std::move(*block));
+  }
+  incoming.end_unpacking();
+  if (incoming.aborted()) return;  // origin retries end-to-end
+
   const node_id_t next = forward_router_->next_hop(me, fwd.final_dst);
   MADMPI_CHECK_MSG(next != kInvalidNode,
                    "gateway has no route to the final destination");
@@ -197,20 +234,19 @@ void ChMadDevice::relay(node_id_t me, mad::ForwardHeader fwd,
   ++fwd.hops;
   mad::Packing out = egress->at(me)->begin_packing(next);
   out.pack(&fwd, sizeof fwd, mad::SendMode::kSafer, mad::RecvMode::kExpress);
-  while (auto block = incoming.drain_block()) {
-    out.pack(block->bytes.data(), block->bytes.size(), mad::SendMode::kSafer,
-             block->express ? mad::RecvMode::kExpress
-                            : mad::RecvMode::kCheaper);
+  for (const auto& block : blocks) {
+    out.pack(block.bytes.data(), block.bytes.size(), mad::SendMode::kSafer,
+             block.express ? mad::RecvMode::kExpress
+                           : mad::RecvMode::kCheaper);
   }
-  incoming.end_unpacking();
   forwarded_.fetch_add(1, std::memory_order_relaxed);
   sim::trace(states_.at(me)->node->clock().now(), me,
              sim::TraceCategory::kRelay, 0, "gateway");
   out.end_packing();
 }
 
-void ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
-                       byte_span packed, mpi::TransferMode mode) {
+Status ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
+                         byte_span packed, mpi::TransferMode mode) {
   sim::Node& src_node = directory_.node_of(src);
   sim::Node& dst_node = directory_.node_of(dst);
 
@@ -226,8 +262,7 @@ void ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
     // MPID_PKT_MAX_DATA_SIZE buffer on the sending side.
     header.type = PacketType::kShort;
     eager_sent_.fetch_add(1, std::memory_order_relaxed);
-    send_packet(src_node.id(), dst_node.id(), header, packed);
-    return;
+    return send_packet(src_node.id(), dst_node.id(), header, packed);
   }
 
   // Rendezvous (paper §4.2.2): 1) request; 2) peer acknowledges with its
@@ -247,7 +282,15 @@ void ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
   }
   header.type = PacketType::kRndvRequest;
   header.sender_handle = handle;
-  send_packet(src_node.id(), dst_node.id(), header, {});
+  Status status = send_packet(src_node.id(), dst_node.id(), header, {});
+  if (!status.is_ok()) {
+    // The request never left: unregister and report. (If the request
+    // arrived but the *reply* path is severed, the sender waits — reverse
+    // routes are the receiver's to re-elect; see DESIGN.md.)
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.pending_sends.erase(handle);
+    return status;
+  }
 
   // Park until the polling thread's data-push thread finished step 3.
   pending.done->wait();
@@ -255,6 +298,7 @@ void ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
     std::lock_guard<std::mutex> lock(state.mutex);
     state.pending_sends.erase(handle);
   }
+  return pending.result;
 }
 
 void ChMadDevice::spawn_reply_thread(NodeState& state, node_id_t dst_node,
@@ -267,7 +311,11 @@ void ChMadDevice::spawn_reply_thread(NodeState& state, node_id_t dst_node,
   const usec_t birth = node->clock().advance(marcel::ThreadCosts::kCreate);
   std::thread([this, node, birth, src_node, dst_node, header] {
     node->clock().bind_lane(birth);
-    send_packet(src_node, dst_node, header, {});
+    // A failed OK_TO_SEND leaves the sender parked on its rendezvous: the
+    // known limitation of receiver-side reply loss (see DESIGN.md). The
+    // failover loop inside send_packet makes this reachable only when the
+    // receiver has *no* route back at all.
+    (void)send_packet(src_node, dst_node, header, {});
   }).detach();
 }
 
@@ -283,7 +331,7 @@ void ChMadDevice::spawn_data_thread(NodeState& state, node_id_t dst_node,
     PacketHeader header = pending.header;
     header.type = PacketType::kRndvData;
     header.sync_address = sync_address;
-    send_packet(src_node, dst_node, header, pending.data);
+    pending.result = send_packet(src_node, dst_node, header, pending.data);
     pending.done->signal();  // unblocks the sender; `pending` dies after
   }).detach();
 }
@@ -316,6 +364,11 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
                         mad::RecvMode::kCheaper);
       }
       incoming.end_unpacking();
+      if (incoming.aborted()) {
+        // The sender gave up mid-message and retries the whole packet on
+        // another route: discarding here keeps delivery exactly-once.
+        return;
+      }
       directory_.context_of(header.dst_global)
           .deliver_eager(header.envelope,
                          byte_span{bounce.data(), bounce.size()});
@@ -379,31 +432,52 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
       }
       const mpi::PostedRecv& posted = rhandle.posted;
       const std::uint64_t bytes = header.envelope.bytes;
-      MADMPI_CHECK_MSG(bytes <= posted.capacity_bytes,
-                       "rendezvous truncation (MPI_ERR_TRUNCATE)");
+      // An oversized message is an application error (MPI_ERR_TRUNCATE),
+      // not a protocol one: consume the full wire block, deliver the
+      // prefix that fits, and report the error on the request's status.
+      const bool truncated = bytes > posted.capacity_bytes;
+      const std::uint64_t delivered =
+          truncated ? posted.capacity_bytes : bytes;
       if (bytes != 0) {
-        const std::size_t elem = posted.type.size();
-        const int elements = static_cast<int>(bytes / (elem ? elem : 1));
-        if (posted.type.is_contiguous()) {
+        const bool direct = posted.type.is_contiguous() && !truncated;
+        if (direct) {
           // Zero-copy: straight into the posted user buffer.
           incoming.unpack(posted.buffer, bytes, mad::SendMode::kLater,
                           mad::RecvMode::kCheaper);
-          if (header.envelope.sender_big_endian) {
-            // Heterogeneity: the wire carried the sender's byte order
-            // (contiguous wire layout == buffer layout, so in-place).
-            posted.type.swap_packed(static_cast<std::byte*>(posted.buffer),
-                                    elements);
-          }
         } else {
           std::vector<std::byte> bounce(bytes);
           incoming.unpack(bounce.data(), bytes, mad::SendMode::kLater,
                           mad::RecvMode::kCheaper);
-          if (header.envelope.sender_big_endian) {
-            posted.type.swap_packed(bounce.data(), elements);
+          if (!incoming.aborted()) {
+            if (header.envelope.sender_big_endian) {
+              posted.type.swap_packed_bytes(bounce.data(), delivered);
+            }
+            if (posted.type.is_contiguous()) {
+              std::memcpy(posted.buffer, bounce.data(), delivered);
+            } else {
+              const std::size_t elem = posted.type.size();
+              const int elements =
+                  static_cast<int>(delivered / (elem ? elem : 1));
+              posted.type.unpack(bounce.data(), elements, posted.buffer);
+            }
+            state.node->clock().advance(static_cast<double>(delivered) *
+                                        sim::kHostCopyUsPerByte);
           }
-          posted.type.unpack(bounce.data(), elements, posted.buffer);
-          state.node->clock().advance(static_cast<double>(bytes) *
-                                      sim::kHostCopyUsPerByte);
+        }
+        if (incoming.aborted()) {
+          // The sender's data push died mid-flight; it re-elects a route
+          // and resends kRndvData with the same sync_address. Re-arm the
+          // rhandle so the retry finds it.
+          incoming.end_unpacking();
+          std::lock_guard<std::mutex> lock(state.mutex);
+          state.rhandles[header.sync_address] = std::move(rhandle);
+          return;
+        }
+        if (direct && header.envelope.sender_big_endian) {
+          // Heterogeneity: the wire carried the sender's byte order
+          // (contiguous wire layout == buffer layout, so in-place).
+          posted.type.swap_packed_bytes(
+              static_cast<std::byte*>(posted.buffer), bytes);
         }
         if (header.envelope.sender_big_endian !=
             state.node->big_endian()) {
@@ -416,7 +490,8 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
       mpi::MpiStatus status;
       status.source = header.envelope.src;
       status.tag = header.envelope.tag;
-      status.bytes = bytes;
+      status.bytes = delivered;
+      if (truncated) status.error = ErrorCode::kTruncated;
       // Releasing the rhandle's semaphore = completing the request: the
       // blocked main thread resumes (paper §4.2.2, last step).
       posted.request->complete(status);

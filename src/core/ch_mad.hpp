@@ -57,8 +57,8 @@ class ChMadDevice final : public ManagedDevice {
   const char* name() const override { return "ch_mad"; }
   std::size_t rendezvous_threshold() const override { return switch_point_; }
   bool reaches(rank_t src, rank_t dst) const override;
-  void send(rank_t src, rank_t dst, const mpi::Envelope& env,
-            byte_span packed, mpi::TransferMode mode) override;
+  Status send(rank_t src, rank_t dst, const mpi::Envelope& env,
+              byte_span packed, mpi::TransferMode mode) override;
 
   // --- lifecycle --------------------------------------------------------
   /// Spawn the polling threads (one per channel per member node).
@@ -81,12 +81,16 @@ class ChMadDevice final : public ManagedDevice {
   std::uint64_t eager_sent() const { return eager_sent_.load(); }
   std::uint64_t rendezvous_sent() const { return rendezvous_sent_.load(); }
   std::uint64_t forwarded() const { return forwarded_.load(); }
+  std::uint64_t failovers() const { return failovers_.load(); }
 
  private:
   struct PendingSend {
     byte_span data;
     PacketHeader header;
     std::unique_ptr<marcel::Semaphore> done;
+    /// Outcome of the rendezvous data push, set by the data thread before
+    /// it signals `done` (the sender returns it from send()).
+    Status result;
   };
 
   struct Rhandle {
@@ -110,10 +114,14 @@ class ChMadDevice final : public ManagedDevice {
                       int* terms_seen);
 
   /// Transmit one ch_mad packet from node to node: directly over the best
-  /// common channel, or wrapped in a ForwardHeader over a forwarding
-  /// channel towards the next-hop gateway.
-  void send_packet(node_id_t src_node, node_id_t dst_node,
-                   const PacketHeader& header, byte_span body);
+  /// common *live* channel, or wrapped in a ForwardHeader over a
+  /// forwarding channel towards the next-hop gateway. When delivery over
+  /// the elected channel fails (link died), the route is re-elected and
+  /// the packet retried on the next-best protocol — the multi-protocol
+  /// failover the paper's architecture makes possible. Returns non-ok
+  /// (kUnreachable) only when no route remains.
+  Status send_packet(node_id_t src_node, node_id_t dst_node,
+                     const PacketHeader& header, byte_span body);
 
   /// Relay a forwarded message one hop further (runs on a forwarding
   /// channel's polling thread on the gateway node).
@@ -140,6 +148,7 @@ class ChMadDevice final : public ManagedDevice {
   std::atomic<std::uint64_t> eager_sent_{0};
   std::atomic<std::uint64_t> rendezvous_sent_{0};
   std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> failovers_{0};
 };
 
 }  // namespace madmpi::core

@@ -22,13 +22,14 @@ class ChSelfDevice final : public mpi::Device {
 
   bool reaches(rank_t src, rank_t dst) const override { return src == dst; }
 
-  void send(rank_t src, rank_t dst, const mpi::Envelope& env,
-            byte_span packed, mpi::TransferMode mode) override {
+  Status send(rank_t src, rank_t dst, const mpi::Envelope& env,
+              byte_span packed, mpi::TransferMode mode) override {
     MADMPI_CHECK_MSG(src == dst, "ch_self used for a non-self message");
     (void)mode;  // self transfers are always effectively eager
     sim::Node& node = directory_.node_of(src);
     node.clock().advance(kSelfOverheadUs);
     directory_.context_of(dst).deliver_eager(env, packed);
+    return Status::ok();
   }
 
   static constexpr usec_t kSelfOverheadUs = 0.4;

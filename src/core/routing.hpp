@@ -6,6 +6,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/switchpoint.hpp"
@@ -20,11 +21,14 @@ class ChannelRouter {
 
   /// Best common channel between two nodes (highest protocol performance
   /// rank, ties broken towards the earlier-opened channel); nullptr when
-  /// the nodes share no network.
+  /// the nodes share no network. Channels whose a->b connection has been
+  /// declared dead are skipped, so a re-election after a link failure
+  /// transparently falls back to the next-best protocol (SCI down -> TCP).
   mad::Channel* route(node_id_t a, node_id_t b) const {
     mad::Channel* best = nullptr;
     for (mad::Channel* channel : channels_) {
       if (!channel->has_member(a) || !channel->has_member(b)) continue;
+      if (a != b && !channel->link_alive(a, b)) continue;
       if (best == nullptr ||
           protocol_performance_rank(channel->protocol()) >
               protocol_performance_rank(best->protocol())) {
@@ -66,8 +70,18 @@ class ForwardRouter {
   /// The next node on the best path src -> dst; kInvalidNode when
   /// disconnected; dst itself when directly reachable.
   node_id_t next_hop(node_id_t src, node_id_t dst) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = next_.find({src, dst});
     return it == next_.end() ? kInvalidNode : it->second;
+  }
+
+  /// Recompute the hop table. Called after a link death so multi-hop
+  /// routes stop traversing dead connections (route() is health-aware, so
+  /// a fresh BFS sees the reduced adjacency).
+  void rebuild() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    next_.clear();
+    build();
   }
 
   bool connected(node_id_t src, node_id_t dst) const {
@@ -91,6 +105,7 @@ class ForwardRouter {
   }
 
  private:
+  // Fills next_; callers hold mutex_ (or are the constructor).
   void build() {
     // Collect the node set and adjacency from the channels.
     std::vector<node_id_t> nodes;
@@ -127,6 +142,7 @@ class ForwardRouter {
   }
 
   const ChannelRouter* direct_;
+  mutable std::mutex mutex_;
   std::map<std::pair<node_id_t, node_id_t>, node_id_t> next_;
 };
 

@@ -99,21 +99,25 @@ mad::Channel& Session::open_raw_channel(std::size_t network_index,
 }
 
 void Session::print_stats(std::FILE* out) {
-  std::fprintf(out, "%-16s %-8s %10s %14s\n", "channel", "proto", "messages",
-               "bytes");
+  std::fprintf(out, "%-16s %-8s %10s %14s %8s %8s\n", "channel", "proto",
+               "messages", "bytes", "drops", "retries");
   for (mad::Channel* channel : madeleine_->channels()) {
     const auto stats = channel->traffic();
-    std::fprintf(out, "%-16s %-8s %10" PRIu64 " %14" PRIu64 "\n",
+    std::fprintf(out,
+                 "%-16s %-8s %10" PRIu64 " %14" PRIu64 " %8" PRIu64
+                 " %8" PRIu64 "\n",
                  channel->name().c_str(),
                  sim::protocol_name(channel->protocol()),
-                 stats.messages_sent, stats.bytes_sent);
+                 stats.messages_sent, stats.bytes_sent, stats.frames_dropped,
+                 stats.retransmits);
   }
   if (auto* device = ch_mad()) {
     std::fprintf(out,
                  "ch_mad: %" PRIu64 " eager, %" PRIu64 " rendezvous, %" PRIu64
-                 " forwarded (switch point %zu B)\n",
+                 " forwarded, %" PRIu64 " failovers (switch point %zu B)\n",
                  device->eager_sent(), device->rendezvous_sent(),
-                 device->forwarded(), device->switch_point());
+                 device->forwarded(), device->failovers(),
+                 device->switch_point());
   }
 }
 

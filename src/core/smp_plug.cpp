@@ -13,8 +13,8 @@ bool SmpPlugDevice::reaches(rank_t src, rank_t dst) const {
   return src != dst && directory_.same_node(src, dst);
 }
 
-void SmpPlugDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
-                         byte_span packed, mpi::TransferMode mode) {
+Status SmpPlugDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
+                           byte_span packed, mpi::TransferMode mode) {
   MADMPI_CHECK_MSG(reaches(src, dst), "smp_plug used across nodes");
   sim::Node& node = directory_.node_of(src);
 
@@ -24,7 +24,7 @@ void SmpPlugDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
                          static_cast<double>(packed.size()) *
                              sim::kHostCopyUsPerByte);
     directory_.context_of(dst).deliver_eager(env, packed);
-    return;
+    return Status::ok();
   }
 
   // Rendezvous: announce, park until the receive is posted, then deliver
@@ -39,20 +39,35 @@ void SmpPlugDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
       });
   matched.wait();
 
-  MADMPI_CHECK_MSG(env.bytes <= target.capacity_bytes,
-                   "message truncation in smp_plug rendezvous");
-  node.clock().advance(static_cast<double>(packed.size()) *
+  // Truncation delivers the prefix that fits and reports MPI_ERR_TRUNCATE
+  // on the receive status (same policy as finish_recv).
+  const bool truncated = env.bytes > target.capacity_bytes;
+  const std::size_t delivered =
+      truncated ? target.capacity_bytes : packed.size();
+  node.clock().advance(static_cast<double>(delivered) *
                        sim::kHostCopyUsPerByte);
   const std::size_t elem_size = target.type.size();
   const int elements =
-      elem_size == 0 ? 0 : static_cast<int>(packed.size() / elem_size);
+      elem_size == 0 ? 0 : static_cast<int>(delivered / elem_size);
   target.type.unpack(packed.data(), elements, target.buffer);
+  if (target.type.is_contiguous()) {
+    // Ragged tail of a truncated contiguous receive: deliver raw prefix.
+    const std::size_t tail =
+        elem_size == 0 ? 0 : delivered % elem_size;
+    if (tail != 0) {
+      auto* base = static_cast<std::byte*>(target.buffer);
+      std::memcpy(base + static_cast<std::size_t>(elements) * elem_size,
+                  packed.data() + delivered - tail, tail);
+    }
+  }
 
   mpi::MpiStatus status;
   status.source = env.src;
   status.tag = env.tag;
-  status.bytes = env.bytes;
+  status.bytes = delivered;
+  if (truncated) status.error = ErrorCode::kTruncated;
   target.request->complete(status);
+  return Status::ok();
 }
 
 }  // namespace madmpi::core

@@ -28,8 +28,8 @@ class SmpPlugDevice final : public mpi::Device {
 
   bool reaches(rank_t src, rank_t dst) const override;
 
-  void send(rank_t src, rank_t dst, const mpi::Envelope& env,
-            byte_span packed, mpi::TransferMode mode) override;
+  Status send(rank_t src, rank_t dst, const mpi::Envelope& env,
+              byte_span packed, mpi::TransferMode mode) override;
 
   /// Shared-segment capacity: eager messages up to this size.
   static constexpr std::size_t kSegmentBytes = 32 * 1024;

@@ -28,17 +28,32 @@ int protocol_performance_rank(sim::Protocol protocol) {
   return 0;
 }
 
+bool is_intra_node_protocol(sim::Protocol protocol) {
+  return protocol == sim::Protocol::kShmem;
+}
+
 std::size_t elect_switch_point(
     const std::vector<sim::Protocol>& protocols) {
   MADMPI_CHECK_MSG(!protocols.empty(),
                    "switch point election over an empty protocol set");
+  // Intra-node protocols would otherwise hijack the election (shmem ranks
+  // above every real network but its 32 KB threshold is meaningless for
+  // inter-node traffic). Elect over the real networks; fall back to the
+  // full set only when there is no network at all (single-node cluster).
+  std::vector<sim::Protocol> networks;
+  for (sim::Protocol protocol : protocols) {
+    if (!is_intra_node_protocol(protocol)) networks.push_back(protocol);
+  }
+  const std::vector<sim::Protocol>& candidates =
+      networks.empty() ? protocols : networks;
+
   const bool has_sci =
-      std::find(protocols.begin(), protocols.end(), sim::Protocol::kSisci) !=
-      protocols.end();
+      std::find(candidates.begin(), candidates.end(),
+                sim::Protocol::kSisci) != candidates.end();
   if (has_sci) return network_switch_point(sim::Protocol::kSisci);
 
   const sim::Protocol best = *std::max_element(
-      protocols.begin(), protocols.end(), [](auto a, auto b) {
+      candidates.begin(), candidates.end(), [](auto a, auto b) {
         return protocol_performance_rank(a) < protocol_performance_rank(b);
       });
   return network_switch_point(best);

@@ -24,4 +24,10 @@ std::size_t elect_switch_point(const std::vector<sim::Protocol>& protocols);
 /// (higher is better).
 int protocol_performance_rank(sim::Protocol protocol);
 
+/// True for protocols that only connect ranks of the same node (shared
+/// memory). Intra-node protocols never take part in the device-wide
+/// switch-point election: the threshold tunes *network* traffic, and smp
+/// transfers are handled by smp_plug with its own crossover.
+bool is_intra_node_protocol(sim::Protocol protocol);
+
 }  // namespace madmpi::core

@@ -10,14 +10,17 @@ namespace madmpi::mad {
 // ---------------------------------------------------------------- Packing
 
 Packing::Packing(ChannelEndpoint* endpoint, node_id_t remote,
-                 std::unique_lock<std::mutex> connection_lock)
+                 std::unique_lock<std::mutex> connection_lock,
+                 net::DeliveryMode delivery)
     : endpoint_(endpoint),
       remote_(remote),
+      delivery_(delivery),
       connection_lock_(std::move(connection_lock)) {}
 
 Packing::Packing(Packing&& other) noexcept
     : endpoint_(other.endpoint_),
       remote_(other.remote_),
+      delivery_(other.delivery_),
       connection_lock_(std::move(other.connection_lock_)),
       control_(std::move(other.control_)),
       separate_(std::move(other.separate_)),
@@ -89,11 +92,13 @@ void Packing::pack(const void* data, std::size_t size, SendMode send_mode,
   separate_.push_back(block);
 }
 
-void Packing::end_packing() {
+Status Packing::end_packing() {
   MADMPI_CHECK_MSG(!ended_, "end_packing() called twice");
   ended_ = true;
-  endpoint_->net_->send_message(remote_, control_.span(), separate_);
+  Status status = endpoint_->net_->send_message(remote_, control_.span(),
+                                                separate_, delivery_);
   connection_lock_.unlock();
+  return status;
 }
 
 // -------------------------------------------------------------- Unpacking
@@ -158,8 +163,19 @@ void Unpacking::unpack(void* data, std::size_t size, SendMode send_mode,
     return;
   }
 
-  // Separate block: its data frame follows the control frame in order.
+  // Separate block: its data frame follows the control frame in order —
+  // unless the sender aborted, in which case the abort marker was the last
+  // frame of this message and the remaining blocks never arrive.
+  if (aborted_) {
+    std::memset(data, 0, size);
+    return;
+  }
   sim::Frame frame = message_.take_data_block();
+  if (frame.kind == net::kAbortFrame) {
+    aborted_ = true;
+    std::memset(data, 0, size);
+    return;
+  }
   MADMPI_CHECK_MSG(frame.payload.size() == size,
                    "data frame size does not match its record");
   std::memcpy(data, frame.payload.data(), size);
@@ -183,7 +199,7 @@ std::optional<Unpacking::DrainedBlock> Unpacking::drain_block() {
 
 void Unpacking::end_unpacking() {
   MADMPI_CHECK_MSG(!ended_, "end_unpacking() called twice");
-  MADMPI_CHECK_MSG(reader_.exhausted(),
+  MADMPI_CHECK_MSG(reader_.exhausted() || aborted_,
                    "end_unpacking() with blocks left in the message");
   ended_ = true;
 }
@@ -201,11 +217,12 @@ std::mutex& ChannelEndpoint::connection_lock(node_id_t remote) {
   return *slot;
 }
 
-Packing ChannelEndpoint::begin_packing(node_id_t remote) {
+Packing ChannelEndpoint::begin_packing(node_id_t remote,
+                                       net::DeliveryMode delivery) {
   MADMPI_CHECK_MSG(net_->has_peer(remote),
                    "begin_packing to a node outside the channel");
   std::unique_lock<std::mutex> lock(connection_lock(remote));
-  return Packing(this, remote, std::move(lock));
+  return Packing(this, remote, std::move(lock), delivery);
 }
 
 std::optional<Unpacking> ChannelEndpoint::begin_unpacking() {
@@ -244,6 +261,16 @@ ChannelEndpoint* Channel::at(node_id_t node) {
 bool Channel::has_member(node_id_t node) const {
   const auto& members = transport_->members();
   return std::find(members.begin(), members.end(), node) != members.end();
+}
+
+bool Channel::link_alive(node_id_t src, node_id_t dst) {
+  ChannelEndpoint* a = at(src);
+  ChannelEndpoint* b = at(dst);
+  if (a == nullptr || b == nullptr) return false;
+  // Either side declaring the connection dead kills it for routing: death
+  // is typically observed by the sender only, but traffic flows both ways.
+  return a->peer_health(dst) != sim::LinkHealth::kDead &&
+         b->peer_health(src) != sim::LinkHealth::kDead;
 }
 
 void Channel::close() {

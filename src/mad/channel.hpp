@@ -49,8 +49,10 @@ class Packing {
             RecvMode recv_mode);
 
   /// Flush the message to the wire. Blocking (Madeleine primitives are
-  /// blocking, §4.1); on return all buffers are reusable.
-  void end_packing();
+  /// blocking, §4.1); on return all buffers are reusable. Non-ok when
+  /// delivery failed permanently (dead link / retries exhausted); the
+  /// message is then NOT delivered and may be re-packed on another channel.
+  Status end_packing();
 
   node_id_t remote() const { return remote_; }
   std::size_t blocks_packed() const { return blocks_packed_; }
@@ -58,10 +60,12 @@ class Packing {
  private:
   friend class ChannelEndpoint;
   Packing(ChannelEndpoint* endpoint, node_id_t remote,
-          std::unique_lock<std::mutex> connection_lock);
+          std::unique_lock<std::mutex> connection_lock,
+          net::DeliveryMode delivery);
 
   ChannelEndpoint* endpoint_;
   node_id_t remote_;
+  net::DeliveryMode delivery_;
   std::unique_lock<std::mutex> connection_lock_;
 
   ByteWriter control_;
@@ -101,8 +105,14 @@ class Unpacking {
   };
   std::optional<DrainedBlock> drain_block();
 
-  /// Finish; checks that every packed block was unpacked.
+  /// Finish; checks that every packed block was unpacked (relaxed for
+  /// aborted messages, which may legitimately end early).
   void end_unpacking();
+
+  /// True once the sender's abort marker was observed: the sender gave up
+  /// on this message mid-flight and will retry it on another route. The
+  /// consumer must discard everything unpacked from it.
+  bool aborted() const { return aborted_; }
 
   node_id_t source() const { return message_.source(); }
   std::size_t blocks_unpacked() const { return blocks_unpacked_; }
@@ -116,6 +126,7 @@ class Unpacking {
   ByteReader reader_;
   std::size_t blocks_unpacked_ = 0;
   bool ended_ = false;
+  bool aborted_ = false;
 };
 
 class Channel;
@@ -128,7 +139,15 @@ class ChannelEndpoint {
 
   /// Start a message towards `remote`. Serializes with other messages on
   /// the same point-to-point connection (in-order guarantee, §3.1).
-  Packing begin_packing(node_id_t remote);
+  /// `delivery` selects normal (fault-subject) or teardown (out-of-band)
+  /// transmission — see net::DeliveryMode.
+  Packing begin_packing(node_id_t remote,
+                        net::DeliveryMode delivery = net::DeliveryMode::kNormal);
+
+  /// Delivery health towards a channel peer as seen from this node.
+  sim::LinkHealth peer_health(node_id_t peer) const {
+    return net_->peer_health(peer);
+  }
 
   /// Blocking receive of the next message on this channel (any source).
   /// Empty when the channel has been closed.
@@ -180,6 +199,10 @@ class Channel {
     return transport_->members();
   }
   bool has_member(node_id_t node) const;
+
+  /// True while neither side has declared the src->dst connection dead.
+  /// Routers skip channels whose link is down when electing a route.
+  bool link_alive(node_id_t src, node_id_t dst);
 
   /// Shut the channel down: blocked begin_unpacking calls return empty.
   void close();

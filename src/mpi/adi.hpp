@@ -32,9 +32,11 @@ class Device {
   /// returns once the message is locally complete — immediately after
   /// injection for eager, after the data transfer for rendezvous. The
   /// device is responsible for all virtual-time accounting on both sides
-  /// and for delivering into the destination RankContext.
-  virtual void send(rank_t src, rank_t dst, const Envelope& env,
-                    byte_span packed, TransferMode mode) = 0;
+  /// and for delivering into the destination RankContext. Non-ok when the
+  /// message could not be delivered (all routes to the destination dead);
+  /// the generic layer maps it onto the MPI error of the operation.
+  virtual Status send(rank_t src, rank_t dst, const Envelope& env,
+                      byte_span packed, TransferMode mode) = 0;
 
   /// True when this device can carry src -> dst.
   virtual bool reaches(rank_t src, rank_t dst) const = 0;

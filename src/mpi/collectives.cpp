@@ -35,9 +35,13 @@ void Comm::coll_send(const void* buf, std::size_t bytes, rank_t dest,
   Envelope env = make_envelope(dest, tag, bytes, false);
   env.context = shared_->context + 1;
   Device& device = device_to(dest);
-  device.send(global_rank_of(rank_), global_rank_of(dest), env,
-              byte_span{static_cast<const std::byte*>(buf), bytes},
-              device.select_mode(bytes, false));
+  const Status status =
+      device.send(global_rank_of(rank_), global_rank_of(dest), env,
+                  byte_span{static_cast<const std::byte*>(buf), bytes},
+                  device.select_mode(bytes, false));
+  // Collectives define no recovery protocol: a lost link mid-algorithm
+  // would leave peers waiting forever, so surface it loudly.
+  MADMPI_CHECK_MSG(status.is_ok(), status.message());
 }
 
 void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {

@@ -97,26 +97,26 @@ byte_span Comm::pack_for_send(const void* buf, int count,
   return byte_span{staging.data(), staging.size()};
 }
 
-void Comm::send(const void* buf, int count, const Datatype& type, rank_t dest,
-                int tag) {
+Status Comm::send(const void* buf, int count, const Datatype& type,
+                  rank_t dest, int tag) {
   MADMPI_CHECK(dest >= 0 && dest < size());
   std::vector<std::byte> staging;
   const byte_span packed = pack_for_send(buf, count, type, staging);
   const Envelope env = make_envelope(dest, tag, packed.size(), false);
   Device& device = device_to(dest);
-  device.send(global_rank_of(rank_), global_rank_of(dest), env, packed,
-              device.select_mode(env.bytes, false));
+  return device.send(global_rank_of(rank_), global_rank_of(dest), env, packed,
+                     device.select_mode(env.bytes, false));
 }
 
-void Comm::ssend(const void* buf, int count, const Datatype& type,
-                 rank_t dest, int tag) {
+Status Comm::ssend(const void* buf, int count, const Datatype& type,
+                   rank_t dest, int tag) {
   MADMPI_CHECK(dest >= 0 && dest < size());
   std::vector<std::byte> staging;
   const byte_span packed = pack_for_send(buf, count, type, staging);
   const Envelope env = make_envelope(dest, tag, packed.size(), true);
   Device& device = device_to(dest);
-  device.send(global_rank_of(rank_), global_rank_of(dest), env, packed,
-              TransferMode::kRendezvous);
+  return device.send(global_rank_of(rank_), global_rank_of(dest), env, packed,
+                     TransferMode::kRendezvous);
 }
 
 namespace {
@@ -186,9 +186,16 @@ void Comm::bsend(const void* buf, int count, const Datatype& type,
   std::thread([&node, birth, &device, src_global, dst_global, env, parked,
                pool, needed] {
     node.clock().bind_lane(birth);
-    device.send(src_global, dst_global, env,
-                byte_span{parked->data(), parked->size()},
-                device.select_mode(env.bytes, false));
+    // A buffered send has no request to carry the error; log and drop, as
+    // real implementations do for undeliverable bsends.
+    const Status status =
+        device.send(src_global, dst_global, env,
+                    byte_span{parked->data(), parked->size()},
+                    device.select_mode(env.bytes, false));
+    if (!status.is_ok()) {
+      MADMPI_LOG_WARN("mpi", "bsend to rank %d failed: %s",
+                      static_cast<int>(env.dst), status.message().c_str());
+    }
     std::lock_guard<std::mutex> lock(pool->mutex);
     pool->in_flight -= needed;
     --pool->pending;
@@ -237,13 +244,15 @@ void spawn_rendezvous_send(sim::Node& node, Device& device, rank_t src,
   std::thread([&node, birth, &device, src, dst, env,
                payload = std::move(payload), state = std::move(state)] {
     node.clock().bind_lane(birth);
-    device.send(src, dst, env,
-                byte_span{payload->data(), payload->size()},
-                TransferMode::kRendezvous);
+    const Status result =
+        device.send(src, dst, env,
+                    byte_span{payload->data(), payload->size()},
+                    TransferMode::kRendezvous);
     MpiStatus status;
     status.source = env.dst;  // send-side status: peer and tag
     status.tag = env.tag;
     status.bytes = env.bytes;
+    status.error = result.code();
     state->complete(status);
   }).detach();
 }
@@ -262,12 +271,14 @@ Request Comm::isend(const void* buf, int count, const Datatype& type,
   auto state = std::make_shared<RequestState>(my_node());
   if (mode == TransferMode::kEager) {
     // Locally complete as soon as the device accepted the bytes.
-    device.send(global_rank_of(rank_), global_rank_of(dest), env, packed,
-                mode);
+    const Status result = device.send(global_rank_of(rank_),
+                                      global_rank_of(dest), env, packed,
+                                      mode);
     MpiStatus status;
     status.source = dest;
     status.tag = tag;
     status.bytes = env.bytes;
+    status.error = result.code();
     state->complete(status);
   } else {
     spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),

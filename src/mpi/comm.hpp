@@ -51,14 +51,17 @@ class Comm {
 
   /// MPI_Send: blocking, returns when the buffer is reusable (eager) or
   /// when the transfer completed (rendezvous; mode is picked from the
-  /// device's switch point, paper §4.2.2).
-  void send(const void* buf, int count, const Datatype& type, rank_t dest,
-            int tag);
+  /// device's switch point, paper §4.2.2). A non-ok status means the device
+  /// exhausted every route to the destination (MPI_ERR_OTHER territory);
+  /// the message may have been partially delivered and was aborted on the
+  /// receiving side.
+  Status send(const void* buf, int count, const Datatype& type, rank_t dest,
+              int tag);
 
   /// MPI_Ssend: completion implies a matching receive was posted (forces
   /// the rendezvous handshake regardless of size).
-  void ssend(const void* buf, int count, const Datatype& type, rank_t dest,
-             int tag);
+  Status ssend(const void* buf, int count, const Datatype& type, rank_t dest,
+               int tag);
 
   /// MPI_Bsend: returns as soon as the message is copied into the attached
   /// buffer (buffer_attach); never blocks on the receiver. Aborts with an

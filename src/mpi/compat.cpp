@@ -91,10 +91,19 @@ mpi::Op op_of(MPI_Op handle) {
   fatal("unknown MPI_Op handle");
 }
 
+int map_error(madmpi::ErrorCode code) {
+  switch (code) {
+    case madmpi::ErrorCode::kOk: return MPI_SUCCESS;
+    case madmpi::ErrorCode::kTruncated: return MPI_ERR_TRUNCATE;
+    default: return MPI_ERR_OTHER;
+  }
+}
+
 void fill_status(MPI_Status* out, const mpi::MpiStatus& status) {
   if (out == nullptr) return;
   out->MPI_SOURCE = status.source;
   out->MPI_TAG = status.tag;
+  out->MPI_ERROR = map_error(status.error);
   out->internal_bytes = static_cast<int>(status.bytes);
 }
 
@@ -215,14 +224,16 @@ int MPI_Comm_free(MPI_Comm* comm) {
 
 int MPI_Send(const void* buf, int count, MPI_Datatype type, int dest,
              int tag, MPI_Comm comm) {
-  detail::comm_of(comm).send(buf, count, detail::type_of(type), dest, tag);
-  return MPI_SUCCESS;
+  const madmpi::Status status = detail::comm_of(comm).send(
+      buf, count, detail::type_of(type), dest, tag);
+  return detail::map_error(status.code());
 }
 
 int MPI_Ssend(const void* buf, int count, MPI_Datatype type, int dest,
               int tag, MPI_Comm comm) {
-  detail::comm_of(comm).ssend(buf, count, detail::type_of(type), dest, tag);
-  return MPI_SUCCESS;
+  const madmpi::Status status = detail::comm_of(comm).ssend(
+      buf, count, detail::type_of(type), dest, tag);
+  return detail::map_error(status.code());
 }
 
 int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag,
@@ -230,7 +241,7 @@ int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag,
   const auto result = detail::comm_of(comm).recv(
       buf, count, detail::type_of(type), source, tag);
   detail::fill_status(status, result);
-  return MPI_SUCCESS;
+  return detail::map_error(result.error);
 }
 
 int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest,

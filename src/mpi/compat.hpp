@@ -31,6 +31,7 @@ using MPI_Request = int;
 struct MPI_Status {
   int MPI_SOURCE;
   int MPI_TAG;
+  int MPI_ERROR;
   int internal_bytes;  // consumed by MPI_Get_count
 };
 
@@ -62,6 +63,8 @@ inline constexpr int MPI_ANY_SOURCE = -2;
 inline constexpr int MPI_ANY_TAG = -1;
 inline constexpr int MPI_UNDEFINED = -32766;
 inline constexpr int MPI_SUCCESS = 0;
+inline constexpr int MPI_ERR_TRUNCATE = 15;
+inline constexpr int MPI_ERR_OTHER = 16;
 
 inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
 inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;

@@ -228,6 +228,33 @@ void Datatype::swap_packed(std::byte* wire, int count) const {
   }
 }
 
+void Datatype::swap_packed_bytes(std::byte* wire, std::size_t bytes) const {
+  const std::size_t elem = impl_->size;
+  if (elem == 0 || bytes == 0) return;
+  const std::size_t whole = bytes / elem;
+  swap_packed(wire, static_cast<int>(whole));
+
+  // The ragged tail: a partial final element. Walk its segments, swapping
+  // the complete primitives it contains; a primitive cut mid-width is
+  // reversed over the bytes present (the best a byte-order pass can do —
+  // the value is unrecoverable either way, but no byte stays wire-order).
+  std::size_t rest = bytes % elem;
+  std::byte* at = wire + whole * elem;
+  for (const auto& segment : impl_->segments) {
+    if (rest == 0) break;
+    const std::size_t len = std::min(segment.length, rest);
+    if (segment.width > 1) {
+      std::size_t chunk = 0;
+      for (; chunk + segment.width <= len; chunk += segment.width) {
+        std::reverse(at + chunk, at + chunk + segment.width);
+      }
+      if (chunk < len) std::reverse(at + chunk, at + len);
+    }
+    at += len;
+    rest -= len;
+  }
+}
+
 void Datatype::pack(const void* src, int count, std::byte* dst) const {
   const auto* base = static_cast<const std::byte*>(src);
   if (is_contiguous()) {

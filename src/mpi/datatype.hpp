@@ -103,6 +103,13 @@ class Datatype {
   /// them right.
   void swap_packed(std::byte* wire, int count) const;
 
+  /// Byte-length variant of swap_packed for payloads that are not a whole
+  /// number of elements (a truncated delivery, a ragged eager tail): swaps
+  /// every complete element, then the complete primitives of the partial
+  /// trailing element, then best-effort reverses the final partial
+  /// primitive so no wire-order bytes ever reach the user buffer.
+  void swap_packed_bytes(std::byte* wire, std::size_t bytes) const;
+
   bool operator==(const Datatype& other) const { return impl_ == other.impl_; }
 
   /// Internal representation; public so the implementation file's free

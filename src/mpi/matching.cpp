@@ -10,20 +10,24 @@ namespace madmpi::mpi {
 
 void RankContext::finish_recv(const PostedRecv& posted, const Envelope& env,
                               byte_span payload) {
-  MADMPI_CHECK_MSG(env.bytes <= posted.capacity_bytes,
-                   "message truncation: incoming message larger than the "
-                   "posted receive buffer (MPI_ERR_TRUNCATE)");
+  // A message longer than the posted buffer is an application error
+  // (MPI_ERR_TRUNCATE), not a reason to abort the harness: per the MPI
+  // spec the prefix that fits is delivered and the error travels on the
+  // operation's status.
+  const bool truncated = env.bytes > posted.capacity_bytes;
+  if (truncated && payload.size() > posted.capacity_bytes) {
+    payload = payload.first(posted.capacity_bytes);
+  }
   // Heterogeneity: big-endian wire data must be byte-swapped into host
   // order before unpacking. The conversion pass is only *charged* when the
   // two nodes genuinely differ (a big-endian pair exchanges big-endian
-  // wire data for free).
+  // wire data for free). Swapping covers the whole payload including a
+  // ragged-tail partial element — the tail bytes are delivered in host
+  // order like everything else, not as raw wire bytes.
   std::vector<std::byte> converted;
   if (env.sender_big_endian && !payload.empty()) {
     converted.assign(payload.begin(), payload.end());
-    const std::size_t elem = posted.type.size();
-    posted.type.swap_packed(converted.data(),
-                            static_cast<int>(payload.size() /
-                                             (elem == 0 ? 1 : elem)));
+    posted.type.swap_packed_bytes(converted.data(), converted.size());
     payload = byte_span{converted.data(), converted.size()};
   }
   if (env.sender_big_endian != node_.big_endian() && !payload.empty()) {
@@ -49,9 +53,10 @@ void RankContext::finish_recv(const PostedRecv& posted, const Envelope& env,
   MpiStatus status;
   status.source = env.src;
   status.tag = env.tag;
-  status.bytes = env.bytes;
+  status.bytes = payload.size();
+  if (truncated) status.error = ErrorCode::kTruncated;
   sim::trace(node_.clock().now(), node_.id(), sim::TraceCategory::kComplete,
-             env.bytes, "recv");
+             status.bytes, "recv");
   posted.request->complete(status);
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace madmpi::mpi {
@@ -33,6 +34,11 @@ struct MpiStatus {
   rank_t source = kInvalidRank;
   int tag = kAnyTag;
   std::uint64_t bytes = 0;
+
+  /// Per-operation error (MPI_Status.MPI_ERROR equivalent). kTruncated
+  /// when the message was longer than the posted buffer and only a prefix
+  /// was delivered; `bytes` then counts the delivered prefix.
+  ErrorCode error = ErrorCode::kOk;
 
   /// MPI_Get_count: number of `type_size`-byte elements, or -1 (MPI_UNDEFINED)
   /// when the byte count is not a multiple of the element size.

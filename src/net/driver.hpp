@@ -17,6 +17,7 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "sim/fabric.hpp"
+#include "sim/fault.hpp"
 #include "sim/topology.hpp"
 
 namespace madmpi::net {
@@ -25,6 +26,17 @@ namespace madmpi::net {
 enum FrameKind : std::uint16_t {
   kControlFrame = 1,  // aggregated EXPRESS data + small CHEAPER blocks
   kDataFrame = 2,     // one separate CHEAPER block
+  kAbortFrame = 3,    // sender gave up mid-message (fault injection)
+};
+
+/// Delivery class of an outgoing message.
+enum class DeliveryMode {
+  /// Regular traffic: subject to fault injection, retransmission, and
+  /// failure reporting.
+  kNormal,
+  /// Out-of-band teardown control (channel termination packets): bypasses
+  /// fault injection so shutdown always completes, even over dead links.
+  kTeardown,
 };
 
 /// How a driver wants to move one user block.
@@ -59,7 +71,9 @@ class IncomingMessage {
   usec_t control_arrival() const { return control_.arrival_time; }
 
   /// Blocking: next separate data frame of this message. Protocol error if
-  /// the message had no further frames.
+  /// the message had no further frames. May return a kAbortFrame when the
+  /// sender gave up mid-message (fault injection); callers must check
+  /// `frame.kind` before consuming the payload.
   sim::Frame take_data_block();
 
   bool control_was_last() const { return control_.last_of_message; }
@@ -88,8 +102,18 @@ class Endpoint {
   /// Send one message: charges the sender clock with the protocol's send
   /// overhead, transmits the control frame then each separate block on the
   /// same serialized link. `blocks[i].zero_copy` follows the BlockPlan.
-  void send_message(node_id_t dst, byte_span control,
-                    std::span<const DataBlock> blocks);
+  ///
+  /// Under an attached FaultPlan, lost frames are retransmitted with
+  /// exponential backoff (virtual-clock charged). Returns non-ok when the
+  /// peer link is dead or retries are exhausted; if the control frame was
+  /// already delivered, the receiver gets a kAbortFrame so it can discard
+  /// the partial message instead of blocking forever.
+  Status send_message(node_id_t dst, byte_span control,
+                      std::span<const DataBlock> blocks,
+                      DeliveryMode mode = DeliveryMode::kNormal);
+
+  /// Delivery health towards a peer, as observed by this endpoint.
+  sim::LinkHealth peer_health(node_id_t peer) const;
 
   /// Non-blocking: hand over the next fully-startable incoming message
   /// (its control frame has arrived). Synchronizes the node clock with the
@@ -113,24 +137,30 @@ class Endpoint {
   }
   std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
   std::uint64_t bytes_received() const { return bytes_received_.load(); }
+  std::uint64_t frames_dropped() const { return frames_dropped_.load(); }
+  std::uint64_t retransmits() const { return retransmits_.load(); }
 
   struct TrafficStats {
     std::uint64_t messages_sent = 0;
     std::uint64_t messages_received = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t retransmits = 0;
 
     TrafficStats& operator+=(const TrafficStats& other) {
       messages_sent += other.messages_sent;
       messages_received += other.messages_received;
       bytes_sent += other.bytes_sent;
       bytes_received += other.bytes_received;
+      frames_dropped += other.frames_dropped;
+      retransmits += other.retransmits;
       return *this;
     }
   };
   TrafficStats stats() const {
-    return {messages_sent(), messages_received(), bytes_sent(),
-            bytes_received()};
+    return {messages_sent(),  messages_received(), bytes_sent(),
+            bytes_received(), frames_dropped(),    retransmits()};
   }
 
   /// Shut down the receive side: blocked waits wake and observe EOF.
@@ -138,6 +168,7 @@ class Endpoint {
 
  private:
   void pump();  // drain the port into per-source queues (mutex held)
+  void degrade_peer(node_id_t peer, sim::LinkHealth health);
 
   sim::Node& node_;
   const sim::LinkCostModel model_;
@@ -147,11 +178,14 @@ class Endpoint {
   std::map<node_id_t, sim::WirePath> paths_;
   std::map<node_id_t, std::deque<sim::Frame>> per_source_;
   std::map<node_id_t, std::uint32_t> send_seq_;
+  std::map<node_id_t, sim::LinkHealth> health_;
 
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> messages_received_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
 };
 
 /// The transport of one Madeleine channel: one endpoint per member node,

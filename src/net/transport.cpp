@@ -11,7 +11,7 @@ sim::Frame IncomingMessage::take_data_block() {
   auto frame = endpoint_->wait_frame_from(control_.src_node);
   MADMPI_CHECK_MSG(frame.has_value(),
                    "channel closed while a data block was expected");
-  MADMPI_CHECK_MSG(frame->kind == kDataFrame,
+  MADMPI_CHECK_MSG(frame->kind == kDataFrame || frame->kind == kAbortFrame,
                    "control frame where a data block was expected");
   return std::move(*frame);
 }
@@ -30,8 +30,9 @@ bool Endpoint::has_peer(node_id_t peer) const {
   return paths_.count(peer) != 0;
 }
 
-void Endpoint::send_message(node_id_t dst, byte_span control,
-                            std::span<const DataBlock> blocks) {
+Status Endpoint::send_message(node_id_t dst, byte_span control,
+                              std::span<const DataBlock> blocks,
+                              DeliveryMode mode) {
   sim::WirePath* path = nullptr;
   std::uint32_t seq = 0;
   {
@@ -46,10 +47,50 @@ void Endpoint::send_message(node_id_t dst, byte_span control,
   for (const auto& block : blocks) total += block.data.size();
   bytes_sent_ += total;
 
+  // Consult the *path's* model, not the endpoint copy: wire paths reference
+  // the source NIC's model live, so late-attached fault plans take effect.
+  const sim::FaultPlan* plan =
+      mode == DeliveryMode::kNormal ? path->model().fault_plan.get() : nullptr;
+
   // Sender-side fixed software cost; the departure time is taken before any
   // staging copies so those pipeline with the wire (handled in WirePath).
-  const usec_t depart = node_.clock().now() + model_.send_overhead_us;
   node_.clock().advance(model_.send_overhead_us);
+
+  sim::trace(node_.clock().now(), node_.id(), sim::TraceCategory::kSend,
+             total, sim::protocol_name(model_.protocol));
+
+  // Transmit one frame, retrying lost ones with exponential backoff charged
+  // to the virtual clock. Retries stop early once the link is permanently
+  // dead (the timeout that *detected* death has already been charged).
+  auto deliver = [&](sim::Frame frame,
+                     const sim::TransmitHints& hints) -> Status {
+    if (plan == nullptr) {
+      path->transmit(std::move(frame), hints);
+      return Status::ok();
+    }
+    const sim::RetryPolicy& retry = plan->retry;
+    for (int attempt = 0;; ++attempt) {
+      if (plan->dead(node_.id(), dst, frame.depart_time)) break;
+      frame.attempt = static_cast<std::uint32_t>(attempt);
+      if (path->try_transmit(frame, hints).has_value()) {
+        return Status::ok();
+      }
+      ++frames_dropped_;
+      degrade_peer(dst, sim::LinkHealth::kDegraded);
+      sim::trace(frame.depart_time, node_.id(), sim::TraceCategory::kDrop,
+                 frame.payload.size(), sim::protocol_name(model_.protocol));
+      if (attempt + 1 >= retry.max_attempts) break;
+      node_.clock().advance(retry.delay_for(attempt));
+      frame.depart_time = node_.clock().now();
+      ++retransmits_;
+      sim::trace(frame.depart_time, node_.id(), sim::TraceCategory::kRetry,
+                 frame.payload.size(), sim::protocol_name(model_.protocol));
+    }
+    degrade_peer(dst, sim::LinkHealth::kDead);
+    return Status(ErrorCode::kNotConnected,
+                  std::string("delivery to node ") + std::to_string(dst) +
+                      " failed on " + model_.name());
+  };
 
   sim::Frame ctrl;
   ctrl.src_node = node_.id();
@@ -58,16 +99,14 @@ void Endpoint::send_message(node_id_t dst, byte_span control,
   ctrl.kind = kControlFrame;
   ctrl.block_index = 0;
   ctrl.last_of_message = blocks.empty();
-  ctrl.depart_time = depart;
+  ctrl.depart_time = node_.clock().now();
   ctrl.payload.assign(control.begin(), control.end());
-
-  sim::trace(depart, node_.id(), sim::TraceCategory::kSend, total,
-             sim::protocol_name(model_.protocol));
 
   sim::TransmitHints ctrl_hints;
   ctrl_hints.copied_send = true;  // control buffer is staged by definition
   ctrl_hints.copied_recv = true;  // and read out of a driver buffer
-  path->transmit(std::move(ctrl), ctrl_hints);
+  Status status = deliver(std::move(ctrl), ctrl_hints);
+  if (!status.is_ok()) return status;  // nothing delivered: clean failure
 
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     sim::Frame data;
@@ -77,13 +116,46 @@ void Endpoint::send_message(node_id_t dst, byte_span control,
     data.kind = kDataFrame;
     data.block_index = static_cast<std::uint16_t>(i + 1);
     data.last_of_message = (i + 1 == blocks.size());
-    data.depart_time = depart;  // posted back-to-back; link serializes
+    data.depart_time = node_.clock().now();  // back-to-back; link serializes
     data.payload.assign(blocks[i].data.begin(), blocks[i].data.end());
 
     sim::TransmitHints hints;
     hints.copied_send = !blocks[i].zero_copy;
     hints.copied_recv = !blocks[i].zero_copy;
-    path->transmit(std::move(data), hints);
+    status = deliver(std::move(data), hints);
+    if (!status.is_ok()) {
+      // The control frame is already on the receiver's side: deliver an
+      // abort marker in place of the missing data so the receiver can
+      // discard the partial message instead of blocking forever. The
+      // marker travels out-of-band (faults would lose it too).
+      sim::Frame abort;
+      abort.src_node = node_.id();
+      abort.dst_node = dst;
+      abort.seq = seq;
+      abort.kind = kAbortFrame;
+      abort.block_index = static_cast<std::uint16_t>(i + 1);
+      abort.last_of_message = true;
+      abort.depart_time = node_.clock().now();
+      path->deliver_direct(std::move(abort));
+      return status;
+    }
+  }
+  return Status::ok();
+}
+
+sim::LinkHealth Endpoint::peer_health(node_id_t peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = health_.find(peer);
+  return it == health_.end() ? sim::LinkHealth::kHealthy : it->second;
+}
+
+void Endpoint::degrade_peer(node_id_t peer, sim::LinkHealth health) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = health_.try_emplace(peer, health);
+  // Health only worsens: healthy -> degraded -> dead. Monotonicity is what
+  // guarantees the failover loop in ch_mad terminates.
+  if (!inserted && static_cast<int>(health) > static_cast<int>(it->second)) {
+    it->second = health;
   }
 }
 

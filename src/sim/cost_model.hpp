@@ -9,11 +9,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "common/types.hpp"
 
 namespace madmpi::sim {
+
+struct FaultPlan;
 
 /// Host memcpy rate of the simulated machines (PII-450, ~300 MB/s). Used
 /// for device-level bounce copies that are not part of a NIC's own model.
@@ -81,6 +84,12 @@ struct LinkCostModel {
   /// Zero (default) disables it. Used by robustness tests to prove the
   /// protocols are correct under arbitrary timing perturbation.
   usec_t jitter_us = 0.0;
+
+  /// Optional fault schedule (frame drops, outages, link kill). Null
+  /// (default) means a perfect link. Attach via Nic::mutable_model();
+  /// WirePaths reference NIC models live, so attachment reaches existing
+  /// paths. See sim/fault.hpp.
+  std::shared_ptr<FaultPlan> fault_plan;
 
   std::string name() const { return protocol_name(protocol); }
 

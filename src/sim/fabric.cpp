@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/fault.hpp"
+
 namespace madmpi::sim {
 
 usec_t WirePath::transmit(Frame frame, const TransmitHints& hints) {
@@ -42,6 +44,24 @@ usec_t WirePath::transmit(Frame frame, const TransmitHints& hints) {
   frame.zero_copy = !hints.copied_recv;
   dst_->deliver(std::move(frame));
   return arrival;
+}
+
+std::optional<usec_t> WirePath::try_transmit(Frame frame,
+                                             const TransmitHints& hints) {
+  const FaultPlan* plan = model_->fault_plan.get();
+  if (plan != nullptr && plan->lost(frame)) {
+    // The frame still occupied the sender and (partially) the medium; we
+    // keep the model simple and charge nothing to the serializer — the
+    // dominant retry cost is the sender's timeout, not residual occupancy.
+    return std::nullopt;
+  }
+  return transmit(std::move(frame), hints);
+}
+
+void WirePath::deliver_direct(Frame frame) {
+  frame.arrival_time = frame.depart_time;
+  frame.zero_copy = false;
+  dst_->deliver(std::move(frame));
 }
 
 Node& Fabric::add_node(std::string name, int cpus, bool big_endian) {

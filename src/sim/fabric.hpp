@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,18 @@ class WirePath {
   /// `frame.depart_time` must be set by the caller (sender clock after its
   /// send overhead). Returns the computed arrival time.
   usec_t transmit(Frame frame, const TransmitHints& hints = {});
+
+  /// Fault-aware transmit: consults the source model's FaultPlan and
+  /// returns nullopt when the fabric loses the frame (drop, outage, dead
+  /// link), leaving the medium unreserved past the partial transmission.
+  /// Otherwise behaves exactly like transmit().
+  std::optional<usec_t> try_transmit(Frame frame,
+                                     const TransmitHints& hints = {});
+
+  /// Deliver a frame to the destination port without charging wire costs,
+  /// stamping arrival = departure. Used for sender-originated abort
+  /// notifications after delivery gives up (out-of-band control plane).
+  void deliver_direct(Frame frame);
 
   const LinkCostModel& model() const { return *model_; }
 

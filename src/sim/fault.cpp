@@ -1,0 +1,102 @@
+#include "sim/fault.hpp"
+
+#include <cmath>
+
+namespace madmpi::sim {
+namespace {
+
+// Finalizer from splitmix64 (same construction as the jitter hash in
+// fabric.cpp): uncorrelated 64-bit output from structured input.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double unit_double(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* link_health_name(LinkHealth health) {
+  switch (health) {
+    case LinkHealth::kHealthy:
+      return "healthy";
+    case LinkHealth::kDegraded:
+      return "degraded";
+    case LinkHealth::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+usec_t RetryPolicy::delay_for(int attempt) const {
+  return rto_us * std::pow(backoff, attempt);
+}
+
+FaultPlan& FaultPlan::drop(double probability, node_id_t src, node_id_t dst) {
+  FaultRule rule;
+  rule.src = src;
+  rule.dst = dst;
+  rule.drop_probability = probability;
+  rules.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::outage(usec_t start_us, usec_t end_us, node_id_t src,
+                             node_id_t dst) {
+  FaultRule rule;
+  rule.src = src;
+  rule.dst = dst;
+  rule.outage_start_us = start_us;
+  rule.outage_end_us = end_us;
+  rules.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_at(usec_t when_us, node_id_t src, node_id_t dst) {
+  FaultRule rule;
+  rule.src = src;
+  rule.dst = dst;
+  rule.kill_at_us = when_us;
+  rules.push_back(rule);
+  return *this;
+}
+
+bool FaultPlan::dead(node_id_t src, node_id_t dst, usec_t t) const {
+  for (const FaultRule& rule : rules) {
+    if (rule.applies_to(src, dst) && t >= rule.kill_at_us) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::lost(const Frame& frame) const {
+  const usec_t t = frame.depart_time;
+  for (const FaultRule& rule : rules) {
+    if (!rule.applies_to(frame.src_node, frame.dst_node)) continue;
+    if (t >= rule.kill_at_us) return true;
+    if (rule.outage_start_us < rule.outage_end_us &&
+        t >= rule.outage_start_us && t < rule.outage_end_us) {
+      return true;
+    }
+    if (rule.drop_probability > 0.0) {
+      // Hash the frame identity (not its timing) so retransmissions —
+      // which differ only in `attempt` — are independent trials and the
+      // outcome does not depend on queueing delays.
+      std::uint64_t h = seed;
+      h = mix64(h ^ (static_cast<std::uint64_t>(frame.src_node) << 32 |
+                     static_cast<std::uint64_t>(frame.dst_node)));
+      h = mix64(h ^ frame.seq);
+      h = mix64(h ^ (static_cast<std::uint64_t>(frame.kind) << 48 |
+                     static_cast<std::uint64_t>(frame.block_index) << 32 |
+                     static_cast<std::uint64_t>(frame.attempt)));
+      if (unit_double(h) < rule.drop_probability) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace madmpi::sim

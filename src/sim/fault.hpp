@@ -1,0 +1,99 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// A FaultPlan attaches to a LinkCostModel (and therefore to every WirePath
+// built from the owning NIC) and decides, per frame, whether the fabric
+// loses it: seeded pseudo-random frame drops, transient outage windows on
+// the virtual clock, and permanent link kill. All decisions are pure
+// functions of the plan's seed and the frame identity — no wall clock, no
+// RNG state — so a run with a given plan is bit-identical across repeats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/frame.hpp"
+
+namespace madmpi::sim {
+
+/// Link/driver health as observed by the layers above: healthy (no losses
+/// seen), degraded (drops observed, retransmission working), dead (delivery
+/// gave up permanently).
+enum class LinkHealth : std::uint8_t {
+  kHealthy,
+  kDegraded,
+  kDead,
+};
+
+const char* link_health_name(LinkHealth health);
+
+/// One fault clause. `src`/`dst` filter the directed node pair it applies
+/// to; kInvalidNode matches any node.
+struct FaultRule {
+  node_id_t src = kInvalidNode;
+  node_id_t dst = kInvalidNode;
+
+  /// Probability in [0, 1] that a matching frame is lost in transit.
+  double drop_probability = 0.0;
+
+  /// Transient outage: every frame departing in [outage_start_us,
+  /// outage_end_us) is lost. Empty window (start >= end) disables it.
+  usec_t outage_start_us = 0.0;
+  usec_t outage_end_us = 0.0;
+
+  /// Permanent link kill: every frame departing at or after this virtual
+  /// time is lost, forever.
+  static constexpr usec_t kNever = 1e30;
+  usec_t kill_at_us = kNever;
+
+  bool applies_to(node_id_t s, node_id_t d) const {
+    return (src == kInvalidNode || src == s) &&
+           (dst == kInvalidNode || dst == d);
+  }
+};
+
+/// Retransmission policy the delivery layer (net::Endpoint) follows when a
+/// frame is lost: wait rto_us * backoff^attempt (virtual time), resend, up
+/// to max_attempts total transmissions.
+struct RetryPolicy {
+  usec_t rto_us = 100.0;
+  double backoff = 2.0;
+  int max_attempts = 8;
+
+  usec_t delay_for(int attempt) const;
+};
+
+/// A seeded, declarative fault schedule. Attach with
+/// `nic.mutable_model().fault_plan = std::make_shared<FaultPlan>(...)`;
+/// WirePaths reference NIC models live, so the plan reaches every existing
+/// path of that NIC immediately.
+struct FaultPlan {
+  explicit FaultPlan(std::uint64_t seed = 0) : seed(seed) {}
+
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+  RetryPolicy retry;
+
+  // ---- builder helpers (return *this for chaining) --------------------
+  FaultPlan& drop(double probability, node_id_t src = kInvalidNode,
+                  node_id_t dst = kInvalidNode);
+  FaultPlan& outage(usec_t start_us, usec_t end_us,
+                    node_id_t src = kInvalidNode,
+                    node_id_t dst = kInvalidNode);
+  FaultPlan& kill_at(usec_t when_us, node_id_t src = kInvalidNode,
+                     node_id_t dst = kInvalidNode);
+
+  // ---- queries ---------------------------------------------------------
+  /// True when the directed pair is permanently killed at virtual time `t`
+  /// (retrying is pointless; the delivery layer gives up immediately).
+  bool dead(node_id_t src, node_id_t dst, usec_t t) const;
+
+  /// True when the fabric loses this frame: permanent kill, outage window
+  /// at the frame's departure time, or a seeded pseudo-random drop derived
+  /// from (seed, src, dst, seq, kind, block_index, attempt). Including the
+  /// attempt counter makes each retransmission an independent trial.
+  bool lost(const Frame& frame) const;
+};
+
+}  // namespace madmpi::sim

@@ -30,6 +30,11 @@ struct Frame {
   /// (receiver must not charge a bounce-copy for it).
   bool zero_copy = false;
 
+  /// Retransmission attempt (0 = first transmission). Part of the frame
+  /// identity for deterministic fault decisions: each retry is an
+  /// independent drop trial under a FaultPlan.
+  std::uint32_t attempt = 0;
+
   /// Virtual timestamps stamped by the sending driver / the link.
   usec_t depart_time = 0.0;
   usec_t arrival_time = 0.0;

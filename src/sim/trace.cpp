@@ -14,6 +14,9 @@ const char* trace_category_name(TraceCategory category) {
     case TraceCategory::kMatch: return "match";
     case TraceCategory::kComplete: return "complete";
     case TraceCategory::kRelay: return "relay";
+    case TraceCategory::kDrop: return "drop";
+    case TraceCategory::kRetry: return "retry";
+    case TraceCategory::kFailover: return "failover";
   }
   return "?";
 }

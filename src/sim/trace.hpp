@@ -23,6 +23,9 @@ enum class TraceCategory : std::uint8_t {
   kMatch,     // matching decision (posted hit / unexpected store)
   kComplete,  // request completion
   kRelay,     // gateway forwarding hop
+  kDrop,      // frame lost in the fabric (fault injection)
+  kRetry,     // retransmission after a lost frame
+  kFailover,  // route re-election after a channel died
 };
 
 const char* trace_category_name(TraceCategory category);

@@ -72,7 +72,7 @@ class VirtualClock {
   /// reinitializes on next touch.
   void reset(usec_t t = 0.0) {
     high_water_.store(t, std::memory_order_release);
-    generation_.fetch_add(1, std::memory_order_acq_rel);
+    generation_.store(fresh_generation(), std::memory_order_release);
   }
 
  private:
@@ -101,8 +101,20 @@ class VirtualClock {
     }
   }
 
+  /// Process-unique generation numbers. Lanes are keyed by clock address in
+  /// a thread-local map, and threads outlive clocks (the main thread builds
+  /// one Session after another): if a new clock reused both the heap address
+  /// *and* the generation of a dead one, a surviving thread's stale lane
+  /// would be mistaken for current and its old time would bleed into the new
+  /// simulation. Drawing every generation — initial or reset — from one
+  /// process-wide counter makes that aliasing impossible.
+  static std::uint64_t fresh_generation() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   std::atomic<usec_t> high_water_{0.0};
-  std::atomic<std::uint64_t> generation_{1};
+  std::atomic<std::uint64_t> generation_{fresh_generation()};
 };
 
 }  // namespace madmpi::sim

@@ -192,6 +192,44 @@ TEST(Heterogeneity, ConversionChargedOnlyAcrossUnlikeNodes) {
   EXPECT_GT(mixed, same + 100.0);
 }
 
+TEST(Heterogeneity, SwapPackedBytesHandlesRaggedTail) {
+  // 10 bytes of int32 wire data: two whole elements plus a 2-byte tail.
+  // The whole elements byte-reverse; the partial one reverses what it has.
+  const auto i32 = Datatype::int32();
+  std::array<std::byte, 10> wire{};
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    wire[i] = static_cast<std::byte>(i);
+  }
+  i32.swap_packed_bytes(wire.data(), wire.size());
+  EXPECT_EQ(wire[0], std::byte{3});
+  EXPECT_EQ(wire[3], std::byte{0});
+  EXPECT_EQ(wire[4], std::byte{7});
+  EXPECT_EQ(wire[7], std::byte{4});
+  // Partial trailing element: best-effort reversal of the 2 present bytes.
+  EXPECT_EQ(wire[8], std::byte{9});
+  EXPECT_EQ(wire[9], std::byte{8});
+}
+
+TEST(Heterogeneity, TruncatedRecvFromBigEndianConvertsTheTailCorrectly) {
+  // A big-endian sender ships 4 ints; the receiver has room for 2. The
+  // delivered prefix must still be byte-swapped (the old code swapped
+  // `bytes / elem` elements of the *wire* length, corrupting short recvs).
+  auto session = mixed_pair(sim::Protocol::kTcp);
+  session->run([](Comm comm) {
+    if (comm.rank() == 1) {  // big-endian sender
+      std::vector<std::int32_t> data{0x01020304, 0x0a0b0c0d, 3, 4};
+      comm.send(data.data(), 4, Datatype::int32(), 0, 0);
+    } else {
+      std::vector<std::int32_t> data(2, -1);
+      auto status = comm.recv(data.data(), 2, Datatype::int32(), 1, 0);
+      EXPECT_EQ(status.error, ErrorCode::kTruncated);
+      EXPECT_EQ(status.bytes, 8u);
+      EXPECT_EQ(data[0], 0x01020304);
+      EXPECT_EQ(data[1], 0x0a0b0c0d);
+    }
+  });
+}
+
 TEST(Heterogeneity, ParserAcceptsEndianOption) {
   sim::ClusterSpec spec;
   ASSERT_TRUE(sim::ClusterSpec::parse(

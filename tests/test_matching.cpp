@@ -108,12 +108,16 @@ TEST_F(MatchFixture, PostedQueueScansInPostOrder) {
   EXPECT_FALSE(r2->completed());
 }
 
-TEST_F(MatchFixture, TruncationAborts) {
-  char tiny[2];
-  post(0, kAnySource, kAnyTag, tiny, sizeof tiny);
-  EXPECT_DEATH(context.deliver_eager(envelope(0, 0, 0, 10),
-                                     bytes_of("0123456789")),
-               "TRUNCATE");
+TEST_F(MatchFixture, TruncationDeliversPrefixAndErrorStatus) {
+  char tiny[2] = {};
+  auto request = post(0, kAnySource, kAnyTag, tiny, sizeof tiny);
+  context.deliver_eager(envelope(0, 0, 0, 10), bytes_of("0123456789"));
+  MpiStatus status;
+  ASSERT_TRUE(request->test(&status));
+  EXPECT_EQ(status.error, ErrorCode::kTruncated);
+  EXPECT_EQ(status.bytes, 2u);  // the prefix that fit
+  EXPECT_EQ(tiny[0], '0');
+  EXPECT_EQ(tiny[1], '1');
 }
 
 TEST_F(MatchFixture, ZeroByteMessages) {

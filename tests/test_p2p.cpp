@@ -264,6 +264,48 @@ TEST(P2P, RecvIntoDerivedDatatype) {
   });
 }
 
+// ------------------------------------------------------------- truncation
+
+TEST(P2P, EagerTruncationDeliversPrefixWithErrorStatus) {
+  auto session = two_nodes(sim::Protocol::kTcp);
+  session->run([](Comm comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> data{10, 20, 30, 40};
+      comm.send(data.data(), 4, Datatype::int32(), 1, 0);
+    } else {
+      std::vector<int> data(2, -1);
+      auto status = comm.recv(data.data(), 2, Datatype::int32(), 0, 0);
+      EXPECT_EQ(status.error, ErrorCode::kTruncated);
+      EXPECT_EQ(status.bytes, 8u);  // the two elements that fit
+      EXPECT_EQ(data[0], 10);
+      EXPECT_EQ(data[1], 20);
+    }
+  });
+}
+
+TEST(P2P, RendezvousTruncationDeliversPrefixWithErrorStatus) {
+  auto session = two_nodes(sim::Protocol::kSisci);
+  constexpr std::size_t kCount = 16 * 1024;  // 64 KB > 8 KB switch
+  constexpr std::size_t kFits = 1024;
+  session->run([](Comm comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> data(kCount);
+      std::iota(data.begin(), data.end(), 1);
+      comm.send(data.data(), static_cast<int>(kCount), Datatype::int32(), 1,
+                0);
+    } else {
+      std::vector<int> data(kFits, -1);
+      auto status = comm.recv(data.data(), static_cast<int>(kFits),
+                              Datatype::int32(), 0, 0);
+      EXPECT_EQ(status.error, ErrorCode::kTruncated);
+      EXPECT_EQ(status.bytes, kFits * sizeof(int));
+      EXPECT_EQ(data.front(), 1);
+      EXPECT_EQ(data.back(), static_cast<int>(kFits));
+    }
+  });
+  EXPECT_GE(session->ch_mad()->rendezvous_sent(), 1u);
+}
+
 // --------------------------------------------------------- property sweeps
 
 struct SizeSweepParam {

@@ -2,6 +2,7 @@
 // the paper's experimentally chosen values.
 #include <gtest/gtest.h>
 
+#include "core/switchpoint.hpp"
 #include "core/tuner.hpp"
 
 namespace madmpi {
@@ -47,6 +48,31 @@ TEST(Tuner, ResolutionBoundsRespected) {
   // Both must land in the same region; the finer one within its interval.
   EXPECT_NEAR(static_cast<double>(coarse.switch_point_bytes),
               static_cast<double>(fine.switch_point_bytes), 4096.0);
+}
+
+// Election regression: shared memory outranks every network, but its
+// 32 KB crossover must never decide the device-wide (inter-node) switch
+// point — only real networks vote.
+TEST(Election, ShmemDoesNotHijackTheSwitchPoint) {
+  using sim::Protocol;
+  EXPECT_EQ(core::elect_switch_point({Protocol::kShmem, Protocol::kTcp}),
+            64u * 1024u);
+  EXPECT_EQ(core::elect_switch_point(
+                {Protocol::kShmem, Protocol::kSisci, Protocol::kTcp}),
+            8u * 1024u);
+  EXPECT_EQ(core::elect_switch_point({Protocol::kShmem, Protocol::kBip}),
+            7u * 1024u);
+  // Single-node cluster: shmem is all there is, so its value stands.
+  EXPECT_EQ(core::elect_switch_point({Protocol::kShmem}), 32u * 1024u);
+}
+
+TEST(Election, SciStillWinsAmongNetworks) {
+  using sim::Protocol;
+  EXPECT_EQ(core::elect_switch_point(
+                {Protocol::kBip, Protocol::kSisci, Protocol::kTcp}),
+            8u * 1024u);
+  EXPECT_EQ(core::elect_switch_point({Protocol::kBip, Protocol::kTcp}),
+            7u * 1024u);
 }
 
 }  // namespace
