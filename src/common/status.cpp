@@ -13,6 +13,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnreachable: return "unreachable";
     case ErrorCode::kProtocol: return "protocol";
     case ErrorCode::kResourceLimit: return "resource_limit";
+    case ErrorCode::kTimedOut: return "timed_out";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

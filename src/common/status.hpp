@@ -22,6 +22,7 @@ enum class ErrorCode {
   kUnreachable,     // no channel between the two nodes
   kProtocol,        // malformed packet / sequence error
   kResourceLimit,
+  kTimedOut,        // progress watchdog gave up on the operation
   kInternal,
 };
 

@@ -1,14 +1,22 @@
 #include "core/ch_mad.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <thread>
 
 #include "common/log.hpp"
+#include "core/switchpoint.hpp"
 #include "marcel/thread.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace.hpp"
 
 namespace madmpi::core {
+
+ChMadDevice::ChMadDevice(RankDirectory& directory,
+                         std::vector<mad::Channel*> channels)
+    : ChMadDevice(directory, std::move(channels), Config{}) {}
 
 ChMadDevice::ChMadDevice(RankDirectory& directory,
                          std::vector<mad::Channel*> channels, Config config)
@@ -18,6 +26,14 @@ ChMadDevice::ChMadDevice(RankDirectory& directory,
   switch_point_ = config.switch_point_override.has_value()
                       ? *config.switch_point_override
                       : elect_switch_point(router_.protocols());
+  if (config.credit_window_bytes == SIZE_MAX) {
+    credit_window_ = 0;  // flow control disabled
+  } else if (config.credit_window_bytes != 0) {
+    credit_window_ = config.credit_window_bytes;
+  } else {
+    credit_window_ = default_credit_window(switch_point_);
+  }
+  credit_policy_ = config.credit_policy;
   if (!forward_channels_router_.channels().empty()) {
     forward_router_.emplace(router_);
   }
@@ -104,6 +120,13 @@ void ChMadDevice::start() {
 
 void ChMadDevice::shutdown() {
   MADMPI_CHECK_MSG(started_, "ch_mad shutdown before start");
+  // Phase 0: let in-flight credit-return threads finish. Application
+  // traffic has quiesced, so no new ones can appear; waiting here keeps a
+  // straggling MAD_CREDIT_PKT from racing channel close below.
+  {
+    std::unique_lock<std::mutex> lock(credit_threads_mutex_);
+    credit_threads_cv_.wait(lock, [this] { return credit_threads_ == 0; });
+  }
   // Phase 1: every node announces termination to every direct peer, on
   // direct channels plainly and on forwarding channels wrapped in a
   // final-hop routing header.
@@ -262,7 +285,15 @@ Status ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
     // MPID_PKT_MAX_DATA_SIZE buffer on the sending side.
     header.type = PacketType::kShort;
     eager_sent_.fetch_add(1, std::memory_order_relaxed);
-    return send_packet(src_node.id(), dst_node.id(), header, packed);
+    Status status = send_packet(src_node.id(), dst_node.id(), header, packed);
+    if (!status.is_ok() && credit_window_ != 0) {
+      // The message never left: hand the admission's credits back so a
+      // dead peer does not also bleed the sender's window dry.
+      refund_credit(src_node.id(), dst_node.id(),
+                    packed.size() +
+                        mpi::RankContext::kUnexpectedEntryOverhead);
+    }
+    return status;
   }
 
   // Rendezvous (paper §4.2.2): 1) request; 2) peer acknowledges with its
@@ -273,6 +304,8 @@ Status ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
   pending.data = packed;
   pending.header = header;
   pending.done = std::make_unique<marcel::Semaphore>(src_node, 0);
+  pending.peer_node = dst_node.id();
+  pending.started_at = src_node.clock().now();
 
   std::uint64_t handle = 0;
   {
@@ -292,13 +325,232 @@ Status ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
     return status;
   }
 
-  // Park until the polling thread's data-push thread finished step 3.
+  // Park until the polling thread's data-push thread finished step 3 (or
+  // the watchdog gave up on the peer and completed the send with an
+  // error — it removes the handle from the table before signalling, so
+  // the erase below is a harmless no-op then).
   pending.done->wait();
   {
     std::lock_guard<std::mutex> lock(state.mutex);
     state.pending_sends.erase(handle);
   }
   return pending.result;
+}
+
+bool ChMadDevice::admit_eager(rank_t src, rank_t dst, std::uint64_t bytes,
+                              bool may_block) {
+  if (credit_window_ == 0) return true;
+  const std::size_t charge = static_cast<std::size_t>(bytes) +
+                             mpi::RankContext::kUnexpectedEntryOverhead;
+  if (charge > credit_window_) return false;  // can never fit: rendezvous
+  const node_id_t src_node = directory_.node_of(src).id();
+  const node_id_t dst_node = directory_.node_of(dst).id();
+  if (src_node == dst_node) return true;  // not this device's traffic
+  NodeState& state = state_of(src_node);
+  std::unique_lock<std::mutex> lock(state.mutex);
+  CreditAccount& account = account_of(state, dst_node);
+  bool waited = false;
+  for (;;) {
+    if (account.available >= charge) {
+      account.available -= charge;
+      if (waited) {
+        // Causal edge: the send could not proceed before the receiver's
+        // drain refilled the window.
+        state.node->clock().sync_to(account.last_refill);
+      }
+      return true;
+    }
+    if (!may_block || credit_policy_ == CreditPolicy::kDemote) {
+      eager_demoted_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // kBlock: park until credits flow back. A peer that became
+    // unreachable will never return them — demote and let the rendezvous
+    // path surface the error.
+    if (router_.route(src_node, dst_node) == nullptr &&
+        (!forward_router_.has_value() ||
+         !forward_router_->connected(src_node, dst_node))) {
+      eager_demoted_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!waited) credit_stalls_.fetch_add(1, std::memory_order_relaxed);
+    waited = true;
+    state.credit_cv.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+ChMadDevice::CreditAccount& ChMadDevice::account_of(NodeState& state,
+                                                    node_id_t peer) {
+  CreditAccount& account = state.credits[peer];
+  if (!account.initialized) {
+    account.initialized = true;
+    account.available = credit_window_;
+  }
+  return account;
+}
+
+void ChMadDevice::credit_consumed(node_id_t me, node_id_t origin,
+                                  std::size_t charge) {
+  if (credit_window_ == 0 || me == origin) return;
+  NodeState& state = state_of(me);
+  std::size_t batch = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    std::size_t& owed = state.pending_returns[origin];
+    owed += charge;
+    // Return credits in batches of half a window: often enough that a
+    // sender never starves behind a draining receiver, rare enough that
+    // credit traffic stays a sliver of data traffic. Smaller debts ride
+    // for free on the next rendezvous ack towards the peer.
+    if (owed * 2 < credit_window_) return;
+    batch = owed;
+    owed = 0;
+  }
+  spawn_credit_thread(state, origin, batch);
+}
+
+void ChMadDevice::apply_credit(NodeState& state,
+                               const PacketHeader& header) {
+  if (credit_window_ == 0 || header.credit_bytes == 0 ||
+      header.credit_origin == kInvalidNode) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(state.mutex);
+  CreditAccount& account = account_of(state, header.credit_origin);
+  account.available = std::min(
+      account.available + static_cast<std::size_t>(header.credit_bytes),
+      credit_window_);
+  account.last_refill = state.node->clock().now();
+  state.credit_cv.notify_all();
+}
+
+void ChMadDevice::refund_credit(node_id_t src_node, node_id_t dst_node,
+                                std::size_t charge) {
+  if (credit_window_ == 0 || src_node == dst_node) return;
+  NodeState& state = state_of(src_node);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  CreditAccount& account = account_of(state, dst_node);
+  account.available = std::min(account.available + charge, credit_window_);
+  state.credit_cv.notify_all();
+}
+
+std::size_t ChMadDevice::take_pending_returns(NodeState& state,
+                                              node_id_t peer) {
+  if (credit_window_ == 0) return 0;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.pending_returns.find(peer);
+  if (it == state.pending_returns.end() || it->second == 0) return 0;
+  const std::size_t taken = it->second;
+  it->second = 0;
+  return taken;
+}
+
+std::size_t ChMadDevice::credits_available(node_id_t src_node,
+                                           node_id_t dst_node) {
+  NodeState& state = state_of(src_node);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return account_of(state, dst_node).available;
+}
+
+std::size_t ChMadDevice::credits_pending_return(node_id_t node,
+                                                node_id_t peer) {
+  NodeState& state = state_of(node);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.pending_returns.find(peer);
+  return it == state.pending_returns.end() ? 0 : it->second;
+}
+
+std::size_t ChMadDevice::watchdog_sweep(const RouteDead& route_dead,
+                                        usec_t horizon) {
+  std::size_t canceled = 0;
+  for (auto& [node_id, state_ptr] : states_) {
+    NodeState& state = *state_ptr;
+    const node_id_t me = node_id;
+
+    // The route predicate takes channel/session locks, so consult it
+    // without holding the node state mutex: snapshot the peers involved
+    // in open rendezvous transactions, judge them unlocked, then re-take
+    // the lock to detach the victims.
+    std::vector<node_id_t> peers;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      for (const auto& [handle, pending] : state.pending_sends) {
+        if (pending->phase != PendingSend::Phase::kAwaitAck) continue;
+        if (pending->peer_node == kInvalidNode) continue;
+        if (std::find(peers.begin(), peers.end(), pending->peer_node) ==
+            peers.end()) {
+          peers.push_back(pending->peer_node);
+        }
+      }
+      for (const auto& [sync, rhandle] : state.rhandles) {
+        if (rhandle.origin_node == kInvalidNode) continue;
+        if (std::find(peers.begin(), peers.end(), rhandle.origin_node) ==
+            peers.end()) {
+          peers.push_back(rhandle.origin_node);
+        }
+      }
+    }
+    std::vector<node_id_t> dead;
+    for (node_id_t peer : peers) {
+      // A rendezvous needs both directions: the request/ack leg and the
+      // data leg. Either one severed for good means no completion.
+      if (route_dead(peer, me) || route_dead(me, peer)) {
+        dead.push_back(peer);
+      }
+    }
+    if (dead.empty()) continue;
+
+    std::vector<PendingSend*> dead_sends;
+    std::vector<Rhandle> dead_rhandles;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      for (auto it = state.pending_sends.begin();
+           it != state.pending_sends.end();) {
+        PendingSend* pending = it->second;
+        if (pending->phase == PendingSend::Phase::kAwaitAck &&
+            std::find(dead.begin(), dead.end(), pending->peer_node) !=
+                dead.end()) {
+          dead_sends.push_back(pending);
+          it = state.pending_sends.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = state.rhandles.begin(); it != state.rhandles.end();) {
+        if (std::find(dead.begin(), dead.end(), it->second.origin_node) !=
+            dead.end()) {
+          dead_rhandles.push_back(std::move(it->second));
+          it = state.rhandles.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    for (PendingSend* pending : dead_sends) {
+      // Deterministic stamp: the sender observes the error `horizon`
+      // after it parked, not whenever this wall-clock thread fired.
+      state.node->clock().bind_lane(pending->started_at + horizon);
+      pending->result =
+          Status(ErrorCode::kTimedOut,
+                 "rendezvous abandoned: no route between node " +
+                     std::to_string(me) + " and node " +
+                     std::to_string(pending->peer_node));
+      pending->done->signal();
+      ++canceled;
+    }
+    for (Rhandle& rhandle : dead_rhandles) {
+      state.node->clock().bind_lane(rhandle.created_at + horizon);
+      mpi::MpiStatus status;
+      status.source = rhandle.posted.source;
+      status.tag = rhandle.posted.tag;
+      status.bytes = 0;
+      status.error = ErrorCode::kTimedOut;
+      rhandle.posted.request->complete(status);
+      ++canceled;
+    }
+  }
+  return canceled;
 }
 
 void ChMadDevice::spawn_reply_thread(NodeState& state, node_id_t dst_node,
@@ -308,14 +560,64 @@ void ChMadDevice::spawn_reply_thread(NodeState& state, node_id_t dst_node,
   // send it touches nothing.
   const node_id_t src_node = state.node->id();
   sim::Node* node = state.node;
+  NodeState* state_ptr = &state;
   const usec_t birth = node->clock().advance(marcel::ThreadCosts::kCreate);
-  std::thread([this, node, birth, src_node, dst_node, header] {
+  std::thread([this, node, birth, src_node, dst_node, header,
+               state_ptr]() mutable {
     node->clock().bind_lane(birth);
-    // A failed OK_TO_SEND leaves the sender parked on its rendezvous: the
-    // known limitation of receiver-side reply loss (see DESIGN.md). The
-    // failover loop inside send_packet makes this reachable only when the
-    // receiver has *no* route back at all.
-    (void)send_packet(src_node, dst_node, header, {});
+    // Piggyback any flow-control credits owed to the ack's destination:
+    // the debt a receiver accumulates towards its eager senders rides on
+    // rendezvous acks for free instead of costing its own packet.
+    const std::size_t credits = take_pending_returns(*state_ptr, dst_node);
+    if (credits != 0) {
+      header.credit_bytes = credits;
+      header.credit_origin = src_node;
+    }
+    // A failed OK_TO_SEND used to leave the sender parked on its
+    // rendezvous forever; the progress watchdog now cancels the pending
+    // send once the reply route is declared dead. The failover loop
+    // inside send_packet makes this reachable only when the receiver has
+    // *no* route back at all.
+    Status status = send_packet(src_node, dst_node, header, {});
+    if (!status.is_ok() && credits != 0) {
+      std::lock_guard<std::mutex> lock(state_ptr->mutex);
+      state_ptr->pending_returns[dst_node] += credits;
+    }
+  }).detach();
+}
+
+void ChMadDevice::spawn_credit_thread(NodeState& state, node_id_t dst_node,
+                                      std::size_t credit_bytes) {
+  // Credit returns follow the same no-sends-from-pollers rule as
+  // rendezvous acks. Tracked (not fire-and-forget): shutdown() waits for
+  // stragglers before closing channels.
+  const node_id_t src_node = state.node->id();
+  sim::Node* node = state.node;
+  const usec_t birth = node->clock().advance(marcel::ThreadCosts::kCreate);
+  {
+    std::lock_guard<std::mutex> lock(credit_threads_mutex_);
+    ++credit_threads_;
+  }
+  std::thread([this, node, birth, src_node, dst_node, credit_bytes] {
+    node->clock().bind_lane(birth);
+    PacketHeader header;
+    header.type = PacketType::kCredit;
+    header.credit_bytes = credit_bytes;
+    header.credit_origin = src_node;
+    credit_packets_.fetch_add(1, std::memory_order_relaxed);
+    Status status = send_packet(src_node, dst_node, header, {});
+    if (!status.is_ok()) {
+      // The peer is gone; put the debt back so credit conservation holds
+      // for observers even though nobody will collect it.
+      NodeState& origin_state = state_of(src_node);
+      std::lock_guard<std::mutex> lock(origin_state.mutex);
+      origin_state.pending_returns[dst_node] += credit_bytes;
+    }
+    {
+      std::lock_guard<std::mutex> lock(credit_threads_mutex_);
+      --credit_threads_;
+      credit_threads_cv_.notify_all();
+    }
   }).detach();
 }
 
@@ -342,6 +644,9 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
   incoming.unpack(&header, sizeof header, mad::SendMode::kSafer,
                   mad::RecvMode::kExpress);
   state.node->clock().advance(kDispatchUs);
+  // Inbound credits refill this node's window towards their origin no
+  // matter what packet carried them (piggybacked or standalone).
+  apply_credit(state, header);
   if (sim::Tracer::global().enabled()) {
     const char* kind = "short";
     switch (header.type) {
@@ -350,6 +655,7 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
       case PacketType::kRndvOkToSend: kind = "rndv_ok"; break;
       case PacketType::kRndvData: kind = "rndv_data"; break;
       case PacketType::kTerm: kind = "term"; break;
+      case PacketType::kCredit: kind = "credit"; break;
     }
     sim::trace(state.node->clock().now(), state.node->id(),
                sim::TraceCategory::kDispatch, header.envelope.bytes, kind);
@@ -369,9 +675,25 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
         // another route: discarding here keeps delivery exactly-once.
         return;
       }
+      // Flow control: the sender's credits come back once the payload is
+      // *consumed* (copied into a user buffer), not on arrival — that is
+      // what makes a slow receiver throttle its senders.
+      const node_id_t me = state.node->id();
+      const node_id_t origin_node =
+          directory_.node_of(header.src_global).id();
+      mpi::EagerConsumed release;
+      if (credit_window_ != 0 && origin_node != me) {
+        const std::size_t charge =
+            static_cast<std::size_t>(header.envelope.bytes) +
+            mpi::RankContext::kUnexpectedEntryOverhead;
+        release = [this, me, origin_node, charge] {
+          credit_consumed(me, origin_node, charge);
+        };
+      }
       directory_.context_of(header.dst_global)
           .deliver_eager(header.envelope,
-                         byte_span{bounce.data(), bounce.size()});
+                         byte_span{bounce.data(), bounce.size()},
+                         std::move(release));
       return;
     }
 
@@ -392,8 +714,11 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
                 {
                   std::lock_guard<std::mutex> lock(state_ptr->mutex);
                   sync_address = state_ptr->next_rhandle++;
-                  state_ptr->rhandles[sync_address] =
-                      Rhandle{std::move(posted)};
+                  Rhandle rhandle;
+                  rhandle.posted = std::move(posted);
+                  rhandle.origin_node = origin_node;
+                  rhandle.created_at = state_ptr->node->clock().now();
+                  state_ptr->rhandles[sync_address] = std::move(rhandle);
                 }
                 PacketHeader ack = header;
                 ack.type = PacketType::kRndvOkToSend;
@@ -409,9 +734,17 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
       {
         std::lock_guard<std::mutex> lock(state.mutex);
         auto it = state.pending_sends.find(header.sender_handle);
-        MADMPI_CHECK_MSG(it != state.pending_sends.end(),
-                         "OK_TO_SEND for an unknown pending send");
+        if (it == state.pending_sends.end()) {
+          // The watchdog canceled this rendezvous while the ack was in
+          // flight; the sender has already returned with an error.
+          MADMPI_LOG_WARN("ch_mad",
+                          "dropping OK_TO_SEND for canceled send %llu",
+                          static_cast<unsigned long long>(
+                              header.sender_handle));
+          return;
+        }
         pending = it->second;
+        pending->phase = PendingSend::Phase::kPushing;
       }
       const node_id_t receiver_node =
           directory_.node_of(header.dst_global).id();
@@ -423,10 +756,21 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
     case PacketType::kRndvData: {
       Rhandle rhandle;
       {
-        std::lock_guard<std::mutex> lock(state.mutex);
+        std::unique_lock<std::mutex> lock(state.mutex);
         auto it = state.rhandles.find(header.sync_address);
-        MADMPI_CHECK_MSG(it != state.rhandles.end(),
-                         "rendezvous data for an unknown sync_address");
+        if (it == state.rhandles.end()) {
+          // The watchdog canceled the matched receive while the data was
+          // in flight; drain the body and drop it.
+          lock.unlock();
+          MADMPI_LOG_WARN("ch_mad",
+                          "dropping RNDV_DATA for canceled rhandle %llu",
+                          static_cast<unsigned long long>(
+                              header.sync_address));
+          while (incoming.drain_block()) {
+          }
+          incoming.end_unpacking();
+          return;
+        }
         rhandle = std::move(it->second);
         state.rhandles.erase(it);
       }
@@ -501,6 +845,12 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
     case PacketType::kTerm: {
       incoming.end_unpacking();
       ++(*terms_seen);
+      return;
+    }
+
+    case PacketType::kCredit: {
+      // Header-only; the refill was applied above with apply_credit.
+      incoming.end_unpacking();
       return;
     }
   }

@@ -18,8 +18,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -37,6 +40,12 @@ namespace madmpi::core {
 
 class ChMadDevice final : public ManagedDevice {
  public:
+  /// What a sender does when its credit window towards a peer runs dry.
+  enum class CreditPolicy {
+    kDemote,  // force the transfer to rendezvous (buffers nothing remotely)
+    kBlock,   // blocking sends wait (virtual time) for credits to return
+  };
+
   struct Config {
     /// Ablation hook: force the eager/rendezvous switch point instead of
     /// the paper's election rule.
@@ -47,10 +56,20 @@ class ChMadDevice final : public ManagedDevice {
     /// messages across nodes that share no direct network. Empty disables
     /// forwarding.
     std::vector<mad::Channel*> forward_channels;
+
+    /// Per-peer eager credit window in bytes. 0 derives the window from
+    /// the elected switch point (default_credit_window); SIZE_MAX
+    /// disables flow control entirely.
+    std::size_t credit_window_bytes = 0;
+    CreditPolicy credit_policy = CreditPolicy::kDemote;
   };
 
+  // Two overloads rather than `Config config = {}`: the Config default
+  // member initializers are not parsed until the enclosing class is
+  // complete, so a braced default argument cannot see them here.
+  ChMadDevice(RankDirectory& directory, std::vector<mad::Channel*> channels);
   ChMadDevice(RankDirectory& directory, std::vector<mad::Channel*> channels,
-              Config config = {});
+              Config config);
   ~ChMadDevice() override;
 
   // --- mpi::Device ----------------------------------------------------
@@ -59,6 +78,8 @@ class ChMadDevice final : public ManagedDevice {
   bool reaches(rank_t src, rank_t dst) const override;
   Status send(rank_t src, rank_t dst, const mpi::Envelope& env,
               byte_span packed, mpi::TransferMode mode) override;
+  bool admit_eager(rank_t src, rank_t dst, std::uint64_t bytes,
+                   bool may_block) override;
 
   // --- lifecycle --------------------------------------------------------
   /// Spawn the polling threads (one per channel per member node).
@@ -82,6 +103,31 @@ class ChMadDevice final : public ManagedDevice {
   std::uint64_t rendezvous_sent() const { return rendezvous_sent_.load(); }
   std::uint64_t forwarded() const { return forwarded_.load(); }
   std::uint64_t failovers() const { return failovers_.load(); }
+  std::uint64_t eager_demoted() const { return eager_demoted_.load(); }
+  std::uint64_t credit_stalls() const { return credit_stalls_.load(); }
+  std::uint64_t credit_packets() const { return credit_packets_.load(); }
+
+  // --- flow control -----------------------------------------------------
+  std::size_t credit_window() const { return credit_window_; }
+
+  /// Credits `src_node` currently holds towards `dst_node` (tests).
+  std::size_t credits_available(node_id_t src_node, node_id_t dst_node);
+
+  /// Credits `node` has consumed on behalf of `peer` but not yet returned
+  /// (tests: available + pending_return == window at quiesce).
+  std::size_t credits_pending_return(node_id_t node, node_id_t peer);
+
+  // --- progress watchdog ------------------------------------------------
+  /// Route liveness predicate: true when `from` can no longer deliver to
+  /// `to` by any means (direct channels and forwarding alike).
+  using RouteDead = std::function<bool(node_id_t from, node_id_t to)>;
+
+  /// Cancel rendezvous transactions whose peer can no longer answer:
+  /// pending sends still waiting for OK_TO_SEND from an unreachable
+  /// receiver, and rhandles whose data sender is unreachable. Completed
+  /// with kTimedOut, stamped a deterministic `horizon` after the
+  /// transaction started. Returns how many operations were canceled.
+  std::size_t watchdog_sweep(const RouteDead& route_dead, usec_t horizon);
 
  private:
   struct PendingSend {
@@ -91,10 +137,29 @@ class ChMadDevice final : public ManagedDevice {
     /// Outcome of the rendezvous data push, set by the data thread before
     /// it signals `done` (the sender returns it from send()).
     Status result;
+    /// kAwaitAck until OK_TO_SEND arrives; kPushing once a data thread
+    /// owns the entry. The watchdog only cancels kAwaitAck entries — a
+    /// kPushing one is referenced by a live data thread.
+    enum class Phase { kAwaitAck, kPushing } phase = Phase::kAwaitAck;
+    node_id_t peer_node = kInvalidNode;
+    usec_t started_at = 0.0;
   };
 
   struct Rhandle {
     mpi::PostedRecv posted;
+    node_id_t origin_node = kInvalidNode;  // where kRndvData comes from
+    usec_t created_at = 0.0;
+  };
+
+  /// Sender-side credit account towards one peer (guarded by the owning
+  /// NodeState's mutex).
+  struct CreditAccount {
+    bool initialized = false;
+    std::size_t available = 0;
+    /// Virtual-time stamp of the latest refill — a sender that *waited*
+    /// for credits synchronizes its lane here (the causal edge from the
+    /// receiver's drain to the unblocked send).
+    usec_t last_refill = 0.0;
   };
 
   /// Per member node: the polling server plus the rendezvous tables.
@@ -107,6 +172,12 @@ class ChMadDevice final : public ManagedDevice {
     std::map<std::uint64_t, PendingSend*> pending_sends;
     std::uint64_t next_rhandle = 1;
     std::map<std::uint64_t, Rhandle> rhandles;
+
+    /// Flow control (guarded by `mutex`): credits this node holds towards
+    /// each peer, and consumed-but-unreturned credits owed *to* each peer.
+    std::map<node_id_t, CreditAccount> credits;
+    std::map<node_id_t, std::size_t> pending_returns;
+    std::condition_variable credit_cv;
   };
 
   NodeState& state_of(node_id_t node);
@@ -132,6 +203,23 @@ class ChMadDevice final : public ManagedDevice {
                           PacketHeader header);
   void spawn_data_thread(NodeState& state, node_id_t dst_node,
                          PendingSend& pending, std::uint64_t sync_address);
+  void spawn_credit_thread(NodeState& state, node_id_t dst_node,
+                           std::size_t credit_bytes);
+
+  /// Credit bookkeeping. `account_of` lazily opens an account at the full
+  /// window; `credit_consumed` runs when the destination rank drains an
+  /// eager payload and decides whether the accumulated debt is worth a
+  /// packet; `apply_credit` handles an inbound refill; `refund_credit`
+  /// undoes an admission whose eager send failed.
+  CreditAccount& account_of(NodeState& state, node_id_t peer);
+  void credit_consumed(node_id_t me, node_id_t origin, std::size_t charge);
+  void apply_credit(NodeState& state, const PacketHeader& header);
+  void refund_credit(node_id_t src_node, node_id_t dst_node,
+                     std::size_t charge);
+
+  /// Take (and zero) the credits owed to `peer`, for piggybacking on an
+  /// outbound packet. The caller must return them on send failure.
+  std::size_t take_pending_returns(NodeState& state, node_id_t peer);
 
   /// Device-level cost of dispatching one received packet (beyond Marcel's
   /// wake + interference, charged by the poll server).
@@ -142,13 +230,25 @@ class ChMadDevice final : public ManagedDevice {
   ChannelRouter forward_channels_router_;
   std::optional<ForwardRouter> forward_router_;
   std::size_t switch_point_;
+  std::size_t credit_window_ = 0;  // 0 = flow control disabled
+  CreditPolicy credit_policy_ = CreditPolicy::kDemote;
   std::map<node_id_t, std::unique_ptr<NodeState>> states_;
   bool started_ = false;
+
+  /// Detached credit-return threads in flight. shutdown() waits for them
+  /// before broadcasting termination so a late MAD_CREDIT_PKT never races
+  /// channel close.
+  std::mutex credit_threads_mutex_;
+  std::condition_variable credit_threads_cv_;
+  int credit_threads_ = 0;
 
   std::atomic<std::uint64_t> eager_sent_{0};
   std::atomic<std::uint64_t> rendezvous_sent_{0};
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> eager_demoted_{0};
+  std::atomic<std::uint64_t> credit_stalls_{0};
+  std::atomic<std::uint64_t> credit_packets_{0};
 };
 
 }  // namespace madmpi::core

@@ -18,6 +18,9 @@ enum class PacketType : std::uint8_t {
   kRndvOkToSend,   // MAD_SENDOK_PKT: rendezvous ack (header only)
   kRndvData,       // MAD_RNDV_PKT: rendezvous data (header + body)
   kTerm,           // MAD_TERM_PKT: program termination (empty buffer)
+  kCredit,         // MAD_CREDIT_PKT: flow-control credit return
+                   // (header only; used when no reverse traffic exists
+                   // to piggyback credits on)
 };
 
 /// The fixed header carried EXPRESS with every ch_mad message. Contains the
@@ -43,6 +46,16 @@ struct PacketHeader {
   //    the rhandle responsible for the transaction.
   std::uint64_t sender_handle = 0;
   std::uint64_t sync_address = 0;
+
+  // Flow control: credits (in bytes) this node returns to the receiver of
+  // the packet. Piggybacks on any reverse-direction packet (kRndvOkToSend
+  // in particular) and rides alone on kCredit when the receiving side has
+  // nothing else to say. `credit_origin` names the node RETURNING the
+  // credits (the eager receiver whose store drained); the packet's
+  // destination refills its per-peer account keyed by that node. Carried
+  // explicitly so forwarded packets credit the right account.
+  std::uint64_t credit_bytes = 0;
+  node_id_t credit_origin = kInvalidNode;
 };
 
 }  // namespace madmpi::core

@@ -2,12 +2,45 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "common/log.hpp"
+#include "sim/fault.hpp"
 
 namespace madmpi::core {
+
+namespace {
+
+// Environment overrides for the robustness knobs (README documents them).
+std::size_t env_bytes(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  if (std::strcmp(value, "off") == 0) return SIZE_MAX;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+usec_t env_us(const char* name, usec_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtod(value, nullptr);
+}
+
+ChMadDevice::CreditPolicy env_credit_policy(ChMadDevice::CreditPolicy fallback) {
+  const char* value = std::getenv("MADMPI_CREDIT_POLICY");
+  if (value == nullptr || *value == '\0') return fallback;
+  if (std::strcmp(value, "block") == 0) return ChMadDevice::CreditPolicy::kBlock;
+  if (std::strcmp(value, "demote") == 0) {
+    return ChMadDevice::CreditPolicy::kDemote;
+  }
+  MADMPI_LOG_WARN("session", "unknown MADMPI_CREDIT_POLICY '%s', keeping default",
+                  value);
+  return fallback;
+}
+
+}  // namespace
 
 Session::Session(Options options) {
   MADMPI_CHECK_MSG(options.cluster.validate().is_ok(),
@@ -26,11 +59,15 @@ Session::Session(Options options) {
   ch_self_ = std::make_unique<ChSelfDevice>(directory_);
   smp_plug_ = std::make_unique<SmpPlugDevice>(directory_);
 
+  forwarding_enabled_ = options.enable_forwarding;
   if (options.internode_factory) {
     internode_ = options.internode_factory(*this);
   } else if (!cluster().networks.empty()) {
     ChMadDevice::Config config;
     config.switch_point_override = options.switch_point_override;
+    config.credit_window_bytes =
+        env_bytes("MADMPI_CREDIT_WINDOW", options.credit_window_bytes);
+    config.credit_policy = env_credit_policy(options.credit_policy);
     if (options.enable_forwarding) {
       // A second channel per network, dedicated to forwarded traffic:
       // channel isolation keeps relays from ever matching direct messages.
@@ -47,6 +84,52 @@ Session::Session(Options options) {
         directory_, madeleine_->open_default_channels(), config);
   }
   if (internode_) internode_->start();
+
+  const std::size_t budget =
+      env_bytes("MADMPI_UNEXPECTED_BUDGET", options.unexpected_budget_bytes);
+  for (rank_t rank = 0; rank < world_size(); ++rank) {
+    directory_.context_of(rank).set_unexpected_budget(
+        budget == SIZE_MAX ? 0 : budget);
+  }
+
+  // Progress watchdog: needs the ch_mad router as its failure oracle, so
+  // sessions with a custom inter-node device (the baselines) run without
+  // one, exactly as before this layer existed.
+  watchdog_horizon_us_ =
+      env_us("MADMPI_WATCHDOG_HORIZON_US", options.watchdog_horizon_us);
+  if (watchdog_horizon_us_ > 0.0 && ch_mad() != nullptr) {
+    for (rank_t rank = 0; rank < world_size(); ++rank) {
+      const node_id_t home = directory_.node_of(rank).id();
+      directory_.context_of(rank).set_watchdog(
+          watchdog_horizon_us_, [this, home](rank_t peer) {
+            const node_id_t origin = directory_.node_of(peer).id();
+            // The direction the missing data must flow: peer -> me.
+            return origin != home && route_dead(origin, home);
+          });
+    }
+    watchdog_ = std::make_unique<ProgressWatchdog>([this] {
+      std::uint64_t cancels = 0;
+      if (ChMadDevice* device = ch_mad()) {
+        cancels += device->watchdog_sweep(
+            [this](node_id_t from, node_id_t to) {
+              return route_dead(from, to);
+            },
+            watchdog_horizon_us_);
+      }
+      for (rank_t rank = 0; rank < world_size(); ++rank) {
+        mpi::RankContext& context = directory_.context_of(rank);
+        const std::size_t canceled =
+            context.cancel_unreachable(ErrorCode::kTimedOut);
+        if (canceled > 0) {
+          cancels += canceled;
+          context.notify_waiters();
+        }
+      }
+      if (cancels > 0) {
+        watchdog_cancels_.fetch_add(cancels, std::memory_order_relaxed);
+      }
+    });
+  }
 }
 
 Session::~Session() { finalize(); }
@@ -54,8 +137,62 @@ Session::~Session() { finalize(); }
 void Session::finalize() {
   if (finalized_) return;
   finalized_ = true;
+  // Stop the watchdog before the device: its sweeps walk device state.
+  if (watchdog_) {
+    watchdog_->stop();
+    watchdog_.reset();
+  }
   if (internode_) internode_->shutdown();
   madeleine_->close_all();
+}
+
+Session::RouteState Session::direct_route_state(node_id_t from, node_id_t to) {
+  bool saw_channel = false;
+  const usec_t t = fabric_.node(from).clock().high_water();
+  for (mad::Channel* channel : madeleine_->channels()) {
+    if (!channel->has_member(from) || !channel->has_member(to)) continue;
+    saw_channel = true;
+    if (!channel->link_alive(from, to)) continue;
+    const sim::Nic* nic = fabric_.find_nic(from, channel->protocol());
+    const sim::FaultPlan* plan =
+        nic != nullptr ? nic->model().fault_plan.get() : nullptr;
+    // The oracle: a permanent kill is dead the moment the plan says so,
+    // even before any send attempt observed it (a pure receiver never
+    // sends, so link health alone would never notice).
+    if (plan != nullptr && plan->dead(from, to, t)) continue;
+    return RouteState::kAlive;
+  }
+  return saw_channel ? RouteState::kDead : RouteState::kNoChannel;
+}
+
+bool Session::route_dead(node_id_t from, node_id_t to) {
+  if (from == to) return false;
+  if (direct_route_state(from, to) == RouteState::kAlive) return false;
+  if (forwarding_enabled_) {
+    // Forwarding relays across any number of gateways, so the detector
+    // must too: breadth-first search over live direct links. Declaring a
+    // reachable peer dead cancels healthy operations, which is worse
+    // than the watchdog missing a beat.
+    const std::size_t node_count = cluster().nodes.size();
+    std::vector<bool> visited(node_count, false);
+    std::vector<node_id_t> frontier{from};
+    visited[static_cast<std::size_t>(from)] = true;
+    while (!frontier.empty()) {
+      const node_id_t here = frontier.back();
+      frontier.pop_back();
+      for (std::size_t n = 0; n < node_count; ++n) {
+        const node_id_t next = static_cast<node_id_t>(n);
+        if (visited[n] ||
+            direct_route_state(here, next) != RouteState::kAlive) {
+          continue;
+        }
+        if (next == to) return false;
+        visited[n] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return true;
 }
 
 mpi::Device& Session::device_for(rank_t src, rank_t dst) {
@@ -118,6 +255,30 @@ void Session::print_stats(std::FILE* out) {
                  device->eager_sent(), device->rendezvous_sent(),
                  device->forwarded(), device->failovers(),
                  device->switch_point());
+    if (device->credit_window() != 0) {
+      std::fprintf(out,
+                   "flow control: window %zu B/peer, %" PRIu64
+                   " demoted, %" PRIu64 " credit stalls, %" PRIu64
+                   " credit packets\n",
+                   device->credit_window(), device->eager_demoted(),
+                   device->credit_stalls(), device->credit_packets());
+    }
+  }
+  for (rank_t rank = 0; rank < world_size(); ++rank) {
+    mpi::RankContext& context = directory_.context_of(rank);
+    if (context.unexpected_bytes_high_water() == 0 &&
+        context.eager_refused() == 0) {
+      continue;
+    }
+    std::fprintf(out,
+                 "rank %d unexpected store: high water %zu B (budget %zu B), "
+                 "%" PRIu64 " eager refusals\n",
+                 rank, context.unexpected_bytes_high_water(),
+                 context.unexpected_budget(), context.eager_refused());
+  }
+  if (watchdog_cancels() > 0) {
+    std::fprintf(out, "watchdog: %" PRIu64 " operations cancelled\n",
+                 watchdog_cancels());
   }
 }
 

@@ -4,6 +4,8 @@
 // generic MPI layer.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -15,6 +17,7 @@
 #include "core/directory.hpp"
 #include "core/managed_device.hpp"
 #include "core/smp_plug.hpp"
+#include "core/watchdog.hpp"
 #include "mad/madeleine.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
@@ -39,6 +42,29 @@ class Session final : public mpi::Runtime {
     /// network is built.
     std::function<std::unique_ptr<ManagedDevice>(Session&)>
         internode_factory;
+
+    // --- robustness knobs (each overridable by environment) -----------
+
+    /// Per-peer eager credit window in bytes, forwarded to ch_mad.
+    /// 0 derives the window from the elected switch point; SIZE_MAX
+    /// disables credit flow control. Env: MADMPI_CREDIT_WINDOW.
+    std::size_t credit_window_bytes = 0;
+
+    /// What a dry sender does: demote to rendezvous (default) or block
+    /// in virtual time until credits return.
+    /// Env: MADMPI_CREDIT_POLICY=demote|block.
+    ChMadDevice::CreditPolicy credit_policy = ChMadDevice::CreditPolicy::kDemote;
+
+    /// Per-rank unexpected-store budget in bytes; eager messages that
+    /// would overflow it are refused at the ADI and retried as
+    /// rendezvous. 0 means unlimited. Env: MADMPI_UNEXPECTED_BUDGET.
+    std::size_t unexpected_budget_bytes = 8 * 1024 * 1024;
+
+    /// Progress-watchdog horizon in virtual microseconds: an operation
+    /// whose peer is unreachable is cancelled (ErrorCode::kTimedOut) and
+    /// stamped at its start time plus this horizon. 0 disables the
+    /// watchdog. Env: MADMPI_WATCHDOG_HORIZON_US.
+    usec_t watchdog_horizon_us = 10000.0;
   };
 
   explicit Session(Options options);
@@ -85,6 +111,20 @@ class Session final : public mpi::Runtime {
   /// Reset every node clock to zero (benchmark warm-up isolation).
   void reset_clocks();
 
+  /// True when every channel between the two nodes is dead in the
+  /// from->to direction — by observed link health or by the fault-plan
+  /// oracle at the from-node's current virtual time. With forwarding
+  /// enabled a live two-hop relay keeps the route alive. The progress
+  /// watchdog's failure detector.
+  bool route_dead(node_id_t from, node_id_t to);
+
+  /// Operations the watchdog has cancelled so far (receives, rendezvous
+  /// handshakes, probes are not counted — they re-check the detector
+  /// themselves).
+  std::uint64_t watchdog_cancels() const {
+    return watchdog_cancels_.load(std::memory_order_relaxed);
+  }
+
   /// Open an extra channel on the `index`-th declared network, private to
   /// the caller (no ch_mad poller attached). Raw-Madeleine benchmarks use
   /// this: channel isolation keeps their traffic away from the device.
@@ -96,6 +136,12 @@ class Session final : public mpi::Runtime {
   void print_stats(std::FILE* out = stdout);
 
  private:
+  enum class RouteState { kAlive, kDead, kNoChannel };
+
+  /// Check a single node pair for a live direct channel (route_dead's
+  /// one-hop primitive).
+  RouteState direct_route_state(node_id_t from, node_id_t to);
+
   sim::Fabric fabric_;
   std::unique_ptr<mad::Madeleine> madeleine_;
   RankDirectory directory_;
@@ -103,6 +149,10 @@ class Session final : public mpi::Runtime {
   std::unique_ptr<ChSelfDevice> ch_self_;
   std::unique_ptr<SmpPlugDevice> smp_plug_;
   std::unique_ptr<ManagedDevice> internode_;
+  std::unique_ptr<ProgressWatchdog> watchdog_;
+  std::atomic<std::uint64_t> watchdog_cancels_{0};
+  usec_t watchdog_horizon_us_ = 0.0;
+  bool forwarding_enabled_ = false;
 
   std::mutex context_mutex_;
   std::map<std::pair<int, std::int64_t>, int> derived_contexts_;

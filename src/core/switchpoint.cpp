@@ -32,6 +32,14 @@ bool is_intra_node_protocol(sim::Protocol protocol) {
   return protocol == sim::Protocol::kShmem;
 }
 
+std::size_t default_credit_window(std::size_t switch_point) {
+  // Sized like MVAPICH-style prepost depths: enough outstanding eager
+  // traffic to cover the bandwidth-delay product of the simulated links
+  // many times over, small enough that a stalled receiver caps its
+  // senders' memory footprint at a few hundred KB each.
+  return 16 * switch_point;
+}
+
 std::size_t elect_switch_point(
     const std::vector<sim::Protocol>& protocols) {
   MADMPI_CHECK_MSG(!protocols.empty(),

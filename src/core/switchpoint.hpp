@@ -30,4 +30,11 @@ int protocol_performance_rank(sim::Protocol protocol);
 /// transfers are handled by smp_plug with its own crossover.
 bool is_intra_node_protocol(sim::Protocol protocol);
 
+/// Default per-peer eager credit window, derived from the elected switch
+/// point: sixteen maximum-size eager messages may be in flight to one
+/// peer before the sender runs dry. Every eager message is charged its
+/// payload plus the per-message overhead the receiver's unexpected store
+/// charges, so the window and the store budget speak the same unit.
+std::size_t default_credit_window(std::size_t switch_point);
+
 }  // namespace madmpi::core

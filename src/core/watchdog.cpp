@@ -1,0 +1,33 @@
+#include "core/watchdog.hpp"
+
+namespace madmpi::core {
+
+ProgressWatchdog::ProgressWatchdog(Sweep sweep,
+                                   std::chrono::milliseconds interval)
+    : sweep_(std::move(sweep)), interval_(interval) {
+  thread_ = std::thread([this] { run(); });
+}
+
+ProgressWatchdog::~ProgressWatchdog() { stop(); }
+
+void ProgressWatchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ProgressWatchdog::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lock, interval_);
+    if (stopping_) break;
+    lock.unlock();
+    sweep_();
+    lock.lock();
+  }
+}
+
+}  // namespace madmpi::core

@@ -1,0 +1,51 @@
+// Progress watchdog (robustness layer tentpole, part 3).
+//
+// A session-owned thread that periodically sweeps for operations that can
+// no longer make progress — posted receives and rendezvous handshakes whose
+// only route to the peer is dead — and cancels them with
+// ErrorCode::kTimedOut so the blocked rank gets an MPI error through its
+// communicator's error handler instead of hanging forever.
+//
+// The poll interval is wall-clock time and deliberately does NOT leak into
+// the simulation: every cancellation stamps virtual time as the operation's
+// recorded start plus the configured horizon (VirtualClock::bind_lane), so
+// a run that cancels is bit-identical no matter how fast the host polled.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace madmpi::core {
+
+class ProgressWatchdog {
+ public:
+  /// One full sweep over every rank context and device. Runs on the
+  /// watchdog thread; must be safe to call concurrently with rank threads.
+  using Sweep = std::function<void()>;
+
+  explicit ProgressWatchdog(
+      Sweep sweep,
+      std::chrono::milliseconds interval = std::chrono::milliseconds(2));
+  ~ProgressWatchdog();
+
+  ProgressWatchdog(const ProgressWatchdog&) = delete;
+  ProgressWatchdog& operator=(const ProgressWatchdog&) = delete;
+
+  /// Stop the thread and join it. Idempotent; implicit in the destructor.
+  void stop();
+
+ private:
+  void run();
+
+  Sweep sweep_;
+  std::chrono::milliseconds interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace madmpi::core

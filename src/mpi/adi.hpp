@@ -41,6 +41,21 @@ class Device {
   /// True when this device can carry src -> dst.
   virtual bool reaches(rank_t src, rank_t dst) const = 0;
 
+  /// Flow-control admission for an eager transfer of `bytes` from `src`
+  /// to `dst`. Devices with sender-side credit windows deduct a credit
+  /// here; a false return tells the generic layer to demote the transfer
+  /// to rendezvous (which consumes no receive-side buffer). `may_block`
+  /// is true on blocking sends, where the device may instead wait (in
+  /// virtual time) for credits to return. Default: no flow control.
+  virtual bool admit_eager(rank_t src, rank_t dst, std::uint64_t bytes,
+                           bool may_block) {
+    (void)src;
+    (void)dst;
+    (void)bytes;
+    (void)may_block;
+    return true;
+  }
+
   /// Transfer mode for a message of `bytes` under this device's protocol
   /// selection (MPI_Ssend forces the rendezvous handshake so completion
   /// implies a matching receive).

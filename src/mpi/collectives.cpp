@@ -35,10 +35,16 @@ void Comm::coll_send(const void* buf, std::size_t bytes, rank_t dest,
   Envelope env = make_envelope(dest, tag, bytes, false);
   env.context = shared_->context + 1;
   Device& device = device_to(dest);
-  const Status status =
-      device.send(global_rank_of(rank_), global_rank_of(dest), env,
+  const rank_t dst_global = global_rank_of(dest);
+  // Collective traffic obeys the same flow control as user traffic: a
+  // congested peer demotes the hop to rendezvous.
+  const TransferMode mode =
+      admit_or_demote(device, dst_global, env, false, /*may_block=*/true);
+  Status status =
+      device.send(global_rank_of(rank_), dst_global, env,
                   byte_span{static_cast<const std::byte*>(buf), bytes},
-                  device.select_mode(bytes, false));
+                  mode);
+  if (!status.is_ok()) release_admission(dst_global, env, mode);
   // Collectives define no recovery protocol: a lost link mid-algorithm
   // would leave peers waiting forever, so surface it loudly.
   MADMPI_CHECK_MSG(status.is_ok(), status.message());
@@ -55,8 +61,15 @@ void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {
   posted.count = static_cast<int>(bytes);
   posted.capacity_bytes = bytes;
   posted.request = state;
+  posted.source_global = global_rank_of(source);
+  posted.posted_at = my_node().clock().now();
   my_context().post_recv(std::move(posted));
-  state->wait();
+  const MpiStatus status = state->wait();
+  // A watchdog-canceled hop means a peer died mid-algorithm; like
+  // coll_send, there is no recovery protocol — fail loudly rather than
+  // silently reduce over garbage.
+  MADMPI_CHECK_MSG(status.error == ErrorCode::kOk,
+                   "collective receive failed mid-algorithm");
 }
 
 void Comm::coll_sendrecv(const void* send, std::size_t send_bytes,
@@ -72,9 +85,13 @@ void Comm::coll_sendrecv(const void* send, std::size_t send_bytes,
   posted.count = static_cast<int>(recv_bytes);
   posted.capacity_bytes = recv_bytes;
   posted.request = state;
+  posted.source_global = global_rank_of(source);
+  posted.posted_at = my_node().clock().now();
   my_context().post_recv(std::move(posted));
   coll_send(send, send_bytes, dest, tag);
-  state->wait();
+  const MpiStatus status = state->wait();
+  MADMPI_CHECK_MSG(status.error == ErrorCode::kOk,
+                   "collective receive failed mid-algorithm");
 }
 
 void Comm::set_collective_config(const CollectiveConfig& config) {
@@ -100,6 +117,8 @@ void Comm::barrier() {
     posted.source = from;
     posted.tag = kBarrierTag;
     posted.request = state;
+    posted.source_global = global_rank_of(from);
+    posted.posted_at = my_node().clock().now();
     my_context().post_recv(std::move(posted));
 
     coll_send(nullptr, 0, to, kBarrierTag);
@@ -505,6 +524,8 @@ void Comm::allgather(const void* send_buf, int send_count,
     posted.count = static_cast<int>(block);
     posted.capacity_bytes = block;
     posted.request = state;
+    posted.source_global = global_rank_of(left);
+    posted.posted_at = my_node().clock().now();
     my_context().post_recv(std::move(posted));
 
     coll_send(wire.data() + block * static_cast<std::size_t>(cur), block,
@@ -609,6 +630,8 @@ void Comm::alltoall(const void* send_buf, int send_count,
     posted.count = static_cast<int>(block);
     posted.capacity_bytes = block;
     posted.request = state;
+    posted.source_global = global_rank_of(src);
+    posted.posted_at = my_node().clock().now();
     my_context().post_recv(std::move(posted));
 
     send_type.pack(in + in_slot * static_cast<std::size_t>(dst), send_count,
@@ -672,6 +695,8 @@ void Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
     posted.count = static_cast<int>(recv_bytes);
     posted.capacity_bytes = recv_bytes;
     posted.request = state;
+    posted.source_global = global_rank_of(src);
+    posted.posted_at = my_node().clock().now();
     my_context().post_recv(std::move(posted));
 
     std::vector<std::byte> send_wire(send_bytes);

@@ -97,6 +97,63 @@ byte_span Comm::pack_for_send(const void* buf, int count,
   return byte_span{staging.data(), staging.size()};
 }
 
+TransferMode Comm::admit_or_demote(Device& device, rank_t dst_global,
+                                   const Envelope& env, bool synchronous,
+                                   bool may_block) {
+  TransferMode mode = device.select_mode(env.bytes, synchronous);
+  if (mode != TransferMode::kEager) return mode;
+  const rank_t src_global = global_rank_of(rank_);
+  if (src_global == dst_global) return mode;  // ch_self: always eager
+  // Two gates, receiver's store first: a message the store cannot hold
+  // must not consume a credit it would immediately hand back.
+  RankContext& peer = shared_->runtime->context_of(dst_global);
+  if (!peer.admit_eager(env.bytes)) return TransferMode::kRendezvous;
+  if (!device.admit_eager(src_global, dst_global, env.bytes, may_block)) {
+    peer.release_eager_admission(env.bytes);
+    return TransferMode::kRendezvous;
+  }
+  return mode;
+}
+
+void Comm::release_admission(rank_t dst_global, const Envelope& env,
+                             TransferMode mode) {
+  if (mode != TransferMode::kEager) return;
+  if (global_rank_of(rank_) == dst_global) return;
+  shared_->runtime->context_of(dst_global).release_eager_admission(
+      env.bytes);
+}
+
+void Comm::set_errhandler(Errhandler handler) {
+  std::lock_guard<std::mutex> lock(shared_->errhandler_mutex);
+  if (shared_->errhandlers.empty()) {
+    shared_->errhandlers.resize(shared_->group.size());
+  }
+  shared_->errhandlers[static_cast<std::size_t>(rank_)] =
+      std::move(handler);
+}
+
+Errhandler Comm::errhandler() const {
+  std::lock_guard<std::mutex> lock(shared_->errhandler_mutex);
+  if (shared_->errhandlers.empty()) return Errhandler::errors_return();
+  return shared_->errhandlers[static_cast<std::size_t>(rank_)];
+}
+
+Status Comm::raise_error(const Status& status) {
+  if (status.is_ok()) return status;
+  const Errhandler handler = errhandler();
+  switch (handler.kind) {
+    case ErrhandlerKind::kFatal:
+      fatal("MPI error (MPI_ERRORS_ARE_FATAL) on rank " +
+            std::to_string(rank_) + ": " + status.to_string());
+    case ErrhandlerKind::kCustom:
+      if (handler.fn) handler.fn(status.code(), status.message());
+      break;
+    case ErrhandlerKind::kReturn:
+      break;
+  }
+  return status;
+}
+
 Status Comm::send(const void* buf, int count, const Datatype& type,
                   rank_t dest, int tag) {
   MADMPI_CHECK(dest >= 0 && dest < size());
@@ -104,8 +161,13 @@ Status Comm::send(const void* buf, int count, const Datatype& type,
   const byte_span packed = pack_for_send(buf, count, type, staging);
   const Envelope env = make_envelope(dest, tag, packed.size(), false);
   Device& device = device_to(dest);
-  return device.send(global_rank_of(rank_), global_rank_of(dest), env, packed,
-                     device.select_mode(env.bytes, false));
+  const rank_t dst_global = global_rank_of(dest);
+  const TransferMode mode =
+      admit_or_demote(device, dst_global, env, false, /*may_block=*/true);
+  Status status =
+      device.send(global_rank_of(rank_), dst_global, env, packed, mode);
+  if (!status.is_ok()) release_admission(dst_global, env, mode);
+  return raise_error(status);
 }
 
 Status Comm::ssend(const void* buf, int count, const Datatype& type,
@@ -115,8 +177,8 @@ Status Comm::ssend(const void* buf, int count, const Datatype& type,
   const byte_span packed = pack_for_send(buf, count, type, staging);
   const Envelope env = make_envelope(dest, tag, packed.size(), true);
   Device& device = device_to(dest);
-  return device.send(global_rank_of(rank_), global_rank_of(dest), env, packed,
-                     TransferMode::kRendezvous);
+  return raise_error(device.send(global_rank_of(rank_), global_rank_of(dest),
+                                 env, packed, TransferMode::kRendezvous));
 }
 
 namespace {
@@ -183,16 +245,21 @@ void Comm::bsend(const void* buf, int count, const Datatype& type,
   Device& device = device_to(dest);
   const rank_t src_global = global_rank_of(rank_);
   const rank_t dst_global = global_rank_of(dest);
+  // Admit on the caller's thread (bsend must never block: may_block
+  // false, so a dry credit window demotes to rendezvous).
+  const TransferMode mode =
+      admit_or_demote(device, dst_global, env, false, /*may_block=*/false);
+  Comm self = *this;
   std::thread([&node, birth, &device, src_global, dst_global, env, parked,
-               pool, needed] {
+               pool, needed, mode, self]() mutable {
     node.clock().bind_lane(birth);
     // A buffered send has no request to carry the error; log and drop, as
     // real implementations do for undeliverable bsends.
     const Status status =
         device.send(src_global, dst_global, env,
-                    byte_span{parked->data(), parked->size()},
-                    device.select_mode(env.bytes, false));
+                    byte_span{parked->data(), parked->size()}, mode);
     if (!status.is_ok()) {
+      self.release_admission(dst_global, env, mode);
       MADMPI_LOG_WARN("mpi", "bsend to rank %d failed: %s",
                       static_cast<int>(env.dst), status.message().c_str());
     }
@@ -216,13 +283,21 @@ Request Comm::irecv(void* buf, int count, const Datatype& type,
   posted.count = count;
   posted.capacity_bytes = type.size() * static_cast<std::size_t>(count);
   posted.request = state;
+  posted.source_global =
+      source == kAnySource ? kInvalidRank : global_rank_of(source);
+  posted.posted_at = my_node().clock().now();
   my_context().post_recv(std::move(posted));
   return Request(std::move(state));
 }
 
 MpiStatus Comm::recv(void* buf, int count, const Datatype& type,
                      rank_t source, int tag) {
-  return irecv(buf, count, type, source, tag).wait();
+  MpiStatus status = irecv(buf, count, type, source, tag).wait();
+  if (status.error != ErrorCode::kOk) {
+    raise_error(Status(status.error,
+                       "recv from rank " + std::to_string(source)));
+  }
+  return status;
 }
 
 namespace {
@@ -266,14 +341,18 @@ Request Comm::isend(const void* buf, int count, const Datatype& type,
   const byte_span packed = pack_for_send(buf, count, type, staging);
   const Envelope env = make_envelope(dest, tag, packed.size(), false);
   Device& device = device_to(dest);
-  const TransferMode mode = device.select_mode(env.bytes, false);
+  const rank_t dst_global = global_rank_of(dest);
+  // Nonblocking: a dry credit window or full remote store demotes to the
+  // rendezvous thread instead of stalling the caller (may_block false).
+  const TransferMode mode =
+      admit_or_demote(device, dst_global, env, false, /*may_block=*/false);
 
   auto state = std::make_shared<RequestState>(my_node());
   if (mode == TransferMode::kEager) {
     // Locally complete as soon as the device accepted the bytes.
-    const Status result = device.send(global_rank_of(rank_),
-                                      global_rank_of(dest), env, packed,
-                                      mode);
+    const Status result =
+        device.send(global_rank_of(rank_), dst_global, env, packed, mode);
+    if (!result.is_ok()) release_admission(dst_global, env, mode);
     MpiStatus status;
     status.source = dest;
     status.tag = tag;
@@ -282,7 +361,7 @@ Request Comm::isend(const void* buf, int count, const Datatype& type,
     state->complete(status);
   } else {
     spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),
-                          global_rank_of(dest), env, packed, state);
+                          dst_global, env, packed, state);
   }
   return Request(std::move(state));
 }
@@ -307,12 +386,23 @@ MpiStatus Comm::sendrecv(const void* send_buf, int send_count,
   Request recv_request = irecv(recv_buf, recv_count, recv_type, source,
                                recv_tag);
   send(send_buf, send_count, send_type, dest, send_tag);
-  return recv_request.wait();
+  MpiStatus status = recv_request.wait();
+  if (status.error != ErrorCode::kOk) {
+    raise_error(Status(status.error,
+                       "sendrecv from rank " + std::to_string(source)));
+  }
+  return status;
 }
 
 MpiStatus Comm::probe(rank_t source, int tag) {
   MpiStatus status;
-  my_context().probe(shared_->context, source, tag, &status);
+  const rank_t source_global =
+      source == kAnySource ? kInvalidRank : global_rank_of(source);
+  my_context().probe(shared_->context, source, tag, source_global, &status);
+  if (status.error != ErrorCode::kOk) {
+    raise_error(Status(status.error,
+                       "probe of rank " + std::to_string(source)));
+  }
   return status;
 }
 
@@ -354,6 +444,8 @@ Comm Comm::create(const Group& subset) {
       (static_cast<std::int64_t>(seq) << 32) | subset.digest());
   shared->group = subset.members();
   shared->creation_seq.assign(shared->group.size(), 0);
+  // Derived communicators inherit the parent's error handler (MPI §8.3).
+  shared->errhandlers.assign(shared->group.size(), errhandler());
   return Comm(std::move(shared), my_new_rank);
 }
 
@@ -365,6 +457,7 @@ Comm Comm::dup() {
       shared_->context, static_cast<std::int64_t>(seq) << 32);
   shared->group = shared_->group;
   shared->creation_seq.assign(shared->group.size(), 0);
+  shared->errhandlers.assign(shared->group.size(), errhandler());
 
   // All ranks must share one Shared: funnel through the world registry
   // trick is unnecessary — instead each rank builds an identical Shared.
@@ -408,6 +501,7 @@ Comm Comm::split(int color, int key) {
   shared->context = shared_->runtime->derive_context_id(
       shared_->context, (static_cast<std::int64_t>(seq) << 32) |
                             (static_cast<std::uint32_t>(color) + 1));
+  shared->errhandlers.assign(members.size(), errhandler());
   shared->group.reserve(members.size());
   rank_t my_new_rank = kInvalidRank;
   for (std::size_t i = 0; i < members.size(); ++i) {

@@ -10,6 +10,7 @@
 
 #include "mpi/adi.hpp"
 #include "mpi/datatype.hpp"
+#include "mpi/errhandler.hpp"
 #include "mpi/group.hpp"
 #include "mpi/op.hpp"
 #include "mpi/request.hpp"
@@ -106,6 +107,20 @@ class Comm {
   /// MPI_Probe / MPI_Iprobe.
   MpiStatus probe(rank_t source, int tag);
   bool iprobe(rank_t source, int tag, MpiStatus* status = nullptr);
+
+  // --- Error handling --------------------------------------------------
+
+  /// MPI_Comm_set_errhandler / MPI_Comm_get_errhandler, per rank. The
+  /// C++ default is errors_return() — these APIs already hand back Status
+  /// values (and PR 1's tests rely on that); the C compat facade installs
+  /// errors_are_fatal() per the MPI standard's default.
+  void set_errhandler(Errhandler handler);
+  Errhandler errhandler() const;
+
+  /// Route a failed operation through this rank's error handler: fatal
+  /// aborts, custom runs the callback; either way the status is returned
+  /// so Status-based callers keep composing.
+  Status raise_error(const Status& status);
 
   // --- Collectives ----------------------------------------------------
 
@@ -206,6 +221,22 @@ class Comm {
 
   Envelope make_envelope(rank_t dest, int tag, std::uint64_t bytes,
                          bool synchronous) const;
+
+  /// Flow-control admission (tentpole of the robustness layer): picks the
+  /// transfer mode, then asks the *receiver's* unexpected store and the
+  /// device's credit window for an eager slot. Either refusal demotes the
+  /// transfer to rendezvous, which buffers nothing until the receive
+  /// posts. Self-sends skip admission (ch_self must stay eager: a
+  /// single-threaded rendezvous with oneself would deadlock).
+  TransferMode admit_or_demote(Device& device, rank_t dst_global,
+                               const Envelope& env, bool synchronous,
+                               bool may_block);
+
+  /// Undo a successful admission whose eager send then failed (the device
+  /// refunds its own credits; this returns the store reservation).
+  void release_admission(rank_t dst_global, const Envelope& env,
+                         TransferMode mode);
+
   Device& device_to(rank_t dest) const;
   sim::Node& my_node() const;
   RankContext& my_context() const;

@@ -21,6 +21,12 @@ struct Comm::Shared {
   /// Collective tuning; every rank must configure identically.
   CollectiveConfig collectives;
 
+  /// Per-comm-rank error handlers (MPI_Comm_set_errhandler is local, so
+  /// each rank owns its slot; the mutex covers world comms where every
+  /// rank thread shares this object). Empty vector = all errors_return().
+  std::mutex errhandler_mutex;
+  std::vector<Errhandler> errhandlers;
+
   // Per-rank count of derived-communicator creations (collective calls, so
   // all ranks' counters stay equal; used to derive matching context ids).
   std::vector<int> creation_seq;

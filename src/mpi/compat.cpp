@@ -24,12 +24,19 @@ struct ThreadState {
   std::vector<mpi::PersistentRequest> persistents;
   std::map<int, mpi::CartComm> carts;  // keyed by the comm handle
   int bsend_attached_size = 0;
+
+  /// Error handling: per-comm handler (default MPI_ERRORS_ARE_FATAL, as
+  /// the standard requires) plus the registry for user-created handlers.
+  std::map<MPI_Comm, MPI_Errhandler> comm_errhandlers;
+  std::vector<MPI_Comm_errhandler_function*> errhandler_fns;
 };
 
 /// Handle-space layout: derived datatype handles start at kDerivedBase;
-/// persistent request handles at kPersistentBase.
+/// persistent request handles at kPersistentBase; user errhandlers after
+/// the two predefined ones.
 inline constexpr int kDerivedBase = 1000;
 inline constexpr int kPersistentBase = 1 << 20;
+inline constexpr MPI_Errhandler kCustomErrhandlerBase = 2;
 
 thread_local ThreadState tls;
 
@@ -96,6 +103,39 @@ int map_error(madmpi::ErrorCode code) {
     case madmpi::ErrorCode::kOk: return MPI_SUCCESS;
     case madmpi::ErrorCode::kTruncated: return MPI_ERR_TRUNCATE;
     default: return MPI_ERR_OTHER;
+  }
+}
+
+MPI_Errhandler handler_of(MPI_Comm handle) {
+  ThreadState& s = state();
+  auto it = s.comm_errhandlers.find(handle);
+  return it == s.comm_errhandlers.end() ? MPI_ERRORS_ARE_FATAL : it->second;
+}
+
+/// Record the handler for the facade AND translate it onto the underlying
+/// C++ communicator, so errors raised deep inside an operation (e.g. a
+/// watchdog cancellation mid-recv) follow the same policy as the return
+/// value the caller sees.
+void install_errhandler(MPI_Comm handle, MPI_Errhandler errhandler) {
+  ThreadState& s = state();
+  s.comm_errhandlers[handle] = errhandler;
+  mpi::Comm& comm = comm_of(handle);
+  if (errhandler == MPI_ERRORS_RETURN) {
+    comm.set_errhandler(mpi::Errhandler::errors_return());
+  } else if (errhandler == MPI_ERRORS_ARE_FATAL) {
+    comm.set_errhandler(mpi::Errhandler::errors_are_fatal());
+  } else {
+    const auto index =
+        static_cast<std::size_t>(errhandler - kCustomErrhandlerBase);
+    MADMPI_CHECK_MSG(index < s.errhandler_fns.size(),
+                     "invalid MPI_Errhandler handle");
+    MPI_Comm_errhandler_function* fn = s.errhandler_fns[index];
+    comm.set_errhandler(mpi::Errhandler::custom(
+        [handle, fn](madmpi::ErrorCode code, const std::string&) {
+          MPI_Comm comm_handle = handle;
+          int error = map_error(code);
+          fn(&comm_handle, &error);
+        }));
   }
 }
 
@@ -177,6 +217,9 @@ namespace detail = madmpi::compat::detail;
 
 int MPI_Init(int*, char***) {
   detail::state().initialized = true;
+  // The standard's default: errors on any communicator abort the program
+  // until the application installs something gentler.
+  detail::install_errhandler(MPI_COMM_WORLD, MPI_ERRORS_ARE_FATAL);
   return MPI_SUCCESS;
 }
 
@@ -202,12 +245,18 @@ int MPI_Comm_size(MPI_Comm comm, int* size) {
 
 int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* out) {
   *out = detail::store_comm(detail::comm_of(comm).dup());
+  if (*out != MPI_COMM_NULL) {
+    detail::install_errhandler(*out, detail::handler_of(comm));
+  }
   return MPI_SUCCESS;
 }
 
 int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* out) {
   const int effective = color == MPI_UNDEFINED ? -1 : color;
   *out = detail::store_comm(detail::comm_of(comm).split(effective, key));
+  if (*out != MPI_COMM_NULL) {
+    detail::install_errhandler(*out, detail::handler_of(comm));
+  }
   return MPI_SUCCESS;
 }
 
@@ -316,12 +365,13 @@ int MPI_Sendrecv(const void* send_buf, int send_count, MPI_Datatype send_type,
       send_buf, send_count, detail::type_of(send_type), dest, send_tag,
       recv_buf, recv_count, detail::type_of(recv_type), source, recv_tag);
   detail::fill_status(status, result);
-  return MPI_SUCCESS;
+  return detail::map_error(result.error);
 }
 
 int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
-  detail::fill_status(status, detail::comm_of(comm).probe(source, tag));
-  return MPI_SUCCESS;
+  const auto result = detail::comm_of(comm).probe(source, tag);
+  detail::fill_status(status, result);
+  return detail::map_error(result.error);
 }
 
 int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
@@ -340,6 +390,53 @@ int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count) {
   } else {
     *count = static_cast<int>(
         static_cast<std::size_t>(status->internal_bytes) / size);
+  }
+  return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------- error handlers
+
+int MPI_Comm_create_errhandler(MPI_Comm_errhandler_function* fn,
+                               MPI_Errhandler* errhandler) {
+  auto& s = detail::state();
+  s.errhandler_fns.push_back(fn);
+  *errhandler = detail::kCustomErrhandlerBase +
+                static_cast<MPI_Errhandler>(s.errhandler_fns.size() - 1);
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_set_errhandler(MPI_Comm comm, MPI_Errhandler errhandler) {
+  detail::install_errhandler(comm, errhandler);
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_get_errhandler(MPI_Comm comm, MPI_Errhandler* errhandler) {
+  detail::comm_of(comm);  // validate the handle
+  *errhandler = detail::handler_of(comm);
+  return MPI_SUCCESS;
+}
+
+int MPI_Errhandler_free(MPI_Errhandler* errhandler) {
+  // Registry slots are cheap; just neutralize the caller's handle (any
+  // communicator the handler is attached to keeps working, per MPI).
+  *errhandler = MPI_ERRHANDLER_NULL;
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_call_errhandler(MPI_Comm comm, int errorcode) {
+  const MPI_Errhandler handler = detail::handler_of(comm);
+  if (handler == MPI_ERRORS_ARE_FATAL) {
+    madmpi::fatal("MPI error (MPI_ERRORS_ARE_FATAL) raised by "
+                  "MPI_Comm_call_errhandler");
+  }
+  if (handler >= detail::kCustomErrhandlerBase) {
+    auto& s = detail::state();
+    const auto index =
+        static_cast<std::size_t>(handler - detail::kCustomErrhandlerBase);
+    MADMPI_CHECK_MSG(index < s.errhandler_fns.size(),
+                     "invalid MPI_Errhandler handle");
+    MPI_Comm comm_handle = comm;
+    s.errhandler_fns[index](&comm_handle, &errorcode);
   }
   return MPI_SUCCESS;
 }

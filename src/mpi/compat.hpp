@@ -27,6 +27,11 @@ using MPI_Comm = int;
 using MPI_Datatype = int;
 using MPI_Op = int;
 using MPI_Request = int;
+using MPI_Errhandler = int;
+
+/// MPI-2 style communicator error handler: receives the comm handle and
+/// the error class (the varargs of the real signature are omitted).
+using MPI_Comm_errhandler_function = void(MPI_Comm*, int*);
 
 struct MPI_Status {
   int MPI_SOURCE;
@@ -65,6 +70,10 @@ inline constexpr int MPI_UNDEFINED = -32766;
 inline constexpr int MPI_SUCCESS = 0;
 inline constexpr int MPI_ERR_TRUNCATE = 15;
 inline constexpr int MPI_ERR_OTHER = 16;
+
+inline constexpr MPI_Errhandler MPI_ERRHANDLER_NULL = -1;
+inline constexpr MPI_Errhandler MPI_ERRORS_ARE_FATAL = 0;  // the default
+inline constexpr MPI_Errhandler MPI_ERRORS_RETURN = 1;
 
 inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
 inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
@@ -119,6 +128,16 @@ int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
 int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
                MPI_Status* status);
 int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count);
+
+// Error handlers (MPI §8.3, communicator-attachable). The default is
+// MPI_ERRORS_ARE_FATAL; operations on a communicator with
+// MPI_ERRORS_RETURN hand the error class back as their return value.
+int MPI_Comm_create_errhandler(MPI_Comm_errhandler_function* fn,
+                               MPI_Errhandler* errhandler);
+int MPI_Comm_set_errhandler(MPI_Comm comm, MPI_Errhandler errhandler);
+int MPI_Comm_get_errhandler(MPI_Comm comm, MPI_Errhandler* errhandler);
+int MPI_Errhandler_free(MPI_Errhandler* errhandler);
+int MPI_Comm_call_errhandler(MPI_Comm comm, int errorcode);
 
 // Derived datatypes (handles are per-thread, like communicators).
 int MPI_Type_contiguous(int count, MPI_Datatype old_type,

@@ -1,0 +1,44 @@
+// Minimal MPI error-handler layer (MPI-1 §7.2, narrowed to communicators).
+//
+// PR 1 made the device layers report failures as Status values; this maps
+// them onto MPI semantics: every communicator (per rank) carries an error
+// handler deciding what a non-ok operation does — abort the program
+// (MPI_ERRORS_ARE_FATAL), hand the error back to the caller
+// (MPI_ERRORS_RETURN), or run a user callback first. The progress
+// watchdog's cancellations (ErrorCode::kTimedOut) travel through the same
+// funnel, so a dead peer surfaces as an MPI error instead of a hang.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace madmpi::mpi {
+
+enum class ErrhandlerKind {
+  kFatal,   // MPI_ERRORS_ARE_FATAL: abort with the error message
+  kReturn,  // MPI_ERRORS_RETURN: the operation reports the error
+  kCustom,  // user callback runs, then the error is returned
+};
+
+struct Errhandler {
+  ErrhandlerKind kind = ErrhandlerKind::kReturn;
+  /// Custom handler, invoked on the erring rank's thread before the
+  /// operation returns (the comm handle and full MPI context live at the
+  /// call site; the callback receives the portable part).
+  std::function<void(ErrorCode, const std::string&)> fn;
+
+  static Errhandler errors_are_fatal() {
+    return Errhandler{ErrhandlerKind::kFatal, {}};
+  }
+  static Errhandler errors_return() {
+    return Errhandler{ErrhandlerKind::kReturn, {}};
+  }
+  static Errhandler custom(
+      std::function<void(ErrorCode, const std::string&)> fn) {
+    return Errhandler{ErrhandlerKind::kCustom, std::move(fn)};
+  }
+};
+
+}  // namespace madmpi::mpi

@@ -1,5 +1,7 @@
 #include "mpi/matching.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/log.hpp"
@@ -66,6 +68,7 @@ void RankContext::post_recv(PostedRecv posted) {
     if (!matches(posted, it->env)) continue;
     Unexpected message = std::move(*it);
     unexpected_.erase(it);
+    stored_ -= std::min(stored_, message.charge);
     lock.unlock();
 
     // Causal edge: the match cannot happen before the message was
@@ -80,14 +83,22 @@ void RankContext::post_recv(PostedRecv posted) {
                             sim::kHostCopyUsPerByte);
       finish_recv(posted, message.env,
                   byte_span{message.payload.data(), message.payload.size()});
+      if (message.on_consumed) message.on_consumed();
     }
     return;
   }
   posted_.push_back(std::move(posted));
 }
 
-void RankContext::deliver_eager(const Envelope& env, byte_span payload) {
+void RankContext::deliver_eager(const Envelope& env, byte_span payload,
+                                EagerConsumed on_consumed) {
+  const std::size_t charge = payload.size() + kUnexpectedEntryOverhead;
   std::unique_lock<std::mutex> lock(mutex_);
+  // The sender's admission reserved room for this message; delivery
+  // resolves the reservation — into the store if unmatched, or released
+  // outright on an immediate match. Clamped: directly-driven contexts
+  // (unit tests, self-sends) deliver without admitting first.
+  reserved_ -= std::min(reserved_, charge);
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (!matches(*it, env)) continue;
     PostedRecv posted = std::move(*it);
@@ -99,12 +110,17 @@ void RankContext::deliver_eager(const Envelope& env, byte_span payload) {
     sim::trace(node_.clock().now(), node_.id(), sim::TraceCategory::kMatch,
                payload.size(), "posted");
     finish_recv(posted, env, payload);
+    if (on_consumed) on_consumed();
     return;
   }
   // No receive posted yet: buffer the payload (the eager bounce).
   Unexpected message;
   message.env = env;
   message.payload.assign(payload.begin(), payload.end());
+  message.on_consumed = std::move(on_consumed);
+  message.charge = charge;
+  stored_ += charge;
+  if (stored_ > stored_high_water_) stored_high_water_ = stored_;
   message.available_at =
       node_.clock().advance(static_cast<double>(payload.size()) *
                             sim::kHostCopyUsPerByte);
@@ -157,11 +173,12 @@ bool RankContext::iprobe(int context, rank_t source, int tag,
 }
 
 void RankContext::probe(int context, rank_t source, int tag,
-                        MpiStatus* status) {
+                        rank_t source_global, MpiStatus* status) {
   PostedRecv pattern;
   pattern.context = context;
   pattern.source = source;
   pattern.tag = tag;
+  const usec_t probed_at = node_.clock().now();
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     for (const auto& message : unexpected_) {
@@ -174,7 +191,25 @@ void RankContext::probe(int context, rank_t source, int tag,
       }
       return;
     }
-    unexpected_arrived_.wait(lock);
+    // Watchdog-aware wait: a probe for a peer that can no longer reach us
+    // would otherwise block forever (the unbounded-wait bug). Wildcard
+    // probes keep waiting — some peer may still be alive.
+    if (peer_unreachable_ && source_global != kInvalidRank &&
+        peer_unreachable_(source_global)) {
+      node_.clock().sync_to(probed_at + watchdog_horizon_);
+      if (status != nullptr) {
+        status->source = source;
+        status->tag = tag;
+        status->bytes = 0;
+        status->error = ErrorCode::kTimedOut;
+      }
+      return;
+    }
+    if (peer_unreachable_) {
+      unexpected_arrived_.wait_for(lock, std::chrono::milliseconds(2));
+    } else {
+      unexpected_arrived_.wait(lock);
+    }
   }
 }
 
@@ -187,5 +222,117 @@ std::size_t RankContext::unexpected_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return unexpected_.size();
 }
+
+void RankContext::set_unexpected_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_ = bytes;
+}
+
+std::size_t RankContext::unexpected_budget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_;
+}
+
+bool RankContext::admit_eager(std::size_t bytes) {
+  const std::size_t charge = bytes + kUnexpectedEntryOverhead;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_ != 0 && stored_ + reserved_ + charge > budget_) {
+    ++eager_refused_;
+    return false;
+  }
+  reserved_ += charge;
+  return true;
+}
+
+void RankContext::release_eager_admission(std::size_t bytes) {
+  const std::size_t charge = bytes + kUnexpectedEntryOverhead;
+  std::lock_guard<std::mutex> lock(mutex_);
+  reserved_ -= std::min(reserved_, charge);
+}
+
+std::size_t RankContext::unexpected_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stored_;
+}
+
+std::size_t RankContext::unexpected_bytes_high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stored_high_water_;
+}
+
+std::uint64_t RankContext::eager_refused() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return eager_refused_;
+}
+
+void RankContext::set_watchdog(usec_t horizon,
+                               std::function<bool(rank_t)> unreachable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watchdog_horizon_ = horizon;
+  peer_unreachable_ = std::move(unreachable);
+}
+
+std::size_t RankContext::cancel_unreachable(ErrorCode code) {
+  std::function<bool(rank_t)> unreachable;
+  usec_t horizon = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    unreachable = peer_unreachable_;
+    horizon = watchdog_horizon_;
+  }
+  if (!unreachable) return 0;
+
+  // The failure detector may take channel/session locks, and delivery
+  // paths hold those while calling into us — so consult it *without*
+  // holding the queue lock: snapshot the peers waited on, query the
+  // detector unlocked, then re-take the lock to remove victims.
+  std::vector<PostedRecv> victims;
+  std::vector<rank_t> peers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& posted : posted_) {
+      if (posted.source_global == kInvalidRank) continue;
+      if (std::find(peers.begin(), peers.end(), posted.source_global) ==
+          peers.end()) {
+        peers.push_back(posted.source_global);
+      }
+    }
+  }
+  std::vector<rank_t> dead;
+  for (rank_t peer : peers) {
+    if (unreachable(peer)) dead.push_back(peer);
+  }
+  if (dead.empty()) return 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = posted_.begin(); it != posted_.end();) {
+      if (it->source_global != kInvalidRank &&
+          std::find(dead.begin(), dead.end(), it->source_global) !=
+              dead.end()) {
+        victims.push_back(std::move(*it));
+        it = posted_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (PostedRecv& posted : victims) {
+    // Deterministic stamp: the error is observed `horizon` after the
+    // post, not whenever the wall-clock watchdog thread got scheduled.
+    node_.clock().bind_lane(posted.posted_at + horizon);
+    MpiStatus status;
+    status.source = posted.source;
+    status.tag = posted.tag;
+    status.bytes = 0;
+    status.error = code;
+    sim::trace(node_.clock().now(), node_.id(),
+               sim::TraceCategory::kComplete, 0, "watchdog-cancel");
+    posted.request->complete(status);
+  }
+  return victims.size();
+}
+
+void RankContext::notify_waiters() { unexpected_arrived_.notify_all(); }
 
 }  // namespace madmpi::mpi

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -34,12 +35,27 @@ struct PostedRecv {
   std::size_t capacity_bytes = 0;  // type.size() * count
 
   std::shared_ptr<RequestState> request;
+
+  /// Global rank of the only sender this receive can match, or kInvalidRank
+  /// for wildcard receives. The progress watchdog uses it to decide whether
+  /// a receive can still complete (all routes to the peer dead => cancel).
+  rank_t source_global = kInvalidRank;
+  /// Virtual time at which the receive was posted (poster's lane). The
+  /// watchdog stamps cancellations at posted_at + horizon so the error is
+  /// observed a deterministic horizon after the post, independent of when
+  /// the wall-clock watchdog thread happened to fire.
+  usec_t posted_at = 0.0;
 };
 
 /// Called when a rendezvous request finds (or is found by) its posted
 /// receive: the device must send the OK_TO_SEND acknowledgement carrying
 /// a handle onto `posted` (paper §4.2.2 step 2).
 using RendezvousMatch = std::function<void(const Envelope&, PostedRecv)>;
+
+/// Called when an eager message is consumed (copied into its user buffer).
+/// Devices with credit-based flow control hook this to return credits to
+/// the sender only once the receiver has actually drained the message.
+using EagerConsumed = std::function<void()>;
 
 /// One rank's matching engine.
 class RankContext {
@@ -65,7 +81,11 @@ class RankContext {
   /// one host copy is charged — the paper's "intermediary copy on the
   /// receiving side" that defines the eager mode (§4.1). The caller must
   /// have synchronized the node clock with the arrival already.
-  void deliver_eager(const Envelope& env, byte_span payload);
+  /// `on_consumed` (optional) runs outside the queue lock once the payload
+  /// has been copied into a user buffer — immediately on a match, or when
+  /// a later receive drains it from the unexpected store.
+  void deliver_eager(const Envelope& env, byte_span payload,
+                     EagerConsumed on_consumed = {});
 
   /// Device entry: a rendezvous request has arrived. If a posted receive
   /// matches, `on_match` runs immediately (on the delivering thread);
@@ -76,11 +96,61 @@ class RankContext {
   bool iprobe(int context, rank_t source, int tag, MpiStatus* status);
 
   /// MPI_Probe: block until a matching message is available.
-  void probe(int context, rank_t source, int tag, MpiStatus* status);
+  /// `source_global` is the probed peer's global rank (kInvalidRank for
+  /// wildcard probes): when a watchdog is installed and the peer becomes
+  /// unreachable, the probe returns with `status->error` set instead of
+  /// waiting forever.
+  void probe(int context, rank_t source, int tag, rank_t source_global,
+             MpiStatus* status);
+
+  // ---- Bounded unexpected store -------------------------------------
+  //
+  // The store budget caps the *bytes* the unexpected queue may buffer.
+  // Senders ask admit_eager() before an eager transfer; refusal means
+  // "retry as rendezvous" (which buffers nothing until the receive
+  // posts). Each entry is charged its payload plus a fixed overhead so a
+  // storm of zero-byte messages is bounded too.
+
+  static constexpr std::size_t kUnexpectedEntryOverhead = 64;
+
+  /// Set the byte budget for the unexpected store. 0 means unlimited
+  /// (the default, so directly-constructed contexts in tests keep the
+  /// pre-budget behaviour).
+  void set_unexpected_budget(std::size_t bytes);
+  std::size_t unexpected_budget() const;
+
+  /// Reserve room for an inbound eager message of `bytes` payload.
+  /// Returns false (and counts a refusal) if the store cannot take it.
+  /// Reservations are released by the matching deliver_eager().
+  bool admit_eager(std::size_t bytes);
+
+  /// Drop a reservation whose eager send failed before delivery.
+  void release_eager_admission(std::size_t bytes);
 
   /// Counters for tests/diagnostics.
   std::size_t posted_count() const;
   std::size_t unexpected_count() const;
+  std::size_t unexpected_bytes() const;
+  std::size_t unexpected_bytes_high_water() const;
+  std::uint64_t eager_refused() const;
+
+  // ---- Progress watchdog hooks --------------------------------------
+
+  /// Install the watchdog's failure detector: `unreachable(peer)` answers
+  /// whether `peer` (global rank) can still reach this rank. `horizon` is
+  /// the virtual-time grace period granted to an operation before a dead
+  /// peer cancels it.
+  void set_watchdog(usec_t horizon,
+                    std::function<bool(rank_t)> unreachable);
+
+  /// Cancel every posted receive whose (non-wildcard) peer the watchdog's
+  /// failure detector reports unreachable. Each canceled request completes
+  /// with `code`, stamped at posted_at + horizon. Returns how many were
+  /// canceled.
+  std::size_t cancel_unreachable(ErrorCode code);
+
+  /// Wake any blocked probe loops so they re-evaluate reachability.
+  void notify_waiters();
 
  private:
   struct Unexpected {
@@ -88,6 +158,8 @@ class RankContext {
     std::vector<std::byte> payload;  // eager only
     bool rendezvous = false;
     RendezvousMatch on_match;        // rendezvous only
+    EagerConsumed on_consumed;       // eager only; may be empty
+    std::size_t charge = 0;          // bytes held against the budget
     /// Virtual time at which the message became available (the delivering
     /// thread's lane). A later-posted receive synchronizes to this before
     /// completing — the causal edge from delivery to matching.
@@ -112,6 +184,19 @@ class RankContext {
   std::condition_variable unexpected_arrived_;
   std::deque<PostedRecv> posted_;
   std::deque<Unexpected> unexpected_;
+
+  // Store accounting (guarded by mutex_). stored_ counts bytes actually
+  // buffered in unexpected_; reserved_ counts admitted-but-not-yet-
+  // delivered eager transfers. Both are charged payload + overhead.
+  std::size_t budget_ = 0;  // 0 = unlimited
+  std::size_t stored_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t stored_high_water_ = 0;
+  std::uint64_t eager_refused_ = 0;
+
+  // Watchdog (set once at session start, before ranks run).
+  usec_t watchdog_horizon_ = 0.0;
+  std::function<bool(rank_t)> peer_unreachable_;
 };
 
 }  // namespace madmpi::mpi

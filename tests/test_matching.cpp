@@ -185,7 +185,7 @@ TEST_F(MatchFixture, BlockingProbeWakesOnArrival) {
     context.deliver_eager(envelope(0, 1, 8, 1), bytes_of("k"));
   });
   MpiStatus status;
-  context.probe(0, kAnySource, 8, &status);
+  context.probe(0, kAnySource, 8, kInvalidRank, &status);
   EXPECT_EQ(status.tag, 8);
   deliverer.join();
 }
