@@ -14,6 +14,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kProtocol: return "protocol";
     case ErrorCode::kResourceLimit: return "resource_limit";
     case ErrorCode::kTimedOut: return "timed_out";
+    case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

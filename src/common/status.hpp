@@ -23,6 +23,7 @@ enum class ErrorCode {
   kProtocol,        // malformed packet / sequence error
   kResourceLimit,
   kTimedOut,        // progress watchdog gave up on the operation
+  kCancelled,       // operation cancelled by the user (MPI_Cancel)
   kInternal,
 };
 

@@ -10,6 +10,7 @@
 #include "core/switchpoint.hpp"
 #include "marcel/thread.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/sched.hpp"
 #include "sim/trace.hpp"
 
 namespace madmpi::core {
@@ -401,8 +402,17 @@ void ChMadDevice::credit_consumed(node_id_t me, node_id_t origin,
     // Return credits in batches of half a window: often enough that a
     // sender never starves behind a draining receiver, rare enough that
     // credit traffic stays a sliver of data traffic. Smaller debts ride
-    // for free on the next rendezvous ack towards the peer.
-    if (owed * 2 < credit_window_) return;
+    // for free on the next rendezvous ack towards the peer. Under schedule
+    // exploration the threshold moves within [window/4, 3*window/4] per
+    // batch epoch, shifting *when* the refill races the sender's stall
+    // without ever losing a byte of credit.
+    std::size_t threshold = credit_window_ / 2;
+    if (auto* sched = sim::ScheduleController::current()) {
+      threshold = sched->credit_batch_threshold(
+          me, origin, state.credit_epochs[origin], credit_window_);
+    }
+    if (owed < threshold) return;
+    ++state.credit_epochs[origin];
     batch = owed;
     owed = 0;
   }
@@ -458,6 +468,45 @@ std::size_t ChMadDevice::credits_pending_return(node_id_t node,
   std::lock_guard<std::mutex> lock(state.mutex);
   auto it = state.pending_returns.find(peer);
   return it == state.pending_returns.end() ? 0 : it->second;
+}
+
+std::size_t ChMadDevice::pending_send_count(node_id_t node) {
+  NodeState& state = state_of(node);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.pending_sends.size();
+}
+
+bool ChMadDevice::try_cancel_send(rank_t src, rank_t dst,
+                                  const mpi::Envelope& env) {
+  NodeState& state = state_of(directory_.node_of(src).id());
+  PendingSend* victim = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (auto it = state.pending_sends.begin();
+         it != state.pending_sends.end(); ++it) {
+      PendingSend* pending = it->second;
+      if (pending->phase != PendingSend::Phase::kAwaitAck) continue;
+      const mpi::Envelope& have = pending->header.envelope;
+      if (pending->header.src_global != src ||
+          pending->header.dst_global != dst || have.context != env.context ||
+          have.tag != env.tag || have.bytes != env.bytes) {
+        continue;
+      }
+      victim = pending;
+      state.pending_sends.erase(it);
+      break;
+    }
+  }
+  if (victim == nullptr) return false;  // data push started: too late
+  // Same completion discipline as watchdog_sweep: set the result, then
+  // signal, then never touch the entry again — the parked sender owns it
+  // and may return (destroying it) the instant the semaphore releases.
+  victim->result = Status(ErrorCode::kCancelled,
+                          "send cancelled before the receiver matched it");
+  sim::trace(state.node->clock().now(), state.node->id(),
+             sim::TraceCategory::kComplete, env.bytes, "cancel-send");
+  victim->done->signal();
+  return true;
 }
 
 std::size_t ChMadDevice::watchdog_sweep(const RouteDead& route_dead,

@@ -81,6 +81,14 @@ class ChMadDevice final : public ManagedDevice {
   bool admit_eager(rank_t src, rank_t dst, std::uint64_t bytes,
                    bool may_block) override;
 
+  /// MPI_Cancel on a send: detach a rendezvous send still waiting for its
+  /// OK_TO_SEND (phase kAwaitAck) and complete it with kCancelled. A send
+  /// whose data push already started (kPushing) is past the point of no
+  /// return and completes normally. A late OK_TO_SEND for the cancelled
+  /// handle is dropped by the existing stale-handle path.
+  bool try_cancel_send(rank_t src, rank_t dst,
+                       const mpi::Envelope& env) override;
+
   // --- lifecycle --------------------------------------------------------
   /// Spawn the polling threads (one per channel per member node).
   void start() override;
@@ -116,6 +124,10 @@ class ChMadDevice final : public ManagedDevice {
   /// Credits `node` has consumed on behalf of `peer` but not yet returned
   /// (tests: available + pending_return == window at quiesce).
   std::size_t credits_pending_return(node_id_t node, node_id_t peer);
+
+  /// Rendezvous sends currently parked on `node` (tests: await the
+  /// registration of an in-flight isend before cancelling it).
+  std::size_t pending_send_count(node_id_t node);
 
   // --- progress watchdog ------------------------------------------------
   /// Route liveness predicate: true when `from` can no longer deliver to
@@ -177,6 +189,9 @@ class ChMadDevice final : public ManagedDevice {
     /// each peer, and consumed-but-unreturned credits owed *to* each peer.
     std::map<node_id_t, CreditAccount> credits;
     std::map<node_id_t, std::size_t> pending_returns;
+    /// Credit batches flushed per peer — the sequence number the
+    /// ScheduleController's batching perturbation is keyed on.
+    std::map<node_id_t, std::uint64_t> credit_epochs;
     std::condition_variable credit_cv;
   };
 

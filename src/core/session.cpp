@@ -107,7 +107,7 @@ Session::Session(Options options) {
             return origin != home && route_dead(origin, home);
           });
     }
-    watchdog_ = std::make_unique<ProgressWatchdog>([this] {
+    auto sweep = [this] {
       std::uint64_t cancels = 0;
       if (ChMadDevice* device = ch_mad()) {
         cancels += device->watchdog_sweep(
@@ -128,8 +128,37 @@ Session::Session(Options options) {
       if (cancels > 0) {
         watchdog_cancels_.fetch_add(cancels, std::memory_order_relaxed);
       }
-    });
+    };
+    watchdog_ = std::make_unique<ProgressWatchdog>(
+        std::move(sweep), std::chrono::milliseconds(2),
+        [this] { return progress_fingerprint(); });
   }
+}
+
+std::uint64_t Session::progress_fingerprint() {
+  // Digest of every live lane of every node clock (the VirtualClock
+  // introspection hook). Any rank or polling thread advancing virtual
+  // time changes the digest, which the watchdog reads as proof of
+  // progress. FNV-1a over (lane id, time bits) is plenty: we only need
+  // "changed at all", not collision resistance.
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (byte * 8)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (std::size_t n = 0; n < cluster().nodes.size(); ++n) {
+    for (const auto& lane :
+         fabric_.node(static_cast<node_id_t>(n)).clock().lanes()) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(lane.time));
+      std::memcpy(&bits, &lane.time, sizeof(bits));
+      mix(lane.id);
+      mix(bits);
+    }
+  }
+  return hash;
 }
 
 Session::~Session() { finalize(); }

@@ -125,6 +125,16 @@ class Session final : public mpi::Runtime {
     return watchdog_cancels_.load(std::memory_order_relaxed);
   }
 
+  /// Digest of every node clock's live lanes (VirtualClock::lanes()). The
+  /// watchdog skips its sweep on ticks where this moved — some thread
+  /// advanced virtual time, so nothing is stalled. Exposed for tests and
+  /// external harnesses.
+  std::uint64_t progress_fingerprint();
+
+  /// The watchdog thread, or nullptr when no watchdog is configured
+  /// (introspection: tests assert on sweeps_skipped()).
+  ProgressWatchdog* watchdog() { return watchdog_.get(); }
+
   /// Open an extra channel on the `index`-th declared network, private to
   /// the caller (no ch_mad poller attached). Raw-Madeleine benchmarks use
   /// this: channel isolation keeps their traffic away from the device.

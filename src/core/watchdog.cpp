@@ -3,8 +3,11 @@
 namespace madmpi::core {
 
 ProgressWatchdog::ProgressWatchdog(Sweep sweep,
-                                   std::chrono::milliseconds interval)
-    : sweep_(std::move(sweep)), interval_(interval) {
+                                   std::chrono::milliseconds interval,
+                                   Fingerprint fingerprint)
+    : sweep_(std::move(sweep)),
+      interval_(interval),
+      fingerprint_(std::move(fingerprint)) {
   thread_ = std::thread([this] { run(); });
 }
 
@@ -20,12 +23,29 @@ void ProgressWatchdog::stop() {
 }
 
 void ProgressWatchdog::run() {
+  std::uint64_t last_print = fingerprint_ ? fingerprint_() : 0;
+  int ticks_since_sweep = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   while (!stopping_) {
     cv_.wait_for(lock, interval_);
     if (stopping_) break;
     lock.unlock();
-    sweep_();
+    bool skip = false;
+    if (fingerprint_ && ticks_since_sweep + 1 < kForcedSweepPeriod) {
+      const std::uint64_t print = fingerprint_();
+      if (print != last_print) {
+        last_print = print;
+        skip = true;
+      }
+    }
+    if (skip) {
+      ++ticks_since_sweep;
+      sweeps_skipped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ticks_since_sweep = 0;
+      sweep_();
+      if (fingerprint_) last_print = fingerprint_();
+    }
     lock.lock();
   }
 }

@@ -12,8 +12,10 @@
 // a run that cancels is bit-identical no matter how fast the host polled.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,9 +28,19 @@ class ProgressWatchdog {
   /// watchdog thread; must be safe to call concurrently with rank threads.
   using Sweep = std::function<void()>;
 
+  /// Cheap digest of global progress (the session hashes every node's
+  /// VirtualClock lane snapshot). A tick whose fingerprint differs from
+  /// the previous one proves some rank advanced virtual time since the
+  /// last look, so the expensive sweep (which locks every device table)
+  /// is skipped. Ticks with an unchanged fingerprint sweep as before, and
+  /// every kForcedSweepPeriod-th tick sweeps unconditionally so a stall
+  /// whose last act was to advance a clock is still caught.
+  using Fingerprint = std::function<std::uint64_t()>;
+
   explicit ProgressWatchdog(
       Sweep sweep,
-      std::chrono::milliseconds interval = std::chrono::milliseconds(2));
+      std::chrono::milliseconds interval = std::chrono::milliseconds(2),
+      Fingerprint fingerprint = nullptr);
   ~ProgressWatchdog();
 
   ProgressWatchdog(const ProgressWatchdog&) = delete;
@@ -37,11 +49,21 @@ class ProgressWatchdog {
   /// Stop the thread and join it. Idempotent; implicit in the destructor.
   void stop();
 
+  /// Ticks that skipped their sweep because the fingerprint moved (tests).
+  std::uint64_t sweeps_skipped() const {
+    return sweeps_skipped_.load(std::memory_order_relaxed);
+  }
+
+  /// Sweep at least once every this many ticks, fingerprint or not.
+  static constexpr int kForcedSweepPeriod = 4;
+
  private:
   void run();
 
   Sweep sweep_;
   std::chrono::milliseconds interval_;
+  Fingerprint fingerprint_;
+  std::atomic<std::uint64_t> sweeps_skipped_{0};
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -14,6 +14,7 @@
 #include "common/types.hpp"
 #include "marcel/thread.hpp"
 #include "sim/node.hpp"
+#include "sim/sched.hpp"
 
 namespace madmpi::marcel {
 
@@ -30,6 +31,13 @@ class PollServer {
   /// price of one poll of this protocol and feeds the interference model.
   void add_poller(channel_id_t channel, usec_t poll_cost_us,
                   std::function<bool()> iterate) {
+    // Schedule exploration: perturb this channel's poll cost before it
+    // enters the interference model, shifting every wakeup on the node.
+    // Pure in (seed, node, channel) — identical across replays.
+    if (auto* sched = sim::ScheduleController::current()) {
+      poll_cost_us +=
+          sched->poll_frequency_jitter_us(node_.id(), channel, poll_cost_us);
+    }
     node_.register_poller(channel, poll_cost_us);
     threads_.push_back(std::make_unique<Thread>(
         node_, "poll-" + std::to_string(channel),
@@ -44,8 +52,16 @@ class PollServer {
   /// `channel`: the Marcel wake plus the interference of the other pollers.
   /// Called by the poller's own iterate body after its blocking wait ends.
   usec_t charge_wakeup(channel_id_t channel) {
-    const usec_t extra =
-        ThreadCosts::kWake + node_.poll_interference(channel);
+    usec_t extra = ThreadCosts::kWake + node_.poll_interference(channel);
+    // Schedule exploration: jitter each wakeup so two pollers racing for
+    // near-simultaneous arrivals can finish in either order. The sequence
+    // number is the calling poller's own wakeup count — each channel has
+    // exactly one poller thread, so a thread-local counter is that
+    // poller's causal history, not shared racy state.
+    if (auto* sched = sim::ScheduleController::current()) {
+      thread_local std::uint64_t wakeups = 0;
+      extra += sched->poll_wakeup_jitter_us(node_.id(), channel, wakeups++);
+    }
     node_.clock().advance(extra);
     return extra;
   }

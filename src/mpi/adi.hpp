@@ -56,6 +56,18 @@ class Device {
     return true;
   }
 
+  /// Best-effort cancellation of an in-flight send from `src` to `dst`
+  /// whose envelope matches `env` (MPI_Cancel on a send request). True
+  /// when the device detached the transfer — it then completes the
+  /// sender's wait with ErrorCode::kCancelled. The default cannot cancel:
+  /// devices that complete sends inline have nothing left in flight.
+  virtual bool try_cancel_send(rank_t src, rank_t dst, const Envelope& env) {
+    (void)src;
+    (void)dst;
+    (void)env;
+    return false;
+  }
+
   /// Transfer mode for a message of `bytes` under this device's protocol
   /// selection (MPI_Ssend forces the rendezvous handshake so completion
   /// implies a matching receive).

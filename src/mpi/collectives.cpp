@@ -28,6 +28,26 @@ constexpr int kAllgatherTag = 6;
 constexpr int kAlltoallTag = 7;
 constexpr int kScanTag = 8;
 
+/// Thrown by the collective p2p helpers when a hop fails, unwinding the
+/// algorithm to the public entry point, which routes the status through
+/// the communicator's error handler (exactly once per user-visible
+/// operation) and returns it. Collectives define no recovery protocol —
+/// peers of the failed rank may be left mid-algorithm and rely on the
+/// progress watchdog to cancel their now-unmatchable operations.
+struct CollAbort {
+  Status status;
+};
+
+/// Wait for an algorithm-internal receive, aborting the collective when it
+/// completed with an error (watchdog cancellation of a dead hop).
+void coll_wait(RequestState& state) {
+  const MpiStatus status = state.wait();
+  if (status.error != ErrorCode::kOk) {
+    throw CollAbort{Status(status.error,
+                           "collective receive failed mid-algorithm")};
+  }
+}
+
 }  // namespace
 
 void Comm::coll_send(const void* buf, std::size_t bytes, rank_t dest,
@@ -44,10 +64,10 @@ void Comm::coll_send(const void* buf, std::size_t bytes, rank_t dest,
       device.send(global_rank_of(rank_), dst_global, env,
                   byte_span{static_cast<const std::byte*>(buf), bytes},
                   mode);
-  if (!status.is_ok()) release_admission(dst_global, env, mode);
-  // Collectives define no recovery protocol: a lost link mid-algorithm
-  // would leave peers waiting forever, so surface it loudly.
-  MADMPI_CHECK_MSG(status.is_ok(), status.message());
+  if (!status.is_ok()) {
+    release_admission(dst_global, env, mode);
+    throw CollAbort{status};
+  }
 }
 
 void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {
@@ -64,12 +84,7 @@ void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {
   posted.source_global = global_rank_of(source);
   posted.posted_at = my_node().clock().now();
   my_context().post_recv(std::move(posted));
-  const MpiStatus status = state->wait();
-  // A watchdog-canceled hop means a peer died mid-algorithm; like
-  // coll_send, there is no recovery protocol — fail loudly rather than
-  // silently reduce over garbage.
-  MADMPI_CHECK_MSG(status.error == ErrorCode::kOk,
-                   "collective receive failed mid-algorithm");
+  coll_wait(*state);
 }
 
 void Comm::coll_sendrecv(const void* send, std::size_t send_bytes,
@@ -89,9 +104,7 @@ void Comm::coll_sendrecv(const void* send, std::size_t send_bytes,
   posted.posted_at = my_node().clock().now();
   my_context().post_recv(std::move(posted));
   coll_send(send, send_bytes, dest, tag);
-  const MpiStatus status = state->wait();
-  MADMPI_CHECK_MSG(status.error == ErrorCode::kOk,
-                   "collective receive failed mid-algorithm");
+  coll_wait(*state);
 }
 
 void Comm::set_collective_config(const CollectiveConfig& config) {
@@ -104,26 +117,31 @@ CollectiveConfig Comm::collective_config() const {
   return shared_->collectives;
 }
 
-void Comm::barrier() {
-  // Dissemination barrier: log2(size) rounds of zero-byte exchanges.
-  const int n = size();
-  for (int mask = 1; mask < n; mask <<= 1) {
-    const rank_t to = (rank_ + mask) % n;
-    const rank_t from = (rank_ - mask + n) % n;
+Status Comm::barrier() {
+  try {
+    // Dissemination barrier: log2(size) rounds of zero-byte exchanges.
+    const int n = size();
+    for (int mask = 1; mask < n; mask <<= 1) {
+      const rank_t to = (rank_ + mask) % n;
+      const rank_t from = (rank_ - mask + n) % n;
 
-    auto state = std::make_shared<RequestState>(my_node());
-    PostedRecv posted;
-    posted.context = shared_->context + 1;
-    posted.source = from;
-    posted.tag = kBarrierTag;
-    posted.request = state;
-    posted.source_global = global_rank_of(from);
-    posted.posted_at = my_node().clock().now();
-    my_context().post_recv(std::move(posted));
+      auto state = std::make_shared<RequestState>(my_node());
+      PostedRecv posted;
+      posted.context = shared_->context + 1;
+      posted.source = from;
+      posted.tag = kBarrierTag;
+      posted.request = state;
+      posted.source_global = global_rank_of(from);
+      posted.posted_at = my_node().clock().now();
+      my_context().post_recv(std::move(posted));
 
-    coll_send(nullptr, 0, to, kBarrierTag);
-    state->wait();
+      coll_send(nullptr, 0, to, kBarrierTag);
+      coll_wait(*state);
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
+  return Status::ok();
 }
 
 void Comm::bcast_binomial(std::byte* wire, std::size_t bytes, rank_t root) {
@@ -158,10 +176,10 @@ void Comm::bcast_linear(std::byte* wire, std::size_t bytes, rank_t root) {
   }
 }
 
-void Comm::bcast(void* buf, int count, const Datatype& type, rank_t root) {
+Status Comm::bcast(void* buf, int count, const Datatype& type, rank_t root) {
   MADMPI_CHECK(root >= 0 && root < size());
   const int n = size();
-  if (n == 1) return;
+  if (n == 1) return Status::ok();
   const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
 
   // The payload travels packed; non-contiguous types are staged.
@@ -175,22 +193,27 @@ void Comm::bcast(void* buf, int count, const Datatype& type, rank_t root) {
     if (rank_ == root) type.pack(buf, count, wire);
   }
 
-  switch (collective_config().bcast) {
-    case BcastAlgorithm::kBinomial:
-      bcast_binomial(wire, bytes, root);
-      break;
-    case BcastAlgorithm::kLinear:
-      bcast_linear(wire, bytes, root);
-      break;
+  try {
+    switch (collective_config().bcast) {
+      case BcastAlgorithm::kBinomial:
+        bcast_binomial(wire, bytes, root);
+        break;
+      case BcastAlgorithm::kLinear:
+        bcast_linear(wire, bytes, root);
+        break;
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
 
   if (!type.is_contiguous() && rank_ != root) {
     type.unpack(wire, count, buf);
   }
+  return Status::ok();
 }
 
-void Comm::reduce(const void* send_buf, void* recv_buf, int count,
-                  const Datatype& type, const Op& op, rank_t root) {
+Status Comm::reduce(const void* send_buf, void* recv_buf, int count,
+                    const Datatype& type, const Op& op, rank_t root) {
   MADMPI_CHECK(root >= 0 && root < size());
   MADMPI_CHECK_MSG(type.is_contiguous(),
                    "reduce requires a contiguous datatype");
@@ -203,24 +226,29 @@ void Comm::reduce(const void* send_buf, void* recv_buf, int count,
   std::vector<std::byte> incoming(bytes);
 
   const int vrank = (rank_ - root + n) % n;
-  for (int mask = 1; mask < n; mask <<= 1) {
-    if (vrank & mask) {
-      const rank_t dst = ((vrank & ~mask) + root) % n;
-      coll_send(accum.data(), bytes, dst, kReduceTag);
-      break;
+  try {
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (vrank & mask) {
+        const rank_t dst = ((vrank & ~mask) + root) % n;
+        coll_send(accum.data(), bytes, dst, kReduceTag);
+        break;
+      }
+      const int src_v = vrank | mask;
+      if (src_v < n) {
+        const rank_t src = (src_v + root) % n;
+        coll_recv(incoming.data(), bytes, src, kReduceTag);
+        op.apply(incoming.data(), accum.data(), count, type);
+        my_node().clock().advance(static_cast<double>(bytes) *
+                                  sim::kHostCopyUsPerByte);
+      }
     }
-    const int src_v = vrank | mask;
-    if (src_v < n) {
-      const rank_t src = (src_v + root) % n;
-      coll_recv(incoming.data(), bytes, src, kReduceTag);
-      op.apply(incoming.data(), accum.data(), count, type);
-      my_node().clock().advance(static_cast<double>(bytes) *
-                                sim::kHostCopyUsPerByte);
-    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
   if (rank_ == root) {
     std::memcpy(recv_buf, accum.data(), bytes);
   }
+  return Status::ok();
 }
 
 void Comm::allreduce_recursive_doubling(void* recv_buf, int count,
@@ -336,8 +364,8 @@ void Comm::allreduce_ring(void* recv_buf, int count, const Datatype& type,
   }
 }
 
-void Comm::allreduce(const void* send_buf, void* recv_buf, int count,
-                     const Datatype& type, const Op& op) {
+Status Comm::allreduce(const void* send_buf, void* recv_buf, int count,
+                       const Datatype& type, const Op& op) {
   AllreduceAlgorithm algorithm = collective_config().allreduce;
   // The ring needs at least one element per rank to be worthwhile (and
   // correct chunking); degrade gracefully for tiny payloads.
@@ -345,157 +373,185 @@ void Comm::allreduce(const void* send_buf, void* recv_buf, int count,
     algorithm = AllreduceAlgorithm::kRecursiveDoubling;
   }
   if (size() == 1 || algorithm == AllreduceAlgorithm::kReduceBcast) {
-    reduce(send_buf, recv_buf, count, type, op, 0);
-    bcast(recv_buf, count, type, 0);
-    return;
+    // The inner collectives already routed any failure through the error
+    // handler; propagate without raising a second time.
+    Status status = reduce(send_buf, recv_buf, count, type, op, 0);
+    if (!status.is_ok()) return status;
+    return bcast(recv_buf, count, type, 0);
   }
 
   MADMPI_CHECK_MSG(type.is_contiguous(),
                    "allreduce requires a contiguous datatype");
   const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
   std::memcpy(recv_buf, send_buf, bytes);
-  if (algorithm == AllreduceAlgorithm::kRecursiveDoubling) {
-    allreduce_recursive_doubling(recv_buf, count, type, op);
-  } else {
-    allreduce_ring(recv_buf, count, type, op);
-  }
-}
-
-void Comm::gather(const void* send_buf, int send_count,
-                  const Datatype& send_type, void* recv_buf, int recv_count,
-                  const Datatype& recv_type, rank_t root) {
-  const int n = size();
-  const std::size_t bytes =
-      send_type.size() * static_cast<std::size_t>(send_count);
-  if (rank_ != root) {
-    std::vector<std::byte> staging;
-    const byte_span packed =
-        pack_for_send(send_buf, send_count, send_type, staging);
-    coll_send(packed.data(), packed.size(), root, kGatherTag);
-    return;
-  }
-
-  MADMPI_CHECK_MSG(
-      recv_type.size() * static_cast<std::size_t>(recv_count) == bytes,
-      "gather send/recv type signatures disagree");
-  auto* out = static_cast<std::byte*>(recv_buf);
-  const std::size_t slot =
-      recv_type.extent() * static_cast<std::size_t>(recv_count);
-  std::vector<std::byte> wire(bytes);
-  for (rank_t src = 0; src < n; ++src) {
-    std::byte* dst_elem = out + slot * static_cast<std::size_t>(src);
-    if (src == rank_) {
-      send_type.pack(send_buf, send_count, wire.data());
-      recv_type.unpack(wire.data(), recv_count, dst_elem);
-      continue;
-    }
-    coll_recv(wire.data(), bytes, src, kGatherTag);
-    recv_type.unpack(wire.data(), recv_count, dst_elem);
-  }
-}
-
-void Comm::gatherv(const void* send_buf, int send_count,
-                   const Datatype& send_type, void* recv_buf,
-                   std::span<const int> recv_counts,
-                   std::span<const int> displacements,
-                   const Datatype& recv_type, rank_t root) {
-  const int n = size();
-  if (rank_ != root) {
-    std::vector<std::byte> staging;
-    const byte_span packed =
-        pack_for_send(send_buf, send_count, send_type, staging);
-    coll_send(packed.data(), packed.size(), root, kGatherTag);
-    return;
-  }
-
-  MADMPI_CHECK(recv_counts.size() == static_cast<std::size_t>(n));
-  MADMPI_CHECK(displacements.size() == static_cast<std::size_t>(n));
-  auto* out = static_cast<std::byte*>(recv_buf);
-  for (rank_t src = 0; src < n; ++src) {
-    const std::size_t bytes =
-        recv_type.size() * static_cast<std::size_t>(recv_counts[src]);
-    std::byte* dst_elem =
-        out + recv_type.extent() * static_cast<std::size_t>(
-                                       displacements[src]);
-    std::vector<std::byte> wire(bytes);
-    if (src == rank_) {
-      MADMPI_CHECK(send_type.size() * static_cast<std::size_t>(send_count) ==
-                   bytes);
-      send_type.pack(send_buf, send_count, wire.data());
+  try {
+    if (algorithm == AllreduceAlgorithm::kRecursiveDoubling) {
+      allreduce_recursive_doubling(recv_buf, count, type, op);
     } else {
-      coll_recv(wire.data(), bytes, src, kGatherTag);
+      allreduce_ring(recv_buf, count, type, op);
     }
-    recv_type.unpack(wire.data(), recv_counts[src], dst_elem);
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
+  return Status::ok();
 }
 
-void Comm::scatter(const void* send_buf, int send_count,
-                   const Datatype& send_type, void* recv_buf, int recv_count,
-                   const Datatype& recv_type, rank_t root) {
-  const int n = size();
-  const std::size_t bytes =
-      recv_type.size() * static_cast<std::size_t>(recv_count);
-  if (rank_ == root) {
-    MADMPI_CHECK_MSG(
-        send_type.size() * static_cast<std::size_t>(send_count) == bytes,
-        "scatter send/recv type signatures disagree");
-    const auto* in = static_cast<const std::byte*>(send_buf);
-    const std::size_t slot =
-        send_type.extent() * static_cast<std::size_t>(send_count);
-    std::vector<std::byte> wire(bytes);
-    for (rank_t dst = 0; dst < n; ++dst) {
-      const std::byte* src_elem = in + slot * static_cast<std::size_t>(dst);
-      send_type.pack(src_elem, send_count, wire.data());
-      if (dst == rank_) {
-        recv_type.unpack(wire.data(), recv_count, recv_buf);
-      } else {
-        coll_send(wire.data(), bytes, dst, kScatterTag);
-      }
-    }
-  } else {
-    std::vector<std::byte> wire(bytes);
-    coll_recv(wire.data(), bytes, root, kScatterTag);
-    recv_type.unpack(wire.data(), recv_count, recv_buf);
-  }
-}
-
-void Comm::scatterv(const void* send_buf, std::span<const int> send_counts,
-                    std::span<const int> displacements,
+Status Comm::gather(const void* send_buf, int send_count,
                     const Datatype& send_type, void* recv_buf, int recv_count,
                     const Datatype& recv_type, rank_t root) {
   const int n = size();
-  if (rank_ == root) {
-    MADMPI_CHECK(send_counts.size() == static_cast<std::size_t>(n));
-    MADMPI_CHECK(displacements.size() == static_cast<std::size_t>(n));
-    const auto* in = static_cast<const std::byte*>(send_buf);
-    for (rank_t dst = 0; dst < n; ++dst) {
-      const std::size_t bytes =
-          send_type.size() * static_cast<std::size_t>(send_counts[dst]);
-      const std::byte* src_elem =
-          in + send_type.extent() *
-                   static_cast<std::size_t>(displacements[dst]);
-      std::vector<std::byte> wire(bytes);
-      send_type.pack(src_elem, send_counts[dst], wire.data());
-      if (dst == rank_) {
-        MADMPI_CHECK(recv_type.size() *
-                         static_cast<std::size_t>(recv_count) == bytes);
-        recv_type.unpack(wire.data(), recv_count, recv_buf);
-      } else {
-        coll_send(wire.data(), bytes, dst, kScatterTag);
-      }
+  const std::size_t bytes =
+      send_type.size() * static_cast<std::size_t>(send_count);
+  try {
+    if (rank_ != root) {
+      std::vector<std::byte> staging;
+      const byte_span packed =
+          pack_for_send(send_buf, send_count, send_type, staging);
+      coll_send(packed.data(), packed.size(), root, kGatherTag);
+      return Status::ok();
     }
-  } else {
-    const std::size_t bytes =
-        recv_type.size() * static_cast<std::size_t>(recv_count);
+
+    MADMPI_CHECK_MSG(
+        recv_type.size() * static_cast<std::size_t>(recv_count) == bytes,
+        "gather send/recv type signatures disagree");
+    auto* out = static_cast<std::byte*>(recv_buf);
+    const std::size_t slot =
+        recv_type.extent() * static_cast<std::size_t>(recv_count);
     std::vector<std::byte> wire(bytes);
-    coll_recv(wire.data(), bytes, root, kScatterTag);
-    recv_type.unpack(wire.data(), recv_count, recv_buf);
+    for (rank_t src = 0; src < n; ++src) {
+      std::byte* dst_elem = out + slot * static_cast<std::size_t>(src);
+      if (src == rank_) {
+        send_type.pack(send_buf, send_count, wire.data());
+        recv_type.unpack(wire.data(), recv_count, dst_elem);
+        continue;
+      }
+      coll_recv(wire.data(), bytes, src, kGatherTag);
+      recv_type.unpack(wire.data(), recv_count, dst_elem);
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
+  return Status::ok();
 }
 
-void Comm::allgather(const void* send_buf, int send_count,
+Status Comm::gatherv(const void* send_buf, int send_count,
                      const Datatype& send_type, void* recv_buf,
-                     int recv_count, const Datatype& recv_type) {
+                     std::span<const int> recv_counts,
+                     std::span<const int> displacements,
+                     const Datatype& recv_type, rank_t root) {
+  const int n = size();
+  try {
+    if (rank_ != root) {
+      std::vector<std::byte> staging;
+      const byte_span packed =
+          pack_for_send(send_buf, send_count, send_type, staging);
+      coll_send(packed.data(), packed.size(), root, kGatherTag);
+      return Status::ok();
+    }
+
+    MADMPI_CHECK(recv_counts.size() == static_cast<std::size_t>(n));
+    MADMPI_CHECK(displacements.size() == static_cast<std::size_t>(n));
+    auto* out = static_cast<std::byte*>(recv_buf);
+    for (rank_t src = 0; src < n; ++src) {
+      const std::size_t bytes =
+          recv_type.size() * static_cast<std::size_t>(recv_counts[src]);
+      std::byte* dst_elem =
+          out + recv_type.extent() * static_cast<std::size_t>(
+                                         displacements[src]);
+      std::vector<std::byte> wire(bytes);
+      if (src == rank_) {
+        MADMPI_CHECK(send_type.size() *
+                         static_cast<std::size_t>(send_count) == bytes);
+        send_type.pack(send_buf, send_count, wire.data());
+      } else {
+        coll_recv(wire.data(), bytes, src, kGatherTag);
+      }
+      recv_type.unpack(wire.data(), recv_counts[src], dst_elem);
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
+  }
+  return Status::ok();
+}
+
+Status Comm::scatter(const void* send_buf, int send_count,
+                     const Datatype& send_type, void* recv_buf,
+                     int recv_count, const Datatype& recv_type, rank_t root) {
+  const int n = size();
+  const std::size_t bytes =
+      recv_type.size() * static_cast<std::size_t>(recv_count);
+  try {
+    if (rank_ == root) {
+      MADMPI_CHECK_MSG(
+          send_type.size() * static_cast<std::size_t>(send_count) == bytes,
+          "scatter send/recv type signatures disagree");
+      const auto* in = static_cast<const std::byte*>(send_buf);
+      const std::size_t slot =
+          send_type.extent() * static_cast<std::size_t>(send_count);
+      std::vector<std::byte> wire(bytes);
+      for (rank_t dst = 0; dst < n; ++dst) {
+        const std::byte* src_elem = in + slot * static_cast<std::size_t>(dst);
+        send_type.pack(src_elem, send_count, wire.data());
+        if (dst == rank_) {
+          recv_type.unpack(wire.data(), recv_count, recv_buf);
+        } else {
+          coll_send(wire.data(), bytes, dst, kScatterTag);
+        }
+      }
+    } else {
+      std::vector<std::byte> wire(bytes);
+      coll_recv(wire.data(), bytes, root, kScatterTag);
+      recv_type.unpack(wire.data(), recv_count, recv_buf);
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
+  }
+  return Status::ok();
+}
+
+Status Comm::scatterv(const void* send_buf, std::span<const int> send_counts,
+                      std::span<const int> displacements,
+                      const Datatype& send_type, void* recv_buf,
+                      int recv_count, const Datatype& recv_type,
+                      rank_t root) {
+  const int n = size();
+  try {
+    if (rank_ == root) {
+      MADMPI_CHECK(send_counts.size() == static_cast<std::size_t>(n));
+      MADMPI_CHECK(displacements.size() == static_cast<std::size_t>(n));
+      const auto* in = static_cast<const std::byte*>(send_buf);
+      for (rank_t dst = 0; dst < n; ++dst) {
+        const std::size_t bytes =
+            send_type.size() * static_cast<std::size_t>(send_counts[dst]);
+        const std::byte* src_elem =
+            in + send_type.extent() *
+                     static_cast<std::size_t>(displacements[dst]);
+        std::vector<std::byte> wire(bytes);
+        send_type.pack(src_elem, send_counts[dst], wire.data());
+        if (dst == rank_) {
+          MADMPI_CHECK(recv_type.size() *
+                           static_cast<std::size_t>(recv_count) == bytes);
+          recv_type.unpack(wire.data(), recv_count, recv_buf);
+        } else {
+          coll_send(wire.data(), bytes, dst, kScatterTag);
+        }
+      }
+    } else {
+      const std::size_t bytes =
+          recv_type.size() * static_cast<std::size_t>(recv_count);
+      std::vector<std::byte> wire(bytes);
+      coll_recv(wire.data(), bytes, root, kScatterTag);
+      recv_type.unpack(wire.data(), recv_count, recv_buf);
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
+  }
+  return Status::ok();
+}
+
+Status Comm::allgather(const void* send_buf, int send_count,
+                       const Datatype& send_type, void* recv_buf,
+                       int recv_count, const Datatype& recv_type) {
   // Ring algorithm: size-1 steps, each forwarding the freshest block.
   const int n = size();
   const std::size_t block =
@@ -511,27 +567,32 @@ void Comm::allgather(const void* send_buf, int send_count,
   const rank_t right = (rank_ + 1) % n;
   const rank_t left = (rank_ - 1 + n) % n;
   int cur = rank_;
-  for (int step = 0; step < n - 1; ++step) {
-    const int incoming = (cur - 1 + n) % n;
-    // Post the receive before sending to avoid rendezvous cross-blocking.
-    auto state = std::make_shared<RequestState>(my_node());
-    PostedRecv posted;
-    posted.context = shared_->context + 1;
-    posted.source = left;
-    posted.tag = kAllgatherTag;
-    posted.buffer = wire.data() + block * static_cast<std::size_t>(incoming);
-    posted.type = Datatype::byte();
-    posted.count = static_cast<int>(block);
-    posted.capacity_bytes = block;
-    posted.request = state;
-    posted.source_global = global_rank_of(left);
-    posted.posted_at = my_node().clock().now();
-    my_context().post_recv(std::move(posted));
+  try {
+    for (int step = 0; step < n - 1; ++step) {
+      const int incoming = (cur - 1 + n) % n;
+      // Post the receive before sending to avoid rendezvous cross-blocking.
+      auto state = std::make_shared<RequestState>(my_node());
+      PostedRecv posted;
+      posted.context = shared_->context + 1;
+      posted.source = left;
+      posted.tag = kAllgatherTag;
+      posted.buffer =
+          wire.data() + block * static_cast<std::size_t>(incoming);
+      posted.type = Datatype::byte();
+      posted.count = static_cast<int>(block);
+      posted.capacity_bytes = block;
+      posted.request = state;
+      posted.source_global = global_rank_of(left);
+      posted.posted_at = my_node().clock().now();
+      my_context().post_recv(std::move(posted));
 
-    coll_send(wire.data() + block * static_cast<std::size_t>(cur), block,
-              right, kAllgatherTag);
-    state->wait();
-    cur = incoming;
+      coll_send(wire.data() + block * static_cast<std::size_t>(cur), block,
+                right, kAllgatherTag);
+      coll_wait(*state);
+      cur = incoming;
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
 
   auto* out = static_cast<std::byte*>(recv_buf);
@@ -541,13 +602,14 @@ void Comm::allgather(const void* send_buf, int send_count,
     recv_type.unpack(wire.data() + block * static_cast<std::size_t>(r),
                      recv_count, out + slot * static_cast<std::size_t>(r));
   }
+  return Status::ok();
 }
 
-void Comm::allgatherv(const void* send_buf, int send_count,
-                      const Datatype& send_type, void* recv_buf,
-                      std::span<const int> recv_counts,
-                      std::span<const int> displacements,
-                      const Datatype& recv_type) {
+Status Comm::allgatherv(const void* send_buf, int send_count,
+                        const Datatype& send_type, void* recv_buf,
+                        std::span<const int> recv_counts,
+                        std::span<const int> displacements,
+                        const Datatype& recv_type) {
   // Gather-to-0 then bcast of the concatenated packed blocks (simple and
   // correct for ragged sizes).
   const int n = size();
@@ -562,23 +624,29 @@ void Comm::allgatherv(const void* send_buf, int send_count,
   }
   std::vector<std::byte> wire(offsets.back());
 
-  if (rank_ == 0) {
-    MADMPI_CHECK(send_type.size() * static_cast<std::size_t>(send_count) ==
-                 offsets[1] - offsets[0]);
-    send_type.pack(send_buf, send_count, wire.data());
-    for (rank_t src = 1; src < n; ++src) {
-      coll_recv(wire.data() + offsets[static_cast<std::size_t>(src)],
-                offsets[static_cast<std::size_t>(src) + 1] -
-                    offsets[static_cast<std::size_t>(src)],
-                src, kAllgatherTag);
+  try {
+    if (rank_ == 0) {
+      MADMPI_CHECK(send_type.size() * static_cast<std::size_t>(send_count) ==
+                   offsets[1] - offsets[0]);
+      send_type.pack(send_buf, send_count, wire.data());
+      for (rank_t src = 1; src < n; ++src) {
+        coll_recv(wire.data() + offsets[static_cast<std::size_t>(src)],
+                  offsets[static_cast<std::size_t>(src) + 1] -
+                      offsets[static_cast<std::size_t>(src)],
+                  src, kAllgatherTag);
+      }
+    } else {
+      std::vector<std::byte> staging;
+      const byte_span packed =
+          pack_for_send(send_buf, send_count, send_type, staging);
+      coll_send(packed.data(), packed.size(), 0, kAllgatherTag);
     }
-  } else {
-    std::vector<std::byte> staging;
-    const byte_span packed =
-        pack_for_send(send_buf, send_count, send_type, staging);
-    coll_send(packed.data(), packed.size(), 0, kAllgatherTag);
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
-  bcast(wire.data(), static_cast<int>(wire.size()), Datatype::byte(), 0);
+  Status status =
+      bcast(wire.data(), static_cast<int>(wire.size()), Datatype::byte(), 0);
+  if (!status.is_ok()) return status;  // bcast already raised
 
   auto* out = static_cast<std::byte*>(recv_buf);
   for (rank_t r = 0; r < n; ++r) {
@@ -587,11 +655,12 @@ void Comm::allgatherv(const void* send_buf, int send_count,
                      out + recv_type.extent() *
                                static_cast<std::size_t>(displacements[r]));
   }
+  return Status::ok();
 }
 
-void Comm::alltoall(const void* send_buf, int send_count,
-                    const Datatype& send_type, void* recv_buf, int recv_count,
-                    const Datatype& recv_type) {
+Status Comm::alltoall(const void* send_buf, int send_count,
+                      const Datatype& send_type, void* recv_buf,
+                      int recv_count, const Datatype& recv_type) {
   const int n = size();
   const std::size_t block =
       send_type.size() * static_cast<std::size_t>(send_count);
@@ -616,39 +685,44 @@ void Comm::alltoall(const void* send_buf, int send_count,
                    out + out_slot * static_cast<std::size_t>(rank_));
 
   // Pairwise exchange: step i pairs (rank+i) with (rank-i).
-  for (int i = 1; i < n; ++i) {
-    const rank_t dst = (rank_ + i) % n;
-    const rank_t src = (rank_ - i + n) % n;
+  try {
+    for (int i = 1; i < n; ++i) {
+      const rank_t dst = (rank_ + i) % n;
+      const rank_t src = (rank_ - i + n) % n;
 
-    auto state = std::make_shared<RequestState>(my_node());
-    PostedRecv posted;
-    posted.context = shared_->context + 1;
-    posted.source = src;
-    posted.tag = kAlltoallTag;
-    posted.buffer = recv_wire.data();
-    posted.type = Datatype::byte();
-    posted.count = static_cast<int>(block);
-    posted.capacity_bytes = block;
-    posted.request = state;
-    posted.source_global = global_rank_of(src);
-    posted.posted_at = my_node().clock().now();
-    my_context().post_recv(std::move(posted));
+      auto state = std::make_shared<RequestState>(my_node());
+      PostedRecv posted;
+      posted.context = shared_->context + 1;
+      posted.source = src;
+      posted.tag = kAlltoallTag;
+      posted.buffer = recv_wire.data();
+      posted.type = Datatype::byte();
+      posted.count = static_cast<int>(block);
+      posted.capacity_bytes = block;
+      posted.request = state;
+      posted.source_global = global_rank_of(src);
+      posted.posted_at = my_node().clock().now();
+      my_context().post_recv(std::move(posted));
 
-    send_type.pack(in + in_slot * static_cast<std::size_t>(dst), send_count,
-                   send_wire.data());
-    coll_send(send_wire.data(), block, dst, kAlltoallTag);
-    state->wait();
-    recv_type.unpack(recv_wire.data(), recv_count,
-                     out + out_slot * static_cast<std::size_t>(src));
+      send_type.pack(in + in_slot * static_cast<std::size_t>(dst), send_count,
+                     send_wire.data());
+      coll_send(send_wire.data(), block, dst, kAlltoallTag);
+      coll_wait(*state);
+      recv_type.unpack(recv_wire.data(), recv_count,
+                       out + out_slot * static_cast<std::size_t>(src));
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
+  return Status::ok();
 }
 
-void Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
-                     std::span<const int> send_displs,
-                     const Datatype& send_type, void* recv_buf,
-                     std::span<const int> recv_counts,
-                     std::span<const int> recv_displs,
-                     const Datatype& recv_type) {
+Status Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
+                       std::span<const int> send_displs,
+                       const Datatype& send_type, void* recv_buf,
+                       std::span<const int> recv_counts,
+                       std::span<const int> recv_displs,
+                       const Datatype& recv_type) {
   const int n = size();
   MADMPI_CHECK(send_counts.size() == static_cast<std::size_t>(n));
   MADMPI_CHECK(send_displs.size() == static_cast<std::size_t>(n));
@@ -676,69 +750,80 @@ void Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
   }
 
   // Pairwise exchange, ragged block sizes per peer.
-  for (int i = 1; i < n; ++i) {
-    const rank_t dst = (rank_ + i) % n;
-    const rank_t src = (rank_ - i + n) % n;
-    const std::size_t send_bytes =
-        send_type.size() * static_cast<std::size_t>(send_counts[dst]);
-    const std::size_t recv_bytes =
-        recv_type.size() * static_cast<std::size_t>(recv_counts[src]);
+  try {
+    for (int i = 1; i < n; ++i) {
+      const rank_t dst = (rank_ + i) % n;
+      const rank_t src = (rank_ - i + n) % n;
+      const std::size_t send_bytes =
+          send_type.size() * static_cast<std::size_t>(send_counts[dst]);
+      const std::size_t recv_bytes =
+          recv_type.size() * static_cast<std::size_t>(recv_counts[src]);
 
-    std::vector<std::byte> recv_wire(recv_bytes);
-    auto state = std::make_shared<RequestState>(my_node());
-    PostedRecv posted;
-    posted.context = shared_->context + 1;
-    posted.source = src;
-    posted.tag = kAlltoallTag;
-    posted.buffer = recv_wire.data();
-    posted.type = Datatype::byte();
-    posted.count = static_cast<int>(recv_bytes);
-    posted.capacity_bytes = recv_bytes;
-    posted.request = state;
-    posted.source_global = global_rank_of(src);
-    posted.posted_at = my_node().clock().now();
-    my_context().post_recv(std::move(posted));
+      std::vector<std::byte> recv_wire(recv_bytes);
+      auto state = std::make_shared<RequestState>(my_node());
+      PostedRecv posted;
+      posted.context = shared_->context + 1;
+      posted.source = src;
+      posted.tag = kAlltoallTag;
+      posted.buffer = recv_wire.data();
+      posted.type = Datatype::byte();
+      posted.count = static_cast<int>(recv_bytes);
+      posted.capacity_bytes = recv_bytes;
+      posted.request = state;
+      posted.source_global = global_rank_of(src);
+      posted.posted_at = my_node().clock().now();
+      my_context().post_recv(std::move(posted));
 
-    std::vector<std::byte> send_wire(send_bytes);
-    send_type.pack(in + send_type.extent() *
-                            static_cast<std::size_t>(send_displs[dst]),
-                   send_counts[dst], send_wire.data());
-    coll_send(send_wire.data(), send_bytes, dst, kAlltoallTag);
-    state->wait();
-    recv_type.unpack(recv_wire.data(), recv_counts[src],
-                     out + recv_type.extent() *
-                               static_cast<std::size_t>(recv_displs[src]));
+      std::vector<std::byte> send_wire(send_bytes);
+      send_type.pack(in + send_type.extent() *
+                              static_cast<std::size_t>(send_displs[dst]),
+                     send_counts[dst], send_wire.data());
+      coll_send(send_wire.data(), send_bytes, dst, kAlltoallTag);
+      coll_wait(*state);
+      recv_type.unpack(recv_wire.data(), recv_counts[src],
+                       out + recv_type.extent() *
+                                 static_cast<std::size_t>(recv_displs[src]));
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
+  return Status::ok();
 }
 
-void Comm::scan(const void* send_buf, void* recv_buf, int count,
-                const Datatype& type, const Op& op) {
+Status Comm::scan(const void* send_buf, void* recv_buf, int count,
+                  const Datatype& type, const Op& op) {
   MADMPI_CHECK_MSG(type.is_contiguous(), "scan requires a contiguous datatype");
   const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
   std::memcpy(recv_buf, send_buf, bytes);
 
-  if (rank_ > 0) {
-    std::vector<std::byte> prefix(bytes);
-    coll_recv(prefix.data(), bytes, rank_ - 1, kScanTag);
-    // recv_buf = prefix OP own.
-    op.apply(prefix.data(), recv_buf, count, type);
+  try {
+    if (rank_ > 0) {
+      std::vector<std::byte> prefix(bytes);
+      coll_recv(prefix.data(), bytes, rank_ - 1, kScanTag);
+      // recv_buf = prefix OP own.
+      op.apply(prefix.data(), recv_buf, count, type);
+    }
+    if (rank_ + 1 < size()) {
+      coll_send(recv_buf, bytes, rank_ + 1, kScanTag);
+    }
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
   }
-  if (rank_ + 1 < size()) {
-    coll_send(recv_buf, bytes, rank_ + 1, kScanTag);
-  }
+  return Status::ok();
 }
 
-void Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
-                                int count, const Datatype& type,
-                                const Op& op) {
+Status Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
+                                  int count, const Datatype& type,
+                                  const Op& op) {
   MADMPI_CHECK_MSG(type.is_contiguous(),
                    "reduce_scatter requires a contiguous datatype");
   const int n = size();
   std::vector<std::byte> full(type.size() *
                               static_cast<std::size_t>(count) *
                               static_cast<std::size_t>(n));
-  reduce(send_buf, full.data(), count * n, type, op, 0);
-  scatter(full.data(), count, type, recv_buf, count, type, 0);
+  Status status = reduce(send_buf, full.data(), count * n, type, op, 0);
+  if (!status.is_ok()) return status;  // reduce already raised
+  return scatter(full.data(), count, type, recv_buf, count, type, 0);
 }
 
 }  // namespace madmpi::mpi

@@ -286,6 +286,11 @@ Request Comm::irecv(void* buf, int count, const Datatype& type,
   posted.source_global =
       source == kAnySource ? kInvalidRank : global_rank_of(source);
   posted.posted_at = my_node().clock().now();
+  // MPI_Cancel hook: pull the receive back out of the posted queue. The
+  // context outlives every request (it belongs to the session directory).
+  state->set_cancel([context = &my_context(), raw = state.get()] {
+    return context->cancel_posted(raw);
+  });
   my_context().post_recv(std::move(posted));
   return Request(std::move(state));
 }
@@ -360,6 +365,13 @@ Request Comm::isend(const void* buf, int count, const Datatype& type,
     status.error = result.code();
     state->complete(status);
   } else {
+    // MPI_Cancel hook: ask the device to detach the rendezvous while it
+    // still waits for the receiver's ack. The temporary send thread then
+    // observes kCancelled and completes the request with it.
+    state->set_cancel(
+        [&device, src = global_rank_of(rank_), dst_global, env] {
+          return device.try_cancel_send(src, dst_global, env);
+        });
     spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),
                           dst_global, env, packed, state);
   }
@@ -373,7 +385,12 @@ Request Comm::issend(const void* buf, int count, const Datatype& type,
   const byte_span packed = pack_for_send(buf, count, type, staging);
   const Envelope env = make_envelope(dest, tag, packed.size(), true);
   auto state = std::make_shared<RequestState>(my_node());
-  spawn_rendezvous_send(my_node(), device_to(dest), global_rank_of(rank_),
+  Device& device = device_to(dest);
+  state->set_cancel([&device, src = global_rank_of(rank_),
+                     dst = global_rank_of(dest), env] {
+    return device.try_cancel_send(src, dst, env);
+  });
+  spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),
                         global_rank_of(dest), env, packed, state);
   return Request(std::move(state));
 }

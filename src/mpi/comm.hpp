@@ -130,46 +130,54 @@ class Comm {
   void set_collective_config(const CollectiveConfig& config);
   CollectiveConfig collective_config() const;
 
-  void barrier();
-  void bcast(void* buf, int count, const Datatype& type, rank_t root);
-  void reduce(const void* send_buf, void* recv_buf, int count,
-              const Datatype& type, const Op& op, rank_t root);
-  void allreduce(const void* send_buf, void* recv_buf, int count,
-                 const Datatype& type, const Op& op);
-  void gather(const void* send_buf, int send_count, const Datatype& send_type,
-              void* recv_buf, int recv_count, const Datatype& recv_type,
-              rank_t root);
-  void gatherv(const void* send_buf, int send_count,
-               const Datatype& send_type, void* recv_buf,
-               std::span<const int> recv_counts,
-               std::span<const int> displacements, const Datatype& recv_type,
-               rank_t root);
-  void scatter(const void* send_buf, int send_count,
-               const Datatype& send_type, void* recv_buf, int recv_count,
-               const Datatype& recv_type, rank_t root);
-  void scatterv(const void* send_buf, std::span<const int> send_counts,
-                std::span<const int> displacements, const Datatype& send_type,
-                void* recv_buf, int recv_count, const Datatype& recv_type,
-                rank_t root);
-  void allgather(const void* send_buf, int send_count,
-                 const Datatype& send_type, void* recv_buf, int recv_count,
-                 const Datatype& recv_type);
-  void allgatherv(const void* send_buf, int send_count,
-                  const Datatype& send_type, void* recv_buf,
-                  std::span<const int> recv_counts,
-                  std::span<const int> displacements,
-                  const Datatype& recv_type);
-  void alltoall(const void* send_buf, int send_count,
+  // Collectives report failures through the communicator's error handler,
+  // then return the Status (non-ok when a hop died mid-algorithm — the
+  // MPI_ERRORS_RETURN propagation path through collectives; peers of a
+  // failed collective may be left waiting and rely on the progress
+  // watchdog to cancel them). Ignoring the return keeps legacy callers
+  // source-compatible.
+  Status barrier();
+  Status bcast(void* buf, int count, const Datatype& type, rank_t root);
+  Status reduce(const void* send_buf, void* recv_buf, int count,
+                const Datatype& type, const Op& op, rank_t root);
+  Status allreduce(const void* send_buf, void* recv_buf, int count,
+                   const Datatype& type, const Op& op);
+  Status gather(const void* send_buf, int send_count,
                 const Datatype& send_type, void* recv_buf, int recv_count,
-                const Datatype& recv_type);
-  void alltoallv(const void* send_buf, std::span<const int> send_counts,
-                 std::span<const int> send_displs, const Datatype& send_type,
-                 void* recv_buf, std::span<const int> recv_counts,
-                 std::span<const int> recv_displs, const Datatype& recv_type);
-  void scan(const void* send_buf, void* recv_buf, int count,
-            const Datatype& type, const Op& op);
-  void reduce_scatter_block(const void* send_buf, void* recv_buf, int count,
-                            const Datatype& type, const Op& op);
+                const Datatype& recv_type, rank_t root);
+  Status gatherv(const void* send_buf, int send_count,
+                 const Datatype& send_type, void* recv_buf,
+                 std::span<const int> recv_counts,
+                 std::span<const int> displacements,
+                 const Datatype& recv_type, rank_t root);
+  Status scatter(const void* send_buf, int send_count,
+                 const Datatype& send_type, void* recv_buf, int recv_count,
+                 const Datatype& recv_type, rank_t root);
+  Status scatterv(const void* send_buf, std::span<const int> send_counts,
+                  std::span<const int> displacements,
+                  const Datatype& send_type, void* recv_buf, int recv_count,
+                  const Datatype& recv_type, rank_t root);
+  Status allgather(const void* send_buf, int send_count,
+                   const Datatype& send_type, void* recv_buf, int recv_count,
+                   const Datatype& recv_type);
+  Status allgatherv(const void* send_buf, int send_count,
+                    const Datatype& send_type, void* recv_buf,
+                    std::span<const int> recv_counts,
+                    std::span<const int> displacements,
+                    const Datatype& recv_type);
+  Status alltoall(const void* send_buf, int send_count,
+                  const Datatype& send_type, void* recv_buf, int recv_count,
+                  const Datatype& recv_type);
+  Status alltoallv(const void* send_buf, std::span<const int> send_counts,
+                   std::span<const int> send_displs,
+                   const Datatype& send_type, void* recv_buf,
+                   std::span<const int> recv_counts,
+                   std::span<const int> recv_displs,
+                   const Datatype& recv_type);
+  Status scan(const void* send_buf, void* recv_buf, int count,
+              const Datatype& type, const Op& op);
+  Status reduce_scatter_block(const void* send_buf, void* recv_buf,
+                              int count, const Datatype& type, const Op& op);
 
   // --- Communicator management ----------------------------------------
 

@@ -102,6 +102,9 @@ int map_error(madmpi::ErrorCode code) {
   switch (code) {
     case madmpi::ErrorCode::kOk: return MPI_SUCCESS;
     case madmpi::ErrorCode::kTruncated: return MPI_ERR_TRUNCATE;
+    // A successfully cancelled operation completes with MPI_SUCCESS; the
+    // cancellation is reported via MPI_Test_cancelled, not the error field.
+    case madmpi::ErrorCode::kCancelled: return MPI_SUCCESS;
     default: return MPI_ERR_OTHER;
   }
 }
@@ -145,6 +148,8 @@ void fill_status(MPI_Status* out, const mpi::MpiStatus& status) {
   out->MPI_TAG = status.tag;
   out->MPI_ERROR = map_error(status.error);
   out->internal_bytes = static_cast<int>(status.bytes);
+  out->internal_cancelled =
+      status.error == madmpi::ErrorCode::kCancelled ? 1 : 0;
 }
 
 MPI_Request store_request(mpi::Request request) {
@@ -442,72 +447,73 @@ int MPI_Comm_call_errhandler(MPI_Comm comm, int errorcode) {
 }
 
 int MPI_Barrier(MPI_Comm comm) {
-  detail::comm_of(comm).barrier();
-  return MPI_SUCCESS;
+  madmpi::Status status = detail::comm_of(comm).barrier();
+  return detail::map_error(status.code());
 }
 
 int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root,
               MPI_Comm comm) {
-  detail::comm_of(comm).bcast(buf, count, detail::type_of(type), root);
-  return MPI_SUCCESS;
+  madmpi::Status status =
+      detail::comm_of(comm).bcast(buf, count, detail::type_of(type), root);
+  return detail::map_error(status.code());
 }
 
 int MPI_Reduce(const void* send_buf, void* recv_buf, int count,
                MPI_Datatype type, MPI_Op op, int root, MPI_Comm comm) {
-  detail::comm_of(comm).reduce(send_buf, recv_buf, count,
-                               detail::type_of(type), detail::op_of(op),
-                               root);
-  return MPI_SUCCESS;
+  madmpi::Status status = detail::comm_of(comm).reduce(
+      send_buf, recv_buf, count, detail::type_of(type), detail::op_of(op),
+      root);
+  return detail::map_error(status.code());
 }
 
 int MPI_Allreduce(const void* send_buf, void* recv_buf, int count,
                   MPI_Datatype type, MPI_Op op, MPI_Comm comm) {
-  detail::comm_of(comm).allreduce(send_buf, recv_buf, count,
-                                  detail::type_of(type), detail::op_of(op));
-  return MPI_SUCCESS;
+  madmpi::Status status = detail::comm_of(comm).allreduce(
+      send_buf, recv_buf, count, detail::type_of(type), detail::op_of(op));
+  return detail::map_error(status.code());
 }
 
 int MPI_Gather(const void* send_buf, int send_count, MPI_Datatype send_type,
                void* recv_buf, int recv_count, MPI_Datatype recv_type,
                int root, MPI_Comm comm) {
-  detail::comm_of(comm).gather(send_buf, send_count,
-                               detail::type_of(send_type), recv_buf,
-                               recv_count, detail::type_of(recv_type), root);
-  return MPI_SUCCESS;
+  madmpi::Status status = detail::comm_of(comm).gather(
+      send_buf, send_count, detail::type_of(send_type), recv_buf, recv_count,
+      detail::type_of(recv_type), root);
+  return detail::map_error(status.code());
 }
 
 int MPI_Scatter(const void* send_buf, int send_count, MPI_Datatype send_type,
                 void* recv_buf, int recv_count, MPI_Datatype recv_type,
                 int root, MPI_Comm comm) {
-  detail::comm_of(comm).scatter(send_buf, send_count,
-                                detail::type_of(send_type), recv_buf,
-                                recv_count, detail::type_of(recv_type), root);
-  return MPI_SUCCESS;
+  madmpi::Status status = detail::comm_of(comm).scatter(
+      send_buf, send_count, detail::type_of(send_type), recv_buf, recv_count,
+      detail::type_of(recv_type), root);
+  return detail::map_error(status.code());
 }
 
 int MPI_Allgather(const void* send_buf, int send_count,
                   MPI_Datatype send_type, void* recv_buf, int recv_count,
                   MPI_Datatype recv_type, MPI_Comm comm) {
-  detail::comm_of(comm).allgather(send_buf, send_count,
-                                  detail::type_of(send_type), recv_buf,
-                                  recv_count, detail::type_of(recv_type));
-  return MPI_SUCCESS;
+  madmpi::Status status = detail::comm_of(comm).allgather(
+      send_buf, send_count, detail::type_of(send_type), recv_buf, recv_count,
+      detail::type_of(recv_type));
+  return detail::map_error(status.code());
 }
 
 int MPI_Alltoall(const void* send_buf, int send_count, MPI_Datatype send_type,
                  void* recv_buf, int recv_count, MPI_Datatype recv_type,
                  MPI_Comm comm) {
-  detail::comm_of(comm).alltoall(send_buf, send_count,
-                                 detail::type_of(send_type), recv_buf,
-                                 recv_count, detail::type_of(recv_type));
-  return MPI_SUCCESS;
+  madmpi::Status status = detail::comm_of(comm).alltoall(
+      send_buf, send_count, detail::type_of(send_type), recv_buf, recv_count,
+      detail::type_of(recv_type));
+  return detail::map_error(status.code());
 }
 
 int MPI_Scan(const void* send_buf, void* recv_buf, int count,
              MPI_Datatype type, MPI_Op op, MPI_Comm comm) {
-  detail::comm_of(comm).scan(send_buf, recv_buf, count,
-                             detail::type_of(type), detail::op_of(op));
-  return MPI_SUCCESS;
+  madmpi::Status status = detail::comm_of(comm).scan(
+      send_buf, recv_buf, count, detail::type_of(type), detail::op_of(op));
+  return detail::map_error(status.code());
 }
 
 namespace {
@@ -522,13 +528,14 @@ int MPI_Gatherv(const void* send_buf, int send_count, MPI_Datatype send_type,
                 void* recv_buf, const int* recv_counts, const int* displs,
                 MPI_Datatype recv_type, int root, MPI_Comm comm) {
   auto& c = detail::comm_of(comm);
-  c.gatherv(send_buf, send_count, detail::type_of(send_type), recv_buf,
-            c.rank() == root ? span_of(recv_counts, c.size())
-                             : std::span<const int>(),
-            c.rank() == root ? span_of(displs, c.size())
-                             : std::span<const int>(),
-            detail::type_of(recv_type), root);
-  return MPI_SUCCESS;
+  madmpi::Status status =
+      c.gatherv(send_buf, send_count, detail::type_of(send_type), recv_buf,
+                c.rank() == root ? span_of(recv_counts, c.size())
+                                 : std::span<const int>(),
+                c.rank() == root ? span_of(displs, c.size())
+                                 : std::span<const int>(),
+                detail::type_of(recv_type), root);
+  return detail::map_error(status.code());
 }
 
 int MPI_Scatterv(const void* send_buf, const int* send_counts,
@@ -536,14 +543,15 @@ int MPI_Scatterv(const void* send_buf, const int* send_counts,
                  int recv_count, MPI_Datatype recv_type, int root,
                  MPI_Comm comm) {
   auto& c = detail::comm_of(comm);
-  c.scatterv(send_buf,
-             c.rank() == root ? span_of(send_counts, c.size())
-                              : std::span<const int>(),
-             c.rank() == root ? span_of(displs, c.size())
-                              : std::span<const int>(),
-             detail::type_of(send_type), recv_buf, recv_count,
-             detail::type_of(recv_type), root);
-  return MPI_SUCCESS;
+  madmpi::Status status =
+      c.scatterv(send_buf,
+                 c.rank() == root ? span_of(send_counts, c.size())
+                                  : std::span<const int>(),
+                 c.rank() == root ? span_of(displs, c.size())
+                                  : std::span<const int>(),
+                 detail::type_of(send_type), recv_buf, recv_count,
+                 detail::type_of(recv_type), root);
+  return detail::map_error(status.code());
 }
 
 int MPI_Allgatherv(const void* send_buf, int send_count,
@@ -551,10 +559,11 @@ int MPI_Allgatherv(const void* send_buf, int send_count,
                    const int* recv_counts, const int* displs,
                    MPI_Datatype recv_type, MPI_Comm comm) {
   auto& c = detail::comm_of(comm);
-  c.allgatherv(send_buf, send_count, detail::type_of(send_type), recv_buf,
-               span_of(recv_counts, c.size()), span_of(displs, c.size()),
-               detail::type_of(recv_type));
-  return MPI_SUCCESS;
+  madmpi::Status status = c.allgatherv(
+      send_buf, send_count, detail::type_of(send_type), recv_buf,
+      span_of(recv_counts, c.size()), span_of(displs, c.size()),
+      detail::type_of(recv_type));
+  return detail::map_error(status.code());
 }
 
 int MPI_Alltoallv(const void* send_buf, const int* send_counts,
@@ -563,11 +572,12 @@ int MPI_Alltoallv(const void* send_buf, const int* send_counts,
                   const int* recv_displs, MPI_Datatype recv_type,
                   MPI_Comm comm) {
   auto& c = detail::comm_of(comm);
-  c.alltoallv(send_buf, span_of(send_counts, c.size()),
-              span_of(send_displs, c.size()), detail::type_of(send_type),
-              recv_buf, span_of(recv_counts, c.size()),
-              span_of(recv_displs, c.size()), detail::type_of(recv_type));
-  return MPI_SUCCESS;
+  madmpi::Status status = c.alltoallv(
+      send_buf, span_of(send_counts, c.size()),
+      span_of(send_displs, c.size()), detail::type_of(send_type), recv_buf,
+      span_of(recv_counts, c.size()), span_of(recv_displs, c.size()),
+      detail::type_of(recv_type));
+  return detail::map_error(status.code());
 }
 
 double MPI_Wtime() { return detail::comm_of(MPI_COMM_WORLD).wtime(); }
@@ -730,6 +740,24 @@ int MPI_Testall(int count, MPI_Request* requests, int* flag,
              statuses == MPI_STATUSES_IGNORE ? nullptr : &statuses[i]);
   }
   *flag = 1;
+  return MPI_SUCCESS;
+}
+
+// --------------------------------------------------------- cancellation
+
+int MPI_Cancel(MPI_Request* request) {
+  // Best-effort and local, per MPI §3.8.4: if the operation already
+  // matched (or is a persistent handle, which this facade does not try to
+  // unpost), the cancel is simply ineffective and the request completes
+  // normally. The caller still must MPI_Wait/MPI_Test the request.
+  if (*request != MPI_REQUEST_NULL && *request < detail::kPersistentBase) {
+    detail::request_of(*request).cancel();
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Test_cancelled(const MPI_Status* status, int* flag) {
+  *flag = status->internal_cancelled;
   return MPI_SUCCESS;
 }
 

@@ -37,7 +37,8 @@ struct MPI_Status {
   int MPI_SOURCE;
   int MPI_TAG;
   int MPI_ERROR;
-  int internal_bytes;  // consumed by MPI_Get_count
+  int internal_bytes;      // consumed by MPI_Get_count
+  int internal_cancelled;  // consumed by MPI_Test_cancelled
 };
 
 // --------------------------------------------------------------- constants
@@ -173,6 +174,14 @@ int MPI_Waitany(int count, MPI_Request* requests, int* index,
                 MPI_Status* status);
 int MPI_Testall(int count, MPI_Request* requests, int* flag,
                 MPI_Status* statuses);
+
+// Cancellation (MPI §3.8.4). Cancel is local and best-effort: a receive
+// that has not matched, or a rendezvous send whose handshake has not been
+// answered, is withdrawn; otherwise the operation completes normally. The
+// outcome is reported by MPI_Test_cancelled on the status from the
+// mandatory MPI_Wait/MPI_Test that follows.
+int MPI_Cancel(MPI_Request* request);
+int MPI_Test_cancelled(const MPI_Status* status, int* flag);
 
 // Cartesian topologies.
 int MPI_Dims_create(int nnodes, int ndims, int* dims);

@@ -81,9 +81,13 @@ void RankContext::post_recv(PostedRecv posted) {
     } else {
       node_.clock().advance(static_cast<double>(message.payload.size()) *
                             sim::kHostCopyUsPerByte);
+      // Credits first, completion second: once finish_recv() completes the
+      // request the application may reach finalize(), and a credit-return
+      // thread spawned after that loses the shutdown-drain race (its
+      // packet lands behind the termination marker and is never read).
+      if (message.on_consumed) message.on_consumed();
       finish_recv(posted, message.env,
                   byte_span{message.payload.data(), message.payload.size()});
-      if (message.on_consumed) message.on_consumed();
     }
     return;
   }
@@ -109,8 +113,12 @@ void RankContext::deliver_eager(const Envelope& env, byte_span payload,
                           sim::kHostCopyUsPerByte);
     sim::trace(node_.clock().now(), node_.id(), sim::TraceCategory::kMatch,
                payload.size(), "posted");
-    finish_recv(posted, env, payload);
+    // Same ordering as the unexpected-drain path: the device's credit
+    // return must be registered before the receive is observably complete,
+    // or a poller-thread consume can spawn its credit packet after the
+    // application already entered finalize() (see shutdown() phase 0).
     if (on_consumed) on_consumed();
+    finish_recv(posted, env, payload);
     return;
   }
   // No receive posted yet: buffer the payload (the eager bounce).
@@ -334,5 +342,31 @@ std::size_t RankContext::cancel_unreachable(ErrorCode code) {
 }
 
 void RankContext::notify_waiters() { unexpected_arrived_.notify_all(); }
+
+bool RankContext::cancel_posted(const RequestState* request) {
+  PostedRecv victim;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(posted_.begin(), posted_.end(),
+                           [request](const PostedRecv& posted) {
+                             return posted.request.get() == request;
+                           });
+    if (it == posted_.end()) return false;  // already matched: too late
+    victim = std::move(*it);
+    posted_.erase(it);
+  }
+  // Completed outside the queue lock (complete() signals the waiter). The
+  // canceller is the rank's own thread, so its lane already carries the
+  // right virtual time — no deterministic re-stamping needed.
+  MpiStatus status;
+  status.source = victim.source;
+  status.tag = victim.tag;
+  status.bytes = 0;
+  status.error = ErrorCode::kCancelled;
+  sim::trace(node_.clock().now(), node_.id(), sim::TraceCategory::kComplete,
+             0, "cancel-recv");
+  victim.request->complete(status);
+  return true;
+}
 
 }  // namespace madmpi::mpi

@@ -81,9 +81,13 @@ class RankContext {
   /// one host copy is charged — the paper's "intermediary copy on the
   /// receiving side" that defines the eager mode (§4.1). The caller must
   /// have synchronized the node clock with the arrival already.
-  /// `on_consumed` (optional) runs outside the queue lock once the payload
-  /// has been copied into a user buffer — immediately on a match, or when
-  /// a later receive drains it from the unexpected store.
+  /// `on_consumed` (optional) runs outside the queue lock when the payload
+  /// is being drained into a user buffer — immediately on a match, or when
+  /// a later receive drains it from the unexpected store. It runs *before*
+  /// the receive request completes: credit returns hooked here must be in
+  /// flight (and accounted for) before the application can observe the
+  /// receive and initiate shutdown, or the returning packet races the
+  /// termination drain and its credits evaporate.
   void deliver_eager(const Envelope& env, byte_span payload,
                      EagerConsumed on_consumed = {});
 
@@ -151,6 +155,12 @@ class RankContext {
 
   /// Wake any blocked probe loops so they re-evaluate reachability.
   void notify_waiters();
+
+  /// MPI_Cancel on a receive: remove the posted receive owned by
+  /// `request` and complete it with ErrorCode::kCancelled. False when no
+  /// such receive is queued (it already matched — cancellation lost the
+  /// race and the receive completes normally).
+  bool cancel_posted(const RequestState* request);
 
  private:
   struct Unexpected {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -64,12 +65,37 @@ class RequestState {
     return completed_;
   }
 
+  /// Register the operation-specific cancellation attempt (set once, by
+  /// the operation that created this request, before the request handle is
+  /// returned to the user). The hook returns true when it managed to
+  /// detach the operation — the detached path then completes the request
+  /// with ErrorCode::kCancelled.
+  void set_cancel(std::function<bool()> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancel_fn_ = std::move(fn);
+  }
+
+  /// MPI_Cancel: best-effort and local. Returns false when the request
+  /// already completed (the operation finishes normally; MPI permits
+  /// this). The hook runs outside the lock — it may complete the request
+  /// synchronously, and complete() takes the lock again.
+  bool cancel() {
+    std::function<bool()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (completed_ || !cancel_fn_) return false;
+      fn = cancel_fn_;
+    }
+    return fn();
+  }
+
  private:
   mutable std::mutex mutex_;
   marcel::Semaphore done_;
   MpiStatus status_;
   bool completed_ = false;
   bool consumed_ = false;
+  std::function<bool()> cancel_fn_;
 };
 
 /// Value-semantic handle (MPI_Request).
@@ -89,6 +115,15 @@ class Request {
   bool test(MpiStatus* status = nullptr) {
     MADMPI_CHECK_MSG(valid(), "test on a null request");
     return state_->test(status);
+  }
+
+  /// MPI_Cancel. Local, best-effort: true when the cancellation was
+  /// initiated (the request will complete with ErrorCode::kCancelled);
+  /// false when the operation already completed or cannot be cancelled.
+  /// The caller still must wait()/test() the request either way.
+  bool cancel() {
+    MADMPI_CHECK_MSG(valid(), "cancel on a null request");
+    return state_->cancel();
   }
 
   static void wait_all(std::span<Request> requests) {

@@ -3,6 +3,7 @@
 
 #include "common/log.hpp"
 #include "net/driver.hpp"
+#include "sim/sched.hpp"
 #include "sim/trace.hpp"
 
 namespace madmpi::net {
@@ -185,12 +186,22 @@ std::optional<IncomingMessage> Endpoint::poll_message() {
   // order: a bulk frame whose arrival lies far in the virtual future must
   // not delay the handling of a control frame that (virtually) arrived
   // long before it.
+  // Schedule exploration: bias each candidate's effective arrival time so
+  // near-simultaneous arrivals from different sources can be drained in
+  // either order. The bias is pure in (seed, dst, src, frame seq) — it
+  // perturbs only the *choice*, never the frame's real arrival timestamp.
+  auto* sched = sim::ScheduleController::current();
   std::deque<sim::Frame>* best = nullptr;
+  usec_t best_key = 0.0;
   for (auto& [src, queue] : per_source_) {
     if (queue.empty() || queue.front().kind != kControlFrame) continue;
-    if (best == nullptr ||
-        queue.front().arrival_time < best->front().arrival_time) {
+    usec_t key = queue.front().arrival_time;
+    if (sched != nullptr) {
+      key += sched->delivery_bias_us(node_.id(), src, queue.front().seq);
+    }
+    if (best == nullptr || key < best_key) {
       best = &queue;
+      best_key = key;
     }
   }
   if (best == nullptr) return std::nullopt;

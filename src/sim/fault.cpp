@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/sched.hpp"
+
 namespace madmpi::sim {
 namespace {
 
@@ -66,20 +68,40 @@ FaultPlan& FaultPlan::kill_at(usec_t when_us, node_id_t src, node_id_t dst) {
   return *this;
 }
 
+FaultPlan& FaultPlan::offset_by(usec_t offset_us) {
+  fire_offset_us = offset_us;
+  return *this;
+}
+
+usec_t FaultPlan::effective_offset() const {
+  usec_t offset = fire_offset_us;
+  if (auto* sched = ScheduleController::current()) {
+    // Pure in (controller seed, plan seed): every query of this plan in a
+    // run sees the same slide, and a replay with the same MADMPI_SCHED_SEED
+    // reproduces it exactly.
+    offset += sched->fault_offset_us(seed);
+  }
+  return offset;
+}
+
 bool FaultPlan::dead(node_id_t src, node_id_t dst, usec_t t) const {
+  const usec_t offset = effective_offset();
   for (const FaultRule& rule : rules) {
-    if (rule.applies_to(src, dst) && t >= rule.kill_at_us) return true;
+    if (rule.applies_to(src, dst) && t >= rule.kill_at_us + offset) {
+      return true;
+    }
   }
   return false;
 }
 
 bool FaultPlan::lost(const Frame& frame) const {
   const usec_t t = frame.depart_time;
+  const usec_t offset = effective_offset();
   for (const FaultRule& rule : rules) {
     if (!rule.applies_to(frame.src_node, frame.dst_node)) continue;
-    if (t >= rule.kill_at_us) return true;
+    if (t >= rule.kill_at_us + offset) return true;
     if (rule.outage_start_us < rule.outage_end_us &&
-        t >= rule.outage_start_us && t < rule.outage_end_us) {
+        t >= rule.outage_start_us + offset && t < rule.outage_end_us + offset) {
       return true;
     }
     if (rule.drop_probability > 0.0) {

@@ -75,6 +75,14 @@ struct FaultPlan {
   std::vector<FaultRule> rules;
   RetryPolicy retry;
 
+  /// Schedule exploration: slides every rule's time window (outages and
+  /// kill instants) forward by this much virtual time. Letting the
+  /// ScheduleController move a kill across protocol phase boundaries
+  /// (eager send vs rendezvous handshake vs data push) without rewriting
+  /// the plan's rules is what makes fault timing a perturbable choice
+  /// point. Pure drops are timeless and unaffected.
+  usec_t fire_offset_us = 0.0;
+
   // ---- builder helpers (return *this for chaining) --------------------
   FaultPlan& drop(double probability, node_id_t src = kInvalidNode,
                   node_id_t dst = kInvalidNode);
@@ -83,8 +91,14 @@ struct FaultPlan {
                     node_id_t dst = kInvalidNode);
   FaultPlan& kill_at(usec_t when_us, node_id_t src = kInvalidNode,
                      node_id_t dst = kInvalidNode);
+  FaultPlan& offset_by(usec_t offset_us);
 
   // ---- queries ---------------------------------------------------------
+  /// fire_offset_us plus the active ScheduleController's kFaultOffset
+  /// perturbation for this plan's seed (zero when no controller is
+  /// installed). Every time window below is slid by this much.
+  usec_t effective_offset() const;
+
   /// True when the directed pair is permanently killed at virtual time `t`
   /// (retrying is pointless; the delivery layer gives up immediately).
   bool dead(node_id_t src, node_id_t dst, usec_t t) const;

@@ -1,0 +1,154 @@
+#include "sim/sched.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace madmpi::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Retired controllers are kept alive for the life of the process: a hook
+// may have loaded the active pointer an instant before uninstall(), and a
+// few leaked controller objects per process beat a use-after-free under
+// exactly the racy schedules this subsystem exists to explore.
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<std::unique_ptr<ScheduleController>>& registry() {
+  static std::vector<std::unique_ptr<ScheduleController>> controllers;
+  return controllers;
+}
+
+std::atomic<ScheduleController*> g_current{nullptr};
+
+void bootstrap_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // An explicit install() beats the environment: the sweep runner
+    // installs per-seed controllers long after the first current() call.
+    if (g_current.load(std::memory_order_acquire) != nullptr) return;
+    const char* value = std::getenv("MADMPI_SCHED_SEED");
+    if (value == nullptr || *value == '\0') return;
+    const std::uint64_t seed = std::strtoull(value, nullptr, 10);
+    if (seed != 0) ScheduleController::install(seed);
+  });
+}
+
+}  // namespace
+
+const char* sched_choice_name(SchedChoice choice) {
+  switch (choice) {
+    case SchedChoice::kPollWakeup: return "poll-wakeup";
+    case SchedChoice::kPollFrequency: return "poll-frequency";
+    case SchedChoice::kDeliveryOrder: return "delivery-order";
+    case SchedChoice::kCreditBatch: return "credit-batch";
+    case SchedChoice::kFaultOffset: return "fault-offset";
+    case SchedChoice::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t ScheduleController::mix(SchedChoice choice, std::uint64_t a,
+                                      std::uint64_t b, std::uint64_t c) {
+  decisions_[static_cast<std::size_t>(choice)].fetch_add(
+      1, std::memory_order_relaxed);
+  // Chain the words through the finalizer instead of xoring them flat:
+  // (a=1, b=2) must not collide with (a=2, b=1).
+  std::uint64_t h = splitmix64(seed_ ^ (static_cast<std::uint64_t>(choice)
+                                        << 56));
+  h = splitmix64(h ^ a);
+  h = splitmix64(h ^ b);
+  h = splitmix64(h ^ c);
+  return h;
+}
+
+double ScheduleController::mix_unit(SchedChoice choice, std::uint64_t a,
+                                    std::uint64_t b, std::uint64_t c) {
+  return static_cast<double>(mix(choice, a, b, c) >> 11) * 0x1.0p-53;
+}
+
+usec_t ScheduleController::poll_wakeup_jitter_us(node_id_t node,
+                                                 channel_id_t channel,
+                                                 std::uint64_t wakeup_index) {
+  if (!enabled(SchedChoice::kPollWakeup)) return 0.0;
+  return 4.0 * mix_unit(SchedChoice::kPollWakeup,
+                        static_cast<std::uint64_t>(node),
+                        static_cast<std::uint64_t>(channel), wakeup_index);
+}
+
+usec_t ScheduleController::poll_frequency_jitter_us(node_id_t node,
+                                                    channel_id_t channel,
+                                                    usec_t base_cost_us) {
+  if (!enabled(SchedChoice::kPollFrequency)) return 0.0;
+  return 0.5 * base_cost_us *
+         mix_unit(SchedChoice::kPollFrequency,
+                  static_cast<std::uint64_t>(node),
+                  static_cast<std::uint64_t>(channel), 0);
+}
+
+usec_t ScheduleController::delivery_bias_us(node_id_t dst, node_id_t src,
+                                            std::uint64_t seq) {
+  if (!enabled(SchedChoice::kDeliveryOrder)) return 0.0;
+  return 5.0 * mix_unit(SchedChoice::kDeliveryOrder,
+                        static_cast<std::uint64_t>(dst),
+                        static_cast<std::uint64_t>(src), seq);
+}
+
+std::size_t ScheduleController::credit_batch_threshold(node_id_t me,
+                                                       node_id_t origin,
+                                                       std::uint64_t epoch,
+                                                       std::size_t window) {
+  if (!enabled(SchedChoice::kCreditBatch) || window < 4) return window / 2;
+  const double unit = mix_unit(SchedChoice::kCreditBatch,
+                               static_cast<std::uint64_t>(me),
+                               static_cast<std::uint64_t>(origin), epoch);
+  const auto quarter = window / 4;
+  // [window/4, 3*window/4]: never zero (a zero threshold would flush a
+  // credit packet per byte) and never the full window (which would
+  // deadlock a sender waiting for credits the receiver never returns).
+  return quarter + static_cast<std::size_t>(
+                       unit * static_cast<double>(window - 2 * quarter + 1));
+}
+
+usec_t ScheduleController::fault_offset_us(std::uint64_t plan_seed) {
+  if (!enabled(SchedChoice::kFaultOffset)) return 0.0;
+  return 500.0 * mix_unit(SchedChoice::kFaultOffset, plan_seed, 0, 0);
+}
+
+ScheduleController* ScheduleController::current() {
+  bootstrap_from_env();
+  return g_current.load(std::memory_order_acquire);
+}
+
+ScheduleController* ScheduleController::install(std::uint64_t seed,
+                                                std::uint32_t mask) {
+  if (seed == 0) {
+    uninstall();
+    return nullptr;
+  }
+  auto controller = std::make_unique<ScheduleController>(seed, mask);
+  ScheduleController* raw = controller.get();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(std::move(controller));
+  }
+  g_current.store(raw, std::memory_order_release);
+  return raw;
+}
+
+void ScheduleController::uninstall() {
+  g_current.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace madmpi::sim

@@ -1,0 +1,144 @@
+// Deterministic schedule exploration (the interleaving fuzzer's core).
+//
+// The simulator is full of nondeterministic *choice points*: which polling
+// thread wakes first, how often each channel polls, which ready source a
+// poller drains next, when a receiver batches credit returns, and when a
+// fault plan fires relative to the traffic it hits. Host scheduling decides
+// none of the *outcomes* (virtual time does), but it decides the *order*,
+// and ordering bugs hide in orders a developer's machine never produces.
+//
+// A ScheduleController perturbs every one of those choice points from a
+// single seed. Every decision is a pure function of (seed, a stable
+// identity for the choice point, and a per-identity sequence number that
+// the caller derives from its own causal history) — never of host time,
+// host thread ids, or racy shared state. Two runs with the same seed
+// therefore make identical decisions at every choice point, which is what
+// makes a failing interleaving replayable bit-for-bit.
+//
+// The perturbation *mask* exists for shrinking: a failure found with all
+// choice points enabled is re-run with individual bits cleared (the
+// cleared choice point reverts to its unperturbed default) until a minimal
+// set of choice points that still reproduces the failure remains.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace madmpi::sim {
+
+/// The nondeterministic choice points the controller can perturb. Each one
+/// owns a bit in the perturbation mask.
+enum class SchedChoice : std::uint8_t {
+  kPollWakeup = 0,   // extra latency on a polling thread's wakeup
+  kPollFrequency,    // per-channel poll cost (interference) perturbation
+  kDeliveryOrder,    // bias among ready sources competing for delivery
+  kCreditBatch,      // credit-return batching threshold
+  kFaultOffset,      // fault-plan firing offset in virtual time
+  kCount,
+};
+
+const char* sched_choice_name(SchedChoice choice);
+
+inline constexpr std::uint32_t kSchedAllChoices =
+    (1u << static_cast<unsigned>(SchedChoice::kCount)) - 1u;
+
+inline constexpr std::uint32_t sched_bit(SchedChoice choice) {
+  return 1u << static_cast<unsigned>(choice);
+}
+
+class ScheduleController {
+ public:
+  explicit ScheduleController(std::uint64_t seed,
+                              std::uint32_t mask = kSchedAllChoices)
+      : seed_(seed), mask_(mask) {}
+
+  std::uint64_t seed() const { return seed_; }
+  std::uint32_t mask() const { return mask_; }
+  bool enabled(SchedChoice choice) const {
+    return seed_ != 0 && (mask_ & sched_bit(choice)) != 0;
+  }
+
+  // ---- decision functions ----------------------------------------------
+  // All pure in (seed, identity, sequence); the atomic counters below only
+  // tally how often each choice point fired (observability, not state).
+
+  /// Extra virtual latency charged to poller `channel` on node `node` for
+  /// its `wakeup_index`-th wakeup. Uniform in [0, 4) microseconds — enough
+  /// to reorder two pollers racing for the same arrival, small enough not
+  /// to distort bandwidth results.
+  usec_t poll_wakeup_jitter_us(node_id_t node, channel_id_t channel,
+                               std::uint64_t wakeup_index);
+
+  /// Per-channel perturbation of the registered poll cost (feeds the
+  /// interference model, so it shifts *every* wakeup on the node).
+  /// Uniform in [0, base_cost_us / 2].
+  usec_t poll_frequency_jitter_us(node_id_t node, channel_id_t channel,
+                                  usec_t base_cost_us);
+
+  /// Bias added to the arrival time of the message with sequence `seq`
+  /// from `src` when `dst` chooses which ready source to drain next.
+  /// Uniform in [0, 5) microseconds: reorders near-simultaneous arrivals
+  /// without starving anyone.
+  usec_t delivery_bias_us(node_id_t dst, node_id_t src, std::uint64_t seq);
+
+  /// The owed-bytes threshold at which a receiver flushes a credit return
+  /// to `origin`. `epoch` counts batches already flushed on this (me,
+  /// origin) pair. Uniform in [window/4, 3*window/4]; the unperturbed
+  /// default is window/2.
+  std::size_t credit_batch_threshold(node_id_t me, node_id_t origin,
+                                     std::uint64_t epoch, std::size_t window);
+
+  /// Virtual-time offset applied to every rule of a fault plan (its
+  /// outage windows and kill instants slide together). Uniform in
+  /// [0, 500) microseconds — wide enough to move a kill across protocol
+  /// phase boundaries (eager vs rendezvous handshake vs data push).
+  usec_t fault_offset_us(std::uint64_t plan_seed);
+
+  /// How many times each choice point has produced a decision.
+  std::uint64_t decisions(SchedChoice choice) const {
+    return decisions_[static_cast<std::size_t>(choice)].load(
+        std::memory_order_relaxed);
+  }
+
+  // ---- process-global registration -------------------------------------
+  // The hooks live deep in layers that have no construction-time path to a
+  // controller (poll servers, endpoints), so the active controller is a
+  // process global. Controllers are retired, never freed: a hook that
+  // loaded the pointer just before uninstall() must still be able to call
+  // through it.
+
+  /// The active controller, or nullptr when schedule perturbation is off.
+  /// First call bootstraps from MADMPI_SCHED_SEED if the env var is set.
+  static ScheduleController* current();
+
+  /// Install a controller for `seed` (0 uninstalls). Returns the active
+  /// controller, nullptr if seed was 0.
+  static ScheduleController* install(std::uint64_t seed,
+                                     std::uint32_t mask = kSchedAllChoices);
+
+  static void uninstall();
+
+ private:
+  /// The single mixing function every decision goes through: a splitmix64
+  /// finalizer over seed and identity words. Statistically independent
+  /// outputs for distinct identities, identical outputs for identical
+  /// (seed, identity) — the replay property in one function.
+  std::uint64_t mix(SchedChoice choice, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c);
+
+  /// mix() scaled to a double in [0, 1).
+  double mix_unit(SchedChoice choice, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c);
+
+  std::uint64_t seed_;
+  std::uint32_t mask_;
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(SchedChoice::kCount)>
+      decisions_{};
+};
+
+}  // namespace madmpi::sim

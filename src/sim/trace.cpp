@@ -51,9 +51,21 @@ void Tracer::clear() {
 
 std::string Tracer::to_csv() const {
   auto events = snapshot();
+  // Total order over the event *content*, not just time: events recorded
+  // by concurrent threads land in the buffer in host-scheduling order, so
+  // a time-only sort would leave ties in a nondeterministic order and the
+  // CSV would differ between replays of the same seed. Every field
+  // participates in the key, making the rendered trace a pure function of
+  // the set of events.
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.time_us < b.time_us;
+                     if (a.time_us != b.time_us) return a.time_us < b.time_us;
+                     if (a.node != b.node) return a.node < b.node;
+                     if (a.category != b.category) {
+                       return a.category < b.category;
+                     }
+                     if (a.bytes != b.bytes) return a.bytes < b.bytes;
+                     return std::strcmp(a.label, b.label) < 0;
                    });
   std::string out = "time_us,node,category,bytes,label\n";
   char line[128];

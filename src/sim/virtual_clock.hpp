@@ -13,11 +13,21 @@
 // timestamps, semaphore release stamps, and bind_lane() at thread spawn.
 // The clock itself keeps a monotone high-water mark over all lanes, which
 // is what external observers (tests, stats) read.
+//
+// lanes() exposes the live lanes themselves: the schedule-exploration
+// harness and the progress watchdog use it to see whether *any* thread on
+// a node is still advancing (a cheap progress fingerprint) instead of
+// guessing from the high-water mark alone, which a single busy lane can
+// pin while every other lane is stuck.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -31,41 +41,80 @@ class VirtualClock {
   VirtualClock(const VirtualClock&) = delete;
   VirtualClock& operator=(const VirtualClock&) = delete;
 
+  /// One live lane as seen by an observer: a process-unique id (stable for
+  /// the lane's lifetime, so successive snapshots correlate) and the
+  /// lane's current causal time.
+  struct LaneInfo {
+    std::uint64_t id = 0;
+    usec_t time = 0.0;
+  };
+
   /// The calling thread's causal time on this clock. A thread's first
   /// touch adopts the current high-water mark (right for observers and
   /// sequential phases; causally-spawned threads use bind_lane instead).
-  usec_t now() const { return lane().time; }
+  usec_t now() const { return lane().time.load(std::memory_order_relaxed); }
 
   /// Charge `dt` microseconds of local work to the caller's lane.
   usec_t advance(usec_t dt) {
     Lane& lane_ref = lane();
-    lane_ref.time += dt;
-    raise_high_water(lane_ref.time);
-    return lane_ref.time;
+    const usec_t t = lane_ref.time.load(std::memory_order_relaxed) + dt;
+    lane_ref.time.store(t, std::memory_order_release);
+    raise_high_water(t);
+    return t;
   }
 
   /// Move the caller's lane forward to at least `t` (message arrival,
   /// semaphore release stamp, ...). Never moves backwards.
   usec_t sync_to(usec_t t) {
     Lane& lane_ref = lane();
-    if (lane_ref.time < t) {
-      lane_ref.time = t;
+    const usec_t current = lane_ref.time.load(std::memory_order_relaxed);
+    if (current < t) {
+      lane_ref.time.store(t, std::memory_order_release);
       raise_high_water(t);
+      return t;
     }
-    return lane_ref.time;
+    return current;
   }
 
   /// Set the caller's lane explicitly — used at thread spawn to hand the
   /// new thread its causal birth time.
   void bind_lane(usec_t t) {
-    Lane& lane_ref = lane();
-    lane_ref.time = t;
+    lane().time.store(t, std::memory_order_release);
     raise_high_water(t);
   }
 
   /// Largest time any lane has reached (what tests and stats observe).
   usec_t high_water() const {
     return high_water_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of every live lane of the current generation, sorted by lane
+  /// id. Lanes of exited threads drop out (their shared state expires with
+  /// the thread-local map); lanes from before the last reset() are
+  /// filtered by generation. Times are racy reads of other threads' lanes
+  /// — fine for progress detection, not for causal reasoning.
+  std::vector<LaneInfo> lanes() const {
+    const std::uint64_t generation =
+        generation_.load(std::memory_order_acquire);
+    std::vector<LaneInfo> out;
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto survivor = registry_.begin();
+    for (auto it = registry_.begin(); it != registry_.end(); ++it) {
+      std::shared_ptr<Lane> strong = it->lock();
+      if (!strong) continue;  // thread exited: prune
+      // Guard the self-position case: weak_ptr move-assignment onto itself
+      // empties it (libstdc++ releases before stealing), which would
+      // silently deregister a live lane.
+      if (survivor != it) *survivor = std::move(*it);
+      ++survivor;
+      if (strong->generation != generation) continue;
+      out.push_back(
+          {strong->id, strong->time.load(std::memory_order_acquire)});
+    }
+    registry_.erase(survivor, registry_.end());
+    std::sort(out.begin(), out.end(),
+              [](const LaneInfo& a, const LaneInfo& b) { return a.id < b.id; });
+    return out;
   }
 
   /// Restart from `t`: bumps the generation so every thread's stale lane
@@ -77,20 +126,30 @@ class VirtualClock {
 
  private:
   struct Lane {
-    usec_t time = 0.0;
+    std::atomic<usec_t> time{0.0};
     std::uint64_t generation = 0;
+    std::uint64_t id = 0;
   };
 
   Lane& lane() const {
-    thread_local std::unordered_map<const VirtualClock*, Lane> lanes;
-    Lane& lane_ref = lanes[this];
+    thread_local std::unordered_map<const VirtualClock*,
+                                    std::shared_ptr<Lane>>
+        lanes;
+    std::shared_ptr<Lane>& slot = lanes[this];
     const std::uint64_t generation =
         generation_.load(std::memory_order_acquire);
-    if (lane_ref.generation != generation) {
-      lane_ref.generation = generation;
-      lane_ref.time = high_water();
+    if (!slot || slot->generation != generation) {
+      // A fresh Lane object per generation, not a reused one: dropping the
+      // old shared_ptr expires its registry entry, so a reset() can never
+      // leave one Lane registered twice.
+      slot = std::make_shared<Lane>();
+      slot->generation = generation;
+      slot->id = fresh_lane_id();
+      slot->time.store(high_water(), std::memory_order_release);
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      registry_.push_back(slot);
     }
-    return lane_ref;
+    return *slot;
   }
 
   void raise_high_water(usec_t t) {
@@ -113,8 +172,16 @@ class VirtualClock {
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
+  static std::uint64_t fresh_lane_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   std::atomic<usec_t> high_water_{0.0};
   std::atomic<std::uint64_t> generation_{fresh_generation()};
+  mutable std::mutex registry_mutex_;
+  mutable std::vector<std::weak_ptr<Lane>> registry_;
 };
 
 }  // namespace madmpi::sim
+

@@ -1,0 +1,158 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/sched.hpp"
+
+namespace madmpi::conformance {
+
+void Oracle::fail(const std::string& oracle, const std::string& detail) {
+  result_.violations.push_back({oracle, detail});
+}
+
+void Oracle::expect(bool cond, const std::string& oracle,
+                    const std::string& detail) {
+  if (!cond) fail(oracle, detail);
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& scenario : scenarios()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+ScenarioResult run_scenario(const Scenario& scenario, std::uint64_t seed,
+                            std::uint32_t mask) {
+  sim::ScheduleController::install(seed, mask);
+  Oracle oracle;
+  scenario.run(oracle);
+  sim::ScheduleController::uninstall();
+  return std::move(oracle).result();
+}
+
+SweepReport run_sweep(const Scenario& scenario, int seeds,
+                      std::uint64_t seed_base, std::uint32_t mask,
+                      bool shrink) {
+  SweepReport report;
+  report.scenario = scenario.name;
+  report.seed_base = seed_base;
+  report.seeds = seeds;
+  for (int i = 0; i < seeds; ++i) {
+    std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    if (seed == 0) seed = seed_base + static_cast<std::uint64_t>(seeds);
+    ScenarioResult result = run_scenario(scenario, seed, mask);
+    if (result.passed()) continue;
+    SweepFailure failure;
+    failure.seed = seed;
+    failure.mask = mask;
+    failure.shrunk_mask =
+        shrink ? shrink_mask(scenario, seed, mask) : mask;
+    failure.violations = std::move(result.violations);
+    report.failures.push_back(std::move(failure));
+  }
+  return report;
+}
+
+std::uint32_t shrink_mask(const Scenario& scenario, std::uint64_t seed,
+                          std::uint32_t failing_mask) {
+  // Greedy bisection over the choice-point bits: clear one bit at a time
+  // and keep it cleared whenever the failure reproduces without it. One
+  // pass suffices for a greedy minimum (each kept bit was re-validated
+  // against the final state of all earlier bits).
+  std::uint32_t mask = failing_mask;
+  for (unsigned bit = 0;
+       bit < static_cast<unsigned>(sim::SchedChoice::kCount); ++bit) {
+    const std::uint32_t candidate = mask & ~(1u << bit);
+    if (candidate == mask) continue;  // bit already clear
+    if (!run_scenario(scenario, seed, candidate).passed()) {
+      mask = candidate;
+    }
+  }
+  return mask;
+}
+
+namespace {
+
+void json_escape(std::ostringstream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void json_mask(std::ostringstream& out, std::uint32_t mask) {
+  out << "[";
+  bool first = true;
+  for (unsigned bit = 0;
+       bit < static_cast<unsigned>(sim::SchedChoice::kCount); ++bit) {
+    if ((mask & (1u << bit)) == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << '"'
+        << sim::sched_choice_name(static_cast<sim::SchedChoice>(bit))
+        << '"';
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<SweepReport>& reports) {
+  std::ostringstream out;
+  out << "{\n  \"sweeps\": [\n";
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    const SweepReport& report = reports[r];
+    out << "    {\n      \"scenario\": \"";
+    json_escape(out, report.scenario);
+    out << "\",\n      \"seed_base\": " << report.seed_base
+        << ",\n      \"seeds\": " << report.seeds
+        << ",\n      \"passed\": " << (report.passed() ? "true" : "false")
+        << ",\n      \"failures\": [";
+    for (std::size_t f = 0; f < report.failures.size(); ++f) {
+      const SweepFailure& failure = report.failures[f];
+      out << (f == 0 ? "\n" : ",\n") << "        {\"seed\": " << failure.seed
+          << ", \"mask\": " << failure.mask
+          << ", \"shrunk_mask\": " << failure.shrunk_mask
+          << ", \"shrunk_choices\": ";
+      json_mask(out, failure.shrunk_mask);
+      out << ", \"violations\": [";
+      for (std::size_t v = 0; v < failure.violations.size(); ++v) {
+        if (v != 0) out << ", ";
+        out << "{\"oracle\": \"";
+        json_escape(out, failure.violations[v].oracle);
+        out << "\", \"detail\": \"";
+        json_escape(out, failure.violations[v].detail);
+        out << "\"}";
+      }
+      out << "]}";
+    }
+    out << (report.failures.empty() ? "]" : "\n      ]");
+    out << "\n    }" << (r + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+int sweep_seed_count() {
+  const char* value = std::getenv("MADMPI_SCHED_SWEEP");
+  if (value == nullptr || *value == '\0') return 32;
+  const int seeds = std::atoi(value);
+  return seeds > 0 ? seeds : 32;
+}
+
+}  // namespace madmpi::conformance

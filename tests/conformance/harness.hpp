@@ -1,0 +1,110 @@
+// MPI conformance kit: scenarios, oracles, seed sweeps and mask shrinking.
+//
+// A *scenario* is a self-contained workload (its own Session, its own
+// fault plan) instrumented with *oracles* — MPI-semantics invariants that
+// must hold under every legal schedule: non-overtaking per (source, comm,
+// tag), matched-probe consistency, credit conservation at quiesce,
+// no-message-loss under survivable fault plans, watchdog-fires-iff-
+// unreachable. The harness runs a scenario under a ScheduleController
+// seeded from the sweep, so each seed explores one deterministic
+// interleaving; a failing seed replays bit-identically.
+//
+// When a seed fails, the harness *shrinks* the perturbation mask: it
+// re-runs the same seed with each choice-point bit cleared in turn,
+// keeping a bit cleared whenever the failure survives without it. The
+// minimal mask names the choice points that actually matter — "this
+// breaks under delivery-order perturbation alone" is a diagnosis, a
+// 5-bit mask dump is not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace madmpi::conformance {
+
+/// One oracle violation: which invariant broke and how.
+struct Violation {
+  std::string oracle;
+  std::string detail;
+};
+
+struct ScenarioResult {
+  std::vector<Violation> violations;
+  bool passed() const { return violations.empty(); }
+};
+
+/// Collects violations during a scenario run; passed to the scenario body.
+class Oracle {
+ public:
+  /// Record a violation of `oracle` (e.g. "non-overtaking").
+  void fail(const std::string& oracle, const std::string& detail);
+
+  /// expect(cond) sugar: records the violation when `cond` is false.
+  void expect(bool cond, const std::string& oracle,
+              const std::string& detail);
+
+  ScenarioResult result() && { return std::move(result_); }
+
+ private:
+  ScenarioResult result_;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// Runs the workload with a ScheduleController(seed, mask) installed
+  /// (seed 0 = unperturbed) and reports violations through the oracle.
+  void (*run)(Oracle& oracle);
+};
+
+/// The scenario registry (faults, flowcontrol, forwarding, watchdog,
+/// probe, nonovertaking — plus selftest, which violates its oracle for
+/// roughly half of all seeds by design, to prove the kit catches and
+/// shrinks real violations).
+const std::vector<Scenario>& scenarios();
+const Scenario* find_scenario(const std::string& name);
+
+/// Run one scenario under ScheduleController(seed, mask); installs before
+/// and uninstalls after, so scenarios compose with plain gtest runs.
+ScenarioResult run_scenario(const Scenario& scenario, std::uint64_t seed,
+                            std::uint32_t mask);
+
+/// A failing (seed, mask) pair, with the minimal mask that still fails.
+struct SweepFailure {
+  std::uint64_t seed = 0;
+  std::uint32_t mask = 0;
+  std::uint32_t shrunk_mask = 0;
+  std::vector<Violation> violations;
+};
+
+struct SweepReport {
+  std::string scenario;
+  std::uint64_t seed_base = 0;
+  int seeds = 0;
+  std::vector<SweepFailure> failures;
+  bool passed() const { return failures.empty(); }
+};
+
+/// Sweep `seeds` consecutive seeds starting at `seed_base` through the
+/// scenario, shrinking every failure. Seed 0 is skipped (it means
+/// "perturbation off"), so the sweep uses seed_base+1 .. seed_base+seeds
+/// when seed_base is 0.
+SweepReport run_sweep(const Scenario& scenario, int seeds,
+                      std::uint64_t seed_base, std::uint32_t mask,
+                      bool shrink = true);
+
+/// Greedy per-bit shrink: returns the minimal mask (subset of
+/// `failing_mask`) under which `seed` still fails the scenario.
+std::uint32_t shrink_mask(const Scenario& scenario, std::uint64_t seed,
+                          std::uint32_t failing_mask);
+
+/// Render sweep reports as a JSON artifact (the CI nightly uploads this;
+/// each failure records the scenario, seed, masks and violations needed
+/// to replay it with `madmpi_schedtest --scenario=S --replay=SEED`).
+std::string to_json(const std::vector<SweepReport>& reports);
+
+/// How many seeds a sweep runs by default: MADMPI_SCHED_SWEEP, or 32.
+int sweep_seed_count();
+
+}  // namespace madmpi::conformance

@@ -1,0 +1,478 @@
+// Conformance scenarios: workloads instrumented with MPI-semantics oracles,
+// designed to stay *correct under every legal schedule* — the sweep's job
+// is to find an interleaving where they are not.
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "core/session.hpp"
+#include "harness.hpp"
+#include "sim/fault.hpp"
+#include "sim/sched.hpp"
+
+namespace madmpi::conformance {
+namespace {
+
+using core::Session;
+using mpi::Comm;
+using mpi::Datatype;
+
+std::shared_ptr<sim::FaultPlan> install_plan(Session& session,
+                                             node_id_t node,
+                                             sim::Protocol protocol,
+                                             std::uint64_t seed) {
+  auto plan = std::make_shared<sim::FaultPlan>(seed);
+  sim::Nic* nic = session.fabric().find_nic(node, protocol);
+  if (nic == nullptr) return plan;
+  nic->mutable_model().fault_plan = plan;
+  return plan;
+}
+
+std::uint8_t pattern_byte(int src, std::uint64_t seq, std::size_t i) {
+  return static_cast<std::uint8_t>(
+      (static_cast<std::size_t>(src) * 131 + seq * 31 + i * 7 + 5) & 0xff);
+}
+
+// ---------------------------------------------------------- nonovertaking
+
+/// Every pair exchanges a numbered message train on ONE tag with sizes
+/// alternating across the eager/rendezvous switch point. MPI: two messages
+/// from the same source on the same (comm, tag) must match posted receives
+/// in send order — even though here they travel as different packet kinds
+/// over different code paths.
+void run_nonovertaking(Oracle& oracle) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::cluster_of_clusters(2, 2);
+  options.switch_point_override = 1024;  // 64 B eager, 4 KB rendezvous
+  Session session(std::move(options));
+
+  constexpr int kTrain = 8;
+  constexpr int kTag = 7;
+  const auto size_of = [](int seq) {
+    return static_cast<std::size_t>(seq % 2 == 0 ? 64 : 4096);
+  };
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    const int n = comm.size();
+    // Post every receive up front, in send order per source.
+    std::vector<mpi::Request> recvs;
+    std::vector<std::vector<std::uint8_t>> inbox;
+    std::vector<std::pair<int, int>> origin;  // (src, seq) per request
+    for (int src = 0; src < n; ++src) {
+      if (src == comm.rank()) continue;
+      for (int seq = 0; seq < kTrain; ++seq) {
+        inbox.emplace_back(size_of(seq));
+        auto& buffer = inbox.back();
+        recvs.push_back(comm.irecv(buffer.data(),
+                                   static_cast<int>(buffer.size()),
+                                   Datatype::uint8(), src, kTag));
+        origin.emplace_back(src, seq);
+      }
+    }
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == comm.rank()) continue;
+      for (int seq = 0; seq < kTrain; ++seq) {
+        std::vector<std::uint8_t> payload(size_of(seq));
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          payload[i] = pattern_byte(comm.rank(),
+                                    static_cast<std::uint64_t>(seq), i);
+        }
+        comm.send(payload.data(), static_cast<int>(payload.size()),
+                  Datatype::uint8(), dst, kTag);
+      }
+    }
+    for (std::size_t r = 0; r < recvs.size(); ++r) {
+      const auto status = recvs[r].wait();
+      const auto [src, seq] = origin[r];
+      const auto& buffer = inbox[r];
+      bool intact = status.error == ErrorCode::kOk &&
+                    status.bytes == buffer.size();
+      for (std::size_t i = 0; intact && i < buffer.size(); ++i) {
+        intact = buffer[i] ==
+                 pattern_byte(src, static_cast<std::uint64_t>(seq), i);
+      }
+      if (!intact) {
+        std::ostringstream what;
+        what << "rank " << comm.rank() << " recv #" << seq << " from "
+             << src << ": expected the seq-" << seq
+             << " payload in posting order, got a mismatch (bytes="
+             << status.bytes << ", error=" << static_cast<int>(status.error)
+             << ")";
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        oracle.fail("non-overtaking", what.str());
+      }
+    }
+  });
+}
+
+// ------------------------------------------------------------------ probe
+
+/// Matched-probe consistency: what MPI_Probe reports (source, tag, size)
+/// must be exactly what the subsequent receive for that (source, tag)
+/// delivers — the probe pinned a specific message, not a description of
+/// "something pending".
+void run_probe(Oracle& oracle) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kTcp);
+  Session session(std::move(options));
+
+  constexpr int kMessages = 12;
+  const auto size_of = [](int seq) {
+    return static_cast<std::size_t>((seq * 37) % 977 + 1);
+  };
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    if (comm.rank() == 0) {
+      for (int seq = 0; seq < kMessages; ++seq) {
+        std::vector<std::uint8_t> payload(size_of(seq));
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          payload[i] = pattern_byte(0, static_cast<std::uint64_t>(seq), i);
+        }
+        comm.send(payload.data(), static_cast<int>(payload.size()),
+                  Datatype::uint8(), 1, seq % 3);
+      }
+    } else {
+      for (int got = 0; got < kMessages; ++got) {
+        const auto probed = comm.probe(mpi::kAnySource, mpi::kAnyTag);
+        std::vector<std::uint8_t> buffer(probed.bytes);
+        const auto status =
+            comm.recv(buffer.data(), static_cast<int>(buffer.size()),
+                      Datatype::uint8(), probed.source, probed.tag);
+        std::ostringstream what;
+        what << "probe said (src=" << probed.source << ", tag=" << probed.tag
+             << ", bytes=" << probed.bytes << "), recv delivered (src="
+             << status.source << ", tag=" << status.tag << ", bytes="
+             << status.bytes << ", error=" << static_cast<int>(status.error)
+             << ")";
+        const bool consistent = status.error == ErrorCode::kOk &&
+                                status.source == probed.source &&
+                                status.tag == probed.tag &&
+                                status.bytes == probed.bytes;
+        if (!consistent) {
+          std::lock_guard<std::mutex> lock(oracle_mutex);
+          oracle.fail("probe-consistency", what.str());
+        }
+      }
+    }
+  });
+}
+
+// ------------------------------------------------------------ flowcontrol
+
+/// Credit conservation: after traffic quiesces, every byte of every
+/// per-peer credit window is either back in the sender's account or still
+/// owed by the receiver — under frame drops, retransmissions, and a
+/// perturbed credit-batching threshold.
+void run_flowcontrol(Oracle& oracle) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kTcp);
+  options.credit_window_bytes = 1024;
+  Session session(std::move(options));
+  install_plan(session, 0, sim::Protocol::kTcp, 21)->drop(0.15);
+  install_plan(session, 1, sim::Protocol::kTcp, 22)->drop(0.15);
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    std::vector<std::uint8_t> out(200, 0x5a);
+    std::vector<std::uint8_t> in(200);
+    const int peer = 1 - comm.rank();
+    for (int round = 0; round < 15; ++round) {
+      if (comm.rank() == 0) {
+        comm.send(out.data(), static_cast<int>(out.size()),
+                  Datatype::uint8(), peer, round);
+        comm.recv(in.data(), static_cast<int>(in.size()), Datatype::uint8(),
+                  peer, round);
+      } else {
+        comm.recv(in.data(), static_cast<int>(in.size()), Datatype::uint8(),
+                  peer, round);
+        comm.send(out.data(), static_cast<int>(out.size()),
+                  Datatype::uint8(), peer, round);
+      }
+      if (std::memcmp(in.data(), out.data(), in.size()) != 0) {
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        oracle.fail("no-message-loss",
+                    "payload corrupted in round " + std::to_string(round));
+      }
+    }
+  });
+
+  core::ChMadDevice* device = session.ch_mad();
+  if (device == nullptr) {
+    oracle.fail("credit-conservation", "no ch_mad device in the session");
+    return;
+  }
+  const std::size_t window = device->credit_window();
+  session.finalize();  // join in-flight credit threads before the audit
+  for (node_id_t a = 0; a <= 1; ++a) {
+    const node_id_t b = 1 - a;
+    const std::size_t available = device->credits_available(a, b);
+    const std::size_t owed = device->credits_pending_return(b, a);
+    if (available + owed != window) {
+      std::ostringstream what;
+      what << "direction " << static_cast<int>(a) << "->"
+           << static_cast<int>(b) << ": available " << available
+           << " + owed " << owed << " != window " << window;
+      oracle.fail("credit-conservation", what.str());
+    }
+  }
+}
+
+// ----------------------------------------------------------------- faults
+
+/// Survivable fault plan: the SCI link dies mid-run (the kill instant
+/// itself is a perturbed choice point), but a TCP network always remains.
+/// Oracle: no message loss — every send reports success and every payload
+/// arrives intact, whichever protocol phase the kill interrupts.
+void run_faults(Oracle& oracle) {
+  sim::ClusterSpec spec;
+  spec.nodes.push_back({"a"});
+  spec.nodes.push_back({"b"});
+  sim::NetworkSpec sci;
+  sci.protocol = sim::Protocol::kSisci;
+  sci.members = {"a", "b"};
+  sim::NetworkSpec tcp;
+  tcp.protocol = sim::Protocol::kTcp;
+  tcp.members = {"a", "b"};
+  spec.networks = {sci, tcp};
+  Session::Options options;
+  options.cluster = std::move(spec);
+  Session session(std::move(options));
+  install_plan(session, 0, sim::Protocol::kSisci, 5)->kill_at(500.0);
+  install_plan(session, 1, sim::Protocol::kSisci, 5)->kill_at(500.0);
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    const int peer = 1 - comm.rank();
+    for (int round = 0; round < 30; ++round) {
+      // Mix of eager rounds and one rendezvous round so the slide of the
+      // kill instant can land inside either protocol's exchange.
+      const std::size_t bytes =
+          round == 10 ? std::size_t{64} * 1024 : std::size_t{256};
+      std::vector<std::uint8_t> out(bytes);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        out[i] = pattern_byte(peer, static_cast<std::uint64_t>(round), i);
+      }
+      std::vector<std::uint8_t> in(bytes);
+      Status send_status = Status::ok();
+      mpi::MpiStatus recv_status;
+      if (comm.rank() == 0) {
+        send_status = comm.send(out.data(), static_cast<int>(bytes),
+                                Datatype::uint8(), peer, round);
+        recv_status = comm.recv(in.data(), static_cast<int>(bytes),
+                                Datatype::uint8(), peer, round);
+      } else {
+        recv_status = comm.recv(in.data(), static_cast<int>(bytes),
+                                Datatype::uint8(), peer, round);
+        send_status = comm.send(out.data(), static_cast<int>(bytes),
+                                Datatype::uint8(), peer, round);
+      }
+      std::vector<std::uint8_t> expected(bytes);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        expected[i] =
+            pattern_byte(comm.rank(), static_cast<std::uint64_t>(round), i);
+      }
+      const bool ok = send_status.is_ok() &&
+                      recv_status.error == ErrorCode::kOk &&
+                      std::memcmp(in.data(), expected.data(), bytes) == 0;
+      if (!ok) {
+        std::ostringstream what;
+        what << "rank " << comm.rank() << " round " << round << " ("
+             << bytes << " B): send=" << static_cast<int>(send_status.code())
+             << " recv=" << static_cast<int>(recv_status.error)
+             << " — the surviving TCP route must deliver everything";
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        oracle.fail("no-message-loss", what.str());
+      }
+    }
+  });
+}
+
+// ------------------------------------------------------------- forwarding
+
+/// Gateway forwarding: the endpoints share no network, every message is
+/// relayed. Ordering and integrity must survive the extra hop (and the
+/// relay node's own perturbed pollers).
+void run_forwarding(Oracle& oracle) {
+  sim::ClusterSpec spec;
+  for (const char* name : {"n0", "n1", "n2"}) {
+    sim::NodeSpec node;
+    node.name = name;
+    spec.nodes.push_back(node);
+  }
+  spec.networks.push_back({sim::Protocol::kSisci, 0, {"n0", "n1"}});
+  spec.networks.push_back({sim::Protocol::kTcp, 0, {"n1", "n2"}});
+  Session::Options options;
+  options.cluster = std::move(spec);
+  options.enable_forwarding = true;
+  Session session(std::move(options));
+
+  constexpr int kTrain = 10;
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    if (comm.rank() == 1) return;  // the gateway only relays
+    const int peer = comm.rank() == 0 ? 2 : 0;
+    std::vector<mpi::Request> recvs;
+    std::vector<std::vector<std::uint8_t>> inbox;
+    for (int seq = 0; seq < kTrain; ++seq) {
+      inbox.emplace_back(static_cast<std::size_t>(128 + seq));
+      auto& buffer = inbox.back();
+      recvs.push_back(comm.irecv(buffer.data(),
+                                 static_cast<int>(buffer.size()),
+                                 Datatype::uint8(), peer, 3));
+    }
+    for (int seq = 0; seq < kTrain; ++seq) {
+      std::vector<std::uint8_t> payload(static_cast<std::size_t>(128 + seq));
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = pattern_byte(comm.rank(),
+                                  static_cast<std::uint64_t>(seq), i);
+      }
+      comm.send(payload.data(), static_cast<int>(payload.size()),
+                Datatype::uint8(), peer, 3);
+    }
+    for (int seq = 0; seq < kTrain; ++seq) {
+      const auto status = recvs[static_cast<std::size_t>(seq)].wait();
+      const auto& buffer = inbox[static_cast<std::size_t>(seq)];
+      bool intact = status.error == ErrorCode::kOk &&
+                    status.bytes == buffer.size();
+      for (std::size_t i = 0; intact && i < buffer.size(); ++i) {
+        intact = buffer[i] ==
+                 pattern_byte(peer, static_cast<std::uint64_t>(seq), i);
+      }
+      if (!intact) {
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        oracle.fail("non-overtaking",
+                    "relayed message " + std::to_string(seq) +
+                        " arrived out of order or corrupted");
+      }
+    }
+  });
+}
+
+// --------------------------------------------------------------- watchdog
+
+/// Watchdog-fires-iff-unreachable: the route from rank 1 to rank 0 is
+/// killed, so rank 0's receive from rank 1 MUST time out; the rank 0 <->
+/// rank 2 traffic is healthy and MUST NOT be cancelled. Both directions of
+/// the iff, in one run.
+void run_watchdog(Oracle& oracle) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(3, sim::Protocol::kTcp);
+  options.watchdog_horizon_us = 2000.0;
+  Session session(std::move(options));
+  // Directed kill on node 1's NIC: 1 -> 0 dies at t=0 (the schedule's
+  // fault offset may slide it, which is why rank 1 pushes its clock well
+  // past any possible slide below).
+  install_plan(session, 1, sim::Protocol::kTcp, 0)
+      ->kill_at(0.0, /*src=*/1, /*dst=*/0);
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    if (comm.rank() == 1) {
+      // Nothing to send: just advance this node's clock beyond the largest
+      // possible fault-offset slide so the failure detector's oracle (which
+      // reads this node's virtual time) sees the kill as fired.
+      comm.compute_us(5000.0);
+      return;
+    }
+    if (comm.rank() == 0) {
+      int value = -1;
+      const auto status = comm.recv(&value, 1, Datatype::int32(), 1, 0);
+      if (status.error != ErrorCode::kTimedOut) {
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        oracle.fail("watchdog-iff-unreachable",
+                    "recv from the severed peer returned error " +
+                        std::to_string(static_cast<int>(status.error)) +
+                        " instead of timing out");
+      }
+    }
+    // Healthy ranks 0 and 2 exchange traffic that must never be cancelled.
+    if (comm.rank() == 0 || comm.rank() == 2) {
+      const int peer = comm.rank() == 0 ? 2 : 0;
+      std::vector<std::uint8_t> out(128, 0x11);
+      std::vector<std::uint8_t> in(128);
+      for (int round = 0; round < 6; ++round) {
+        Status send_status = Status::ok();
+        mpi::MpiStatus recv_status;
+        if (comm.rank() == 0) {
+          send_status = comm.send(out.data(), 128, Datatype::uint8(), peer,
+                                  100 + round);
+          recv_status = comm.recv(in.data(), 128, Datatype::uint8(), peer,
+                                  100 + round);
+        } else {
+          recv_status = comm.recv(in.data(), 128, Datatype::uint8(), peer,
+                                  100 + round);
+          send_status = comm.send(out.data(), 128, Datatype::uint8(), peer,
+                                  100 + round);
+        }
+        if (!send_status.is_ok() || recv_status.error != ErrorCode::kOk) {
+          std::lock_guard<std::mutex> lock(oracle_mutex);
+          oracle.fail("watchdog-iff-unreachable",
+                      "healthy 0<->2 traffic failed in round " +
+                          std::to_string(round) +
+                          " — the watchdog cancelled a reachable operation");
+        }
+      }
+    }
+  });
+  session.finalize();
+  if (session.watchdog_cancels() < 1) {
+    oracle.fail("watchdog-iff-unreachable",
+                "the watchdog never fired although rank 1 was unreachable");
+  }
+}
+
+// ---------------------------------------------------------------- selftest
+
+/// Deliberately broken "application": it treats the delivery-order bias of
+/// one fixed message identity as an invariant, which half of all seeds
+/// violate. Exists to prove the kit END TO END: the sweep must catch it,
+/// the recorded seed must replay it, and the shrinker must isolate the
+/// delivery-order choice point as the only one that matters.
+void run_selftest(Oracle& oracle) {
+  auto* sched = sim::ScheduleController::current();
+  if (sched == nullptr) return;  // unperturbed runs are fine by definition
+  const usec_t bias = sched->delivery_bias_us(/*dst=*/0, /*src=*/1,
+                                              /*seq=*/0);
+  if (bias > 2.5) {
+    std::ostringstream what;
+    what << "injected violation: delivery bias " << bias
+         << " us for message (dst=0, src=1, seq=0) exceeded the planted "
+            "2.5 us invariant (seed "
+         << sched->seed() << ")";
+    oracle.fail("selftest", what.str());
+  }
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> all = {
+      {"nonovertaking",
+       "message trains across the eager/rendezvous switch stay in order",
+       &run_nonovertaking},
+      {"probe",
+       "MPI_Probe reports exactly the message the next receive delivers",
+       &run_probe},
+      {"flowcontrol",
+       "credit windows conserve every byte at quiesce, under drops",
+       &run_flowcontrol},
+      {"faults",
+       "a survivable link kill loses no messages (failover to TCP)",
+       &run_faults},
+      {"forwarding",
+       "gateway-relayed trains arrive ordered and intact", &run_forwarding},
+      {"watchdog",
+       "the watchdog cancels unreachable operations and only those",
+       &run_watchdog},
+      {"selftest",
+       "planted violation: proves the sweep catches, replays and shrinks",
+       &run_selftest},
+  };
+  return all;
+}
+
+}  // namespace madmpi::conformance

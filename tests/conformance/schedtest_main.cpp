@@ -1,0 +1,203 @@
+// madmpi_schedtest: the schedule-exploration sweep driver.
+//
+//   madmpi_schedtest --list
+//   madmpi_schedtest --scenario=faults --seeds=32 --json=failures.json
+//   madmpi_schedtest --scenario=all
+//   madmpi_schedtest --scenario=faults --replay=17
+//
+// Sweeps N seeds per scenario through the ScheduleController, shrinks every
+// failure to the minimal choice-point mask that reproduces it, and writes a
+// JSON artifact of failing seeds (what the CI nightly uploads). --replay
+// reruns one recorded seed and prints the violations, for debugging a red
+// sweep locally. Exit status: 0 when every swept seed passed, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "sim/sched.hpp"
+
+namespace {
+
+using namespace madmpi;
+using namespace madmpi::conformance;
+
+void print_usage() {
+  std::cout
+      << "usage: madmpi_schedtest [options]\n"
+         "  --list              list scenarios and exit\n"
+         "  --scenario=NAME     scenario to sweep (or 'all'; default: all\n"
+         "                      except selftest, which fails by design)\n"
+         "  --seeds=N           seeds per scenario (default: "
+         "MADMPI_SCHED_SWEEP or 32)\n"
+         "  --seed-base=B       first seed of the sweep (default: 1)\n"
+         "  --mask=M            perturbation mask (default: all "
+      << sim::kSchedAllChoices
+      << ")\n"
+         "  --json=PATH         write the failing-seeds artifact to PATH\n"
+         "  --replay=SEED       run one seed of --scenario, print "
+         "violations, shrink\n"
+         "  --no-shrink         skip mask shrinking on failures\n";
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+std::vector<const Scenario*> select_scenarios(const std::string& name) {
+  std::vector<const Scenario*> selected;
+  if (name == "all") {
+    for (const Scenario& scenario : scenarios()) {
+      // selftest exists to prove the kit catches violations; a default
+      // sweep must stay green, so it only runs when named explicitly.
+      if (scenario.name != "selftest") selected.push_back(&scenario);
+    }
+  } else if (const Scenario* scenario = find_scenario(name)) {
+    selected.push_back(scenario);
+  }
+  return selected;
+}
+
+int replay(const Scenario& scenario, std::uint64_t seed, std::uint32_t mask,
+           bool shrink) {
+  std::cout << "replaying " << scenario.name << " seed=" << seed
+            << " mask=" << mask << "\n";
+  ScenarioResult result = run_scenario(scenario, seed, mask);
+  if (result.passed()) {
+    std::cout << "PASSED: no violations at this seed\n";
+    return 0;
+  }
+  for (const Violation& violation : result.violations) {
+    std::cout << "VIOLATION [" << violation.oracle << "] "
+              << violation.detail << "\n";
+  }
+  if (shrink) {
+    const std::uint32_t minimal = shrink_mask(scenario, seed, mask);
+    std::cout << "shrunk mask: " << minimal << " (";
+    bool first = true;
+    for (unsigned bit = 0;
+         bit < static_cast<unsigned>(sim::SchedChoice::kCount); ++bit) {
+      if ((minimal & (1u << bit)) == 0) continue;
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << sim::sched_choice_name(
+          static_cast<sim::SchedChoice>(bit));
+    }
+    std::cout << ")\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "all";
+  int seeds = sweep_seed_count();
+  std::uint64_t seed_base = 1;
+  std::uint32_t mask = sim::kSchedAllChoices;
+  std::string json_path;
+  bool shrink = true;
+  bool list = false;
+  std::uint64_t replay_seed = 0;
+  bool do_replay = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+      shrink = false;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      print_usage();
+      return 0;
+    } else if (parse_flag(argv[i], "--scenario", &value)) {
+      scenario_name = value;
+    } else if (parse_flag(argv[i], "--seeds", &value)) {
+      seeds = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--seed-base", &value)) {
+      seed_base = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--mask", &value)) {
+      mask = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 0));
+    } else if (parse_flag(argv[i], "--json", &value)) {
+      json_path = value;
+    } else if (parse_flag(argv[i], "--replay", &value)) {
+      do_replay = true;
+      replay_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::cerr << "unknown option: " << argv[i] << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const Scenario& scenario : scenarios()) {
+      std::cout << scenario.name << "\t" << scenario.description << "\n";
+    }
+    return 0;
+  }
+  if (seeds <= 0) {
+    std::cerr << "--seeds must be positive\n";
+    return 2;
+  }
+
+  const std::vector<const Scenario*> selected =
+      select_scenarios(scenario_name);
+  if (selected.empty()) {
+    std::cerr << "unknown scenario '" << scenario_name
+              << "' (--list shows the registry)\n";
+    return 2;
+  }
+
+  if (do_replay) {
+    if (selected.size() != 1) {
+      std::cerr << "--replay needs a single --scenario=NAME\n";
+      return 2;
+    }
+    return replay(*selected.front(), replay_seed, mask, shrink);
+  }
+
+  std::vector<SweepReport> reports;
+  bool all_passed = true;
+  for (const Scenario* scenario : selected) {
+    std::cout << "sweeping " << scenario->name << ": " << seeds
+              << " seeds from " << seed_base << ", mask " << mask << " ... "
+              << std::flush;
+    SweepReport report = run_sweep(*scenario, seeds, seed_base, mask, shrink);
+    std::cout << (report.passed()
+                      ? "ok"
+                      : std::to_string(report.failures.size()) + " FAILING")
+              << "\n";
+    for (const SweepFailure& failure : report.failures) {
+      all_passed = false;
+      std::cout << "  seed " << failure.seed << " (shrunk mask "
+                << failure.shrunk_mask << "): replay with --scenario="
+                << scenario->name << " --replay=" << failure.seed << "\n";
+      for (const Violation& violation : failure.violations) {
+        std::cout << "    [" << violation.oracle << "] " << violation.detail
+                  << "\n";
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << to_json(reports);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return all_passed ? 0 : 1;
+}

@@ -1,0 +1,193 @@
+// MPI error-handler semantics under failures: a custom handler runs
+// exactly once per failed user-visible operation (collectives included,
+// despite their nested implementations), MPI_ERRORS_RETURN propagates
+// through collectives, and handlers are inherited across MPI_Comm_dup.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/session.hpp"
+#include "mpi/compat.hpp"
+#include "sim/fault.hpp"
+
+namespace madmpi {
+namespace {
+
+using core::Session;
+using mpi::Comm;
+using mpi::Datatype;
+
+std::shared_ptr<sim::FaultPlan> install_plan(Session& session,
+                                             node_id_t node,
+                                             sim::Protocol protocol,
+                                             std::uint64_t seed) {
+  auto plan = std::make_shared<sim::FaultPlan>(seed);
+  sim::Nic* nic = session.fabric().find_nic(node, protocol);
+  EXPECT_NE(nic, nullptr);
+  nic->mutable_model().fault_plan = plan;
+  return plan;
+}
+
+/// Two nodes on TCP; node 0's NIC is killed at t=0, so the 0->1 direction
+/// is dead (1->0 stays alive) and any wait on data from rank 0 is
+/// watchdog-cancelled within the horizon.
+std::unique_ptr<Session> severed_pair() {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kTcp);
+  options.watchdog_horizon_us = 2000.0;
+  auto session = std::make_unique<Session>(std::move(options));
+  install_plan(*session, 0, sim::Protocol::kTcp, 0)->kill_at(0.0);
+  return session;
+}
+
+TEST(Errhandler, CustomHandlerRunsOncePerFailedPointToPoint) {
+  auto session = severed_pair();
+  std::atomic<int> handled{0};
+  session->run([&](Comm comm) {
+    if (comm.rank() != 1) return;
+    comm.set_errhandler(mpi::Errhandler::custom(
+        [&](ErrorCode, const std::string&) { handled.fetch_add(1); }));
+    int value = 0;
+    // Two independent failed receives: the handler must run once each.
+    EXPECT_EQ(comm.recv(&value, 1, Datatype::int32(), 0, 0).error,
+              ErrorCode::kTimedOut);
+    EXPECT_EQ(handled.load(), 1);
+    EXPECT_EQ(comm.recv(&value, 1, Datatype::int32(), 0, 1).error,
+              ErrorCode::kTimedOut);
+    EXPECT_EQ(handled.load(), 2);
+  });
+}
+
+TEST(Errhandler, CustomHandlerRunsOncePerFailedCollective) {
+  // allreduce = reduce + bcast internally. The reduce phase (rank 1 sends
+  // towards root 0 over the live 1->0 direction) succeeds; the bcast phase
+  // (rank 1 waits on dead 0->1) is cancelled. The handler must fire ONCE
+  // for the whole allreduce — not once per nested phase, and not zero
+  // times because a nested call already consumed the error.
+  auto session = severed_pair();
+  std::atomic<int> handled{0};
+  std::atomic<bool> saw_timeout{false};
+  session->run([&](Comm comm) {
+    if (comm.rank() != 1) return;
+    comm.set_errhandler(mpi::Errhandler::custom(
+        [&](ErrorCode code, const std::string&) {
+          handled.fetch_add(1);
+          if (code == ErrorCode::kTimedOut) saw_timeout.store(true);
+        }));
+    int mine = 3, sum = 0;
+    const Status status =
+        comm.allreduce(&mine, &sum, 1, Datatype::int32(), mpi::Op::sum());
+    EXPECT_FALSE(status.is_ok());
+    EXPECT_EQ(handled.load(), 1);
+  });
+  EXPECT_TRUE(saw_timeout.load());
+}
+
+TEST(Errhandler, ErrorsReturnPropagatesThroughEveryCollectivePhase) {
+  // Default C++ handler is errors_return: the collective's Status carries
+  // the failure out without aborting, on both the waiting rank and the
+  // sending root whose route is dead.
+  auto session = severed_pair();
+  session->run([&](Comm comm) {
+    int value = comm.rank();
+    const Status status = comm.bcast(&value, 1, Datatype::int32(), 0);
+    EXPECT_FALSE(status.is_ok()) << "rank " << comm.rank();
+  });
+}
+
+TEST(Errhandler, DupInheritsTheCustomHandler) {
+  auto session = severed_pair();
+  std::atomic<int> handled{0};
+  session->run([&](Comm comm) {
+    if (comm.rank() != 1) return;
+    comm.set_errhandler(mpi::Errhandler::custom(
+        [&](ErrorCode, const std::string&) { handled.fetch_add(1); }));
+    Comm clone = comm.dup();  // MPI §8.3: the handler travels with dup
+    int value = 0;
+    EXPECT_EQ(clone.recv(&value, 1, Datatype::int32(), 0, 0).error,
+              ErrorCode::kTimedOut);
+    EXPECT_EQ(handled.load(), 1);
+    // And the original is unaffected by anything the clone did.
+    EXPECT_EQ(comm.recv(&value, 1, Datatype::int32(), 0, 0).error,
+              ErrorCode::kTimedOut);
+    EXPECT_EQ(handled.load(), 2);
+  });
+}
+
+// ----------------------------------------------------------- compat layer
+
+int g_handler_calls = 0;
+int g_handler_code = MPI_SUCCESS;
+
+void count_errors(MPI_Comm*, int* code) {
+  ++g_handler_calls;
+  g_handler_code = *code;
+}
+
+TEST(Errhandler, CompatErrorsReturnThroughCollectives) {
+  // One failed collective per session: the first failure exhausts failover
+  // and tears the only route down, so a second collective on the same
+  // session would be a topology error (peer unreachable), not a delivery
+  // failure with a Status to return.
+  for (const int which : {0, 1}) {
+    auto session = severed_pair();
+    session->run([which](Comm world) {
+      compat::bind_world(std::move(world));
+      MPI_Init(nullptr, nullptr);
+      // Both ranks must switch off the fatal default before the
+      // collective: the root's send fails too (its route to 1 is dead).
+      MPI_Comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);
+      int value = 1;
+      if (which == 0) {
+        EXPECT_NE(MPI_Bcast(&value, 1, MPI_INT, 0, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+      } else {
+        int sum = 0;
+        EXPECT_NE(MPI_Allreduce(&value, &sum, 1, MPI_INT, MPI_SUM,
+                                MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+      }
+      MPI_Finalize();
+      compat::unbind_world();
+    });
+  }
+}
+
+TEST(Errhandler, CompatDupInheritsHandlerAndInvokesItOnce) {
+  g_handler_calls = 0;
+  g_handler_code = MPI_SUCCESS;
+  auto session = severed_pair();
+  session->run([](Comm world) {
+    compat::bind_world(std::move(world));
+    MPI_Init(nullptr, nullptr);
+    int rank = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 1) {
+      MPI_Errhandler handler = MPI_ERRHANDLER_NULL;
+      MPI_Comm_create_errhandler(&count_errors, &handler);
+      MPI_Comm_set_errhandler(MPI_COMM_WORLD, handler);
+
+      MPI_Comm clone = MPI_COMM_NULL;
+      MPI_Comm_dup(MPI_COMM_WORLD, &clone);
+      MPI_Errhandler inherited = MPI_ERRHANDLER_NULL;
+      MPI_Comm_get_errhandler(clone, &inherited);
+      EXPECT_EQ(inherited, handler);
+
+      int value = 0;
+      const int rc = MPI_Recv(&value, 1, MPI_INT, 0, 0, clone,
+                              MPI_STATUS_IGNORE);
+      EXPECT_EQ(rc, MPI_ERR_OTHER);
+      EXPECT_EQ(g_handler_calls, 1);
+      EXPECT_EQ(g_handler_code, MPI_ERR_OTHER);
+      MPI_Errhandler_free(&handler);
+      MPI_Comm_free(&clone);
+    }
+    MPI_Finalize();
+    compat::unbind_world();
+  });
+}
+
+}  // namespace
+}  // namespace madmpi

@@ -87,6 +87,59 @@ TEST(VirtualClock, Reset) {
   EXPECT_EQ(clock.now(), 1.0);
 }
 
+TEST(VirtualClock, LanesEnumeratesLiveLanes) {
+  // lanes() is the introspection hook the progress fingerprint and the
+  // schedule harness read: one entry per live lane, sorted by id, times
+  // matching what each thread reached.
+  VirtualClock clock;
+  clock.advance(10.0);
+  std::thread worker([&clock] {
+    clock.bind_lane(0.0);
+    clock.advance(3.0);
+    const auto seen = clock.lanes();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_LT(seen[0].id, seen[1].id);
+    // Sorted by id = creation order: the main thread's lane first.
+    EXPECT_DOUBLE_EQ(seen[0].time, 10.0);
+    EXPECT_DOUBLE_EQ(seen[1].time, 3.0);
+  });
+  worker.join();
+}
+
+TEST(VirtualClock, LanesDropExitedThreadsAndOldGenerations) {
+  VirtualClock clock;
+  clock.advance(1.0);
+  std::thread worker([&clock] {
+    clock.bind_lane(0.0);
+    clock.advance(2.0);
+  });
+  worker.join();
+  // The worker's lane expired with its thread.
+  auto seen = clock.lanes();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_DOUBLE_EQ(seen[0].time, 1.0);
+  // reset() bumps the generation: the old lane no longer counts, and the
+  // next touch registers a fresh one.
+  clock.reset();
+  EXPECT_TRUE(clock.lanes().empty());
+  clock.advance(4.0);
+  seen = clock.lanes();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_DOUBLE_EQ(seen[0].time, 4.0);
+}
+
+TEST(VirtualClock, LaneIdsAreStableAcrossSnapshots) {
+  VirtualClock clock;
+  clock.advance(1.0);
+  const auto before = clock.lanes();
+  clock.advance(1.0);
+  const auto after = clock.lanes();
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(before[0].id, after[0].id);  // successive snapshots correlate
+  EXPECT_DOUBLE_EQ(after[0].time, 2.0);
+}
+
 TEST(CostModel, FactoriesMatchProtocol) {
   EXPECT_EQ(tcp_fast_ethernet_model().protocol, Protocol::kTcp);
   EXPECT_EQ(sisci_sci_model().protocol, Protocol::kSisci);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 
 #include "common/rng.hpp"
@@ -15,9 +16,25 @@ using core::Session;
 using mpi::Comm;
 using mpi::Datatype;
 
+/// Seed for the randomized stress streams. Deterministic by default so a
+/// failure reproduces, overridable (MADMPI_STRESS_SEED=n) so sweeps can
+/// explore other size patterns; always echoed through SCOPED_TRACE so a
+/// red run records which stream it was on.
+std::uint64_t stress_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("MADMPI_STRESS_SEED");
+    if (env != nullptr && *env != '\0') {
+      return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+    }
+    return static_cast<std::uint64_t>(777);
+  }();
+  return seed;
+}
+
 TEST(Stress, RandomTrafficStormOnHeterogeneousCluster) {
   // 12 ranks across SCI/Myrinet/TCP + smp_plug; every rank sends a
   // checksummed random-size message to every other rank per round.
+  SCOPED_TRACE("MADMPI_STRESS_SEED=" + std::to_string(stress_seed()));
   Session::Options options;
   options.cluster = sim::ClusterSpec::cluster_of_clusters(2, 2, 3);
   Session session(std::move(options));
@@ -25,7 +42,8 @@ TEST(Stress, RandomTrafficStormOnHeterogeneousCluster) {
 
   session.run([](Comm comm) {
     const int n = comm.size();
-    Rng rng(777);  // same stream everywhere: sizes are globally agreed
+    // Same stream on every rank: sizes are globally agreed.
+    Rng rng(stress_seed());
     for (int round = 0; round < kRounds; ++round) {
       // sizes[src][dst]
       std::vector<std::vector<std::size_t>> sizes(
@@ -69,7 +87,8 @@ TEST(Stress, RandomTrafficStormOnHeterogeneousCluster) {
                     static_cast<std::uint8_t>(
                         (src * 31 + comm.rank() * 7 + static_cast<int>(i)) &
                         0xff))
-              << "round " << round << " src " << src << " byte " << i;
+              << "round " << round << " src " << src << " byte " << i
+              << " (MADMPI_STRESS_SEED=" << stress_seed() << ")";
         }
       }
     }
