@@ -63,29 +63,50 @@ double pingpong_with_blocks(core::Session& session, mad::Channel& channel,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kTotal = 1024;
   std::printf("One-way time (us) for a %zu B message split into N blocks\n",
               kTotal);
   std::printf("%-8s %8s %8s %8s %8s %14s\n", "proto", "1", "2", "4", "8",
               "us_per_block");
+  std::vector<bench::JsonColumn> columns{{"blocks", {1, 2, 4, 8}}};
   for (auto protocol : {sim::Protocol::kTcp, sim::Protocol::kSisci,
                         sim::Protocol::kBip}) {
     auto session = bench::make_chmad_session(protocol);
     mad::Channel& channel = session->open_raw_channel();
     double times[4];
+    double copied[4];
     int column = 0;
     for (int blocks : {1, 2, 4, 8}) {
-      times[column++] =
+      pingpong_with_blocks(*session, channel, blocks, kTotal, 1);  // warm-up
+      auto& stats = DatapathStats::global();
+      const auto before = stats.snapshot();
+      times[column] =
           pingpong_with_blocks(*session, channel, blocks, kTotal, 3);
+      const auto d = stats.snapshot() - before;
+      copied[column] = static_cast<double>(d.bytes_copied) / (2.0 * 4);
+      ++column;
     }
     // Least-squares-free slope estimate: (t8 - t1) / 7 extra blocks.
     const double slope = (times[3] - times[0]) / 7.0;
     std::printf("%-8s %8.1f %8.1f %8.1f %8.1f %14.2f\n",
                 sim::protocol_name(protocol), times[0], times[1], times[2],
                 times[3], slope);
+    const std::string proto = sim::protocol_name(protocol);
+    columns.push_back({proto + "_us", {times[0], times[1], times[2],
+                                       times[3]}});
+    columns.push_back({proto + "_bytes_copied_per_msg",
+                       {copied[0], copied[1], copied[2], copied[3]}});
   }
   std::printf("\n(ch_mad keeps every MPI message at <= 2 packets for this "
               "reason, paper 4.2.1)\n");
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  if (!json_path.empty()) {
+    if (!bench::write_json_series(json_path, "packing", columns)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("packing sweep written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baselines/native_device.hpp"
+#include "common/datapath_stats.hpp"
 #include "common/stats.hpp"
 #include "core/pingpong.hpp"
 #include "core/session.hpp"
@@ -97,6 +98,82 @@ inline Series bandwidth_series(const std::vector<Target>& targets) {
 
 inline void print_figure(const char* title, const Series& series) {
   std::printf("\n### %s\n%s", title, series.to_table().c_str());
+}
+
+// ---- Machine-readable results (--json) ------------------------------
+//
+// Every column is a named vector aligned on the same x axis; the writer
+// emits `{"bench": <name>, "series": {<key>: [...], ...}}`. Future PRs
+// diff these files for a perf trajectory.
+
+struct JsonColumn {
+  std::string key;
+  std::vector<double> values;
+};
+
+inline bool write_json_series(const std::string& path,
+                              const std::string& bench,
+                              const std::vector<JsonColumn>& columns) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"series\": {\n", bench.c_str());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::fprintf(f, "    \"%s\": [", columns[i].key.c_str());
+    for (std::size_t j = 0; j < columns[i].values.size(); ++j) {
+      std::fprintf(f, "%s%.10g", j == 0 ? "" : ", ", columns[i].values[j]);
+    }
+    std::fprintf(f, "]%s\n", i + 1 < columns.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Pull `--json <path>` / `--json=<path>` out of argv. Empty when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return {};
+}
+
+/// The eager-path sweep behind BENCH_eager.json: message sizes 1 B..1 KB
+/// (all below every switch point, so every message rides the MAD_SHORT_PKT
+/// path), reporting virtual latency/bandwidth plus the *real* datapath
+/// accounting — bytes memcpy'd and staging buffers allocated per message.
+/// The per-message divisor counts the measured window's round trips
+/// (including the ping-pong's own untimed warm-up lap); a separate
+/// warm-up call beforehand settles pools and queues so the window sees
+/// steady state.
+inline std::vector<JsonColumn> eager_sweep(
+    sim::Protocol protocol = sim::Protocol::kTcp, int reps = 40) {
+  std::vector<double> xs, lat, bw, copied, allocs, pool_allocs, modeled;
+  for (std::size_t size : power_of_two_sizes(1024)) {
+    auto session = make_chmad_session(protocol);
+    core::mpi_pingpong(*session, size, 40);  // settle first-use effects
+    auto& stats = DatapathStats::global();
+    const auto before = stats.snapshot();
+    const auto result = core::mpi_pingpong(*session, size, reps);
+    const auto d = stats.snapshot() - before;
+    const double msgs = 2.0 * (reps + 1);
+    xs.push_back(static_cast<double>(size));
+    lat.push_back(result.one_way_us);
+    bw.push_back(result.bandwidth_mb_s);
+    copied.push_back(static_cast<double>(d.bytes_copied) / msgs);
+    allocs.push_back(static_cast<double>(d.staging_allocs) / msgs);
+    pool_allocs.push_back(
+        static_cast<double>(d.slab_allocs + d.slab_fallbacks) / msgs);
+    modeled.push_back(static_cast<double>(d.modeled_copy_bytes) / msgs);
+  }
+  return {{"bytes", xs},
+          {"one_way_us", lat},
+          {"bandwidth_mb_s", bw},
+          {"bytes_copied_per_msg", copied},
+          {"staging_allocs_per_msg", allocs},
+          {"pool_allocs_per_msg", pool_allocs},
+          {"modeled_copy_bytes_per_msg", modeled}};
 }
 
 }  // namespace madmpi::bench

@@ -1,11 +1,16 @@
 // Micro-benchmarks of the library internals (google-benchmark, real host
 // time — unlike the figure benches these measure OUR implementation's CPU
 // costs, not simulated network time).
+//
+// With `--json <path>` the binary instead runs the eager-datapath sweep
+// and writes BENCH_eager-style machine-readable results (message-size
+// series of latency, bandwidth, bytes-copied and allocs-per-message).
 #include <benchmark/benchmark.h>
 
 #include <cstring>
 #include <numeric>
 
+#include "bench_common.hpp"
 #include "common/byte_buffer.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
@@ -162,4 +167,21 @@ BENCHMARK(BM_RngU64);
 }  // namespace
 }  // namespace madmpi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = madmpi::bench::json_path_from_args(argc, argv);
+  if (!json_path.empty()) {
+    const auto columns =
+        madmpi::bench::eager_sweep(madmpi::sim::Protocol::kTcp, 40);
+    if (!madmpi::bench::write_json_series(json_path, "eager", columns)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("eager sweep written to %s\n", json_path.c_str());
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

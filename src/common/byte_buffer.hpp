@@ -65,6 +65,16 @@ class ByteReader {
   std::size_t position() const { return pos_; }
   bool exhausted() const { return pos_ == data_.size(); }
 
+  /// Rebind the cursor to an absolute position (bounds-checked). Lets a
+  /// reader be reconstructed over a moved payload in O(1) instead of
+  /// replaying the consumed prefix.
+  void seek(std::size_t pos) {
+    MADMPI_CHECK_MSG(pos <= data_.size(), "byte reader seek out of range");
+    pos_ = pos;
+  }
+  /// Advance past `size` bytes without copying them out.
+  void skip(std::size_t size) { seek(pos_ + size); }
+
  private:
   byte_span data_;
   std::size_t pos_ = 0;

@@ -1,0 +1,110 @@
+// Real-datapath accounting: how many bytes the *implementation* actually
+// moves per message, independent of the virtual-clock cost model.
+//
+// The simulator charges virtual time for the copies the modeled hardware
+// would perform; these counters instead observe the copies our host-side
+// code performs while emulating that hardware. The zero-copy work (slab
+// pool, scatter-gather frames) changes only these numbers — the virtual
+// charges are pinned by test_calibration and must not move.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace madmpi {
+
+struct DatapathSnapshot {
+  std::uint64_t bytes_copied = 0;  // payload bytes memcpy'd between buffers
+  std::uint64_t copy_ops = 0;      // number of bulk copies
+  std::uint64_t staging_allocs = 0;  // fresh datapath buffer allocations
+  std::uint64_t slab_allocs = 0;   // slabs obtained with a fresh allocation
+  std::uint64_t slab_reuses = 0;   // slabs served from a pool free list
+  std::uint64_t slab_fallbacks = 0;  // oversize / disabled-pool heap grabs
+  std::uint64_t modeled_copy_bytes = 0;  // copies the *cost model* charged
+};
+
+/// Process-wide counters. Cheap enough (relaxed atomics) to leave on in
+/// release builds; benches snapshot/reset around their measured windows.
+class DatapathStats {
+ public:
+  static DatapathStats& global() {
+    static DatapathStats stats;
+    return stats;
+  }
+
+  void count_copy(std::size_t bytes) {
+    if (bytes == 0) return;
+    bytes_copied_.fetch_add(bytes, std::memory_order_relaxed);
+    copy_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_staging_alloc() {
+    staging_allocs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_slab_alloc() {
+    slab_allocs_.fetch_add(1, std::memory_order_relaxed);
+    staging_allocs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_slab_reuse() {
+    slab_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_slab_fallback() {
+    slab_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    staging_allocs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_modeled_copy(std::size_t bytes) {
+    modeled_copy_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  DatapathSnapshot snapshot() const {
+    DatapathSnapshot s;
+    s.bytes_copied = bytes_copied_.load(std::memory_order_relaxed);
+    s.copy_ops = copy_ops_.load(std::memory_order_relaxed);
+    s.staging_allocs = staging_allocs_.load(std::memory_order_relaxed);
+    s.slab_allocs = slab_allocs_.load(std::memory_order_relaxed);
+    s.slab_reuses = slab_reuses_.load(std::memory_order_relaxed);
+    s.slab_fallbacks = slab_fallbacks_.load(std::memory_order_relaxed);
+    s.modeled_copy_bytes = modeled_copy_bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    bytes_copied_.store(0, std::memory_order_relaxed);
+    copy_ops_.store(0, std::memory_order_relaxed);
+    staging_allocs_.store(0, std::memory_order_relaxed);
+    slab_allocs_.store(0, std::memory_order_relaxed);
+    slab_reuses_.store(0, std::memory_order_relaxed);
+    slab_fallbacks_.store(0, std::memory_order_relaxed);
+    modeled_copy_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_copied_{0};
+  std::atomic<std::uint64_t> copy_ops_{0};
+  std::atomic<std::uint64_t> staging_allocs_{0};
+  std::atomic<std::uint64_t> slab_allocs_{0};
+  std::atomic<std::uint64_t> slab_reuses_{0};
+  std::atomic<std::uint64_t> slab_fallbacks_{0};
+  std::atomic<std::uint64_t> modeled_copy_bytes_{0};
+};
+
+/// Shorthand for the common case.
+inline void count_real_copy(std::size_t bytes) {
+  DatapathStats::global().count_copy(bytes);
+}
+
+/// Difference between two snapshots (b taken after a).
+inline DatapathSnapshot operator-(const DatapathSnapshot& b,
+                                  const DatapathSnapshot& a) {
+  DatapathSnapshot d;
+  d.bytes_copied = b.bytes_copied - a.bytes_copied;
+  d.copy_ops = b.copy_ops - a.copy_ops;
+  d.staging_allocs = b.staging_allocs - a.staging_allocs;
+  d.slab_allocs = b.slab_allocs - a.slab_allocs;
+  d.slab_reuses = b.slab_reuses - a.slab_reuses;
+  d.slab_fallbacks = b.slab_fallbacks - a.slab_fallbacks;
+  d.modeled_copy_bytes = b.modeled_copy_bytes - a.modeled_copy_bytes;
+  return d;
+}
+
+}  // namespace madmpi

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/datapath_stats.hpp"
 #include "common/log.hpp"
 #include "core/switchpoint.hpp"
 #include "marcel/thread.hpp"
@@ -259,9 +260,12 @@ void ChMadDevice::relay(node_id_t me, mad::ForwardHeader fwd,
   mad::Packing out = egress->at(me)->begin_packing(next);
   out.pack(&fwd, sizeof fwd, mad::SendMode::kSafer, mad::RecvMode::kExpress);
   for (const auto& block : blocks) {
-    out.pack(block.bytes.data(), block.bytes.size(), mad::SendMode::kSafer,
-             block.express ? mad::RecvMode::kExpress
-                           : mad::RecvMode::kCheaper);
+    // Zero-copy relay: the drained chunk reference is repacked as-is; a
+    // separate egress block travels by refcount bump instead of a staging
+    // copy (pack_chunk charges kSafer identically to pack).
+    out.pack_chunk(block.chunk, mad::SendMode::kSafer,
+                   block.express ? mad::RecvMode::kExpress
+                                 : mad::RecvMode::kCheaper);
   }
   forwarded_.fetch_add(1, std::memory_order_relaxed);
   sim::trace(states_.at(me)->node->clock().now(), me,
@@ -712,11 +716,16 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
 
   switch (header.type) {
     case PacketType::kShort: {
-      std::vector<std::byte> bounce;  // the device receive buffer
+      // Allocation-free fast path: view the payload where the wire put it
+      // (the control frame's slab, or the body's own data frame) and hand
+      // the chunk reference down. An immediate match unpacks straight into
+      // the user buffer; an unexpected message parks the reference — the
+      // device bounce buffer is gone either way.
+      mad::Unpacking::View view;
       if (header.envelope.bytes != 0) {
-        bounce.resize(header.envelope.bytes);
-        incoming.unpack(bounce.data(), bounce.size(), mad::SendMode::kLater,
-                        mad::RecvMode::kCheaper);
+        view = incoming.unpack_view(header.envelope.bytes,
+                                    mad::SendMode::kLater,
+                                    mad::RecvMode::kCheaper);
       }
       incoming.end_unpacking();
       if (incoming.aborted()) {
@@ -740,9 +749,8 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
         };
       }
       directory_.context_of(header.dst_global)
-          .deliver_eager(header.envelope,
-                         byte_span{bounce.data(), bounce.size()},
-                         std::move(release));
+          .deliver_eager(header.envelope, view.bytes, std::move(release),
+                         std::move(view.backing));
       return;
     }
 
@@ -838,20 +846,31 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
           incoming.unpack(posted.buffer, bytes, mad::SendMode::kLater,
                           mad::RecvMode::kCheaper);
         } else {
-          std::vector<std::byte> bounce(bytes);
-          incoming.unpack(bounce.data(), bytes, mad::SendMode::kLater,
-                          mad::RecvMode::kCheaper);
+          // The rendezvous bounce buffer is retired: consume the wire
+          // block as a view and place it from there. `direct` stays purely
+          // a charging distinction — this branch still pays the modeled
+          // intermediary copy the zero-copy branch avoids.
+          mad::Unpacking::View view = incoming.unpack_view(
+              bytes, mad::SendMode::kLater, mad::RecvMode::kCheaper);
           if (!incoming.aborted()) {
+            byte_span wire = view.bytes;
+            ChunkRef swapped;
             if (header.envelope.sender_big_endian) {
-              posted.type.swap_packed_bytes(bounce.data(), delivered);
+              // Byte-swapping must not touch the wire slab (a retransmit
+              // or the unexpected store may still read it): stage the one
+              // mutable copy through the pool.
+              swapped = SlabPool::global().stage(wire);
+              posted.type.swap_packed_bytes(swapped.mutable_data(),
+                                            delivered);
+              wire = swapped.span();
             }
             if (posted.type.is_contiguous()) {
-              std::memcpy(posted.buffer, bounce.data(), delivered);
+              std::memcpy(posted.buffer, wire.data(), delivered);
             } else {
               const std::size_t elem = posted.type.size();
               const int elements =
                   static_cast<int>(delivered / (elem ? elem : 1));
-              posted.type.unpack(bounce.data(), elements, posted.buffer);
+              posted.type.unpack(wire.data(), elements, posted.buffer);
             }
             state.node->clock().advance(static_cast<double>(delivered) *
                                         sim::kHostCopyUsPerByte);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/datapath_stats.hpp"
 #include "common/log.hpp"
 
 namespace madmpi::mad {
@@ -15,7 +16,8 @@ Packing::Packing(ChannelEndpoint* endpoint, node_id_t remote,
     : endpoint_(endpoint),
       remote_(remote),
       delivery_(delivery),
-      connection_lock_(std::move(connection_lock)) {}
+      connection_lock_(std::move(connection_lock)),
+      control_(endpoint->net_->pool(), endpoint->driver().slab_reserve()) {}
 
 Packing::Packing(Packing&& other) noexcept
     : endpoint_(other.endpoint_),
@@ -24,7 +26,8 @@ Packing::Packing(Packing&& other) noexcept
       connection_lock_(std::move(other.connection_lock_)),
       control_(std::move(other.control_)),
       separate_(std::move(other.separate_)),
-      safer_copies_(std::move(other.safer_copies_)),
+      express_prefix_(other.express_prefix_),
+      split_marked_(other.split_marked_),
       blocks_packed_(other.blocks_packed_),
       ended_(other.ended_) {
   other.ended_ = true;  // moved-from shell must not trip the dtor check
@@ -68,8 +71,18 @@ void Packing::pack(const void* data, std::size_t size, SendMode send_mode,
 
   if (plan.aggregate) {
     record.placement = BlockPlacement::kInline;
+    // The EXPRESS/CHEAPER split point: control bytes written before the
+    // first non-express inline block form the EXPRESS prefix chunk.
+    if (!split_marked_ && !record.express) {
+      express_prefix_ = control_.position();
+      split_marked_ = true;
+    }
     write_record(control_, record);
     control_.append(data, size);
+    // Real-datapath accounting: user payload staged into the control
+    // buffer. EXPRESS header parsing is fixed-size bookkeeping present on
+    // every path, so it is excluded from the bytes-copied metric.
+    if (!record.express) count_real_copy(size);
     clock.advance(static_cast<double>(size) * model.copy_us_per_byte);
     return;
   }
@@ -78,24 +91,85 @@ void Packing::pack(const void* data, std::size_t size, SendMode send_mode,
   record.zero_copy = plan.zero_copy;
   write_record(control_, record);
 
-  net::DataBlock block;
-  block.zero_copy = plan.zero_copy;
+  // Separate blocks stage into a pooled chunk at pack time. This makes
+  // every send mode as safe as kSafer (the caller's buffer is free on
+  // return) while the chunk itself travels by reference through the
+  // transport, retransmits and all. Only kSafer charges the safety copy
+  // in virtual time — for kLater/kCheaper the stage models the DMA
+  // pipeline that overlapped with the wire in the old direct-span path.
+  ChunkRef chunk = endpoint_->net_->pool().stage(
+      byte_span{static_cast<const std::byte*>(data), size});
   if (send_mode == SendMode::kSafer) {
-    // The caller may reuse the buffer immediately: stage a copy now.
-    auto& copy = safer_copies_.emplace_back(size);
-    std::memcpy(copy.data(), data, size);
     clock.advance(static_cast<double>(size) * model.copy_us_per_byte);
-    block.data = byte_span{copy.data(), copy.size()};
-  } else {
-    block.data = byte_span{static_cast<const std::byte*>(data), size};
   }
-  separate_.push_back(block);
+  separate_.push_back({std::move(chunk), plan.zero_copy});
+}
+
+void Packing::pack_chunk(const ChunkRef& chunk, SendMode send_mode,
+                         RecvMode recv_mode) {
+  MADMPI_CHECK_MSG(!ended_, "pack_chunk() after end_packing()");
+  const std::size_t size = chunk.size();
+
+  const sim::LinkCostModel& model = endpoint_->model();
+  sim::VirtualClock& clock = endpoint_->node().clock();
+
+  if (blocks_packed_ == 0) {
+    clock.advance(kPackFixedUs);
+  } else {
+    clock.advance(kPackFixedUs + kSenderBlockShare * model.per_block_us);
+  }
+  ++blocks_packed_;
+
+  BlockRecord record;
+  record.length = static_cast<std::uint32_t>(size);
+  record.express = (recv_mode == RecvMode::kExpress);
+
+  net::BlockPlan plan;
+  if (record.express) {
+    plan.aggregate = true;
+  } else {
+    plan = endpoint_->driver().plan_block(size);
+  }
+
+  if (plan.aggregate) {
+    record.placement = BlockPlacement::kInline;
+    if (!split_marked_ && !record.express) {
+      express_prefix_ = control_.position();
+      split_marked_ = true;
+    }
+    write_record(control_, record);
+    control_.append(chunk.data(), size);
+    if (!record.express) count_real_copy(size);
+    clock.advance(static_cast<double>(size) * model.copy_us_per_byte);
+    return;
+  }
+
+  record.placement = BlockPlacement::kSeparate;
+  record.zero_copy = plan.zero_copy;
+  write_record(control_, record);
+
+  // Zero-copy relay: the reference IS the kSafer safety copy — the chunk
+  // stays alive (and immutable to us) for as long as the transport needs
+  // it, so no host bytes move. kSafer still pays the same virtual copy
+  // charge as pack() to keep timing identical across the two entry points.
+  if (send_mode == SendMode::kSafer) {
+    clock.advance(static_cast<double>(size) * model.copy_us_per_byte);
+  }
+  separate_.push_back({chunk, plan.zero_copy});
 }
 
 Status Packing::end_packing() {
   MADMPI_CHECK_MSG(!ended_, "end_packing() called twice");
   ended_ = true;
-  Status status = endpoint_->net_->send_message(remote_, control_.span(),
+  // The control region leaves as (up to) two references into the single
+  // slab the ChunkWriter built in: the EXPRESS prefix and the CHEAPER
+  // remainder. No flattening copy happens here.
+  const std::size_t pos = control_.position();
+  const std::size_t split = split_marked_ ? express_prefix_ : pos;
+  ChunkList control;
+  if (split != 0) control.push_back(control_.chunk(0, split));
+  if (pos > split) control.push_back(control_.chunk(split, pos - split));
+  Status status = endpoint_->net_->send_message(remote_, std::move(control),
                                                 separate_, delivery_);
   connection_lock_.unlock();
   return status;
@@ -113,14 +187,11 @@ Unpacking::Unpacking(Unpacking&& other) noexcept
       message_(std::move(other.message_)),
       reader_(message_.control_payload()),
       blocks_unpacked_(other.blocks_unpacked_),
-      ended_(other.ended_) {
-  // Rebind the reader at the same position over the moved payload.
-  const std::size_t pos = other.reader_.position();
-  reader_ = ByteReader(message_.control_payload());
-  if (pos != 0) {
-    std::vector<std::byte> scratch(pos);
-    reader_.read(scratch.data(), pos);
-  }
+      ended_(other.ended_),
+      aborted_(other.aborted_) {
+  // Rebind the reader at the same position over the moved payload: O(1)
+  // cursor seek, no scratch replay of the consumed prefix.
+  reader_.seek(other.reader_.position());
   other.ended_ = true;
 }
 
@@ -158,6 +229,9 @@ void Unpacking::unpack(void* data, std::size_t size, SendMode send_mode,
                    "unpack receive mode does not match the packed block");
 
   if (record.placement == BlockPlacement::kInline) {
+    // The destination belongs to the caller: when it is the application's
+    // receive buffer this is the mandatory final placement (not a staging
+    // copy), and when the caller bounces it counts the staging itself.
     reader_.read(data, size);
     clock.advance(static_cast<double>(size) * model.copy_us_per_byte);
     return;
@@ -178,10 +252,59 @@ void Unpacking::unpack(void* data, std::size_t size, SendMode send_mode,
   }
   MADMPI_CHECK_MSG(frame.payload.size() == size,
                    "data frame size does not match its record");
-  std::memcpy(data, frame.payload.data(), size);
+  std::memcpy(data, frame.payload.contiguous().data(), size);
   // Zero-copy frames land directly in this buffer (no cost: the memcpy
   // above is simulation plumbing, not a modeled copy). Bounced frames'
-  // copy already pipelined with the wire in the transmit model.
+  // copy already pipelined with the wire in the transmit model. As with
+  // the inline path, staging into a bounce is counted by the caller.
+}
+
+Unpacking::View Unpacking::unpack_view(std::size_t size, SendMode send_mode,
+                                       RecvMode recv_mode) {
+  (void)send_mode;
+  MADMPI_CHECK_MSG(!ended_, "unpack_view() after end_unpacking()");
+  MADMPI_CHECK_MSG(!reader_.exhausted(),
+                   "unpack_view() past the end of the message");
+
+  const sim::LinkCostModel& model = endpoint_->model();
+  sim::VirtualClock& clock = endpoint_->node().clock();
+
+  if (blocks_unpacked_ == 0) {
+    clock.advance(kPackFixedUs);
+  } else {
+    clock.advance(kPackFixedUs + kReceiverBlockShare * model.per_block_us);
+  }
+  ++blocks_unpacked_;
+
+  const BlockRecord record = read_record(reader_);
+  MADMPI_CHECK_MSG(record.length == size,
+                   "unpack size does not match the packed block");
+  MADMPI_CHECK_MSG(record.express == (recv_mode == RecvMode::kExpress),
+                   "unpack receive mode does not match the packed block");
+
+  if (record.placement == BlockPlacement::kInline) {
+    // View straight into the control frame's slab: same virtual charge as
+    // unpack()'s inline read (timing identity), but zero host bytes move.
+    View view;
+    view.backing = message_.control_chunk(reader_.position(), size);
+    view.bytes = reader_.remaining().first(size);
+    reader_.skip(size);
+    clock.advance(static_cast<double>(size) * model.copy_us_per_byte);
+    return view;
+  }
+
+  if (aborted_) return {};
+  sim::Frame frame = message_.take_data_block();
+  if (frame.kind == net::kAbortFrame) {
+    aborted_ = true;
+    return {};
+  }
+  MADMPI_CHECK_MSG(frame.payload.size() == size,
+                   "data frame size does not match its record");
+  View view;
+  view.backing = frame.payload.slice(0, size);
+  view.bytes = view.backing.span();
+  return view;
 }
 
 std::optional<Unpacking::DrainedBlock> Unpacking::drain_block() {
@@ -190,10 +313,20 @@ std::optional<Unpacking::DrainedBlock> Unpacking::drain_block() {
   const BlockRecord record = read_record(probe);
   DrainedBlock block;
   block.express = record.express;
-  block.bytes.resize(record.length);
-  unpack(block.bytes.data(), block.bytes.size(),
-         SendMode::kCheaper,
-         record.express ? RecvMode::kExpress : RecvMode::kCheaper);
+  View view = unpack_view(record.length, SendMode::kCheaper,
+                          record.express ? RecvMode::kExpress
+                                         : RecvMode::kCheaper);
+  if (view.bytes.size() != record.length) {
+    // Sender abort mid-message: keep the documented bytes.size()==length
+    // contract with a zeroed pool chunk so relay consumers stay simple.
+    view.backing = SlabPool::global().allocate(record.length);
+    if (record.length != 0) {
+      std::memset(view.backing.mutable_data(), 0, record.length);
+    }
+    view.bytes = view.backing.span();
+  }
+  block.chunk = std::move(view.backing);
+  block.bytes = view.bytes;
   return block;
 }
 

@@ -48,6 +48,13 @@ class Packing {
   void pack(const void* data, std::size_t size, SendMode send_mode,
             RecvMode recv_mode);
 
+  /// Append a block that already lives in a pooled chunk (the forwarding
+  /// relay's zero-copy primitive): wire layout and virtual charges match
+  /// pack() exactly, but a separate block travels by refcount bump — the
+  /// reference IS the kSafer safety copy.
+  void pack_chunk(const ChunkRef& chunk, SendMode send_mode,
+                  RecvMode recv_mode);
+
   /// Flush the message to the wire. Blocking (Madeleine primitives are
   /// blocking, §4.1); on return all buffers are reusable. Non-ok when
   /// delivery failed permanently (dead link / retries exhausted); the
@@ -68,9 +75,14 @@ class Packing {
   net::DeliveryMode delivery_;
   std::unique_lock<std::mutex> connection_lock_;
 
-  ByteWriter control_;
-  std::vector<net::DataBlock> separate_;
-  std::vector<std::vector<std::byte>> safer_copies_;  // kSafer staging
+  /// The control region builds directly in one pooled slab; at
+  /// end_packing() it leaves as (up to) two chunk references — the EXPRESS
+  /// prefix and the CHEAPER remainder — into that same slab.
+  ChunkWriter control_;
+  std::vector<net::OutBlock> separate_;
+  std::size_t express_prefix_ = 0;  // control bytes before the first
+                                    // non-express inline block
+  bool split_marked_ = false;
   std::size_t blocks_packed_ = 0;
   bool ended_ = false;
 };
@@ -91,16 +103,30 @@ class Unpacking {
   void unpack(void* data, std::size_t size, SendMode send_mode,
               RecvMode recv_mode);
 
+  /// Zero-copy variant of unpack(): consumes the next block and returns a
+  /// view of the wire bytes plus the chunk reference keeping them alive.
+  /// Identical virtual charges and mode checks as unpack(); no host copy.
+  /// After a sender abort, `bytes` is empty and aborted() turns true — the
+  /// consumer must discard the partial message as usual.
+  struct View {
+    byte_span bytes;
+    ChunkRef backing;
+  };
+  View unpack_view(std::size_t size, SendMode send_mode, RecvMode recv_mode);
+
   /// Size of the next block without consuming it (convenience beyond the
   /// strict paper API; used by tests and by the forwarder).
   std::optional<std::size_t> peek_size();
 
   /// Consume the next block without knowing its size or modes in advance:
-  /// returns its bytes and whether it was packed for receive_EXPRESS.
-  /// This is the relay primitive of the gateway forwarder (the paper's
-  /// Section 6 future-work mechanism). Empty at end of message.
+  /// returns a chunk reference to its bytes and whether it was packed for
+  /// receive_EXPRESS. This is the relay primitive of the gateway forwarder
+  /// (the paper's Section 6 future-work mechanism); together with
+  /// Packing::pack_chunk a gateway relays blocks without touching their
+  /// bytes. Empty at end of message.
   struct DrainedBlock {
-    std::vector<std::byte> bytes;
+    ChunkRef chunk;
+    byte_span bytes;  // == chunk.span() (zeroed pool chunk after an abort)
     bool express = false;
   };
   std::optional<DrainedBlock> drain_block();

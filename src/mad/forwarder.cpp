@@ -79,8 +79,10 @@ void Forwarder::relay(Unpacking incoming) {
   out.pack(&header, sizeof header, SendMode::kSafer, RecvMode::kExpress);
 
   while (auto block = incoming.drain_block()) {
-    out.pack(block->bytes.data(), block->bytes.size(), SendMode::kSafer,
-             block->express ? RecvMode::kExpress : RecvMode::kCheaper);
+    // Drained chunks repack by reference: the relay never copies payload
+    // bytes between its ingress and egress channels.
+    out.pack_chunk(block->chunk, SendMode::kSafer,
+                   block->express ? RecvMode::kExpress : RecvMode::kCheaper);
   }
   incoming.end_unpacking();
   ++forwarded_;  // counted before the flush so receivers observe >= their

@@ -24,7 +24,9 @@ struct BlockRecord {
   std::uint32_t length = 0;
 };
 
-inline void write_record(ByteWriter& writer, const BlockRecord& record) {
+/// Works over any typed writer (ByteWriter, ChunkWriter).
+template <typename Writer>
+inline void write_record(Writer& writer, const BlockRecord& record) {
   writer.put(static_cast<std::uint8_t>(record.placement));
   std::uint8_t flags = 0;
   if (record.zero_copy) flags |= 1u;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/datapath_stats.hpp"
 #include "common/log.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace.hpp"
@@ -29,6 +30,8 @@ void RankContext::finish_recv(const PostedRecv& posted, const Envelope& env,
   std::vector<std::byte> converted;
   if (env.sender_big_endian && !payload.empty()) {
     converted.assign(payload.begin(), payload.end());
+    DatapathStats::global().count_staging_alloc();
+    count_real_copy(converted.size());
     posted.type.swap_packed_bytes(converted.data(), converted.size());
     payload = byte_span{converted.data(), converted.size()};
   }
@@ -37,8 +40,11 @@ void RankContext::finish_recv(const PostedRecv& posted, const Envelope& env,
                           sim::kHostCopyUsPerByte);
   }
   if (!payload.empty()) {
-    // Unpack the wire representation through the receive datatype. The
-    // element count actually received may be smaller than posted.
+    // Unpack the wire representation through the receive datatype. This is
+    // the mandatory final placement into the application buffer (present
+    // identically in every MPI implementation), so it is excluded from the
+    // staging-copy metric. The element count actually received may be
+    // smaller than posted.
     const std::size_t elem_size = posted.type.size();
     const int elements =
         elem_size == 0 ? 0 : static_cast<int>(payload.size() / elem_size);
@@ -86,8 +92,7 @@ void RankContext::post_recv(PostedRecv posted) {
       // thread spawned after that loses the shutdown-drain race (its
       // packet lands behind the termination marker and is never read).
       if (message.on_consumed) message.on_consumed();
-      finish_recv(posted, message.env,
-                  byte_span{message.payload.data(), message.payload.size()});
+      finish_recv(posted, message.env, message.payload.span());
     }
     return;
   }
@@ -95,7 +100,7 @@ void RankContext::post_recv(PostedRecv posted) {
 }
 
 void RankContext::deliver_eager(const Envelope& env, byte_span payload,
-                                EagerConsumed on_consumed) {
+                                EagerConsumed on_consumed, ChunkRef backing) {
   const std::size_t charge = payload.size() + kUnexpectedEntryOverhead;
   std::unique_lock<std::mutex> lock(mutex_);
   // The sender's admission reserved room for this message; delivery
@@ -121,10 +126,18 @@ void RankContext::deliver_eager(const Envelope& env, byte_span payload,
     finish_recv(posted, env, payload);
     return;
   }
-  // No receive posted yet: buffer the payload (the eager bounce).
+  // No receive posted yet: buffer the payload. With a backing chunk the
+  // store just keeps the reference — the wire slab IS the unexpected
+  // buffer, no host bytes move. Without one (legacy/self-send callers) it
+  // stages through the slab pool, which counts the copy and — on a cache
+  // miss only — the allocation.
   Unexpected message;
   message.env = env;
-  message.payload.assign(payload.begin(), payload.end());
+  if (backing) {
+    message.payload = std::move(backing);
+  } else if (!payload.empty()) {
+    message.payload = SlabPool::global().stage(payload);
+  }
   message.on_consumed = std::move(on_consumed);
   message.charge = charge;
   stored_ += charge;

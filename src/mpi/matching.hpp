@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/slab_pool.hpp"
 #include "mpi/datatype.hpp"
 #include "mpi/request.hpp"
 #include "mpi/types.hpp"
@@ -88,8 +89,12 @@ class RankContext {
   /// flight (and accounted for) before the application can observe the
   /// receive and initiate shutdown, or the returning packet races the
   /// termination drain and its credits evaporate.
+  /// `backing` (optional) is a chunk reference covering `payload`: when
+  /// given and the message goes unexpected, the store keeps the reference
+  /// instead of copying the bytes — the zero-copy handoff from the device's
+  /// receive path. Without it the store stages through the slab pool.
   void deliver_eager(const Envelope& env, byte_span payload,
-                     EagerConsumed on_consumed = {});
+                     EagerConsumed on_consumed = {}, ChunkRef backing = {});
 
   /// Device entry: a rendezvous request has arrived. If a posted receive
   /// matches, `on_match` runs immediately (on the delivering thread);
@@ -165,7 +170,9 @@ class RankContext {
  private:
   struct Unexpected {
     Envelope env;
-    std::vector<std::byte> payload;  // eager only
+    ChunkRef payload;  // eager only: refcounted view of the stored bytes —
+                       // either the delivering frame's own slab (zero-copy
+                       // handoff) or a pool chunk staged on arrival
     bool rendezvous = false;
     RendezvousMatch on_match;        // rendezvous only
     EagerConsumed on_consumed;       // eager only; may be empty

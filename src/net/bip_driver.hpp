@@ -24,6 +24,10 @@ class BipDriver final : public Driver {
 
   usec_t poll_cost() const override { return model().poll_us; }
 
+  // Short messages ride the preallocated receive queue; the control slab
+  // only ever holds kInlineLimit bytes plus headers.
+  std::size_t slab_reserve() const override { return 2048; }
+
   static constexpr std::size_t kInlineLimit = 64;
 };
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/slab_pool.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "sim/fabric.hpp"
@@ -49,9 +50,17 @@ struct BlockPlan {
   bool zero_copy = false;
 };
 
-/// One separate (non-aggregated) block of an outgoing message.
+/// One separate (non-aggregated) block of an outgoing message (legacy
+/// borrowed-span form; the zero-copy path uses OutBlock).
 struct DataBlock {
   byte_span data;
+  bool zero_copy = false;
+};
+
+/// One separate block already staged in a pooled chunk: the frame takes
+/// the reference, no further copies happen on the send side.
+struct OutBlock {
+  ChunkRef chunk;
   bool zero_copy = false;
 };
 
@@ -65,8 +74,11 @@ class IncomingMessage {
       : endpoint_(endpoint), control_(std::move(control)) {}
 
   node_id_t source() const { return control_.src_node; }
-  byte_span control_payload() const {
-    return {control_.payload.data(), control_.payload.size()};
+  byte_span control_payload() const { return control_.payload.contiguous(); }
+  /// Refcounted view of a control-payload range: lets receivers keep the
+  /// wire bytes alive (e.g. in the unexpected store) without copying.
+  ChunkRef control_chunk(std::size_t offset, std::size_t length) const {
+    return control_.payload.slice(offset, length);
   }
   usec_t control_arrival() const { return control_.arrival_time; }
 
@@ -87,12 +99,14 @@ class IncomingMessage {
 /// receive queue for the whole channel. Created by ChannelTransport.
 class Endpoint {
  public:
-  Endpoint(sim::Node& node, const sim::LinkCostModel& model,
-           sim::Port& port);
+  Endpoint(sim::Node& node, const sim::LinkCostModel& model, sim::Port& port,
+           SlabPool* pool = nullptr);
 
   node_id_t node_id() const { return node_.id(); }
   sim::Node& node() { return node_; }
   const sim::LinkCostModel& model() const { return model_; }
+  /// The channel's slab pool (global pool when standalone).
+  SlabPool& pool() { return *pool_; }
 
   /// Register the outgoing path to a peer (done by ChannelTransport).
   void add_peer(node_id_t peer, sim::WirePath path);
@@ -110,6 +124,14 @@ class Endpoint {
   /// the partial message instead of blocking forever.
   Status send_message(node_id_t dst, byte_span control,
                       std::span<const DataBlock> blocks,
+                      DeliveryMode mode = DeliveryMode::kNormal);
+
+  /// Zero-copy variant: the control chunk list and each staged block move
+  /// into the wire frames by reference (no payload copies; retransmission
+  /// re-sends the same chunks via refcount bumps). The byte_span overload
+  /// above stages into pooled chunks and delegates here.
+  Status send_message(node_id_t dst, ChunkList control,
+                      std::span<const OutBlock> blocks,
                       DeliveryMode mode = DeliveryMode::kNormal);
 
   /// Delivery health towards a peer, as observed by this endpoint.
@@ -173,6 +195,7 @@ class Endpoint {
   sim::Node& node_;
   const sim::LinkCostModel model_;
   sim::Port& port_;
+  SlabPool* pool_;
 
   mutable std::mutex mutex_;
   std::map<node_id_t, sim::WirePath> paths_;
@@ -198,6 +221,11 @@ class ChannelTransport {
   sim::Protocol protocol() const { return protocol_; }
   const std::string& name() const { return name_; }
 
+  /// Per-channel slab pool: every endpoint of the channel stages and
+  /// receives through it, so a steady-state ping-pong recycles the same
+  /// few slabs.
+  SlabPool& pool() { return pool_; }
+
   /// Endpoint hosted on `node`; null when the node is not a member.
   Endpoint* endpoint(node_id_t node);
 
@@ -210,6 +238,7 @@ class ChannelTransport {
  private:
   sim::Protocol protocol_;
   std::string name_;
+  SlabPool pool_;
   std::vector<node_id_t> members_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 };
@@ -226,6 +255,11 @@ class Driver {
 
   /// Cost of one unsuccessful poll (exposed for the poll server).
   virtual usec_t poll_cost() const = 0;
+
+  /// Slab bytes a message builder should reserve up front so a typical
+  /// control frame (header + aggregated blocks) never regrows: protocols
+  /// with small aggregation limits get away with smaller slabs.
+  virtual std::size_t slab_reserve() const { return 4096; }
 
   /// Instantiate the transport of a channel over `network`: creates NICs'
   /// ports and the full mesh of wire paths.

@@ -22,6 +22,10 @@ class ShmemDriver final : public Driver {
   }
 
   usec_t poll_cost() const override { return model().poll_us; }
+
+  // Generous aggregation (512 B) means control frames grow with the
+  // payload; reserve a full page-sized slab.
+  std::size_t slab_reserve() const override { return 4096; }
 };
 
 }  // namespace madmpi::net

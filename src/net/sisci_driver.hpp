@@ -24,6 +24,10 @@ class SisciDriver final : public Driver {
 
   usec_t poll_cost() const override { return model().poll_us; }
 
+  // PIO aggregation caps the control frame at kPioLimit + headers; big
+  // blocks DMA separately, so small slabs suffice for message building.
+  std::size_t slab_reserve() const override { return 2048; }
+
   /// Above this size, DMA setup beats PIO store streams.
   static constexpr std::size_t kPioLimit = 64;
 };

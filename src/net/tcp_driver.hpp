@@ -27,6 +27,10 @@ class TcpDriver final : public Driver {
 
   usec_t poll_cost() const override { return model().poll_us; }
 
+  // Control frames stay tiny (64 B aggregation limit), but eager bodies up
+  // to the rendezvous threshold stage through the same pool classes.
+  std::size_t slab_reserve() const override { return 4096; }
+
   static constexpr std::size_t kAggregateLimit = 64;
 };
 

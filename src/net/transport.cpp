@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/datapath_stats.hpp"
 #include "common/log.hpp"
 #include "net/driver.hpp"
 #include "sim/sched.hpp"
@@ -18,8 +19,11 @@ sim::Frame IncomingMessage::take_data_block() {
 }
 
 Endpoint::Endpoint(sim::Node& node, const sim::LinkCostModel& model,
-                   sim::Port& port)
-    : node_(node), model_(model), port_(port) {}
+                   sim::Port& port, SlabPool* pool)
+    : node_(node),
+      model_(model),
+      port_(port),
+      pool_(pool != nullptr ? pool : &SlabPool::global()) {}
 
 void Endpoint::add_peer(node_id_t peer, sim::WirePath path) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -34,6 +38,22 @@ bool Endpoint::has_peer(node_id_t peer) const {
 Status Endpoint::send_message(node_id_t dst, byte_span control,
                               std::span<const DataBlock> blocks,
                               DeliveryMode mode) {
+  // Legacy borrowed-span entry point (baselines, tests): wire frames must
+  // own their bytes past this call's return, so stage everything into
+  // pooled chunks once and take the zero-copy path from there.
+  ChunkList control_chunks;
+  if (!control.empty()) control_chunks.push_back(pool_->stage(control));
+  std::vector<OutBlock> staged;
+  staged.reserve(blocks.size());
+  for (const DataBlock& block : blocks) {
+    staged.push_back({pool_->stage(block.data), block.zero_copy});
+  }
+  return send_message(dst, std::move(control_chunks), staged, mode);
+}
+
+Status Endpoint::send_message(node_id_t dst, ChunkList control,
+                              std::span<const OutBlock> blocks,
+                              DeliveryMode mode) {
   sim::WirePath* path = nullptr;
   std::uint32_t seq = 0;
   {
@@ -45,7 +65,7 @@ Status Endpoint::send_message(node_id_t dst, byte_span control,
   }
   ++messages_sent_;
   std::uint64_t total = control.size();
-  for (const auto& block : blocks) total += block.data.size();
+  for (const auto& block : blocks) total += block.chunk.size();
   bytes_sent_ += total;
 
   // Consult the *path's* model, not the endpoint copy: wire paths reference
@@ -101,7 +121,10 @@ Status Endpoint::send_message(node_id_t dst, byte_span control,
   ctrl.block_index = 0;
   ctrl.last_of_message = blocks.empty();
   ctrl.depart_time = node_.clock().now();
-  ctrl.payload.assign(control.begin(), control.end());
+  // Zero-copy hand-off: the frame takes the chunk references; nothing is
+  // duplicated here, and a fault-injected retransmission of this frame
+  // re-sends the same slab bytes via a refcount bump.
+  ctrl.payload = std::move(control);
 
   sim::TransmitHints ctrl_hints;
   ctrl_hints.copied_send = true;  // control buffer is staged by definition
@@ -118,7 +141,7 @@ Status Endpoint::send_message(node_id_t dst, byte_span control,
     data.block_index = static_cast<std::uint16_t>(i + 1);
     data.last_of_message = (i + 1 == blocks.size());
     data.depart_time = node_.clock().now();  // back-to-back; link serializes
-    data.payload.assign(blocks[i].data.begin(), blocks[i].data.end());
+    data.payload.push_back(blocks[i].chunk);
 
     sim::TransmitHints hints;
     hints.copied_send = !blocks[i].zero_copy;
@@ -267,7 +290,7 @@ Endpoint* ChannelTransport::endpoint(node_id_t node) {
 Endpoint& ChannelTransport::add_endpoint(sim::Node& node,
                                          const sim::LinkCostModel& model,
                                          sim::Port& port) {
-  endpoints_.push_back(std::make_unique<Endpoint>(node, model, port));
+  endpoints_.push_back(std::make_unique<Endpoint>(node, model, port, &pool_));
   members_.push_back(node.id());
   return *endpoints_.back();
 }

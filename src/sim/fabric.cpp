@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/datapath_stats.hpp"
 #include "sim/fault.hpp"
 
 namespace madmpi::sim {
@@ -17,6 +18,11 @@ usec_t WirePath::transmit(Frame frame, const TransmitHints& hints) {
                     m.per_segment_us / static_cast<double>(m.mtu_bytes);
   if (hints.copied_send) per_byte = std::max(per_byte, m.copy_us_per_byte);
   if (hints.copied_recv) per_byte = std::max(per_byte, m.copy_us_per_byte);
+  // Modeled-copy accounting: the bytes the *simulated hardware* bounces
+  // through staging memory on this transfer. Independent of (and unchanged
+  // by) how many copies our host-side implementation performs.
+  if (hints.copied_send) DatapathStats::global().count_modeled_copy(n);
+  if (hints.copied_recv) DatapathStats::global().count_modeled_copy(n);
 
   const usec_t occupation = static_cast<double>(n) * per_byte;
   const usec_t start = serializer_->reserve(frame.depart_time, occupation);

@@ -2,8 +2,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "common/slab_pool.hpp"
 #include "common/types.hpp"
 
 namespace madmpi::sim {
@@ -39,7 +39,10 @@ struct Frame {
   usec_t depart_time = 0.0;
   usec_t arrival_time = 0.0;
 
-  std::vector<std::byte> payload;
+  /// Scatter-gather payload: refcounted chunk views into pooled slabs.
+  /// Copying a frame (retransmission under fault injection) bumps slab
+  /// refcounts instead of duplicating bytes.
+  ChunkList payload;
 };
 
 }  // namespace madmpi::sim

@@ -425,6 +425,91 @@ void run_watchdog(Oracle& oracle) {
   }
 }
 
+// ---------------------------------------------------------------- zerocopy
+
+/// Zero-copy datapath integrity: eager payloads travel as refcounted chunk
+/// views of pooled slabs, so the dangerous schedules are the ones where a
+/// chunk outlives its producer — a dropped frame retransmitted after the
+/// sender's Packing died, or a message parked in the unexpected store long
+/// after the wire buffer's other references were released. Mixed sizes
+/// straddle the 64 B TCP aggregation threshold so both wire shapes (body
+/// inline in the control frame, body as its own data frame) are exercised.
+/// Oracle: every payload arrives intact and in order regardless.
+void run_zerocopy(Oracle& oracle) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kTcp);
+  Session session(std::move(options));
+  install_plan(session, 0, sim::Protocol::kTcp, 31)->drop(0.2);
+  install_plan(session, 1, sim::Protocol::kTcp, 32)->drop(0.2);
+
+  constexpr int kTrain = 10;
+  constexpr int kTag = 4;
+  const auto size_of = [](int seq) {
+    // 16, 48 ride inline with the header; 256, 768 go as separate frames.
+    static constexpr std::size_t kSizes[] = {16, 256, 48, 768};
+    return kSizes[seq % 4];
+  };
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    const int peer = 1 - comm.rank();
+    if (comm.rank() == 0) {
+      // Fire the whole train before the peer posts anything: every message
+      // must survive in the unexpected store as a parked chunk reference.
+      for (int seq = 0; seq < kTrain; ++seq) {
+        std::vector<std::uint8_t> payload(size_of(seq));
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          payload[i] = pattern_byte(0, static_cast<std::uint64_t>(seq), i);
+        }
+        comm.send(payload.data(), static_cast<int>(payload.size()),
+                  Datatype::uint8(), peer, kTag);
+      }
+    } else {
+      comm.compute_us(3000.0);  // let the train land unexpected
+    }
+    // Then both directions drain: rank 1 receives the parked train and
+    // echoes each payload back on a fresh tag.
+    for (int seq = 0; seq < kTrain; ++seq) {
+      std::vector<std::uint8_t> buffer(size_of(seq));
+      if (comm.rank() == 1) {
+        const auto status =
+            comm.recv(buffer.data(), static_cast<int>(buffer.size()),
+                      Datatype::uint8(), peer, kTag);
+        bool intact = status.error == ErrorCode::kOk &&
+                      status.bytes == buffer.size();
+        for (std::size_t i = 0; intact && i < buffer.size(); ++i) {
+          intact = buffer[i] ==
+                   pattern_byte(0, static_cast<std::uint64_t>(seq), i);
+        }
+        if (!intact) {
+          std::lock_guard<std::mutex> lock(oracle_mutex);
+          oracle.fail("chunk-integrity",
+                      "parked message " + std::to_string(seq) +
+                          " corrupted in the unexpected store");
+        }
+        comm.send(buffer.data(), static_cast<int>(buffer.size()),
+                  Datatype::uint8(), peer, kTag + 1);
+      } else {
+        const auto status =
+            comm.recv(buffer.data(), static_cast<int>(buffer.size()),
+                      Datatype::uint8(), peer, kTag + 1);
+        bool intact = status.error == ErrorCode::kOk &&
+                      status.bytes == buffer.size();
+        for (std::size_t i = 0; intact && i < buffer.size(); ++i) {
+          intact = buffer[i] ==
+                   pattern_byte(0, static_cast<std::uint64_t>(seq), i);
+        }
+        if (!intact) {
+          std::lock_guard<std::mutex> lock(oracle_mutex);
+          oracle.fail("chunk-integrity",
+                      "echo of message " + std::to_string(seq) +
+                          " corrupted across retransmissions");
+        }
+      }
+    }
+  });
+}
+
 // ---------------------------------------------------------------- selftest
 
 /// Deliberately broken "application": it treats the delivery-order bias of
@@ -468,6 +553,10 @@ const std::vector<Scenario>& scenarios() {
       {"watchdog",
        "the watchdog cancels unreachable operations and only those",
        &run_watchdog},
+      {"zerocopy",
+       "pooled-chunk payloads stay intact across retransmits and the "
+       "unexpected store",
+       &run_zerocopy},
       {"selftest",
        "planted violation: proves the sweep catches, replays and shrinks",
        &run_selftest},

@@ -143,7 +143,7 @@ TEST(Transport, CloseUnblocksReceiver) {
 TEST(Transport, SendToUnknownPeerAborts) {
   TwoNodeTransport net(sim::Protocol::kTcp);
   Endpoint* a = net.transport->endpoint(0);
-  EXPECT_DEATH(a->send_message(42, {}, {}), "no path");
+  EXPECT_DEATH(a->send_message(42, byte_span{}, {}), "no path");
 }
 
 TEST(Transport, ClockAdvancesWithTraffic) {
