@@ -36,6 +36,8 @@ ChMadDevice::ChMadDevice(RankDirectory& directory,
     credit_window_ = default_credit_window(switch_point_);
   }
   credit_policy_ = config.credit_policy;
+  rma_direct_ = config.rma_direct;
+  rma_put_limit_ = config.rma_put_limit;
   if (!forward_channels_router_.channels().empty()) {
     forward_router_.emplace(router_);
   }
@@ -144,7 +146,7 @@ void ChMadDevice::shutdown() {
         if (peer == member) continue;
         mad::Packing packing =
             endpoint->begin_packing(peer, net::DeliveryMode::kTeardown);
-        packing.pack(&term, sizeof term, mad::SendMode::kSafer,
+        packing.pack(&term, kBaseHeaderBytes, mad::SendMode::kSafer,
                      mad::RecvMode::kExpress);
         packing.end_packing();
       }
@@ -162,7 +164,7 @@ void ChMadDevice::shutdown() {
             endpoint->begin_packing(peer, net::DeliveryMode::kTeardown);
         packing.pack(&header, sizeof header, mad::SendMode::kSafer,
                      mad::RecvMode::kExpress);
-        packing.pack(&term, sizeof term, mad::SendMode::kSafer,
+        packing.pack(&term, kBaseHeaderBytes, mad::SendMode::kSafer,
                      mad::RecvMode::kExpress);
         packing.end_packing();
       }
@@ -180,16 +182,32 @@ void ChMadDevice::shutdown() {
 }
 
 Status ChMadDevice::send_packet(node_id_t src_node, node_id_t dst_node,
-                                const PacketHeader& header, byte_span body) {
+                                const PacketHeader& header, byte_span body,
+                                bool rma_data) {
   // Failover loop: elect the best *live* direct channel and try it. A
   // failed delivery marks the link dead inside the transport, so the next
   // route() election yields the next-best protocol (e.g. SCI down -> TCP).
   // The loop terminates because link health only ever worsens and the
   // channel set is finite.
   while (mad::Channel* direct = router_.route(src_node, dst_node)) {
-    mad::Packing packing = direct->at(src_node)->begin_packing(dst_node);
-    packing.pack(&header, sizeof header, mad::SendMode::kSafer,
+    mad::ChannelEndpoint* endpoint = direct->at(src_node);
+    net::DeliveryMode mode = net::DeliveryMode::kNormal;
+    if (rma_data) {
+      // One-sided initiation cost of the elected network (SISCI's mapped
+      // PIO is near-free, TCP emulation pays a syscall-ish setup). A
+      // failover retry re-issues the operation and pays again.
+      endpoint->node().clock().advance(endpoint->model().rma_put_us);
+      if (rma_direct_ && direct->driver().supports_rma_direct()) {
+        mode = net::DeliveryMode::kRmaDirect;
+      }
+    }
+    mad::Packing packing = endpoint->begin_packing(dst_node, mode);
+    packing.pack(&header, kBaseHeaderBytes, mad::SendMode::kSafer,
                  mad::RecvMode::kExpress);
+    if (is_rma(header.type)) {
+      packing.pack(&header.rma, sizeof header.rma, mad::SendMode::kSafer,
+                   mad::RecvMode::kExpress);
+    }
     if (!body.empty()) {
       packing.pack(body.data(), body.size(), mad::SendMode::kLater,
                    mad::RecvMode::kCheaper);
@@ -230,8 +248,12 @@ Status ChMadDevice::send_packet(node_id_t src_node, node_id_t dst_node,
   mad::Packing packing = egress->at(src_node)->begin_packing(next);
   packing.pack(&fwd, sizeof fwd, mad::SendMode::kSafer,
                mad::RecvMode::kExpress);
-  packing.pack(&header, sizeof header, mad::SendMode::kSafer,
+  packing.pack(&header, kBaseHeaderBytes, mad::SendMode::kSafer,
                mad::RecvMode::kExpress);
+  if (is_rma(header.type)) {
+    packing.pack(&header.rma, sizeof header.rma, mad::SendMode::kSafer,
+                 mad::RecvMode::kExpress);
+  }
   if (!body.empty()) {
     packing.pack(body.data(), body.size(), mad::SendMode::kLater,
                  mad::RecvMode::kCheaper);
@@ -340,6 +362,67 @@ Status ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
     state.pending_sends.erase(handle);
   }
   return pending.result;
+}
+
+Status ChMadDevice::rma(rank_t src, rank_t dst, const mpi::RmaDesc& desc,
+                        byte_span payload, void* get_dest,
+                        std::shared_ptr<mpi::RequestState> completion) {
+  sim::Node& src_node = directory_.node_of(src);
+  sim::Node& dst_node = directory_.node_of(dst);
+  if (rma_put_limit_ != 0 && desc.bytes > rma_put_limit_) {
+    return Status(ErrorCode::kResourceLimit,
+                  "one-sided payload of " + std::to_string(desc.bytes) +
+                      " bytes exceeds MADMPI_RMA_PUT_LIMIT (" +
+                      std::to_string(rma_put_limit_) + ")");
+  }
+
+  PacketHeader header;
+  header.src_global = src;
+  header.dst_global = dst;
+  header.rma = desc;
+  // The envelope rides along for tracing and byte-order: one-sided wire
+  // data travels in the origin's order, converted on landing.
+  header.envelope.src = src;
+  header.envelope.dst = dst;
+  header.envelope.bytes = desc.bytes;
+  header.envelope.sender_big_endian = src_node.big_endian();
+  switch (desc.kind) {
+    case mpi::RmaKind::kPut: header.type = PacketType::kRmaPut; break;
+    case mpi::RmaKind::kGet: header.type = PacketType::kRmaGet; break;
+    case mpi::RmaKind::kAccumulate:
+      header.type = PacketType::kRmaAccumulate;
+      break;
+    case mpi::RmaKind::kLock: header.type = PacketType::kRmaLock; break;
+    case mpi::RmaKind::kUnlock: header.type = PacketType::kRmaUnlock; break;
+    case mpi::RmaKind::kSync: header.type = PacketType::kRmaSync; break;
+    default:
+      return Status(ErrorCode::kInvalidArgument,
+                    "not an origin-issued one-sided kind");
+  }
+
+  NodeState& state = state_of(src_node.id());
+  std::uint64_t handle = 0;
+  if (completion != nullptr) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    handle = state.next_rma_handle++;
+    RmaPending pending;
+    pending.completion = std::move(completion);
+    pending.get_dest = get_dest;
+    pending.bytes = desc.kind == mpi::RmaKind::kGet ? desc.bytes : 0;
+    state.rma_pending[handle] = std::move(pending);
+    header.sender_handle = handle;
+  }
+
+  rma_ops_sent_.fetch_add(1, std::memory_order_relaxed);
+  Status status =
+      send_packet(src_node.id(), dst_node.id(), header, payload,
+                  /*rma_data=*/true);
+  if (!status.is_ok() && handle != 0) {
+    // The op never left; nobody will ever reply to the handle.
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.rma_pending.erase(handle);
+  }
+  return status;
 }
 
 bool ChMadDevice::admit_eager(rank_t src, rank_t dst, std::uint64_t bytes,
@@ -639,6 +722,28 @@ void ChMadDevice::spawn_reply_thread(NodeState& state, node_id_t dst_node,
   }).detach();
 }
 
+void ChMadDevice::spawn_rma_reply_thread(NodeState& state, node_id_t dst_node,
+                                         PacketHeader header, ChunkRef body) {
+  // One-sided replies (lock grants, fence acks, get replies) obey the
+  // same pollers-never-send rule. The body chunk travels into the thread
+  // by refcount; it dies with the lambda after the send.
+  const node_id_t src_node = state.node->id();
+  sim::Node* node = state.node;
+  const usec_t birth = node->clock().advance(marcel::ThreadCosts::kCreate);
+  std::thread([this, node, birth, src_node, dst_node, header,
+               body = std::move(body)] {
+    node->clock().bind_lane(birth);
+    // Failure is survivable: the origin's watchdog/fence error path owns
+    // recovery, the same as a lost rendezvous ack.
+    Status status =
+        send_packet(src_node, dst_node, header, body.span(), /*rma_data=*/true);
+    if (!status.is_ok()) {
+      MADMPI_LOG_WARN("ch_mad", "one-sided reply to node %d failed: %s",
+                      static_cast<int>(dst_node), status.message().c_str());
+    }
+  }).detach();
+}
+
 void ChMadDevice::spawn_credit_thread(NodeState& state, node_id_t dst_node,
                                       std::size_t credit_bytes) {
   // Credit returns follow the same no-sends-from-pollers rule as
@@ -694,8 +799,12 @@ void ChMadDevice::spawn_data_thread(NodeState& state, node_id_t dst_node,
 void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
                                  int* terms_seen) {
   PacketHeader header;
-  incoming.unpack(&header, sizeof header, mad::SendMode::kSafer,
+  incoming.unpack(&header, kBaseHeaderBytes, mad::SendMode::kSafer,
                   mad::RecvMode::kExpress);
+  if (is_rma(header.type)) {
+    incoming.unpack(&header.rma, sizeof header.rma, mad::SendMode::kSafer,
+                    mad::RecvMode::kExpress);
+  }
   state.node->clock().advance(kDispatchUs);
   // Inbound credits refill this node's window towards their origin no
   // matter what packet carried them (piggybacked or standalone).
@@ -709,6 +818,15 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
       case PacketType::kRndvData: kind = "rndv_data"; break;
       case PacketType::kTerm: kind = "term"; break;
       case PacketType::kCredit: kind = "credit"; break;
+      case PacketType::kRmaPut: kind = "rma_put"; break;
+      case PacketType::kRmaGet: kind = "rma_get"; break;
+      case PacketType::kRmaGetReply: kind = "rma_get_reply"; break;
+      case PacketType::kRmaAccumulate: kind = "rma_acc"; break;
+      case PacketType::kRmaLock: kind = "rma_lock"; break;
+      case PacketType::kRmaLockGrant: kind = "rma_lock_grant"; break;
+      case PacketType::kRmaUnlock: kind = "rma_unlock"; break;
+      case PacketType::kRmaSync: kind = "rma_sync"; break;
+      case PacketType::kRmaAck: kind = "rma_ack"; break;
     }
     sim::trace(state.node->clock().now(), state.node->id(),
                sim::TraceCategory::kDispatch, header.envelope.bytes, kind);
@@ -852,6 +970,19 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
           // intermediary copy the zero-copy branch avoids.
           mad::Unpacking::View view = incoming.unpack_view(
               bytes, mad::SendMode::kLater, mad::RecvMode::kCheaper);
+          if (incoming.truncated()) {
+            // Malformed stream claiming more data than arrived: recover
+            // with MPI_ERR_TRUNCATE on the posted request instead of
+            // aborting the rank.
+            incoming.end_unpacking();
+            mpi::MpiStatus status;
+            status.source = header.envelope.src;
+            status.tag = header.envelope.tag;
+            status.bytes = 0;
+            status.error = ErrorCode::kTruncated;
+            posted.request->complete(status);
+            return;
+          }
           if (!incoming.aborted()) {
             byte_span wire = view.bytes;
             ChunkRef swapped;
@@ -919,6 +1050,278 @@ void ChMadDevice::handle_message(NodeState& state, mad::Unpacking& incoming,
     case PacketType::kCredit: {
       // Header-only; the refill was applied above with apply_credit.
       incoming.end_unpacking();
+      return;
+    }
+
+    case PacketType::kRmaPut:
+    case PacketType::kRmaAccumulate: {
+      // Data lands straight in window memory: view the wire bytes where
+      // the driver put them (for kRmaDirect, "where the NIC wrote them")
+      // and place them under the window lock. No unexpected-store staging,
+      // no rendezvous bounce.
+      mad::Unpacking::View view;
+      if (header.rma.bytes != 0) {
+        view = incoming.unpack_view(header.rma.bytes, mad::SendMode::kLater,
+                                    mad::RecvMode::kCheaper);
+      }
+      const sim::LinkCostModel& model = incoming.model();
+      incoming.end_unpacking();
+      if (incoming.aborted()) {
+        // The origin's failover loop re-issues the whole op on the
+        // next-best route; dropping keeps application exactly-once.
+        return;
+      }
+      mpi::WinTarget* win = directory_.context_of(header.dst_global)
+                                .find_window(header.rma.win_id);
+      if (win == nullptr) {
+        MADMPI_LOG_WARN("ch_mad", "one-sided op for unknown window %llu",
+                        static_cast<unsigned long long>(header.rma.win_id));
+        return;
+      }
+      std::vector<std::function<void()>> ready;
+      {
+        std::lock_guard<std::mutex> lock(win->mutex);
+        const std::uint64_t offset = header.rma.offset;
+        const std::uint64_t bytes = header.rma.bytes;
+        const bool in_range =
+            bytes <= win->bytes && offset <= win->bytes - bytes;
+        if (!in_range || view.bytes.size() != bytes) {
+          // Origin-side bounds checks make this unreachable from the Win
+          // API; a corrupt descriptor must not scribble past the window.
+          MADMPI_LOG_WARN("ch_mad",
+                          "dropping out-of-range one-sided op at %llu+%llu",
+                          static_cast<unsigned long long>(offset),
+                          static_cast<unsigned long long>(bytes));
+        } else if (bytes != 0) {
+          const std::size_t width = mpi::rma_type_width(header.rma.type);
+          if (header.type == PacketType::kRmaPut) {
+            std::memcpy(win->base + offset, view.bytes.data(), bytes);
+            if (header.envelope.sender_big_endian && width > 1) {
+              // Window memory holds host order; the wire slab (shared
+              // with retransmits) stays untouched.
+              mpi::rma_datatype(header.rma.type)
+                  .swap_packed_bytes(win->base + offset, bytes);
+            }
+            ++win->puts_applied;
+          } else {
+            byte_span wire = view.bytes;
+            ChunkRef swapped;
+            if (header.envelope.sender_big_endian && width > 1) {
+              swapped = SlabPool::global().stage(wire);
+              mpi::rma_datatype(header.rma.type)
+                  .swap_packed_bytes(swapped.mutable_data(), bytes);
+              wire = swapped.span();
+            }
+            if (header.rma.op == mpi::RmaOp::kReplace) {
+              std::memcpy(win->base + offset, wire.data(), bytes);
+            } else {
+              mpi::rma_op(header.rma.op)
+                  .apply(wire.data(), win->base + offset,
+                         static_cast<int>(bytes / width),
+                         mpi::rma_datatype(header.rma.type));
+            }
+            ++win->accs_applied;
+          }
+          DatapathStats::global().count_copy(bytes);
+          // Landing cost: zero where the network wrote into the mapped
+          // window itself (SISCI PIO), a host copy where it was emulated.
+          state.node->clock().advance(static_cast<double>(bytes) *
+                                      model.rma_landing_us_per_byte);
+          if (header.envelope.sender_big_endian !=
+              state.node->big_endian()) {
+            state.node->clock().advance(static_cast<double>(bytes) *
+                                        sim::kHostCopyUsPerByte);
+          }
+        }
+        // The ledger counts even a dropped op: the origin counted it in
+        // `sent`, and a fence waiting for it must not hang.
+        ready = win->note_applied(header.src_global);
+      }
+      for (auto& fire : ready) fire();
+      return;
+    }
+
+    case PacketType::kRmaGet: {
+      incoming.end_unpacking();
+      const sim::LinkCostModel& model = incoming.model();
+      PacketHeader reply = header;  // echoes sender_handle and rma
+      reply.type = PacketType::kRmaGetReply;
+      reply.src_global = header.dst_global;
+      reply.dst_global = header.src_global;
+      reply.envelope.sender_big_endian = state.node->big_endian();
+      mpi::WinTarget* win = directory_.context_of(header.dst_global)
+                                .find_window(header.rma.win_id);
+      ChunkRef body;
+      const std::uint64_t offset = header.rma.offset;
+      const std::uint64_t bytes = header.rma.bytes;
+      if (win != nullptr && bytes != 0 && bytes <= win->bytes &&
+          offset <= win->bytes - bytes) {
+        // Snapshot the window range into a pool chunk (the reply thread
+        // must not read live window memory unlocked); a big-endian target
+        // ships it in its own order, the origin converts.
+        body = SlabPool::global().allocate(bytes);
+        std::lock_guard<std::mutex> lock(win->mutex);
+        std::memcpy(body.mutable_data(), win->base + offset, bytes);
+        if (state.node->big_endian() &&
+            mpi::rma_type_width(header.rma.type) > 1) {
+          mpi::rma_datatype(header.rma.type)
+              .swap_packed_bytes(body.mutable_data(), bytes);
+        }
+        DatapathStats::global().count_copy(bytes);
+        state.node->clock().advance(static_cast<double>(bytes) *
+                                    model.rma_landing_us_per_byte);
+      } else {
+        // Unknown window or out-of-range read: reply empty; the origin
+        // surfaces kTruncated on the pending get.
+        reply.rma.bytes = 0;
+        reply.envelope.bytes = 0;
+        MADMPI_LOG_WARN("ch_mad", "one-sided get rejected at %llu+%llu",
+                        static_cast<unsigned long long>(offset),
+                        static_cast<unsigned long long>(bytes));
+      }
+      const node_id_t origin_node =
+          directory_.node_of(header.src_global).id();
+      spawn_rma_reply_thread(state, origin_node, reply, std::move(body));
+      return;
+    }
+
+    case PacketType::kRmaGetReply: {
+      mad::Unpacking::View view;
+      if (header.rma.bytes != 0) {
+        view = incoming.unpack_view(header.rma.bytes, mad::SendMode::kLater,
+                                    mad::RecvMode::kCheaper);
+      }
+      incoming.end_unpacking();
+      if (incoming.aborted()) return;  // reply thread retries via failover
+      RmaPending pending;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        auto it = state.rma_pending.find(header.sender_handle);
+        if (it == state.rma_pending.end()) {
+          MADMPI_LOG_WARN("ch_mad", "get reply for unknown handle %llu",
+                          static_cast<unsigned long long>(
+                              header.sender_handle));
+          return;
+        }
+        pending = std::move(it->second);
+        state.rma_pending.erase(it);
+      }
+      if (!view.bytes.empty() && pending.get_dest != nullptr) {
+        std::memcpy(pending.get_dest, view.bytes.data(), view.bytes.size());
+        if (header.envelope.sender_big_endian &&
+            mpi::rma_type_width(header.rma.type) > 1) {
+          mpi::rma_datatype(header.rma.type)
+              .swap_packed_bytes(static_cast<std::byte*>(pending.get_dest),
+                                 view.bytes.size());
+        }
+        if (header.envelope.sender_big_endian != state.node->big_endian()) {
+          state.node->clock().advance(
+              static_cast<double>(view.bytes.size()) *
+              sim::kHostCopyUsPerByte);
+        }
+        DatapathStats::global().count_copy(view.bytes.size());
+      }
+      mpi::MpiStatus status;
+      status.bytes = view.bytes.size();
+      if (view.bytes.size() != pending.bytes) {
+        status.error = ErrorCode::kTruncated;
+      }
+      pending.completion->complete(status);
+      return;
+    }
+
+    case PacketType::kRmaLock: {
+      incoming.end_unpacking();
+      mpi::WinTarget* win = directory_.context_of(header.dst_global)
+                                .find_window(header.rma.win_id);
+      if (win == nullptr) {
+        MADMPI_LOG_WARN("ch_mad", "lock request for unknown window %llu",
+                        static_cast<unsigned long long>(header.rma.win_id));
+        return;
+      }
+      PacketHeader grant = header;
+      grant.type = PacketType::kRmaLockGrant;
+      grant.src_global = header.dst_global;
+      grant.dst_global = header.src_global;
+      const node_id_t origin_node =
+          directory_.node_of(header.src_global).id();
+      NodeState* state_ptr = &state;
+      auto fire = [this, state_ptr, origin_node, grant] {
+        spawn_rma_reply_thread(*state_ptr, origin_node, grant, ChunkRef());
+      };
+      bool now = false;
+      {
+        std::lock_guard<std::mutex> lock(win->mutex);
+        if (win->grantable(header.rma.lock)) {
+          win->acquire(header.rma.lock);
+          now = true;
+        } else {
+          win->waiters.push_back({header.rma.lock, fire});
+        }
+      }
+      if (now) fire();
+      return;
+    }
+
+    case PacketType::kRmaSync:
+    case PacketType::kRmaUnlock: {
+      incoming.end_unpacking();
+      mpi::WinTarget* win = directory_.context_of(header.dst_global)
+                                .find_window(header.rma.win_id);
+      if (win == nullptr) {
+        MADMPI_LOG_WARN("ch_mad", "fence for unknown window %llu",
+                        static_cast<unsigned long long>(header.rma.win_id));
+        return;
+      }
+      PacketHeader ack = header;
+      ack.type = PacketType::kRmaAck;
+      ack.src_global = header.dst_global;
+      ack.dst_global = header.src_global;
+      const node_id_t origin_node =
+          directory_.node_of(header.src_global).id();
+      NodeState* state_ptr = &state;
+      auto fire = [this, state_ptr, origin_node, ack] {
+        spawn_rma_reply_thread(*state_ptr, origin_node, ack, ChunkRef());
+      };
+      const bool is_unlock = header.type == PacketType::kRmaUnlock;
+      std::vector<std::function<void()>> ready;
+      bool now = false;
+      {
+        std::lock_guard<std::mutex> lock(win->mutex);
+        if (win->applied[header.src_global] >= header.rma.op_count) {
+          if (is_unlock) ready = win->release_and_grant(header.rma.lock);
+          now = true;
+        } else {
+          // Ledger behind the origin's cumulative count: park the ack (and
+          // the unlock's release); note_applied fires it when the last
+          // in-flight op lands.
+          win->pending_acks.push_back(
+              {header.src_global, header.rma.op_count,
+               is_unlock ? header.rma.lock : mpi::RmaLockType::kNone, fire});
+        }
+      }
+      for (auto& grant : ready) grant();
+      if (now) fire();
+      return;
+    }
+
+    case PacketType::kRmaLockGrant:
+    case PacketType::kRmaAck: {
+      incoming.end_unpacking();
+      RmaPending pending;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        auto it = state.rma_pending.find(header.sender_handle);
+        if (it == state.rma_pending.end()) {
+          MADMPI_LOG_WARN("ch_mad", "one-sided ack for unknown handle %llu",
+                          static_cast<unsigned long long>(
+                              header.sender_handle));
+          return;
+        }
+        pending = std::move(it->second);
+        state.rma_pending.erase(it);
+      }
+      pending.completion->complete(mpi::MpiStatus{});
       return;
     }
   }

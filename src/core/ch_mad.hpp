@@ -62,6 +62,16 @@ class ChMadDevice final : public ManagedDevice {
     /// disables flow control entirely.
     std::size_t credit_window_bytes = 0;
     CreditPolicy credit_policy = CreditPolicy::kDemote;
+
+    /// One-sided delivery mode: when true (default), RMA packets travel
+    /// DeliveryMode::kRmaDirect on channels whose driver supports it
+    /// (SISCI mapped PIO, BIP DMA); false forces the two-sided emulation
+    /// path everywhere (ablation knob, MADMPI_RMA_DIRECT).
+    bool rma_direct = true;
+
+    /// Upper bound in bytes for a single put/get/accumulate payload; 0
+    /// means unlimited (MADMPI_RMA_PUT_LIMIT).
+    std::size_t rma_put_limit = 0;
   };
 
   // Two overloads rather than `Config config = {}`: the Config default
@@ -89,6 +99,16 @@ class ChMadDevice final : public ManagedDevice {
   bool try_cancel_send(rank_t src, rank_t dst,
                        const mpi::Envelope& env) override;
 
+  /// One-sided verbs (MPI-3 RMA over the slab pool). Data-bearing ops are
+  /// fire-and-forget: the packet is injected (kRmaDirect where the driver
+  /// supports it) and epoch completion travels through the kSync/kUnlock
+  /// cumulative ledger. Ops expecting a reply register `completion` in the
+  /// origin node's pending table, completed by the polling thread.
+  bool supports_rma() const override { return true; }
+  Status rma(rank_t src, rank_t dst, const mpi::RmaDesc& desc,
+             byte_span payload, void* get_dest,
+             std::shared_ptr<mpi::RequestState> completion) override;
+
   // --- lifecycle --------------------------------------------------------
   /// Spawn the polling threads (one per channel per member node).
   void start() override;
@@ -114,6 +134,7 @@ class ChMadDevice final : public ManagedDevice {
   std::uint64_t eager_demoted() const { return eager_demoted_.load(); }
   std::uint64_t credit_stalls() const { return credit_stalls_.load(); }
   std::uint64_t credit_packets() const { return credit_packets_.load(); }
+  std::uint64_t rma_ops_sent() const { return rma_ops_sent_.load(); }
 
   // --- flow control -----------------------------------------------------
   std::size_t credit_window() const { return credit_window_; }
@@ -163,6 +184,15 @@ class ChMadDevice final : public ManagedDevice {
     usec_t created_at = 0.0;
   };
 
+  /// An origin-side one-sided operation awaiting its reply (get, lock,
+  /// sync, unlock). Keyed by the handle echoed in the reply's
+  /// sender_handle field.
+  struct RmaPending {
+    std::shared_ptr<mpi::RequestState> completion;
+    void* get_dest = nullptr;       // kGetReply lands here
+    std::uint64_t bytes = 0;        // expected reply payload (gets)
+  };
+
   /// Sender-side credit account towards one peer (guarded by the owning
   /// NodeState's mutex).
   struct CreditAccount {
@@ -184,6 +214,8 @@ class ChMadDevice final : public ManagedDevice {
     std::map<std::uint64_t, PendingSend*> pending_sends;
     std::uint64_t next_rhandle = 1;
     std::map<std::uint64_t, Rhandle> rhandles;
+    std::uint64_t next_rma_handle = 1;
+    std::map<std::uint64_t, RmaPending> rma_pending;
 
     /// Flow control (guarded by `mutex`): credits this node holds towards
     /// each peer, and consumed-but-unreturned credits owed *to* each peer.
@@ -206,8 +238,12 @@ class ChMadDevice final : public ManagedDevice {
   /// the packet retried on the next-best protocol — the multi-protocol
   /// failover the paper's architecture makes possible. Returns non-ok
   /// (kUnreachable) only when no route remains.
+  /// `rma_data` marks one-sided traffic: the elected channel charges its
+  /// rma_put_us initiation cost and, when the driver supports it (and the
+  /// rma_direct knob is on), the packet travels DeliveryMode::kRmaDirect.
   Status send_packet(node_id_t src_node, node_id_t dst_node,
-                     const PacketHeader& header, byte_span body);
+                     const PacketHeader& header, byte_span body,
+                     bool rma_data = false);
 
   /// Relay a forwarded message one hop further (runs on a forwarding
   /// channel's polling thread on the gateway node).
@@ -216,6 +252,10 @@ class ChMadDevice final : public ManagedDevice {
 
   void spawn_reply_thread(NodeState& state, node_id_t dst_node,
                           PacketHeader header);
+  /// Same no-sends-from-pollers rule for one-sided replies; `body` (a
+  /// get-reply's window bytes) rides along by refcount, not by copy.
+  void spawn_rma_reply_thread(NodeState& state, node_id_t dst_node,
+                              PacketHeader header, ChunkRef body);
   void spawn_data_thread(NodeState& state, node_id_t dst_node,
                          PendingSend& pending, std::uint64_t sync_address);
   void spawn_credit_thread(NodeState& state, node_id_t dst_node,
@@ -247,6 +287,8 @@ class ChMadDevice final : public ManagedDevice {
   std::size_t switch_point_;
   std::size_t credit_window_ = 0;  // 0 = flow control disabled
   CreditPolicy credit_policy_ = CreditPolicy::kDemote;
+  bool rma_direct_ = true;
+  std::size_t rma_put_limit_ = 0;  // 0 = unlimited
   std::map<node_id_t, std::unique_ptr<NodeState>> states_;
   bool started_ = false;
 
@@ -264,6 +306,7 @@ class ChMadDevice final : public ManagedDevice {
   std::atomic<std::uint64_t> eager_demoted_{0};
   std::atomic<std::uint64_t> credit_stalls_{0};
   std::atomic<std::uint64_t> credit_packets_{0};
+  std::atomic<std::uint64_t> rma_ops_sent_{0};
 };
 
 }  // namespace madmpi::core

@@ -6,8 +6,10 @@
 // types mirror the paper exactly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
+#include "mpi/rma.hpp"
 #include "mpi/types.hpp"
 
 namespace madmpi::core {
@@ -21,6 +23,18 @@ enum class PacketType : std::uint8_t {
   kCredit,         // MAD_CREDIT_PKT: flow-control credit return
                    // (header only; used when no reverse traffic exists
                    // to piggyback credits on)
+
+  // One-sided extension (no paper equivalent; ROADMAP "RMA over the slab
+  // pool"). Data-bearing kinds carry a body; the rest are header-only.
+  kRmaPut,         // header + body landing at rma.offset in the window
+  kRmaGet,         // get request (header only)
+  kRmaGetReply,    // header + body: the requested window bytes
+  kRmaAccumulate,  // header + body combined into the window with rma.op
+  kRmaLock,        // passive-target lock request (header only)
+  kRmaLockGrant,   // lock granted (header only)
+  kRmaUnlock,      // lock release + completion fence (header only)
+  kRmaSync,        // active-target completion fence (header only)
+  kRmaAck,         // kRmaSync / kRmaUnlock acknowledgement (header only)
 };
 
 /// The fixed header carried EXPRESS with every ch_mad message. Contains the
@@ -56,6 +70,21 @@ struct PacketHeader {
   // explicitly so forwarded packets credit the right account.
   std::uint64_t credit_bytes = 0;
   node_id_t credit_origin = kInvalidNode;
+
+  // One-sided descriptor (kRma* types only; zero otherwise). For replies
+  // (kRmaGetReply/kRmaLockGrant/kRmaAck) `sender_handle` echoes the
+  // origin's pending-operation handle. MUST stay the last member: the wire
+  // carries it only on kRma* packets (see kBaseHeaderBytes).
+  mpi::RmaDesc rma;
 };
+
+constexpr bool is_rma(PacketType type) {
+  return type >= PacketType::kRmaPut && type <= PacketType::kRmaAck;
+}
+
+/// Wire size of the header on two-sided packets. RMA packets append the
+/// descriptor as a second EXPRESS block; everything else sends only the
+/// base bytes, so the paper-era header does not grow by sizeof(RmaDesc).
+inline constexpr std::size_t kBaseHeaderBytes = offsetof(PacketHeader, rma);
 
 }  // namespace madmpi::core

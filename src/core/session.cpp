@@ -28,6 +28,12 @@ usec_t env_us(const char* name, usec_t fallback) {
   return std::strtod(value, nullptr);
 }
 
+bool env_flag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return !(std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0);
+}
+
 ChMadDevice::CreditPolicy env_credit_policy(ChMadDevice::CreditPolicy fallback) {
   const char* value = std::getenv("MADMPI_CREDIT_POLICY");
   if (value == nullptr || *value == '\0') return fallback;
@@ -68,6 +74,12 @@ Session::Session(Options options) {
     config.credit_window_bytes =
         env_bytes("MADMPI_CREDIT_WINDOW", options.credit_window_bytes);
     config.credit_policy = env_credit_policy(options.credit_policy);
+    config.rma_direct = env_flag("MADMPI_RMA_DIRECT", options.rma_direct);
+    {
+      const std::size_t limit =
+          env_bytes("MADMPI_RMA_PUT_LIMIT", options.rma_put_limit_bytes);
+      config.rma_put_limit = limit == SIZE_MAX ? 0 : limit;  // "off" = none
+    }
     if (options.enable_forwarding) {
       // A second channel per network, dedicated to forwarded traffic:
       // channel isolation keeps relays from ever matching direct messages.

@@ -65,6 +65,17 @@ class Session final : public mpi::Runtime {
     /// stamped at its start time plus this horizon. 0 disables the
     /// watchdog. Env: MADMPI_WATCHDOG_HORIZON_US.
     usec_t watchdog_horizon_us = 10000.0;
+
+    /// One-sided delivery: when true (default), RMA packets travel
+    /// DeliveryMode::kRmaDirect on channels whose driver supports it
+    /// (SISCI mapped PIO, BIP DMA); false forces the two-sided emulation
+    /// path everywhere. Env: MADMPI_RMA_DIRECT=0|1.
+    bool rma_direct = true;
+
+    /// Upper bound for a single one-sided payload in bytes; ops beyond it
+    /// fail with kResourceLimit. 0 means unlimited.
+    /// Env: MADMPI_RMA_PUT_LIMIT.
+    std::size_t rma_put_limit_bytes = 0;
   };
 
   explicit Session(Options options);

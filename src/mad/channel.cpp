@@ -188,7 +188,8 @@ Unpacking::Unpacking(Unpacking&& other) noexcept
       reader_(message_.control_payload()),
       blocks_unpacked_(other.blocks_unpacked_),
       ended_(other.ended_),
-      aborted_(other.aborted_) {
+      aborted_(other.aborted_),
+      truncated_(other.truncated_) {
   // Rebind the reader at the same position over the moved payload: O(1)
   // cursor seek, no scratch replay of the consumed prefix.
   reader_.seek(other.reader_.position());
@@ -263,8 +264,14 @@ Unpacking::View Unpacking::unpack_view(std::size_t size, SendMode send_mode,
                                        RecvMode recv_mode) {
   (void)send_mode;
   MADMPI_CHECK_MSG(!ended_, "unpack_view() after end_unpacking()");
-  MADMPI_CHECK_MSG(!reader_.exhausted(),
-                   "unpack_view() past the end of the message");
+  if (reader_.exhausted()) {
+    // A stream claiming more blocks than the message carries is malformed
+    // input, not a library invariant violation: flag it and hand back an
+    // empty view so the caller can surface MPI_ERR_TRUNCATE instead of
+    // hard-killing the rank.
+    truncated_ = true;
+    return {};
+  }
 
   const sim::LinkCostModel& model = endpoint_->model();
   sim::VirtualClock& clock = endpoint_->node().clock();
@@ -328,6 +335,10 @@ std::optional<Unpacking::DrainedBlock> Unpacking::drain_block() {
   block.chunk = std::move(view.backing);
   block.bytes = view.bytes;
   return block;
+}
+
+const sim::LinkCostModel& Unpacking::model() const {
+  return endpoint_->model();
 }
 
 void Unpacking::end_unpacking() {

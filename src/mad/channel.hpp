@@ -140,6 +140,16 @@ class Unpacking {
   /// consumer must discard everything unpacked from it.
   bool aborted() const { return aborted_; }
 
+  /// True once an unpack asked for more blocks than the message carries (a
+  /// malformed or ragged stream). The offending unpack_view() returned an
+  /// empty view; the consumer maps this onto the recoverable
+  /// MPI_ERR_TRUNCATE path instead of aborting the rank.
+  bool truncated() const { return truncated_; }
+
+  /// Cost model of the channel this message arrived on (per-driver RMA
+  /// landing charges are taken from here by the ch_mad handlers).
+  const sim::LinkCostModel& model() const;
+
   node_id_t source() const { return message_.source(); }
   std::size_t blocks_unpacked() const { return blocks_unpacked_; }
 
@@ -153,6 +163,7 @@ class Unpacking {
   std::size_t blocks_unpacked_ = 0;
   bool ended_ = false;
   bool aborted_ = false;
+  bool truncated_ = false;
 };
 
 class Channel;

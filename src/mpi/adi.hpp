@@ -14,6 +14,7 @@
 
 #include "mpi/matching.hpp"
 #include "mpi/request.hpp"
+#include "mpi/rma.hpp"
 #include "mpi/types.hpp"
 
 namespace madmpi::mpi {
@@ -66,6 +67,30 @@ class Device {
     (void)dst;
     (void)env;
     return false;
+  }
+
+  /// One-sided extension (MPI-3 RMA; no MPID equivalent — the paper's ADI
+  /// predates it). True when the device can execute `rma()`.
+  virtual bool supports_rma() const { return false; }
+
+  /// Issue one one-sided operation from `src` towards the window named in
+  /// `desc` on `dst`. `payload` carries the origin data for puts and
+  /// accumulates; `get_dest` is where a get's reply lands. Data-bearing
+  /// ops are fire-and-forget (epoch completion travels through the
+  /// kSync/kUnlock ledger); ops that need a reply (get, lock, sync,
+  /// unlock) complete `completion` when the reply arrives. The default
+  /// device has no one-sided support.
+  virtual Status rma(rank_t src, rank_t dst, const RmaDesc& desc,
+                     byte_span payload, void* get_dest,
+                     std::shared_ptr<RequestState> completion) {
+    (void)src;
+    (void)dst;
+    (void)desc;
+    (void)payload;
+    (void)get_dest;
+    (void)completion;
+    return Status(ErrorCode::kProtocol,
+                  "device has no one-sided (RMA) support");
   }
 
   /// Transfer mode for a message of `bytes` under this device's protocol

@@ -484,6 +484,17 @@ Comm Comm::dup() {
 }
 
 Comm Comm::split(int color, int key) {
+  // Only the MPI_UNDEFINED sentinel (-1 internally) may be negative; any
+  // other negative color is an argument error, raised *before* the
+  // allgather so an erring rank never enters the collective exchange.
+  if (color < -1) {
+    raise_error(Status(ErrorCode::kInvalidArgument,
+                       "Comm::split: negative color " +
+                           std::to_string(color) +
+                           " is not MPI_UNDEFINED"));
+    return Comm();
+  }
+
   const int seq = shared_->next_seq(rank_);
 
   // Exchange (color, key) with every member over the collective context —

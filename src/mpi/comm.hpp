@@ -182,7 +182,10 @@ class Comm {
   // --- Communicator management ----------------------------------------
 
   Comm dup();
-  /// MPI_Comm_split; color < 0 (MPI_UNDEFINED) returns an invalid Comm.
+  /// MPI_Comm_split; color == -1 (the MPI_UNDEFINED sentinel) returns an
+  /// invalid Comm. Any other negative color is an argument error raised
+  /// through the errhandler layer (MPI_ERR_ARG), also yielding an invalid
+  /// Comm when the handler returns.
   Comm split(int color, int key);
 
   /// MPI_Comm_group: this communicator's membership in world ranks.
@@ -210,6 +213,9 @@ class Comm {
 
  private:
   struct Shared;
+  // One-sided windows live beside the communicator and need its runtime
+  // plumbing (device dispatch, context registry, id derivation).
+  friend class Win;
   Comm(std::shared_ptr<Shared> shared, rank_t rank)
       : shared_(std::move(shared)), rank_(rank) {}
 

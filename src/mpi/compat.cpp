@@ -10,6 +10,7 @@
 #include "mpi/packbuf.hpp"
 #include "mpi/persistent.hpp"
 #include "mpi/request.hpp"
+#include "mpi/win.hpp"
 
 namespace madmpi::compat {
 namespace detail {
@@ -24,6 +25,14 @@ struct ThreadState {
   std::vector<mpi::PersistentRequest> persistents;
   std::map<int, mpi::CartComm> carts;  // keyed by the comm handle
   int bsend_attached_size = 0;
+
+  /// One-sided windows; `disp_unit` scales MPI_Put/Get/Accumulate target
+  /// displacements into byte offsets.
+  struct WinSlot {
+    mpi::Win win;
+    int disp_unit = 1;
+  };
+  std::vector<WinSlot> wins;
 
   /// Error handling: per-comm handler (default MPI_ERRORS_ARE_FATAL, as
   /// the standard requires) plus the registry for user-created handlers.
@@ -98,10 +107,52 @@ mpi::Op op_of(MPI_Op handle) {
   fatal("unknown MPI_Op handle");
 }
 
+ThreadState::WinSlot& win_slot(MPI_Win handle) {
+  ThreadState& s = state();
+  MADMPI_CHECK_MSG(handle >= 0 &&
+                       static_cast<std::size_t>(handle) < s.wins.size() &&
+                       s.wins[static_cast<std::size_t>(handle)].win.valid(),
+                   "invalid or freed MPI_Win handle");
+  return s.wins[static_cast<std::size_t>(handle)];
+}
+
+/// Maps a predefined datatype handle onto the one-sided wire element type.
+/// False for derived handles — those pack at the origin and travel kByte.
+bool primitive_rma_type(MPI_Datatype handle, mpi::RmaType* out) {
+  switch (handle) {
+    case MPI_BYTE: *out = mpi::RmaType::kByte; return true;
+    case MPI_CHAR: *out = mpi::RmaType::kInt8; return true;
+    case MPI_INT: *out = mpi::RmaType::kInt32; return true;
+    case MPI_UNSIGNED: *out = mpi::RmaType::kUint32; return true;
+    case MPI_LONG_LONG: *out = mpi::RmaType::kInt64; return true;
+    case MPI_UNSIGNED_LONG_LONG: *out = mpi::RmaType::kUint64; return true;
+    case MPI_FLOAT: *out = mpi::RmaType::kFloat32; return true;
+    case MPI_DOUBLE: *out = mpi::RmaType::kFloat64; return true;
+    default: return false;
+  }
+}
+
+mpi::RmaOp rma_op_of(MPI_Op op) {
+  switch (op) {
+    case MPI_SUM: return mpi::RmaOp::kSum;
+    case MPI_PROD: return mpi::RmaOp::kProd;
+    case MPI_MIN: return mpi::RmaOp::kMin;
+    case MPI_MAX: return mpi::RmaOp::kMax;
+    case MPI_LAND: return mpi::RmaOp::kLand;
+    case MPI_LOR: return mpi::RmaOp::kLor;
+    case MPI_BAND: return mpi::RmaOp::kBand;
+    case MPI_BOR: return mpi::RmaOp::kBor;
+    case MPI_BXOR: return mpi::RmaOp::kBxor;
+    case MPI_REPLACE: return mpi::RmaOp::kReplace;
+  }
+  fatal("unknown MPI_Op handle for MPI_Accumulate");
+}
+
 int map_error(madmpi::ErrorCode code) {
   switch (code) {
     case madmpi::ErrorCode::kOk: return MPI_SUCCESS;
     case madmpi::ErrorCode::kTruncated: return MPI_ERR_TRUNCATE;
+    case madmpi::ErrorCode::kInvalidArgument: return MPI_ERR_ARG;
     // A successfully cancelled operation completes with MPI_SUCCESS; the
     // cancellation is reported via MPI_Test_cancelled, not the error field.
     case madmpi::ErrorCode::kCancelled: return MPI_SUCCESS;
@@ -257,6 +308,18 @@ int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* out) {
 }
 
 int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* out) {
+  if (color < 0 && color != MPI_UNDEFINED) {
+    // A negative color is not the MPI_UNDEFINED sentinel: raise MPI_ERR_ARG
+    // through the installed errhandler (fatal by default) instead of
+    // silently treating it as "no membership". Checked before the
+    // collective exchange — the call never reaches the other ranks.
+    *out = MPI_COMM_NULL;
+    const madmpi::Status raised = detail::comm_of(comm).raise_error(
+        madmpi::Status(madmpi::ErrorCode::kInvalidArgument,
+                       "MPI_Comm_split: negative color " +
+                           std::to_string(color) + " is not MPI_UNDEFINED"));
+    return detail::map_error(raised.code());
+  }
   const int effective = color == MPI_UNDEFINED ? -1 : color;
   *out = detail::store_comm(detail::comm_of(comm).split(effective, key));
   if (*out != MPI_COMM_NULL) {
@@ -388,14 +451,12 @@ int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
 }
 
 int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count) {
-  const auto size = detail::type_of(type).size();
-  if (size == 0 ||
-      static_cast<std::size_t>(status->internal_bytes) % size != 0) {
-    *count = MPI_UNDEFINED;
-  } else {
-    *count = static_cast<int>(
-        static_cast<std::size_t>(status->internal_bytes) / size);
-  }
+  // Shared element_count rules: an empty message counts 0 elements even
+  // for a zero-size datatype; only a non-dividing byte count is undefined.
+  const std::int64_t elements = madmpi::mpi::element_count(
+      static_cast<std::uint64_t>(status->internal_bytes),
+      detail::type_of(type).size());
+  *count = elements < 0 ? MPI_UNDEFINED : static_cast<int>(elements);
   return MPI_SUCCESS;
 }
 
@@ -578,6 +639,127 @@ int MPI_Alltoallv(const void* send_buf, const int* send_counts,
       span_of(recv_counts, c.size()), span_of(recv_displs, c.size()),
       detail::type_of(recv_type));
   return detail::map_error(status.code());
+}
+
+int MPI_Win_create(void* base, MPI_Aint size, int disp_unit, MPI_Comm comm,
+                   MPI_Win* win) {
+  auto& s = detail::state();
+  detail::ThreadState::WinSlot slot;
+  slot.win = madmpi::mpi::Win::create(detail::comm_of(comm), base,
+                                      static_cast<std::size_t>(size));
+  slot.disp_unit = disp_unit;
+  s.wins.push_back(std::move(slot));
+  *win = static_cast<MPI_Win>(s.wins.size() - 1);
+  return MPI_SUCCESS;
+}
+
+int MPI_Win_allocate(MPI_Aint size, int disp_unit, MPI_Comm comm,
+                     void* baseptr, MPI_Win* win) {
+  auto& s = detail::state();
+  detail::ThreadState::WinSlot slot;
+  slot.win = madmpi::mpi::Win::allocate(detail::comm_of(comm),
+                                        static_cast<std::size_t>(size));
+  slot.disp_unit = disp_unit;
+  *static_cast<void**>(baseptr) = slot.win.base();
+  s.wins.push_back(std::move(slot));
+  *win = static_cast<MPI_Win>(s.wins.size() - 1);
+  return MPI_SUCCESS;
+}
+
+int MPI_Win_free(MPI_Win* win) {
+  auto& slot = detail::win_slot(*win);
+  const madmpi::Status status = slot.win.free();
+  slot.win = madmpi::mpi::Win();  // invalidate the handle slot
+  *win = MPI_WIN_NULL;
+  return detail::map_error(status.code());
+}
+
+int MPI_Win_fence(int assert_unused, MPI_Win win) {
+  (void)assert_unused;
+  return detail::map_error(detail::win_slot(win).win.fence().code());
+}
+
+int MPI_Win_lock(int lock_type, int rank, int assert_unused, MPI_Win win) {
+  (void)assert_unused;
+  const auto type = lock_type == MPI_LOCK_EXCLUSIVE
+                        ? madmpi::mpi::RmaLockType::kExclusive
+                        : madmpi::mpi::RmaLockType::kShared;
+  return detail::map_error(detail::win_slot(win).win.lock(type, rank).code());
+}
+
+int MPI_Win_unlock(int rank, MPI_Win win) {
+  return detail::map_error(detail::win_slot(win).win.unlock(rank).code());
+}
+
+int MPI_Put(const void* origin, int origin_count, MPI_Datatype origin_type,
+            int target_rank, MPI_Aint target_disp, int target_count,
+            MPI_Datatype target_type, MPI_Win win) {
+  (void)target_count;  // the target mirrors the origin contiguously
+  (void)target_type;
+  auto& slot = detail::win_slot(win);
+  const std::uint64_t offset = static_cast<std::uint64_t>(target_disp) *
+                               static_cast<std::uint64_t>(slot.disp_unit);
+  madmpi::Status status;
+  madmpi::mpi::RmaType element;
+  if (detail::primitive_rma_type(origin_type, &element)) {
+    status = slot.win.put(origin, origin_count, element, target_rank, offset);
+  } else {
+    // Derived datatype: pack at the origin, travel as raw bytes (no
+    // element swap — matching the two-sided packed-wire convention).
+    const madmpi::mpi::Datatype type = detail::type_of(origin_type);
+    std::vector<std::byte> staging(type.size() *
+                                   static_cast<std::size_t>(origin_count));
+    type.pack(origin, origin_count, staging.data());
+    status = slot.win.put(staging.data(), static_cast<int>(staging.size()),
+                          madmpi::mpi::RmaType::kByte, target_rank, offset);
+  }
+  return detail::map_error(status.code());
+}
+
+int MPI_Get(void* origin, int origin_count, MPI_Datatype origin_type,
+            int target_rank, MPI_Aint target_disp, int target_count,
+            MPI_Datatype target_type, MPI_Win win) {
+  (void)target_count;
+  (void)target_type;
+  auto& slot = detail::win_slot(win);
+  const std::uint64_t offset = static_cast<std::uint64_t>(target_disp) *
+                               static_cast<std::uint64_t>(slot.disp_unit);
+  madmpi::mpi::RmaType element;
+  if (detail::primitive_rma_type(origin_type, &element)) {
+    return detail::map_error(
+        slot.win.get(origin, origin_count, element, target_rank, offset)
+            .code());
+  }
+  // Derived: fetch raw bytes, complete the get locally, then scatter them
+  // into the origin layout.
+  const madmpi::mpi::Datatype type = detail::type_of(origin_type);
+  std::vector<std::byte> staging(type.size() *
+                                 static_cast<std::size_t>(origin_count));
+  madmpi::Status status =
+      slot.win.get(staging.data(), static_cast<int>(staging.size()),
+                   madmpi::mpi::RmaType::kByte, target_rank, offset);
+  if (status.is_ok()) status = slot.win.flush_local();
+  if (status.is_ok()) type.unpack(staging.data(), origin_count, origin);
+  return detail::map_error(status.code());
+}
+
+int MPI_Accumulate(const void* origin, int origin_count,
+                   MPI_Datatype origin_type, int target_rank,
+                   MPI_Aint target_disp, int target_count,
+                   MPI_Datatype target_type, MPI_Op op, MPI_Win win) {
+  (void)target_count;
+  (void)target_type;
+  auto& slot = detail::win_slot(win);
+  madmpi::mpi::RmaType element;
+  MADMPI_CHECK_MSG(detail::primitive_rma_type(origin_type, &element),
+                   "MPI_Accumulate requires a predefined datatype");
+  const std::uint64_t offset = static_cast<std::uint64_t>(target_disp) *
+                               static_cast<std::uint64_t>(slot.disp_unit);
+  return detail::map_error(slot.win
+                               .accumulate(origin, origin_count, element,
+                                           detail::rma_op_of(op), target_rank,
+                                           offset)
+                               .code());
 }
 
 double MPI_Wtime() { return detail::comm_of(MPI_COMM_WORLD).wtime(); }

@@ -28,6 +28,8 @@ using MPI_Datatype = int;
 using MPI_Op = int;
 using MPI_Request = int;
 using MPI_Errhandler = int;
+using MPI_Win = int;
+using MPI_Aint = long long;
 
 /// MPI-2 style communicator error handler: receives the comm handle and
 /// the error class (the varargs of the real signature are omitted).
@@ -64,6 +66,7 @@ inline constexpr MPI_Op MPI_LOR = 5;
 inline constexpr MPI_Op MPI_BAND = 6;
 inline constexpr MPI_Op MPI_BOR = 7;
 inline constexpr MPI_Op MPI_BXOR = 8;
+inline constexpr MPI_Op MPI_REPLACE = 9;  // valid only for MPI_Accumulate
 
 inline constexpr int MPI_ANY_SOURCE = -2;
 inline constexpr int MPI_ANY_TAG = -1;
@@ -71,6 +74,7 @@ inline constexpr int MPI_UNDEFINED = -32766;
 inline constexpr int MPI_SUCCESS = 0;
 inline constexpr int MPI_ERR_TRUNCATE = 15;
 inline constexpr int MPI_ERR_OTHER = 16;
+inline constexpr int MPI_ERR_ARG = 17;
 
 inline constexpr MPI_Errhandler MPI_ERRHANDLER_NULL = -1;
 inline constexpr MPI_Errhandler MPI_ERRORS_ARE_FATAL = 0;  // the default
@@ -79,6 +83,10 @@ inline constexpr MPI_Errhandler MPI_ERRORS_RETURN = 1;
 inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
 inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
 inline constexpr MPI_Request MPI_REQUEST_NULL = -1;
+
+inline constexpr MPI_Win MPI_WIN_NULL = -1;
+inline constexpr int MPI_LOCK_SHARED = 1;
+inline constexpr int MPI_LOCK_EXCLUSIVE = 2;
 
 // ------------------------------------------------------------- entry point
 
@@ -230,5 +238,29 @@ int MPI_Alltoallv(const void* send_buf, const int* send_counts,
                   void* recv_buf, const int* recv_counts,
                   const int* recv_displs, MPI_Datatype recv_type,
                   MPI_Comm comm);
+
+// One-sided communication (MPI-3 §11 subset over madmpi::mpi::Win). The
+// target side is addressed as `target_disp * disp_unit` bytes into the
+// window; the target datatype mirrors the origin's contiguously (the
+// common textbook shape). Derived origin datatypes pack at the origin and
+// travel as raw bytes. The `assert` arguments are accepted and ignored.
+int MPI_Win_create(void* base, MPI_Aint size, int disp_unit, MPI_Comm comm,
+                   MPI_Win* win);
+int MPI_Win_allocate(MPI_Aint size, int disp_unit, MPI_Comm comm,
+                     void* baseptr, MPI_Win* win);
+int MPI_Win_free(MPI_Win* win);
+int MPI_Win_fence(int assert_unused, MPI_Win win);
+int MPI_Win_lock(int lock_type, int rank, int assert_unused, MPI_Win win);
+int MPI_Win_unlock(int rank, MPI_Win win);
+int MPI_Put(const void* origin, int origin_count, MPI_Datatype origin_type,
+            int target_rank, MPI_Aint target_disp, int target_count,
+            MPI_Datatype target_type, MPI_Win win);
+int MPI_Get(void* origin, int origin_count, MPI_Datatype origin_type,
+            int target_rank, MPI_Aint target_disp, int target_count,
+            MPI_Datatype target_type, MPI_Win win);
+int MPI_Accumulate(const void* origin, int origin_count,
+                   MPI_Datatype origin_type, int target_rank,
+                   MPI_Aint target_disp, int target_count,
+                   MPI_Datatype target_type, MPI_Op op, MPI_Win win);
 
 double MPI_Wtime();

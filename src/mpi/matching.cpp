@@ -16,8 +16,11 @@ void RankContext::finish_recv(const PostedRecv& posted, const Envelope& env,
   // A message longer than the posted buffer is an application error
   // (MPI_ERR_TRUNCATE), not a reason to abort the harness: per the MPI
   // spec the prefix that fits is delivered and the error travels on the
-  // operation's status.
-  const bool truncated = env.bytes > posted.capacity_bytes;
+  // operation's status. A payload *shorter* than its envelope claims is
+  // the mirror image — a malformed ragged tail (truncated unpack on the
+  // wire): deliver what arrived and report the same error.
+  const bool truncated = env.bytes > posted.capacity_bytes ||
+                         payload.size() < env.bytes;
   if (truncated && payload.size() > posted.capacity_bytes) {
     payload = payload.first(posted.capacity_bytes);
   }
@@ -380,6 +383,22 @@ bool RankContext::cancel_posted(const RequestState* request) {
              0, "cancel-recv");
   victim.request->complete(status);
   return true;
+}
+
+void RankContext::register_window(std::uint64_t win_id, WinTarget* target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  windows_[win_id] = target;
+}
+
+void RankContext::unregister_window(std::uint64_t win_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  windows_.erase(win_id);
+}
+
+WinTarget* RankContext::find_window(std::uint64_t win_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = windows_.find(win_id);
+  return it == windows_.end() ? nullptr : it->second;
 }
 
 }  // namespace madmpi::mpi

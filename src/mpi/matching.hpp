@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "sim/node.hpp"
 
 namespace madmpi::mpi {
+
+struct WinTarget;  // mpi/rma.hpp
 
 /// A posted receive waiting for its message.
 struct PostedRecv {
@@ -167,6 +170,16 @@ class RankContext {
   /// race and the receive completes normally).
   bool cancel_posted(const RequestState* request);
 
+  // --- One-sided windows (RMA) ---------------------------------------
+  // The target-side state of every window this rank currently exposes,
+  // keyed by the collectively-derived window id. Registration happens on
+  // the rank's own thread (Win::create/free); lookup happens on the
+  // device polling thread resolving incoming RMA packets.
+
+  void register_window(std::uint64_t win_id, WinTarget* target);
+  void unregister_window(std::uint64_t win_id);
+  WinTarget* find_window(std::uint64_t win_id);
+
  private:
   struct Unexpected {
     Envelope env;
@@ -214,6 +227,10 @@ class RankContext {
   // Watchdog (set once at session start, before ranks run).
   usec_t watchdog_horizon_ = 0.0;
   std::function<bool(rank_t)> peer_unreachable_;
+
+  // One-sided windows exposed by this rank (guarded by mutex_; the
+  // WinTarget objects themselves carry their own lock).
+  std::map<std::uint64_t, WinTarget*> windows_;
 };
 
 }  // namespace madmpi::mpi

@@ -29,6 +29,18 @@ struct Envelope {
   bool sender_big_endian = false;
 };
 
+/// MPI_Get_count semantics, shared by MpiStatus::count() and the C facade
+/// so both layers agree on the edge cases: an empty message always counts
+/// zero elements — even of a zero-size (empty derived) datatype — while a
+/// non-empty message that does not divide into whole elements is
+/// MPI_UNDEFINED, returned here as -1.
+constexpr std::int64_t element_count(std::uint64_t bytes,
+                                     std::size_t type_size) {
+  if (bytes == 0) return 0;
+  if (type_size == 0 || bytes % type_size != 0) return -1;
+  return static_cast<std::int64_t>(bytes / type_size);
+}
+
 /// Result of a completed receive (MPI_Status equivalent).
 struct MpiStatus {
   rank_t source = kInvalidRank;
@@ -40,12 +52,11 @@ struct MpiStatus {
   /// was delivered; `bytes` then counts the delivered prefix.
   ErrorCode error = ErrorCode::kOk;
 
-  /// MPI_Get_count: number of `type_size`-byte elements, or -1 (MPI_UNDEFINED)
-  /// when the byte count is not a multiple of the element size.
+  /// MPI_Get_count: number of `type_size`-byte elements, or -1
+  /// (MPI_UNDEFINED) when the byte count does not divide into whole
+  /// elements (element_count holds the shared edge-case rules).
   std::int64_t count(std::size_t type_size) const {
-    if (type_size == 0) return 0;
-    if (bytes % type_size != 0) return -1;
-    return static_cast<std::int64_t>(bytes / type_size);
+    return element_count(bytes, type_size);
   }
 };
 

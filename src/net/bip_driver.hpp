@@ -24,6 +24,10 @@ class BipDriver final : public Driver {
 
   usec_t poll_cost() const override { return model().poll_us; }
 
+  // The LANai DMAs long payloads into registered buffers; one-sided data
+  // rides the same engine straight into the window.
+  bool supports_rma_direct() const override { return true; }
+
   // Short messages ride the preallocated receive queue; the control slab
   // only ever holds kInlineLimit bytes plus headers.
   std::size_t slab_reserve() const override { return 2048; }

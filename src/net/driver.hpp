@@ -38,6 +38,11 @@ enum class DeliveryMode {
   /// Out-of-band teardown control (channel termination packets): bypasses
   /// fault injection so shutdown always completes, even over dead links.
   kTeardown,
+  /// One-sided data the NIC lands directly in registered window memory
+  /// (SISCI remote-mapped PIO, BIP DMA). Transfer mechanics match kNormal
+  /// (fault injection included); the mode marks frames whose payload needs
+  /// no receive-side bounce, for drivers that honour it.
+  kRmaDirect,
 };
 
 /// How a driver wants to move one user block.
@@ -255,6 +260,11 @@ class Driver {
 
   /// Cost of one unsuccessful poll (exposed for the poll server).
   virtual usec_t poll_cost() const = 0;
+
+  /// True when the NIC can land one-sided data directly in a registered
+  /// remote-memory window (DeliveryMode::kRmaDirect): SISCI's mapped
+  /// segments and BIP's DMA qualify; kernel sockets do not.
+  virtual bool supports_rma_direct() const { return false; }
 
   /// Slab bytes a message builder should reserve up front so a typical
   /// control frame (header + aggregated blocks) never regrows: protocols

@@ -24,6 +24,10 @@ class SisciDriver final : public Driver {
 
   usec_t poll_cost() const override { return model().poll_us; }
 
+  // An exported SCI segment *is* remote memory: one-sided puts are plain
+  // PIO store streams into the mapped window.
+  bool supports_rma_direct() const override { return true; }
+
   // PIO aggregation caps the control frame at kPioLimit + headers; big
   // blocks DMA separately, so small slabs suffice for message building.
   std::size_t slab_reserve() const override { return 2048; }

@@ -70,8 +70,11 @@ Status Endpoint::send_message(node_id_t dst, ChunkList control,
 
   // Consult the *path's* model, not the endpoint copy: wire paths reference
   // the source NIC's model live, so late-attached fault plans take effect.
-  const sim::FaultPlan* plan =
-      mode == DeliveryMode::kNormal ? path->model().fault_plan.get() : nullptr;
+  // kRmaDirect is regular traffic for fault purposes — only teardown
+  // control is exempt from injection.
+  const sim::FaultPlan* plan = mode == DeliveryMode::kTeardown
+                                   ? nullptr
+                                   : path->model().fault_plan.get();
 
   // Sender-side fixed software cost; the departure time is taken before any
   // staging copies so those pipeline with the wire (handled in WirePath).

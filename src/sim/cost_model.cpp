@@ -75,6 +75,10 @@ LinkCostModel tcp_fast_ethernet_model() {
   // the paper's own per-component estimate (21% ~ 25 us) does not sum to
   // its measured endpoints, so the endpoints win.
   m.per_block_us = 15.0;
+  // One-sided emulation over sockets: a put is an ordinary write() and the
+  // "landing" is a kernel bounce into the window.
+  m.rma_put_us = 8.0;
+  m.rma_landing_us_per_byte = 0.0032;
   return m;
 }
 
@@ -92,6 +96,10 @@ LinkCostModel sisci_sci_model() {
   m.supports_zero_copy = true; // DMA into a posted user buffer
   m.short_message_limit = 0;
   m.per_block_us = 6.5;        // extra PIO transaction per block
+  // SCI is genuinely one-sided: the origin streams PIO stores into the
+  // remote-mapped window, and the data lands without target-side work.
+  m.rma_put_us = 0.4;
+  m.rma_landing_us_per_byte = 0.0;
   return m;
 }
 
@@ -116,6 +124,10 @@ LinkCostModel bip_myrinet_model() {
   // the effective extra-block cost is 2 us (the paper's 4.5 us estimate
   // again does not match its measured endpoints).
   m.per_block_us = 2.0;
+  // LANai DMA into the registered window: descriptor post at the origin,
+  // a light per-byte DMA touch at the target.
+  m.rma_put_us = 2.5;
+  m.rma_landing_us_per_byte = 0.0008;
   return m;
 }
 
@@ -133,6 +145,8 @@ LinkCostModel shmem_model() {
   m.supports_zero_copy = false;
   m.short_message_limit = 0;
   m.per_block_us = 0.5;
+  m.rma_put_us = 0.3;  // store into the shared segment
+  m.rma_landing_us_per_byte = 0.0;
   return m;
 }
 

@@ -79,6 +79,18 @@ struct LinkCostModel {
   /// ~25 us on TCP, 6.5 us on SISCI, 4.5 us on BIP — Section 5).
   usec_t per_block_us = 0.0;
 
+  /// One-sided (RMA) extension — used only by the ch_mad RMA verbs, so
+  /// existing two-sided charges stay bit-identical (test_calibration).
+  /// Origin-side cost to initiate one remote put/get/accumulate: a PIO
+  /// store-stream setup on SCI, a DMA descriptor post on Myrinet, a
+  /// socket write on the TCP emulation.
+  usec_t rma_put_us = 0.0;
+
+  /// Target-side landing cost per byte for one-sided data: zero when the
+  /// NIC writes directly into the registered window (SISCI remote-mapped
+  /// PIO), a DMA touch on BIP, a full kernel bounce on TCP.
+  usec_t rma_landing_us_per_byte = 0.0;
+
   /// Timing-fault injection: maximum extra per-frame delay, applied as a
   /// deterministic pseudo-random amount derived from the frame identity.
   /// Zero (default) disables it. Used by robustness tests to prove the

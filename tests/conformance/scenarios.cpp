@@ -9,6 +9,7 @@
 
 #include "core/session.hpp"
 #include "harness.hpp"
+#include "mpi/win.hpp"
 #include "sim/fault.hpp"
 #include "sim/sched.hpp"
 
@@ -510,6 +511,102 @@ void run_zerocopy(Oracle& oracle) {
   });
 }
 
+// --------------------------------------------------------------------- rma
+
+/// One-sided epoch semantics under frame drops: an access issued outside
+/// any epoch must be refused (never transmitted); every put/accumulate
+/// issued inside a fence epoch must be visible at the target once the
+/// fence returns; data moved under an exclusive lock must be visible after
+/// unlock. The per-origin completion ledger has to uphold these through
+/// retransmissions and delivery-order perturbation.
+void run_rma(Oracle& oracle) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(2, sim::Protocol::kTcp);
+  Session session(std::move(options));
+  install_plan(session, 0, sim::Protocol::kTcp, 41)->drop(0.2);
+  install_plan(session, 1, sim::Protocol::kTcp, 42)->drop(0.2);
+
+  constexpr std::size_t kPattern = 64;  // bytes per put payload
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    mpi::Win win = mpi::Win::allocate(comm, 256);
+
+    if (comm.rank() == 0) {
+      // No epoch is open yet: the access must be refused locally.
+      std::uint8_t probe = 1;
+      const Status outside = win.put(&probe, 1, mpi::RmaType::kByte, 1, 0);
+      if (outside.is_ok()) {
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        oracle.fail("rma-epoch", "put outside any epoch was accepted");
+      }
+    }
+
+    win.fence();  // opens the access epoch
+    if (comm.rank() == 0) {
+      std::vector<std::uint8_t> payload(kPattern);
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = pattern_byte(0, 1, i);
+      }
+      win.put(payload.data(), static_cast<int>(payload.size()),
+              mpi::RmaType::kUint8, 1, 0);
+      std::int32_t addend = 41;
+      win.accumulate(&addend, 1, mpi::RmaType::kInt32, mpi::RmaOp::kSum, 1,
+                     128);
+      addend = 1;
+      win.accumulate(&addend, 1, mpi::RmaType::kInt32, mpi::RmaOp::kSum, 1,
+                     128);
+    }
+    win.fence();  // closes it: everything above is now visible at rank 1
+    if (comm.rank() == 1) {
+      const std::uint8_t* exposed =
+          reinterpret_cast<const std::uint8_t*>(win.base());
+      bool intact = true;
+      for (std::size_t i = 0; intact && i < kPattern; ++i) {
+        intact = exposed[i] == pattern_byte(0, 1, i);
+      }
+      std::int32_t sum = 0;
+      std::memcpy(&sum, win.base() + 128, sizeof sum);
+      if (!intact || sum != 42) {
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        oracle.fail("rma-fence-visibility",
+                    intact ? "accumulate ledger lost an op (sum " +
+                                 std::to_string(sum) + " != 42)"
+                           : "put issued before the fence not visible "
+                             "after it");
+      }
+    }
+
+    // Passive target: rank 0 moves a second pattern under an exclusive
+    // lock; after unlock() returns the data is visible, and the barrier
+    // sequences rank 1's read behind it.
+    if (comm.rank() == 0) {
+      win.lock(mpi::RmaLockType::kExclusive, 1);
+      std::vector<std::uint8_t> payload(kPattern);
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = pattern_byte(0, 2, i);
+      }
+      win.put(payload.data(), static_cast<int>(payload.size()),
+              mpi::RmaType::kUint8, 1, kPattern);
+      win.unlock(1);
+    }
+    comm.barrier();
+    if (comm.rank() == 1) {
+      const std::uint8_t* exposed =
+          reinterpret_cast<const std::uint8_t*>(win.base());
+      for (std::size_t i = 0; i < kPattern; ++i) {
+        if (exposed[kPattern + i] != pattern_byte(0, 2, i)) {
+          std::lock_guard<std::mutex> lock(oracle_mutex);
+          oracle.fail("rma-unlock-visibility",
+                      "put issued under the lock not visible after unlock");
+          break;
+        }
+      }
+    }
+    win.free();
+  });
+}
+
 // ---------------------------------------------------------------- selftest
 
 /// Deliberately broken "application": it treats the delivery-order bias of
@@ -557,6 +654,10 @@ const std::vector<Scenario>& scenarios() {
        "pooled-chunk payloads stay intact across retransmits and the "
        "unexpected store",
        &run_zerocopy},
+      {"rma",
+       "one-sided epochs: fence/unlock visibility and epoch enforcement "
+       "under drops",
+       &run_rma},
       {"selftest",
        "planted violation: proves the sweep catches, replays and shrinks",
        &run_selftest},
