@@ -1,0 +1,153 @@
+// Ablation: the cost of fault-tolerant collectives.
+//
+// FT-on adds two things to a collective: the epoch-tagged capture wrapper
+// (cheap bookkeeping) and the post-collective agreement rounds (a fixed
+// latency toll independent of payload). This bench measures both against
+// the plain trees on a fault-free 4-rank TCP cluster, plus the recovery
+// cost of the headline scenario — a broadcast whose root->child link is
+// dead, completing through the adoption/relay re-route.
+//
+// `--json <path>` writes the machine-readable series consumed by the CI
+// perf-trajectory job (docs/results/BENCH_ft_collectives.json).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/fault.hpp"
+
+using namespace madmpi;
+
+namespace {
+
+constexpr int kRanks = 4;
+
+std::unique_ptr<core::Session> quad_session(bool outage) {
+  core::Session::Options options;
+  options.cluster =
+      sim::ClusterSpec::homogeneous(kRanks, sim::Protocol::kTcp);
+  auto session = std::make_unique<core::Session>(std::move(options));
+  if (outage) {
+    // The headline fault: only the root->2 direction dies; the payload
+    // must re-route through rank 3's live link.
+    auto plan = std::make_shared<sim::FaultPlan>(0);
+    plan->kill_at(0.0, /*src=*/0, /*dst=*/2);
+    sim::Nic* nic = session->fabric().find_nic(0, sim::Protocol::kTcp);
+    nic->mutable_model().fault_plan = plan;
+  }
+  return session;
+}
+
+// Completion latency of one operation: last rank's finish minus first
+// rank's start, both read on the ranks' own virtual clocks. This is the
+// honest apples-to-apples metric — a plain bcast root returns after its
+// last send and back-to-back plain bcasts pipeline across the tree, while
+// every FT collective ends at its synchronizing agreement, so a rep-loop
+// comparison would measure pipelined throughput against full latency.
+// The per-rank stamps are combined by an *untimed* allreduce(max) over
+// {-start, done}: max(-start) = -min(start).
+usec_t completion_latency(mpi::Comm& comm, usec_t start, usec_t done) {
+  double stamps[2] = {-start, done};
+  double extrema[2] = {0.0, 0.0};
+  comm.allreduce(stamps, extrema, 2, mpi::Datatype::float64(),
+                 mpi::Op::max());
+  return extrema[1] + extrema[0];  // max(done) - min(start)
+}
+
+usec_t time_bcast(bool fault_tolerant, bool outage, int count) {
+  auto session = quad_session(outage);
+  usec_t elapsed = 0.0;
+  session->run([&](mpi::Comm comm) {
+    mpi::CollectiveConfig config;
+    config.fault_tolerant = fault_tolerant;
+    comm.set_collective_config(config);
+    std::vector<std::int32_t> data(static_cast<std::size_t>(count), 7);
+    comm.bcast(data.data(), count, mpi::Datatype::int32(), 0);  // warm-up
+    comm.barrier();
+    const usec_t start = comm.wtime_us();
+    comm.bcast(data.data(), count, mpi::Datatype::int32(), 0);
+    const usec_t done = comm.wtime_us();
+    const usec_t latency = completion_latency(comm, start, done);
+    if (comm.rank() == 0) elapsed = latency;
+  });
+  return elapsed;
+}
+
+usec_t time_allreduce(bool fault_tolerant, int count) {
+  auto session = quad_session(/*outage=*/false);
+  usec_t elapsed = 0.0;
+  session->run([&](mpi::Comm comm) {
+    mpi::CollectiveConfig config;
+    config.fault_tolerant = fault_tolerant;
+    comm.set_collective_config(config);
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(count), 1);
+    std::vector<std::int32_t> total(static_cast<std::size_t>(count));
+    comm.allreduce(mine.data(), total.data(), count, mpi::Datatype::int32(),
+                   mpi::Op::sum());  // warm-up
+    comm.barrier();
+    const usec_t start = comm.wtime_us();
+    comm.allreduce(mine.data(), total.data(), count, mpi::Datatype::int32(),
+                   mpi::Op::sum());
+    const usec_t done = comm.wtime_us();
+    const usec_t latency = completion_latency(comm, start, done);
+    if (comm.rank() == 0) elapsed = latency;
+  });
+  return elapsed;
+}
+
+double overhead_pct(usec_t plain, usec_t ft) {
+  return plain > 0.0 ? (ft - plain) / plain * 100.0 : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  std::vector<double> xs, bcast_us, bcast_ft_us, bcast_oh;
+  std::vector<double> ar_us, ar_ft_us, ar_oh, outage_us;
+  std::printf("### ablation_ft_collectives (%d ranks, tcp)\n", kRanks);
+  std::printf("%10s %10s %12s %8s %12s %14s %8s %16s\n", "bytes",
+              "bcast_us", "bcast_ft_us", "oh%", "allreduce_us",
+              "allreduce_ft_us", "oh%", "bcast_outage_us");
+  for (std::size_t bytes : {4096u, 16384u, 65536u, 262144u, 1048576u}) {
+    const int count = static_cast<int>(bytes / sizeof(std::int32_t));
+    const usec_t b_plain = time_bcast(false, false, count);
+    const usec_t b_ft = time_bcast(true, false, count);
+    const usec_t b_outage = time_bcast(true, true, count);
+    const usec_t a_plain = time_allreduce(false, count);
+    const usec_t a_ft = time_allreduce(true, count);
+
+    xs.push_back(static_cast<double>(bytes));
+    bcast_us.push_back(b_plain);
+    bcast_ft_us.push_back(b_ft);
+    bcast_oh.push_back(overhead_pct(b_plain, b_ft));
+    ar_us.push_back(a_plain);
+    ar_ft_us.push_back(a_ft);
+    ar_oh.push_back(overhead_pct(a_plain, a_ft));
+    outage_us.push_back(b_outage);
+
+    std::printf("%10zu %10.1f %12.1f %7.1f%% %12.1f %14.1f %7.1f%% %16.1f\n",
+                bytes, b_plain, b_ft, bcast_oh.back(), a_plain, a_ft,
+                ar_oh.back(), b_outage);
+  }
+
+  if (!json_path.empty()) {
+    const std::vector<bench::JsonColumn> columns = {
+        {"bytes", xs},
+        {"bcast_us", bcast_us},
+        {"bcast_ft_us", bcast_ft_us},
+        {"bcast_ft_overhead_pct", bcast_oh},
+        {"allreduce_us", ar_us},
+        {"allreduce_ft_us", ar_ft_us},
+        {"allreduce_ft_overhead_pct", ar_oh},
+        {"bcast_outage_ft_us", outage_us}};
+    if (!bench::write_json_series(json_path, "ablation_ft_collectives",
+                                  columns)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

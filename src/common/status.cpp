@@ -15,6 +15,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kResourceLimit: return "resource_limit";
     case ErrorCode::kTimedOut: return "timed_out";
     case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kProcFailed: return "proc_failed";
+    case ErrorCode::kRevoked: return "revoked";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -24,6 +24,8 @@ enum class ErrorCode {
   kResourceLimit,
   kTimedOut,        // progress watchdog gave up on the operation
   kCancelled,       // operation cancelled by the user (MPI_Cancel)
+  kProcFailed,      // a peer process failed (ULFM MPI_ERR_PROC_FAILED)
+  kRevoked,         // communicator revoked (ULFM MPI_ERR_REVOKED)
   kInternal,
 };
 

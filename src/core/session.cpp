@@ -119,7 +119,8 @@ Session::Session(Options options) {
             return origin != home && route_dead(origin, home);
           });
     }
-    auto sweep = [this] {
+    auto sweep = [this, last_fingerprint = std::uint64_t(0),
+                  stalled_sweeps = 0]() mutable {
       std::uint64_t cancels = 0;
       if (ChMadDevice* device = ch_mad()) {
         cancels += device->watchdog_sweep(
@@ -136,6 +137,45 @@ Session::Session(Options options) {
           cancels += canceled;
           context.notify_waiters();
         }
+      }
+      // FT deadline safety valve: only after a long run of sweeps with no
+      // virtual-time progress anywhere do deadline-carrying receives give
+      // up (see kFtStallSweeps).
+      const std::uint64_t fingerprint = progress_fingerprint();
+      if (fingerprint == last_fingerprint) {
+        ++stalled_sweeps;
+      } else {
+        last_fingerprint = fingerprint;
+        stalled_sweeps = 0;
+      }
+      if (stalled_sweeps >= kFtStallSweeps) {
+        // Cancel only the globally oldest cohort of deadline receives:
+        // the operation that is actually stuck. Ranks blocked in *newer*
+        // operations are usually waiting on the stuck rank's contribution
+        // — cancelling their receives too would fail collectives that
+        // become perfectly completable once the laggard catches up. The
+        // slack batches receives posted within one operation's lane skew
+        // while staying below the gap between successive collectives.
+        constexpr usec_t kStallCohortSlackUs = 200.0;
+        usec_t oldest = 0.0;
+        for (rank_t rank = 0; rank < world_size(); ++rank) {
+          const usec_t candidate =
+              directory_.context_of(rank).min_ft_deadline();
+          if (candidate <= 0.0) continue;
+          if (oldest == 0.0 || candidate < oldest) oldest = candidate;
+        }
+        if (oldest > 0.0) {
+          for (rank_t rank = 0; rank < world_size(); ++rank) {
+            mpi::RankContext& context = directory_.context_of(rank);
+            const std::size_t expired = context.cancel_expired(
+                ErrorCode::kTimedOut, oldest + kStallCohortSlackUs);
+            if (expired > 0) {
+              cancels += expired;
+              context.notify_waiters();
+            }
+          }
+        }
+        stalled_sweeps = 0;
       }
       if (cancels > 0) {
         watchdog_cancels_.fetch_add(cancels, std::memory_order_relaxed);
@@ -234,6 +274,12 @@ bool Session::route_dead(node_id_t from, node_id_t to) {
     }
   }
   return true;
+}
+
+bool Session::peer_unreachable(rank_t from_global, rank_t to_global) {
+  const node_id_t from = directory_.node_of(from_global).id();
+  const node_id_t to = directory_.node_of(to_global).id();
+  return from != to && route_dead(from, to);
 }
 
 mpi::Device& Session::device_for(rank_t src, rank_t dst) {

@@ -94,6 +94,10 @@ class Session final : public mpi::Runtime {
   }
   mpi::Device& device_for(rank_t src, rank_t dst) override;
   int derive_context_id(int parent_context, std::int64_t key) override;
+  /// Failure detector for the FT collectives: directional route health
+  /// between the hosting nodes (same-node peers share memory and never
+  /// fail independently here).
+  bool peer_unreachable(rank_t from_global, rank_t to_global) override;
 
   // --- execution ----------------------------------------------------------
   /// Run `rank_main` once per rank, each on its own thread bound to its
@@ -155,6 +159,15 @@ class Session final : public mpi::Runtime {
   /// Print a per-channel traffic report (messages/bytes, plus ch_mad's
   /// eager/rendezvous/forwarded counters) to `out`.
   void print_stats(std::FILE* out = stdout);
+
+  /// Consecutive stalled watchdog sweeps (global progress fingerprint
+  /// unchanged) before deadline-carrying FT receives are cancelled. The
+  /// deadline is a safety valve for fault schedules the reachability
+  /// oracle cannot prove dead (e.g. a peer that skipped its send during
+  /// an outage window that later healed); gating it on a long observed
+  /// stall keeps transient wall-clock hiccups from cancelling healthy
+  /// operations.
+  static constexpr int kFtStallSweeps = 48;
 
  private:
   enum class RouteState { kAlive, kDead, kNoChannel };

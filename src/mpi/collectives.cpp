@@ -11,6 +11,7 @@
 
 #include "mpi/comm.hpp"
 #include "mpi/comm_shared.hpp"
+#include "mpi/ft_internal.hpp"
 #include "sim/cost_model.hpp"
 
 namespace madmpi::mpi {
@@ -39,10 +40,17 @@ struct CollAbort {
 };
 
 /// Wait for an algorithm-internal receive, aborting the collective when it
-/// completed with an error (watchdog cancellation of a dead hop).
+/// completed with an error (watchdog cancellation of a dead hop). In FT
+/// capture mode the failure is recorded and the algorithm continues —
+/// every rank runs the full schedule so no peer is left waiting on a hop
+/// that will never be posted; the verdict feeds the uniform agreement.
 void coll_wait(RequestState& state) {
   const MpiStatus status = state.wait();
   if (status.error != ErrorCode::kOk) {
+    if (ft::capture_active()) {
+      ft::record(status.error);
+      return;
+    }
     throw CollAbort{Status(status.error,
                            "collective receive failed mid-algorithm")};
   }
@@ -52,7 +60,14 @@ void coll_wait(RequestState& state) {
 
 void Comm::coll_send(const void* buf, std::size_t bytes, rank_t dest,
                      int tag) {
-  Envelope env = make_envelope(dest, tag, bytes, false);
+  if (ft::capture_active() && rank_unreachable(rank_, dest)) {
+    // The detector already proves this hop dead: skip the device (and in
+    // particular never start a rendezvous handshake a dead peer cannot
+    // answer) and record the verdict.
+    ft::record(ErrorCode::kProcFailed);
+    return;
+  }
+  Envelope env = make_envelope(dest, ft::remap_tag(tag), bytes, false);
   env.context = shared_->context + 1;
   Device& device = device_to(dest);
   const rank_t dst_global = global_rank_of(dest);
@@ -66,16 +81,24 @@ void Comm::coll_send(const void* buf, std::size_t bytes, rank_t dest,
                   mode);
   if (!status.is_ok()) {
     release_admission(dst_global, env, mode);
+    if (ft::capture_active()) {
+      ft::record(status.code());
+      return;
+    }
     throw CollAbort{status};
   }
 }
 
 void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {
+  if (ft::capture_active() && rank_unreachable(source, rank_)) {
+    ft::record(ErrorCode::kProcFailed);
+    return;
+  }
   auto state = std::make_shared<RequestState>(my_node());
   PostedRecv posted;
   posted.context = shared_->context + 1;
   posted.source = source;
-  posted.tag = tag;
+  posted.tag = ft::remap_tag(tag);
   posted.buffer = buf;
   posted.type = Datatype::byte();
   posted.count = static_cast<int>(bytes);
@@ -83,6 +106,10 @@ void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {
   posted.request = state;
   posted.source_global = global_rank_of(source);
   posted.posted_at = my_node().clock().now();
+  if (ft::capture_active()) {
+    posted.ft_deadline_us =
+        posted.posted_at + collective_config().agree_timeout_us;
+  }
   my_context().post_recv(std::move(posted));
   coll_wait(*state);
 }
@@ -90,11 +117,18 @@ void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {
 void Comm::coll_sendrecv(const void* send, std::size_t send_bytes,
                          rank_t dest, void* recv, std::size_t recv_bytes,
                          rank_t source, int tag) {
+  if (ft::capture_active() && rank_unreachable(source, rank_)) {
+    // Still attempt the send half — the destination may be live and
+    // waiting on it; only the receive half is provably dead.
+    ft::record(ErrorCode::kProcFailed);
+    coll_send(send, send_bytes, dest, tag);
+    return;
+  }
   auto state = std::make_shared<RequestState>(my_node());
   PostedRecv posted;
   posted.context = shared_->context + 1;
   posted.source = source;
-  posted.tag = tag;
+  posted.tag = ft::remap_tag(tag);
   posted.buffer = recv;
   posted.type = Datatype::byte();
   posted.count = static_cast<int>(recv_bytes);
@@ -102,6 +136,10 @@ void Comm::coll_sendrecv(const void* send, std::size_t send_bytes,
   posted.request = state;
   posted.source_global = global_rank_of(source);
   posted.posted_at = my_node().clock().now();
+  if (ft::capture_active()) {
+    posted.ft_deadline_us =
+        posted.posted_at + collective_config().agree_timeout_us;
+  }
   my_context().post_recv(std::move(posted));
   coll_send(send, send_bytes, dest, tag);
   coll_wait(*state);
@@ -118,6 +156,12 @@ CollectiveConfig Comm::collective_config() const {
 }
 
 Status Comm::barrier() {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] { return barrier(); });
+  }
   try {
     // Dissemination barrier: log2(size) rounds of zero-byte exchanges.
     const int n = size();
@@ -125,14 +169,23 @@ Status Comm::barrier() {
       const rank_t to = (rank_ + mask) % n;
       const rank_t from = (rank_ - mask + n) % n;
 
+      if (ft::capture_active() && rank_unreachable(from, rank_)) {
+        ft::record(ErrorCode::kProcFailed);
+        coll_send(nullptr, 0, to, kBarrierTag);
+        continue;
+      }
       auto state = std::make_shared<RequestState>(my_node());
       PostedRecv posted;
       posted.context = shared_->context + 1;
       posted.source = from;
-      posted.tag = kBarrierTag;
+      posted.tag = ft::remap_tag(kBarrierTag);
       posted.request = state;
       posted.source_global = global_rank_of(from);
       posted.posted_at = my_node().clock().now();
+      if (ft::capture_active()) {
+        posted.ft_deadline_us =
+            posted.posted_at + collective_config().agree_timeout_us;
+      }
       my_context().post_recv(std::move(posted));
 
       coll_send(nullptr, 0, to, kBarrierTag);
@@ -178,6 +231,12 @@ void Comm::bcast_linear(std::byte* wire, std::size_t bytes, rank_t root) {
 
 Status Comm::bcast(void* buf, int count, const Datatype& type, rank_t root) {
   MADMPI_CHECK(root >= 0 && root < size());
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_bcast(buf, count, type, root);
+  }
   const int n = size();
   if (n == 1) return Status::ok();
   const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
@@ -217,6 +276,13 @@ Status Comm::reduce(const void* send_buf, void* recv_buf, int count,
   MADMPI_CHECK(root >= 0 && root < size());
   MADMPI_CHECK_MSG(type.is_contiguous(),
                    "reduce requires a contiguous datatype");
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective(
+        [&] { return reduce(send_buf, recv_buf, count, type, op, root); });
+  }
   const int n = size();
   const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
 
@@ -366,6 +432,12 @@ void Comm::allreduce_ring(void* recv_buf, int count, const Datatype& type,
 
 Status Comm::allreduce(const void* send_buf, void* recv_buf, int count,
                        const Datatype& type, const Op& op) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_allreduce(send_buf, recv_buf, count, type, op);
+  }
   AllreduceAlgorithm algorithm = collective_config().allreduce;
   // The ring needs at least one element per rank to be worthwhile (and
   // correct chunking); degrade gracefully for tiny payloads.
@@ -399,6 +471,15 @@ Status Comm::allreduce(const void* send_buf, void* recv_buf, int count,
 Status Comm::gather(const void* send_buf, int send_count,
                     const Datatype& send_type, void* recv_buf, int recv_count,
                     const Datatype& recv_type, rank_t root) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return gather(send_buf, send_count, send_type, recv_buf, recv_count,
+                    recv_type, root);
+    });
+  }
   const int n = size();
   const std::size_t bytes =
       send_type.size() * static_cast<std::size_t>(send_count);
@@ -439,6 +520,15 @@ Status Comm::gatherv(const void* send_buf, int send_count,
                      std::span<const int> recv_counts,
                      std::span<const int> displacements,
                      const Datatype& recv_type, rank_t root) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return gatherv(send_buf, send_count, send_type, recv_buf, recv_counts,
+                     displacements, recv_type, root);
+    });
+  }
   const int n = size();
   try {
     if (rank_ != root) {
@@ -477,6 +567,15 @@ Status Comm::gatherv(const void* send_buf, int send_count,
 Status Comm::scatter(const void* send_buf, int send_count,
                      const Datatype& send_type, void* recv_buf,
                      int recv_count, const Datatype& recv_type, rank_t root) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return scatter(send_buf, send_count, send_type, recv_buf, recv_count,
+                     recv_type, root);
+    });
+  }
   const int n = size();
   const std::size_t bytes =
       recv_type.size() * static_cast<std::size_t>(recv_count);
@@ -514,6 +613,15 @@ Status Comm::scatterv(const void* send_buf, std::span<const int> send_counts,
                       const Datatype& send_type, void* recv_buf,
                       int recv_count, const Datatype& recv_type,
                       rank_t root) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return scatterv(send_buf, send_counts, displacements, send_type,
+                      recv_buf, recv_count, recv_type, root);
+    });
+  }
   const int n = size();
   try {
     if (rank_ == root) {
@@ -552,6 +660,15 @@ Status Comm::scatterv(const void* send_buf, std::span<const int> send_counts,
 Status Comm::allgather(const void* send_buf, int send_count,
                        const Datatype& send_type, void* recv_buf,
                        int recv_count, const Datatype& recv_type) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return allgather(send_buf, send_count, send_type, recv_buf, recv_count,
+                       recv_type);
+    });
+  }
   // Ring algorithm: size-1 steps, each forwarding the freshest block.
   const int n = size();
   const std::size_t block =
@@ -570,12 +687,19 @@ Status Comm::allgather(const void* send_buf, int send_count,
   try {
     for (int step = 0; step < n - 1; ++step) {
       const int incoming = (cur - 1 + n) % n;
+      if (ft::capture_active() && rank_unreachable(left, rank_)) {
+        ft::record(ErrorCode::kProcFailed);
+        coll_send(wire.data() + block * static_cast<std::size_t>(cur), block,
+                  right, kAllgatherTag);
+        cur = incoming;
+        continue;
+      }
       // Post the receive before sending to avoid rendezvous cross-blocking.
       auto state = std::make_shared<RequestState>(my_node());
       PostedRecv posted;
       posted.context = shared_->context + 1;
       posted.source = left;
-      posted.tag = kAllgatherTag;
+      posted.tag = ft::remap_tag(kAllgatherTag);
       posted.buffer =
           wire.data() + block * static_cast<std::size_t>(incoming);
       posted.type = Datatype::byte();
@@ -584,6 +708,10 @@ Status Comm::allgather(const void* send_buf, int send_count,
       posted.request = state;
       posted.source_global = global_rank_of(left);
       posted.posted_at = my_node().clock().now();
+      if (ft::capture_active()) {
+        posted.ft_deadline_us =
+            posted.posted_at + collective_config().agree_timeout_us;
+      }
       my_context().post_recv(std::move(posted));
 
       coll_send(wire.data() + block * static_cast<std::size_t>(cur), block,
@@ -610,6 +738,15 @@ Status Comm::allgatherv(const void* send_buf, int send_count,
                         std::span<const int> recv_counts,
                         std::span<const int> displacements,
                         const Datatype& recv_type) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return allgatherv(send_buf, send_count, send_type, recv_buf,
+                        recv_counts, displacements, recv_type);
+    });
+  }
   // Gather-to-0 then bcast of the concatenated packed blocks (simple and
   // correct for ragged sizes).
   const int n = size();
@@ -661,6 +798,15 @@ Status Comm::allgatherv(const void* send_buf, int send_count,
 Status Comm::alltoall(const void* send_buf, int send_count,
                       const Datatype& send_type, void* recv_buf,
                       int recv_count, const Datatype& recv_type) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return alltoall(send_buf, send_count, send_type, recv_buf, recv_count,
+                      recv_type);
+    });
+  }
   const int n = size();
   const std::size_t block =
       send_type.size() * static_cast<std::size_t>(send_count);
@@ -690,11 +836,18 @@ Status Comm::alltoall(const void* send_buf, int send_count,
       const rank_t dst = (rank_ + i) % n;
       const rank_t src = (rank_ - i + n) % n;
 
+      if (ft::capture_active() && rank_unreachable(src, rank_)) {
+        ft::record(ErrorCode::kProcFailed);
+        send_type.pack(in + in_slot * static_cast<std::size_t>(dst),
+                       send_count, send_wire.data());
+        coll_send(send_wire.data(), block, dst, kAlltoallTag);
+        continue;
+      }
       auto state = std::make_shared<RequestState>(my_node());
       PostedRecv posted;
       posted.context = shared_->context + 1;
       posted.source = src;
-      posted.tag = kAlltoallTag;
+      posted.tag = ft::remap_tag(kAlltoallTag);
       posted.buffer = recv_wire.data();
       posted.type = Datatype::byte();
       posted.count = static_cast<int>(block);
@@ -702,6 +855,10 @@ Status Comm::alltoall(const void* send_buf, int send_count,
       posted.request = state;
       posted.source_global = global_rank_of(src);
       posted.posted_at = my_node().clock().now();
+      if (ft::capture_active()) {
+        posted.ft_deadline_us =
+            posted.posted_at + collective_config().agree_timeout_us;
+      }
       my_context().post_recv(std::move(posted));
 
       send_type.pack(in + in_slot * static_cast<std::size_t>(dst), send_count,
@@ -723,6 +880,15 @@ Status Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
                        std::span<const int> recv_counts,
                        std::span<const int> recv_displs,
                        const Datatype& recv_type) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return alltoallv(send_buf, send_counts, send_displs, send_type,
+                       recv_buf, recv_counts, recv_displs, recv_type);
+    });
+  }
   const int n = size();
   MADMPI_CHECK(send_counts.size() == static_cast<std::size_t>(n));
   MADMPI_CHECK(send_displs.size() == static_cast<std::size_t>(n));
@@ -760,11 +926,20 @@ Status Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
           recv_type.size() * static_cast<std::size_t>(recv_counts[src]);
 
       std::vector<std::byte> recv_wire(recv_bytes);
+      if (ft::capture_active() && rank_unreachable(src, rank_)) {
+        ft::record(ErrorCode::kProcFailed);
+        std::vector<std::byte> skip_wire(send_bytes);
+        send_type.pack(in + send_type.extent() *
+                                static_cast<std::size_t>(send_displs[dst]),
+                       send_counts[dst], skip_wire.data());
+        coll_send(skip_wire.data(), send_bytes, dst, kAlltoallTag);
+        continue;
+      }
       auto state = std::make_shared<RequestState>(my_node());
       PostedRecv posted;
       posted.context = shared_->context + 1;
       posted.source = src;
-      posted.tag = kAlltoallTag;
+      posted.tag = ft::remap_tag(kAlltoallTag);
       posted.buffer = recv_wire.data();
       posted.type = Datatype::byte();
       posted.count = static_cast<int>(recv_bytes);
@@ -772,6 +947,10 @@ Status Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
       posted.request = state;
       posted.source_global = global_rank_of(src);
       posted.posted_at = my_node().clock().now();
+      if (ft::capture_active()) {
+        posted.ft_deadline_us =
+            posted.posted_at + collective_config().agree_timeout_us;
+      }
       my_context().post_recv(std::move(posted));
 
       std::vector<std::byte> send_wire(send_bytes);
@@ -793,6 +972,13 @@ Status Comm::alltoallv(const void* send_buf, std::span<const int> send_counts,
 Status Comm::scan(const void* send_buf, void* recv_buf, int count,
                   const Datatype& type, const Op& op) {
   MADMPI_CHECK_MSG(type.is_contiguous(), "scan requires a contiguous datatype");
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective(
+        [&] { return scan(send_buf, recv_buf, count, type, op); });
+  }
   const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
   std::memcpy(recv_buf, send_buf, bytes);
 
@@ -817,6 +1003,14 @@ Status Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
                                   const Op& op) {
   MADMPI_CHECK_MSG(type.is_contiguous(),
                    "reduce_scatter requires a contiguous datatype");
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
+  if (ft_should_wrap()) {
+    return ft_collective([&] {
+      return reduce_scatter_block(send_buf, recv_buf, count, type, op);
+    });
+  }
   const int n = size();
   std::vector<std::byte> full(type.size() *
                               static_cast<std::size_t>(count) *

@@ -157,6 +157,9 @@ Status Comm::raise_error(const Status& status) {
 Status Comm::send(const void* buf, int count, const Datatype& type,
                   rank_t dest, int tag) {
   MADMPI_CHECK(dest >= 0 && dest < size());
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    return raise_error(entry);
+  }
   std::vector<std::byte> staging;
   const byte_span packed = pack_for_send(buf, count, type, staging);
   const Envelope env = make_envelope(dest, tag, packed.size(), false);
@@ -292,11 +295,26 @@ Request Comm::irecv(void* buf, int count, const Datatype& type,
     return context->cancel_posted(raw);
   });
   my_context().post_recv(std::move(posted));
+  // Revocation closes a race here: revoke() registers the context first
+  // and then sweeps posted receives, so a receive posted concurrently
+  // either is caught by the sweep or observes the registry now.
+  if (shared_->runtime->context_revoked(shared_->context)) {
+    my_context().cancel_context(shared_->context, ErrorCode::kRevoked);
+    my_context().notify_waiters();
+  }
   return Request(std::move(state));
 }
 
 MpiStatus Comm::recv(void* buf, int count, const Datatype& type,
                      rank_t source, int tag) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    raise_error(entry);
+    MpiStatus status;
+    status.source = source;
+    status.tag = tag;
+    status.error = entry.code();
+    return status;
+  }
   MpiStatus status = irecv(buf, count, type, source, tag).wait();
   if (status.error != ErrorCode::kOk) {
     raise_error(Status(status.error,
@@ -400,6 +418,14 @@ MpiStatus Comm::sendrecv(const void* send_buf, int send_count,
                          void* recv_buf, int recv_count,
                          const Datatype& recv_type, rank_t source,
                          int recv_tag) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    raise_error(entry);
+    MpiStatus status;
+    status.source = source;
+    status.tag = recv_tag;
+    status.error = entry.code();
+    return status;
+  }
   Request recv_request = irecv(recv_buf, recv_count, recv_type, source,
                                recv_tag);
   send(send_buf, send_count, send_type, dest, send_tag);

@@ -5,6 +5,8 @@
 // management and the collective operations, all expressed over the ADI.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,9 +34,30 @@ enum class BcastAlgorithm {
   kLinear,    // root sends to every rank (baseline for the ablation)
 };
 
+/// Default for CollectiveConfig::fault_tolerant — the MADMPI_FT_COLLECTIVES
+/// environment knob (off unless set to a truthy value, keeping the
+/// fault-free fast path byte-identical to the pre-FT stack by default).
+bool ft_collectives_default();
+/// Default for CollectiveConfig::agree_timeout_us — the
+/// MADMPI_FT_AGREE_TIMEOUT_US environment knob (virtual microseconds).
+usec_t ft_agree_timeout_default();
+
 struct CollectiveConfig {
   AllreduceAlgorithm allreduce = AllreduceAlgorithm::kReduceBcast;
   BcastAlgorithm bcast = BcastAlgorithm::kBinomial;
+
+  /// Fault-tolerant collectives: survivable trees (bcast re-routes dead
+  /// subtrees through live peers) plus uniform error agreement — when a
+  /// collective cannot complete, every live rank returns the same error
+  /// class instead of a divergent mix of hangs, successes and failures.
+  /// Must be set identically on every rank. In FT mode bcast/allreduce
+  /// always use the survivable binomial tree (the algorithm selectors
+  /// above apply to the fault-free mode only).
+  bool fault_tolerant = ft_collectives_default();
+  /// Safety-valve deadline for FT-internal receives, in virtual
+  /// microseconds: the bound after which a receive the failure detector
+  /// cannot prove dead is abandoned during a sustained global stall.
+  usec_t agree_timeout_us = ft_agree_timeout_default();
 };
 
 class Comm {
@@ -179,6 +202,31 @@ class Comm {
   Status reduce_scatter_block(const void* send_buf, void* recv_buf,
                               int count, const Datatype& type, const Op& op);
 
+  // --- ULFM-style fault tolerance --------------------------------------
+
+  /// MPIX_Comm_revoke: mark this communicator unusable on every rank.
+  /// Peers blocked in operations on it are cancelled with kRevoked; any
+  /// later operation raises kRevoked through the errhandler. shrink() and
+  /// agree() remain usable on a revoked communicator (they are the
+  /// recovery path).
+  Status revoke();
+  /// Whether this communicator has been revoked.
+  bool revoked() const;
+
+  /// MPIX_Comm_shrink: collectively agree on the set of failed ranks and
+  /// return a new communicator over the survivors. In an asymmetric
+  /// partition each side shrinks to its own partition (distinct derived
+  /// contexts keep them from cross-talking); a rank the group agreed is
+  /// failed gets an invalid Comm and a kProcFailed through its
+  /// errhandler.
+  Comm shrink();
+
+  /// MPIX_Comm_agree: uniform agreement on the bitwise AND of `flag`
+  /// across all live ranks. Returns kProcFailed (through the errhandler)
+  /// on every live rank when any participant is known failed, with *flag
+  /// still set to the AND over the live contributions.
+  Status agree(int* flag);
+
   // --- Communicator management ----------------------------------------
 
   Comm dup();
@@ -254,6 +302,45 @@ class Comm {
   Device& device_to(rank_t dest) const;
   sim::Node& my_node() const;
   RankContext& my_context() const;
+
+  // --- Fault-tolerant collectives (ft_collectives.cpp) -----------------
+
+  /// Agreed outcome of the flooding protocol: err_bits is OR-merged (any
+  /// rank's failure verdict), and_bits AND-merged (MPIX_Comm_agree), dead
+  /// OR-merged from the ranks' *input* failure views only — failures
+  /// observed during the agreement itself exclude a peer locally but
+  /// never enter the decided value, so a last-round detection cannot
+  /// split the decision.
+  struct FtOutcome {
+    std::uint32_t err_bits = 0;
+    std::uint32_t and_bits = 0xffffffffu;
+    std::vector<std::uint8_t> dead;
+  };
+
+  /// Directional failure detector in communicator ranks.
+  bool rank_unreachable(rank_t from_comm, rank_t to_comm) const;
+  /// Non-ok (kRevoked) when this communicator has been revoked.
+  Status ft_entry_check() const;
+  /// Whether a public collective should take the FT path (FT configured,
+  /// more than one rank, and not already inside a captured FT body).
+  bool ft_should_wrap() const;
+  /// Generic FT wrapper: run `body` in capture mode (p2p failures are
+  /// recorded, not thrown), then agree uniformly on the outcome.
+  Status ft_collective(const std::function<Status()>& body);
+  Status ft_bcast(void* buf, int count, const Datatype& type, rank_t root);
+  Status ft_allreduce(const void* send_buf, void* recv_buf, int count,
+                      const Datatype& type, const Op& op);
+  /// The survivable binomial multicast: wildcard witness receives,
+  /// subtree adoption on dead edges, relay through a live adopted member.
+  void ft_bcast_tree(std::byte* wire, std::size_t bytes, rank_t root);
+  /// Best-effort send on the collective context: returns success instead
+  /// of throwing/recording (FT re-route and agreement traffic).
+  bool ft_try_send(const void* buf, std::size_t bytes, rank_t dest, int tag);
+  /// N-round flooding agreement (FloodSet over the epoch-tagged
+  /// collective context).
+  FtOutcome ft_agree_internal(int epoch, std::uint32_t err_bits,
+                              std::uint32_t and_bits,
+                              const std::vector<std::uint8_t>& dead_in);
 
   /// Pack the send buffer if needed; returns a span over either the user
   /// buffer (contiguous) or `staging`.

@@ -31,10 +31,22 @@ struct Comm::Shared {
   // all ranks' counters stay equal; used to derive matching context ids).
   std::vector<int> creation_seq;
 
+  // Per-rank count of fault-tolerant collective invocations. Collectives
+  // are called in lockstep on every rank, so the counters stay equal and
+  // serve as the epoch in FT message tags — quarantining stragglers of a
+  // failed collective from the next one's matching. Lazily sized so every
+  // Shared creation path (world/dup/split/create/shrink) gets it for free.
+  std::vector<int> coll_epoch;
+
   std::mutex seq_mutex;
   int next_seq(rank_t comm_rank) {
     std::lock_guard<std::mutex> lock(seq_mutex);
     return creation_seq[static_cast<std::size_t>(comm_rank)]++;
+  }
+  int next_epoch(rank_t comm_rank) {
+    std::lock_guard<std::mutex> lock(seq_mutex);
+    if (coll_epoch.size() < group.size()) coll_epoch.resize(group.size(), 0);
+    return coll_epoch[static_cast<std::size_t>(comm_rank)]++;
   }
 };
 

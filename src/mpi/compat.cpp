@@ -156,6 +156,8 @@ int map_error(madmpi::ErrorCode code) {
     // A successfully cancelled operation completes with MPI_SUCCESS; the
     // cancellation is reported via MPI_Test_cancelled, not the error field.
     case madmpi::ErrorCode::kCancelled: return MPI_SUCCESS;
+    case madmpi::ErrorCode::kProcFailed: return MPIX_ERR_PROC_FAILED;
+    case madmpi::ErrorCode::kRevoked: return MPIX_ERR_REVOKED;
     default: return MPI_ERR_OTHER;
   }
 }
@@ -328,6 +330,27 @@ int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* out) {
   return MPI_SUCCESS;
 }
 
+int MPIX_Comm_revoke(MPI_Comm comm) {
+  return detail::map_error(detail::comm_of(comm).revoke().code());
+}
+
+int MPIX_Comm_shrink(MPI_Comm comm, MPI_Comm* new_comm) {
+  madmpi::mpi::Comm shrunk = detail::comm_of(comm).shrink();
+  if (!shrunk.valid()) {
+    // This rank was agreed failed (asymmetric partition): shrink already
+    // raised kProcFailed through the errhandler.
+    *new_comm = MPI_COMM_NULL;
+    return MPIX_ERR_PROC_FAILED;
+  }
+  *new_comm = detail::store_comm(std::move(shrunk));
+  detail::install_errhandler(*new_comm, detail::handler_of(comm));
+  return MPI_SUCCESS;
+}
+
+int MPIX_Comm_agree(MPI_Comm comm, int* flag) {
+  return detail::map_error(detail::comm_of(comm).agree(flag).code());
+}
+
 int MPI_Comm_free(MPI_Comm* comm) {
   // Handles are cheap; just invalidate the slot.
   auto& s = detail::state();
@@ -388,7 +411,10 @@ int MPI_Wait(MPI_Request* request, MPI_Status* status) {
   const auto result = detail::request_of(*request).wait();
   detail::fill_status(status, result);
   *request = MPI_REQUEST_NULL;
-  return MPI_SUCCESS;
+  // A watchdog cancellation or revocation must surface through the return
+  // value too (MPI_ERRORS_RETURN propagation); a user MPI_Cancel maps to
+  // MPI_SUCCESS in map_error, keeping the §3.8.4 contract.
+  return detail::map_error(result.error);
 }
 
 int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
@@ -972,6 +998,11 @@ int MPI_Cart_create(MPI_Comm comm, int ndims, const int* dims,
     return MPI_SUCCESS;
   }
   *cart_comm = detail::store_comm(cart.comm());
+  // Like dup/split, the derived communicator inherits the parent's error
+  // handler (MPI §8.3).
+  if (*cart_comm != MPI_COMM_NULL) {
+    detail::install_errhandler(*cart_comm, detail::handler_of(comm));
+  }
   detail::state().carts[*cart_comm] = std::move(cart);
   return MPI_SUCCESS;
 }

@@ -75,6 +75,10 @@ inline constexpr int MPI_SUCCESS = 0;
 inline constexpr int MPI_ERR_TRUNCATE = 15;
 inline constexpr int MPI_ERR_OTHER = 16;
 inline constexpr int MPI_ERR_ARG = 17;
+// ULFM (MPI fault-tolerance proposal) error classes, MPIX-prefixed like
+// the Open MPI implementation.
+inline constexpr int MPIX_ERR_PROC_FAILED = 18;
+inline constexpr int MPIX_ERR_REVOKED = 19;
 
 inline constexpr MPI_Errhandler MPI_ERRHANDLER_NULL = -1;
 inline constexpr MPI_Errhandler MPI_ERRORS_ARE_FATAL = 0;  // the default
@@ -200,6 +204,14 @@ int MPI_Cart_rank(MPI_Comm cart_comm, const int* coords, int* rank);
 int MPI_Cart_shift(MPI_Comm cart_comm, int direction, int displacement,
                    int* source, int* dest);
 inline constexpr int MPI_PROC_NULL = -3;
+
+// ULFM-style fault tolerance (MPIX, matching the MPI FT working group's
+// proposal): revoke poisons a communicator on every rank, shrink rebuilds
+// one over the survivors (inheriting the parent's error handler), agree
+// uniformly ANDs `flag` across the live ranks.
+int MPIX_Comm_revoke(MPI_Comm comm);
+int MPIX_Comm_shrink(MPI_Comm comm, MPI_Comm* new_comm);
+int MPIX_Comm_agree(MPI_Comm comm, int* flag);
 
 int MPI_Barrier(MPI_Comm comm);
 int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root,

@@ -357,6 +357,83 @@ std::size_t RankContext::cancel_unreachable(ErrorCode code) {
   return victims.size();
 }
 
+usec_t RankContext::min_ft_deadline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  usec_t min_deadline = 0.0;
+  for (const PostedRecv& posted : posted_) {
+    if (posted.ft_deadline_us <= 0.0) continue;
+    if (min_deadline == 0.0 || posted.ft_deadline_us < min_deadline) {
+      min_deadline = posted.ft_deadline_us;
+    }
+  }
+  return min_deadline;
+}
+
+std::size_t RankContext::cancel_expired(ErrorCode code,
+                                        usec_t before_deadline_us) {
+  // Only called after a sustained global stall: nothing is advancing
+  // virtual time anywhere, so the oldest pending deadline-carrying
+  // receives can never complete. Only the cohort at or below
+  // `before_deadline_us` is cancelled, stamped at their deadlines (the
+  // deadline is the deterministic virtual observation time, not the
+  // trigger; wall-clock stall detection is the trigger). Newer deadline
+  // receives — operations merely blocked behind the stuck one — are left
+  // alone; unsticking the oldest either revives them or earns them their
+  // own stall round.
+  std::vector<PostedRecv> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = posted_.begin(); it != posted_.end();) {
+      if (it->ft_deadline_us > 0.0 &&
+          it->ft_deadline_us <= before_deadline_us) {
+        victims.push_back(std::move(*it));
+        it = posted_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (PostedRecv& posted : victims) {
+    node_.clock().bind_lane(posted.ft_deadline_us);
+    MpiStatus status;
+    status.source = posted.source;
+    status.tag = posted.tag;
+    status.bytes = 0;
+    status.error = code;
+    sim::trace(node_.clock().now(), node_.id(),
+               sim::TraceCategory::kComplete, 0, "ft-deadline-cancel");
+    posted.request->complete(status);
+  }
+  return victims.size();
+}
+
+std::size_t RankContext::cancel_context(int context, ErrorCode code) {
+  std::vector<PostedRecv> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = posted_.begin(); it != posted_.end();) {
+      if (it->context == context) {
+        victims.push_back(std::move(*it));
+        it = posted_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (PostedRecv& posted : victims) {
+    node_.clock().bind_lane(posted.posted_at);
+    MpiStatus status;
+    status.source = posted.source;
+    status.tag = posted.tag;
+    status.bytes = 0;
+    status.error = code;
+    sim::trace(node_.clock().now(), node_.id(),
+               sim::TraceCategory::kComplete, 0, "revoke-cancel");
+    posted.request->complete(status);
+  }
+  return victims.size();
+}
+
 void RankContext::notify_waiters() { unexpected_arrived_.notify_all(); }
 
 bool RankContext::cancel_posted(const RequestState* request) {

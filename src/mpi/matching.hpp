@@ -49,6 +49,14 @@ struct PostedRecv {
   /// observed a deterministic horizon after the post, independent of when
   /// the wall-clock watchdog thread happened to fire.
   usec_t posted_at = 0.0;
+
+  /// FT collectives: absolute virtual-time deadline. 0 = none. A receive
+  /// carrying a deadline is cancelled by the watchdog once the whole
+  /// session has made no virtual progress for a long stretch (the
+  /// agreement protocol's safety valve against fault schedules the
+  /// reachability oracle cannot prove dead); the cancellation is stamped
+  /// at the deadline, keeping the error deterministic in virtual time.
+  usec_t ft_deadline_us = 0.0;
 };
 
 /// Called when a rendezvous request finds (or is found by) its posted
@@ -160,6 +168,27 @@ class RankContext {
   /// with `code`, stamped at posted_at + horizon. Returns how many were
   /// canceled.
   std::size_t cancel_unreachable(ErrorCode code);
+
+  /// Earliest ft_deadline_us among posted receives, or 0 when none carry
+  /// one. The watchdog uses the global minimum across all ranks to pick
+  /// the stall-cancel cohort.
+  usec_t min_ft_deadline() const;
+
+  /// Cancel every posted receive carrying an ft_deadline_us at or below
+  /// `before_deadline_us`. Called by the watchdog only after a sustained
+  /// global stall (Session::kFtStallSweeps) — the FT agreement safety
+  /// valve. The window restricts each stall round to the globally oldest
+  /// cohort of deadline receives: cancelling only the operation that is
+  /// actually stuck lets a lagging rank catch up without poisoning newer
+  /// collectives other ranks are blocked in behind it. Each cancellation
+  /// completes with `code`, stamped at the deadline.
+  std::size_t cancel_expired(ErrorCode code, usec_t before_deadline_us);
+
+  /// Cancel every posted receive on `context` with `code` (communicator
+  /// revocation): the revoking rank interrupts peers blocked in
+  /// operations on the revoked communicator. Stamped at posted_at — the
+  /// revocation is an external event, not a timeout.
+  std::size_t cancel_context(int context, ErrorCode code);
 
   /// Wake any blocked probe loops so they re-evaluate reachability.
   void notify_waiters();

@@ -2,6 +2,11 @@
 // core::Session implements this over the simulated cluster).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
 #include "mpi/adi.hpp"
 #include "mpi/matching.hpp"
 #include "sim/node.hpp"
@@ -31,6 +36,47 @@ class Runtime {
   /// same fresh id; distinct keys receive distinct ids. `key` encodes the
   /// creation sequence number and (for split) the color.
   virtual int derive_context_id(int parent_context, std::int64_t key) = 0;
+
+  /// Failure detector for the fault-tolerant collectives: true when the
+  /// host knows data can no longer flow from `from` to `to` (every route
+  /// dead, in that direction — link faults are directional). The default
+  /// never reports a failure, so hosts without fault modelling keep the
+  /// pre-FT behaviour.
+  virtual bool peer_unreachable(rank_t from_global, rank_t to_global) {
+    (void)from_global;
+    (void)to_global;
+    return false;
+  }
+
+  // --- Communicator revocation (ULFM Comm::revoke) --------------------
+  //
+  // The registry lives on the runtime (not a process-global) so each
+  // session's revocations die with it. In a real MPI the revocation
+  // would be flooded over the wire; within one simulated session the
+  // shared registry models the post-flood steady state. The atomic count
+  // keeps the not-revoked fast path off the mutex — every operation
+  // entry consults it.
+
+  bool context_revoked(int context) const {
+    if (revoked_count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard<std::mutex> lock(revoked_mutex_);
+    return std::find(revoked_contexts_.begin(), revoked_contexts_.end(),
+                     context) != revoked_contexts_.end();
+  }
+
+  void revoke_context(int context) {
+    std::lock_guard<std::mutex> lock(revoked_mutex_);
+    if (std::find(revoked_contexts_.begin(), revoked_contexts_.end(),
+                  context) == revoked_contexts_.end()) {
+      revoked_contexts_.push_back(context);
+      revoked_count_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+ private:
+  mutable std::mutex revoked_mutex_;
+  std::vector<int> revoked_contexts_;
+  std::atomic<int> revoked_count_{0};
 };
 
 }  // namespace madmpi::mpi

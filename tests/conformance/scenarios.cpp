@@ -1,7 +1,9 @@
 // Conformance scenarios: workloads instrumented with MPI-semantics oracles,
 // designed to stay *correct under every legal schedule* — the sweep's job
 // is to find an interleaving where they are not.
+#include <array>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -607,6 +609,123 @@ void run_rma(Oracle& oracle) {
   });
 }
 
+// ---------------------------------------------------------- ft_collectives
+
+/// Fault-tolerant collectives under a seed-selected fault flavor: lossy
+/// link, directed link kill with a live relay route, or a fully dead rank.
+/// Oracle: every live rank returns the SAME error class per collective
+/// (uniform agreement), data is correct whenever a collective reports
+/// success, survivable faults (drops, a single dead edge) do not fail the
+/// custom-tree collectives at all, and even a partitioned rank returns
+/// instead of hanging.
+void run_ft_collectives(Oracle& oracle) {
+  auto* sched = sim::ScheduleController::current();
+  const std::uint64_t seed = sched != nullptr ? sched->seed() : 0;
+  const int flavor = static_cast<int>(seed % 3);
+
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(4, sim::Protocol::kTcp);
+  Session session(std::move(options));
+
+  constexpr node_id_t kVictim = 3;
+  if (flavor == 0) {
+    install_plan(session, 0, sim::Protocol::kTcp, seed + 1)->drop(0.25);
+  } else if (flavor == 1) {
+    install_plan(session, 0, sim::Protocol::kTcp, 0)
+        ->kill_at(0.0, /*src=*/0, /*dst=*/2);
+  } else {
+    // Kill the victim both ways: outbound rules live on its own NIC,
+    // inbound ones on every other node's NIC.
+    for (node_id_t node = 0; node < 4; ++node) {
+      auto plan = install_plan(session, node, sim::Protocol::kTcp, 0);
+      if (node == kVictim) {
+        plan->kill_at(0.0);
+      } else {
+        plan->kill_at(0.0, node, kVictim);
+      }
+    }
+  }
+
+  constexpr int kOps = 3;  // bcast, allreduce, barrier
+  std::mutex mutex;
+  std::map<int, std::array<ErrorCode, kOps>> codes;
+  std::map<int, bool> data_ok;
+  session.run([&](Comm comm) {
+    mpi::CollectiveConfig config;
+    config.fault_tolerant = true;
+    comm.set_collective_config(config);
+
+    std::array<ErrorCode, kOps> my{};
+    bool ok = true;
+
+    std::vector<int> bcast_buf(256);
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 256; ++i) bcast_buf[i] = i * 3 + 1;
+    }
+    my[0] = comm.bcast(bcast_buf.data(), 256, Datatype::int32(), 0).code();
+    if (my[0] == ErrorCode::kOk) {
+      for (int i = 0; i < 256; ++i) ok = ok && bcast_buf[i] == i * 3 + 1;
+    }
+
+    std::vector<int> send(32, comm.rank() + 1);
+    std::vector<int> sum(32, 0);
+    my[1] = comm.allreduce(send.data(), sum.data(), 32, Datatype::int32(),
+                           mpi::Op::sum())
+                .code();
+    if (my[1] == ErrorCode::kOk) {
+      for (int i = 0; i < 32; ++i) ok = ok && sum[i] == 1 + 2 + 3 + 4;
+    }
+
+    my[2] = comm.barrier().code();
+
+    std::lock_guard<std::mutex> lock(mutex);
+    codes[comm.rank()] = my;
+    data_ok[comm.rank()] = ok;
+  });
+
+  // session.run() returning at all is the no-hang half of the oracle: a
+  // stuck collective would park a rank thread (and the harness) forever.
+  const bool rank_dead = flavor == 2;
+  for (int op = 0; op < kOps; ++op) {
+    const ErrorCode expected = codes[0][op];
+    for (int rank = 1; rank < 4; ++rank) {
+      // The partitioned rank self-reports kProcFailed; it is the failed
+      // process from the group's point of view, not a live participant.
+      if (rank_dead && rank == kVictim) continue;
+      if (codes[rank][op] != expected) {
+        std::ostringstream what;
+        what << "non-uniform outcome for op " << op << ": rank 0 got "
+             << static_cast<int>(expected) << " but rank " << rank
+             << " got " << static_cast<int>(codes[rank][op]) << " (seed "
+             << seed << ", flavor " << flavor << ")";
+        oracle.fail("ft-uniform-agreement", what.str());
+      }
+    }
+  }
+  for (int rank = 0; rank < 4; ++rank) {
+    if (!data_ok[rank]) {
+      oracle.fail("ft-data", "a collective reported success but delivered "
+                             "wrong data on rank " +
+                                 std::to_string(rank));
+    }
+  }
+  // Survivability: drops are fully transparent; a single dead edge must
+  // not fail the custom-tree collectives (bcast re-routes, allreduce's
+  // reduce phase never crosses the dead direction).
+  const int survivable_ops = flavor == 0 ? kOps : (flavor == 1 ? 2 : 0);
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int op = 0; op < survivable_ops; ++op) {
+      if (codes[rank][op] != ErrorCode::kOk) {
+        std::ostringstream what;
+        what << "survivable fault failed op " << op << " on rank " << rank
+             << " with code " << static_cast<int>(codes[rank][op])
+             << " (seed " << seed << ", flavor " << flavor << ")";
+        oracle.fail("ft-survivability", what.str());
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------- selftest
 
 /// Deliberately broken "application": it treats the delivery-order bias of
@@ -658,6 +777,9 @@ const std::vector<Scenario>& scenarios() {
        "one-sided epochs: fence/unlock visibility and epoch enforcement "
        "under drops",
        &run_rma},
+      {"ft_collectives",
+       "fault-tolerant collectives agree uniformly and survive link faults",
+       &run_ft_collectives},
       {"selftest",
        "planted violation: proves the sweep catches, replays and shrinks",
        &run_selftest},
