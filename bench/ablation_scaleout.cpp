@@ -1,0 +1,116 @@
+// Ablation: session scale-out — thread-per-rank vs the sharded fiber
+// engine.
+//
+// The metric is host-side rank throughput: how many simulated ranks per
+// wall-clock second one machine can set up, run through a small workload
+// (ring exchange + allreduce) and tear down. Thread-per-rank pays an OS
+// thread create/join plus kernel wake-ups for every blocking point at
+// every rank; the sharded engine runs ranks as run-to-completion fibers
+// on a handful of workers, which is what makes 1024-rank sessions
+// practical (the threaded engine is not measured there — that is the
+// point of the ablation).
+//
+// `--json <path>` writes the machine-readable series consumed by the CI
+// perf-trajectory job (docs/results/BENCH_scaleout.json).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace madmpi;
+
+namespace {
+
+/// One timed cell: engine x rank count, repeated `reps` times with the
+/// whole session lifecycle (construct, run, destroy) inside the clock —
+/// rank setup/teardown is exactly the cost under study.
+struct Cell {
+  const char* engine;
+  int ranks;
+  int reps;
+};
+
+double run_cell(const Cell& cell) {
+  ::setenv("MADMPI_ENGINE", cell.engine, 1);
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < cell.reps; ++rep) {
+    core::Session::Options options;
+    options.cluster =
+        sim::ClusterSpec::homogeneous(1, sim::Protocol::kTcp, cell.ranks);
+    core::Session session(std::move(options));
+    session.run([](mpi::Comm comm) {
+      const int n = comm.size();
+      const int me = comm.rank();
+      std::int32_t token = me;
+      std::int32_t from_left = -1;
+      comm.sendrecv(&token, 1, mpi::Datatype::int32(), (me + 1) % n, 0,
+                    &from_left, 1, mpi::Datatype::int32(),
+                    (me + n - 1) % n, 0);
+      std::int64_t mine = me;
+      std::int64_t total = 0;
+      comm.allreduce(&mine, &total, 1, mpi::Datatype::int64(),
+                     mpi::Op::sum());
+    });
+  }
+  const auto done = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(done - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  // Thread-per-rank is only taken to 256 ranks; past that the thread
+  // storm dominates machine capacity rather than measuring it.
+  const std::vector<Cell> cells = {
+      {"threaded", 64, 5},  {"threaded", 256, 3}, {"sharded", 64, 5},
+      {"sharded", 256, 3},  {"sharded", 1024, 2},
+  };
+
+  std::vector<double> sharded_flag, ranks, reps, wall_s, ranks_per_sec;
+  double threaded_256 = 0.0, sharded_256 = 0.0;
+  std::printf("### ablation_scaleout (single node, smp)\n");
+  std::printf("%10s %7s %5s %9s %14s\n", "engine", "ranks", "reps",
+              "wall_s", "ranks_per_sec");
+  for (const Cell& cell : cells) {
+    const double seconds = run_cell(cell);
+    const double throughput =
+        static_cast<double>(cell.ranks) * cell.reps / seconds;
+    sharded_flag.push_back(std::string(cell.engine) == "sharded" ? 1.0
+                                                                 : 0.0);
+    ranks.push_back(cell.ranks);
+    reps.push_back(cell.reps);
+    wall_s.push_back(seconds);
+    ranks_per_sec.push_back(throughput);
+    if (cell.ranks == 256) {
+      (sharded_flag.back() == 1.0 ? sharded_256 : threaded_256) =
+          throughput;
+    }
+    std::printf("%10s %7d %5d %9.3f %14.0f\n", cell.engine, cell.ranks,
+                cell.reps, seconds, throughput);
+  }
+  if (threaded_256 > 0.0) {
+    std::printf("sharded/threaded speedup at 256 ranks: %.1fx\n",
+                sharded_256 / threaded_256);
+  }
+
+  if (!json_path.empty()) {
+    const std::vector<bench::JsonColumn> columns = {
+        {"sharded", sharded_flag},
+        {"ranks", ranks},
+        {"reps", reps},
+        {"wall_s", wall_s},
+        {"ranks_per_sec", ranks_per_sec}};
+    if (!bench::write_json_series(json_path, "ablation_scaleout",
+                                  columns)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

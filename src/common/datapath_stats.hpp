@@ -22,6 +22,7 @@ struct DatapathSnapshot {
   std::uint64_t slab_reuses = 0;   // slabs served from a pool free list
   std::uint64_t slab_fallbacks = 0;  // oversize / disabled-pool heap grabs
   std::uint64_t modeled_copy_bytes = 0;  // copies the *cost model* charged
+  std::uint64_t poll_wakeups = 0;  // poller wakeups charged (teardown excluded)
 };
 
 /// Process-wide counters. Cheap enough (relaxed atomics) to leave on in
@@ -55,6 +56,9 @@ class DatapathStats {
   void count_modeled_copy(std::size_t bytes) {
     modeled_copy_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  void count_poll_wakeup() {
+    poll_wakeups_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   DatapathSnapshot snapshot() const {
     DatapathSnapshot s;
@@ -65,6 +69,7 @@ class DatapathStats {
     s.slab_reuses = slab_reuses_.load(std::memory_order_relaxed);
     s.slab_fallbacks = slab_fallbacks_.load(std::memory_order_relaxed);
     s.modeled_copy_bytes = modeled_copy_bytes_.load(std::memory_order_relaxed);
+    s.poll_wakeups = poll_wakeups_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -76,6 +81,7 @@ class DatapathStats {
     slab_reuses_.store(0, std::memory_order_relaxed);
     slab_fallbacks_.store(0, std::memory_order_relaxed);
     modeled_copy_bytes_.store(0, std::memory_order_relaxed);
+    poll_wakeups_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -86,6 +92,7 @@ class DatapathStats {
   std::atomic<std::uint64_t> slab_reuses_{0};
   std::atomic<std::uint64_t> slab_fallbacks_{0};
   std::atomic<std::uint64_t> modeled_copy_bytes_{0};
+  std::atomic<std::uint64_t> poll_wakeups_{0};
 };
 
 /// Shorthand for the common case.
@@ -104,6 +111,7 @@ inline DatapathSnapshot operator-(const DatapathSnapshot& b,
   d.slab_reuses = b.slab_reuses - a.slab_reuses;
   d.slab_fallbacks = b.slab_fallbacks - a.slab_fallbacks;
   d.modeled_copy_bytes = b.modeled_copy_bytes - a.modeled_copy_bytes;
+  d.poll_wakeups = b.poll_wakeups - a.poll_wakeups;
   return d;
 }
 

@@ -9,6 +9,7 @@
 #include "common/datapath_stats.hpp"
 #include "common/log.hpp"
 #include "core/switchpoint.hpp"
+#include "marcel/engine.hpp"
 #include "marcel/thread.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/sched.hpp"
@@ -124,6 +125,12 @@ void ChMadDevice::start() {
 
 void ChMadDevice::shutdown() {
   MADMPI_CHECK_MSG(started_, "ch_mad shutdown before start");
+  // Workload traffic is done: everything the pollers handle from here on
+  // (late credit returns, TERM broadcasts) is teardown drain and must not
+  // leak into the DatapathStats wakeup counter.
+  for (auto& [node_id, state] : states_) {
+    state->poll_server->begin_drain();
+  }
   // Phase 0: let in-flight credit-return threads finish. Application
   // traffic has quiesced, so no new ones can appear; waiting here keeps a
   // straggling MAD_CREDIT_PKT from racing channel close below.
@@ -463,7 +470,25 @@ bool ChMadDevice::admit_eager(rank_t src, rank_t dst, std::uint64_t bytes,
     }
     if (!waited) credit_stalls_.fetch_add(1, std::memory_order_relaxed);
     waited = true;
-    state.credit_cv.wait_for(lock, std::chrono::milliseconds(2));
+    if (marcel::on_fiber()) {
+      // Sharded engine: park the sender fiber until the window refills or
+      // the route dies (re-checked under the account lock on resume). The
+      // route probe runs outside the node mutex, matching the lock order
+      // of the blocking path above.
+      lock.unlock();
+      marcel::park_until([this, &state, src_node, dst_node, charge] {
+        {
+          std::lock_guard<std::mutex> guard(state.mutex);
+          if (account_of(state, dst_node).available >= charge) return true;
+        }
+        return router_.route(src_node, dst_node) == nullptr &&
+               (!forward_router_.has_value() ||
+                !forward_router_->connected(src_node, dst_node));
+      });
+      lock.lock();
+    } else {
+      state.credit_cv.wait_for(lock, std::chrono::milliseconds(2));
+    }
   }
 }
 
@@ -512,23 +537,29 @@ void ChMadDevice::apply_credit(NodeState& state,
       header.credit_origin == kInvalidNode) {
     return;
   }
-  std::lock_guard<std::mutex> lock(state.mutex);
-  CreditAccount& account = account_of(state, header.credit_origin);
-  account.available = std::min(
-      account.available + static_cast<std::size_t>(header.credit_bytes),
-      credit_window_);
-  account.last_refill = state.node->clock().now();
-  state.credit_cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    CreditAccount& account = account_of(state, header.credit_origin);
+    account.available = std::min(
+        account.available + static_cast<std::size_t>(header.credit_bytes),
+        credit_window_);
+    account.last_refill = state.node->clock().now();
+    state.credit_cv.notify_all();
+  }
+  marcel::engine_notify();
 }
 
 void ChMadDevice::refund_credit(node_id_t src_node, node_id_t dst_node,
                                 std::size_t charge) {
   if (credit_window_ == 0 || src_node == dst_node) return;
   NodeState& state = state_of(src_node);
-  std::lock_guard<std::mutex> lock(state.mutex);
-  CreditAccount& account = account_of(state, dst_node);
-  account.available = std::min(account.available + charge, credit_window_);
-  state.credit_cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    CreditAccount& account = account_of(state, dst_node);
+    account.available = std::min(account.available + charge, credit_window_);
+    state.credit_cv.notify_all();
+  }
+  marcel::engine_notify();
 }
 
 std::size_t ChMadDevice::take_pending_returns(NodeState& state,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "marcel/engine.hpp"
 #include "sim/fault.hpp"
 
 namespace madmpi::core {
@@ -303,6 +304,27 @@ int Session::derive_context_id(int parent_context, std::int64_t key) {
 
 void Session::run(const std::function<void(mpi::Comm)>& rank_main) {
   MADMPI_CHECK_MSG(!finalized_, "run() after finalize()");
+  if (marcel::engine_kind_from_env() == marcel::EngineKind::kSharded) {
+    // Scale-out engine: rank fibers on a sharded worker pool. Capture each
+    // rank's causal birth time serially before any fiber runs, so lane
+    // creation order (and with it the seeded replay) is independent of
+    // which shard starts first.
+    const auto ranks = static_cast<std::size_t>(world_size());
+    std::vector<usec_t> births(ranks);
+    for (std::size_t rank = 0; rank < ranks; ++rank) {
+      births[rank] =
+          node_of(static_cast<rank_t>(rank)).clock().high_water();
+    }
+    marcel::run_fiber_pool(
+        ranks, marcel::engine_shards_from_env(),
+        marcel::engine_stack_bytes_from_env(),
+        [this, &rank_main, &births](std::size_t rank) {
+          const auto r = static_cast<rank_t>(rank);
+          node_of(r).clock().bind_lane(births[rank]);
+          rank_main(comm_world(r));
+        });
+    return;
+  }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(world_size()));
   for (rank_t rank = 0; rank < world_size(); ++rank) {

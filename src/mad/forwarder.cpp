@@ -61,6 +61,9 @@ void Forwarder::start() {
 
 void Forwarder::stop() {
   if (!started_) return;
+  // Anything relayed past this point is teardown drain: keep its wakeups
+  // out of the process-wide datapath counters.
+  poll_server_.begin_drain();
   poll_server_.join();
   started_ = false;
 }

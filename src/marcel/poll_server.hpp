@@ -7,10 +7,12 @@
 // exactly the effect the paper measures in Figure 9 (SCI alone vs SCI+TCP).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/datapath_stats.hpp"
 #include "common/types.hpp"
 #include "marcel/thread.hpp"
 #include "sim/node.hpp"
@@ -52,6 +54,14 @@ class PollServer {
   /// `channel`: the Marcel wake plus the interference of the other pollers.
   /// Called by the poller's own iterate body after its blocking wait ends.
   usec_t charge_wakeup(channel_id_t channel) {
+    // Teardown drain (TERM broadcasts, late credit returns) still charges
+    // virtual time, but must not leak into the process-wide wakeup
+    // counter: benches and tests snapshot it around measured windows, and
+    // a session tearing down mid-poll would smear nondeterministic drain
+    // wakeups into the next window's delta.
+    if (!draining_.load(std::memory_order_acquire)) {
+      DatapathStats::global().count_poll_wakeup();
+    }
     usec_t extra = ThreadCosts::kWake + node_.poll_interference(channel);
     // Schedule exploration: jitter each wakeup so two pollers racing for
     // near-simultaneous arrivals can finish in either order. The sequence
@@ -69,6 +79,11 @@ class PollServer {
   sim::Node& node() { return node_; }
   std::size_t poller_count() const { return threads_.size(); }
 
+  /// Mark the teardown drain: wakeups from here on are session shutdown
+  /// traffic, not workload, and stay out of DatapathStats.
+  void begin_drain() { draining_.store(true, std::memory_order_release); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   /// Join every polling thread. The sources must have been closed first so
   /// the iterate callbacks observe shutdown and return false.
   void join() {
@@ -79,6 +94,7 @@ class PollServer {
  private:
   sim::Node& node_;
   std::vector<std::unique_ptr<Thread>> threads_;
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace madmpi::marcel

@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "common/types.hpp"
+#include "marcel/engine.hpp"
 #include "marcel/thread.hpp"
 #include "sim/node.hpp"
 
@@ -31,20 +32,26 @@ class Semaphore {
     const usec_t at = node_.clock().advance(ThreadCosts::kSemSignal);
     // Notify while holding the lock: a waiter may destroy this semaphore
     // the moment it observes the permit, so the notify must not touch the
-    // object after the state change becomes visible.
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++count_;
-    release_times_.push_back(at);
-    available_.notify_one();
+    // object after the state change becomes visible. A parked fiber,
+    // though, owns its own stack: it cannot observe the permit until its
+    // shard worker re-polls, so the engine nudge is safe after the lock.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++count_;
+      release_times_.push_back(at);
+      available_.notify_one();
+    }
+    engine_notify();
   }
 
   /// P: wait for a release; wake at max(own clock, releaser clock) + wake
-  /// cost.
+  /// cost. On a fiber this parks the continuation instead of blocking the
+  /// shard worker.
   void wait() {
     usec_t released_at;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      available_.wait(lock, [this] { return count_ > 0; });
+      engine_wait(lock, available_, [this] { return count_ > 0; });
       --count_;
       released_at = release_times_.front();
       release_times_.pop_front();

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "marcel/engine.hpp"
 #include "marcel/thread.hpp"
 #include "sim/cost_model.hpp"
 
@@ -198,31 +199,51 @@ struct BsendPool {
 
 thread_local std::shared_ptr<BsendPool> t_bsend_pool;
 
+void destroy_bsend_slot(void* p) {
+  delete static_cast<std::shared_ptr<BsendPool>*>(p);
+}
+
+// Per-rank attachment: a thread_local under the threaded engine, the
+// fiber's local slot under the sharded one — fibers from several ranks
+// share each shard worker's OS thread, so a plain thread_local would let
+// one rank's attach satisfy another rank's bsend (and trip the
+// double-attach guard).
+std::shared_ptr<BsendPool>& bsend_pool() {
+  if (void** slot = marcel::fiber_local_slot(marcel::kFiberSlotBsend,
+                                             &destroy_bsend_slot)) {
+    if (*slot == nullptr) *slot = new std::shared_ptr<BsendPool>();
+    return *static_cast<std::shared_ptr<BsendPool>*>(*slot);
+  }
+  return t_bsend_pool;
+}
+
 }  // namespace
 
 void Comm::buffer_attach(std::size_t bytes) {
-  MADMPI_CHECK_MSG(t_bsend_pool == nullptr || t_bsend_pool->capacity == 0,
+  std::shared_ptr<BsendPool>& attached = bsend_pool();
+  MADMPI_CHECK_MSG(attached == nullptr || attached->capacity == 0,
                    "a bsend buffer is already attached");
-  t_bsend_pool = std::make_shared<BsendPool>();
-  t_bsend_pool->capacity = bytes;
+  attached = std::make_shared<BsendPool>();
+  attached->capacity = bytes;
 }
 
 void Comm::buffer_detach() {
-  MADMPI_CHECK_MSG(t_bsend_pool != nullptr && t_bsend_pool->capacity != 0,
+  std::shared_ptr<BsendPool>& attached = bsend_pool();
+  MADMPI_CHECK_MSG(attached != nullptr && attached->capacity != 0,
                    "no bsend buffer attached");
-  std::unique_lock<std::mutex> lock(t_bsend_pool->mutex);
-  t_bsend_pool->drained.wait(lock,
-                             [&] { return t_bsend_pool->pending == 0; });
+  std::unique_lock<std::mutex> lock(attached->mutex);
+  marcel::engine_wait(lock, attached->drained,
+                      [&] { return attached->pending == 0; });
   lock.unlock();
-  t_bsend_pool.reset();
+  attached.reset();
 }
 
 void Comm::bsend(const void* buf, int count, const Datatype& type,
                  rank_t dest, int tag) {
   MADMPI_CHECK(dest >= 0 && dest < size());
-  MADMPI_CHECK_MSG(t_bsend_pool != nullptr && t_bsend_pool->capacity != 0,
+  std::shared_ptr<BsendPool> pool = bsend_pool();
+  MADMPI_CHECK_MSG(pool != nullptr && pool->capacity != 0,
                    "MPI_Bsend without an attached buffer");
-  std::shared_ptr<BsendPool> pool = t_bsend_pool;
 
   std::vector<std::byte> staging;
   const byte_span view = pack_for_send(buf, count, type, staging);
@@ -266,10 +287,13 @@ void Comm::bsend(const void* buf, int count, const Datatype& type,
       MADMPI_LOG_WARN("mpi", "bsend to rank %d failed: %s",
                       static_cast<int>(env.dst), status.message().c_str());
     }
-    std::lock_guard<std::mutex> lock(pool->mutex);
-    pool->in_flight -= needed;
-    --pool->pending;
-    pool->drained.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(pool->mutex);
+      pool->in_flight -= needed;
+      --pool->pending;
+      pool->drained.notify_all();
+    }
+    marcel::engine_notify();
   }).detach();
 }
 
@@ -450,7 +474,12 @@ MpiStatus Comm::probe(rank_t source, int tag) {
 }
 
 bool Comm::iprobe(rank_t source, int tag, MpiStatus* status) {
-  return my_context().iprobe(shared_->context, source, tag, status);
+  const bool found =
+      my_context().iprobe(shared_->context, source, tag, status);
+  // Iprobe spin loops must make progress on the fiber engine: the probed
+  // message can only arrive if the sender's fiber gets to run.
+  if (!found) marcel::cooperative_yield();
+  return found;
 }
 
 double Comm::wtime() const { return my_node().clock().now() * 1e-6; }

@@ -6,6 +6,7 @@
 
 #include "common/status.hpp"
 #include "core/session.hpp"
+#include "marcel/engine.hpp"
 #include "mpi/cart.hpp"
 #include "mpi/packbuf.hpp"
 #include "mpi/persistent.hpp"
@@ -49,10 +50,27 @@ inline constexpr MPI_Errhandler kCustomErrhandlerBase = 2;
 
 thread_local ThreadState tls;
 
-ThreadState& state() {
-  MADMPI_CHECK_MSG(tls.bound,
-                   "MPI_* called outside madmpi::compat::run / bind_world");
+void destroy_fiber_state(void* p) { delete static_cast<ThreadState*>(p); }
+
+/// The facade's per-rank state: a thread_local under the threaded engine,
+/// the fiber's local slot under the sharded one — fibers from several
+/// ranks share each shard worker's OS thread, so a plain thread_local
+/// would alias their handle tables (and trip the bind_world guard as soon
+/// as one rank parks while bound).
+ThreadState& storage() {
+  if (void** slot = marcel::fiber_local_slot(marcel::kFiberSlotCompat,
+                                             &destroy_fiber_state)) {
+    if (*slot == nullptr) *slot = new ThreadState{};
+    return *static_cast<ThreadState*>(*slot);
+  }
   return tls;
+}
+
+ThreadState& state() {
+  ThreadState& s = storage();
+  MADMPI_CHECK_MSG(s.bound,
+                   "MPI_* called outside madmpi::compat::run / bind_world");
+  return s;
 }
 
 mpi::Comm& comm_of(MPI_Comm handle) {
@@ -245,15 +263,16 @@ MPI_Request store_persistent(mpi::PersistentRequest request) {
 }  // namespace detail
 
 void bind_world(mpi::Comm world) {
-  MADMPI_CHECK_MSG(!detail::tls.bound, "world already bound on this thread");
-  detail::tls.bound = true;
-  detail::tls.initialized = false;
-  detail::tls.comms.clear();
-  detail::tls.requests.clear();
-  detail::tls.comms.push_back(std::move(world));
+  detail::ThreadState& s = detail::storage();
+  MADMPI_CHECK_MSG(!s.bound, "world already bound on this thread");
+  s.bound = true;
+  s.initialized = false;
+  s.comms.clear();
+  s.requests.clear();
+  s.comms.push_back(std::move(world));
 }
 
-void unbind_world() { detail::tls = detail::ThreadState{}; }
+void unbind_world() { detail::storage() = detail::ThreadState{}; }
 
 void run(const sim::ClusterSpec& cluster,
          const std::function<void()>& rank_main) {
@@ -287,7 +306,8 @@ int MPI_Finalize() {
 }
 
 int MPI_Initialized(int* flag) {
-  *flag = detail::tls.bound && detail::tls.initialized ? 1 : 0;
+  detail::ThreadState& s = detail::storage();
+  *flag = s.bound && s.initialized ? 1 : 0;
   return MPI_SUCCESS;
 }
 
@@ -922,7 +942,7 @@ int MPI_Waitany(int count, MPI_Request* requests, int* index,
       }
     }
     MADMPI_CHECK_MSG(any_valid, "MPI_Waitany on all-null requests");
-    std::this_thread::yield();
+    madmpi::marcel::cooperative_yield();
   }
 }
 
@@ -937,6 +957,10 @@ int MPI_Testall(int count, MPI_Request* requests, int* flag,
                detail::persistent_of(requests[i]).done())
             : detail::request_of(requests[i]).state()->completed();
     if (!done) {
+      // Testall spin loops must let peer fibers run on the sharded
+      // engine (the completeness probe above bypasses Request::test and
+      // its yield).
+      madmpi::marcel::cooperative_yield();
       *flag = 0;
       return MPI_SUCCESS;
     }

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "marcel/engine.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/comm_shared.hpp"
 #include "mpi/ft_internal.hpp"
@@ -54,34 +55,53 @@ struct CaptureState {
 
 thread_local CaptureState t_capture;
 
+void destroy_capture_state(void* p) { delete static_cast<CaptureState*>(p); }
+
+// Per-rank capture state: a thread_local under the threaded engine, the
+// fiber's local slot under the sharded one — fibers from several ranks
+// share each shard worker's OS thread, so a plain thread_local would mix
+// one rank's captured verdicts (and epoch) into another's agreement.
+CaptureState& capture() {
+  if (void** slot = marcel::fiber_local_slot(marcel::kFiberSlotFtCapture,
+                                             &destroy_capture_state)) {
+    if (*slot == nullptr) *slot = new CaptureState{};
+    return *static_cast<CaptureState*>(*slot);
+  }
+  return t_capture;
+}
+
 }  // namespace
 
-bool capture_active() { return t_capture.active; }
+bool capture_active() { return capture().active; }
 
 void begin_capture(int epoch) {
-  t_capture.active = true;
-  t_capture.first = ErrorCode::kOk;
-  t_capture.epoch = epoch;
+  CaptureState& state = capture();
+  state.active = true;
+  state.first = ErrorCode::kOk;
+  state.epoch = epoch;
 }
 
 ErrorCode end_capture() {
-  const ErrorCode first = t_capture.first;
-  t_capture = CaptureState{};
+  CaptureState& state = capture();
+  const ErrorCode first = state.first;
+  state = CaptureState{};
   return first;
 }
 
 void record(ErrorCode code) {
-  if (t_capture.active && code != ErrorCode::kOk &&
-      t_capture.first == ErrorCode::kOk) {
-    t_capture.first = code;
+  CaptureState& state = capture();
+  if (state.active && code != ErrorCode::kOk &&
+      state.first == ErrorCode::kOk) {
+    state.first = code;
   }
 }
 
-int capture_epoch() { return t_capture.epoch; }
+int capture_epoch() { return capture().epoch; }
 
 int remap_tag(int tag) {
-  if (!t_capture.active || tag >= kFtTagFloor) return tag;
-  return kClassicBase + (t_capture.epoch & 0xfff) * 16 + tag;
+  const CaptureState& state = capture();
+  if (!state.active || tag >= kFtTagFloor) return tag;
+  return kClassicBase + (state.epoch & 0xfff) * 16 + tag;
 }
 
 int bcast_tag(int epoch) { return kBcastBase + (epoch & 0xfff); }

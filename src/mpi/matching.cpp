@@ -6,6 +6,7 @@
 
 #include "common/datapath_stats.hpp"
 #include "common/log.hpp"
+#include "marcel/engine.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace.hpp"
 
@@ -153,6 +154,7 @@ void RankContext::deliver_eager(const Envelope& env, byte_span payload,
   unexpected_.push_back(std::move(message));
   lock.unlock();
   unexpected_arrived_.notify_all();
+  marcel::engine_notify();
 }
 
 void RankContext::deliver_rendezvous(const Envelope& env,
@@ -174,6 +176,7 @@ void RankContext::deliver_rendezvous(const Envelope& env,
   unexpected_.push_back(std::move(message));
   lock.unlock();
   unexpected_arrived_.notify_all();
+  marcel::engine_notify();
 }
 
 bool RankContext::iprobe(int context, rank_t source, int tag,
@@ -229,7 +232,26 @@ void RankContext::probe(int context, rank_t source, int tag,
       }
       return;
     }
-    if (peer_unreachable_) {
+    if (marcel::on_fiber()) {
+      // Park the fiber instead of blocking its shard worker. The
+      // predicate consults the failure detector *without* holding the
+      // queue lock (the detector may take channel/session locks that
+      // delivery paths hold while calling into us).
+      lock.unlock();
+      marcel::park_until([this, &pattern, source_global] {
+        std::function<bool(rank_t)> detector;
+        {
+          std::lock_guard<std::mutex> guard(mutex_);
+          for (const auto& message : unexpected_) {
+            if (matches(pattern, message.env)) return true;
+          }
+          detector = peer_unreachable_;
+        }
+        return detector != nullptr && source_global != kInvalidRank &&
+               detector(source_global);
+      });
+      lock.lock();
+    } else if (peer_unreachable_) {
       unexpected_arrived_.wait_for(lock, std::chrono::milliseconds(2));
     } else {
       unexpected_arrived_.wait(lock);
@@ -434,7 +456,10 @@ std::size_t RankContext::cancel_context(int context, ErrorCode code) {
   return victims.size();
 }
 
-void RankContext::notify_waiters() { unexpected_arrived_.notify_all(); }
+void RankContext::notify_waiters() {
+  unexpected_arrived_.notify_all();
+  marcel::engine_notify();
+}
 
 bool RankContext::cancel_posted(const RequestState* request) {
   PostedRecv victim;

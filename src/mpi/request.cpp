@@ -3,14 +3,18 @@
 #include <thread>
 #include <vector>
 
+#include "marcel/engine.hpp"
+
 namespace madmpi::mpi {
 
 // The multi-request waits poll with test(): completion is signalled
 // through per-request semaphores, so a combined blocking wait would need a
-// shared condition; polling with a yield keeps the implementation simple
-// and, with virtual time, costs nothing in measured results. Completed
-// requests are invalidated (set to a null handle), mirroring how the MPI
-// calls set MPI_REQUEST_NULL.
+// shared condition; polling with a cooperative yield keeps the
+// implementation simple and, with virtual time, costs nothing in measured
+// results. Under the sharded engine the yield reschedules the fiber so
+// shard siblings (including the peer that will complete the request) keep
+// making progress. Completed requests are invalidated (set to a null
+// handle), mirroring how the MPI calls set MPI_REQUEST_NULL.
 
 std::size_t Request::wait_any(std::span<Request> requests,
                               MpiStatus* status) {
@@ -25,7 +29,7 @@ std::size_t Request::wait_any(std::span<Request> requests,
       }
     }
     MADMPI_CHECK_MSG(any_valid, "wait_any on all-null requests");
-    std::this_thread::yield();
+    marcel::cooperative_yield();
   }
 }
 
@@ -73,7 +77,7 @@ std::vector<std::size_t> Request::wait_some(std::span<Request> requests) {
       }
     }
     MADMPI_CHECK_MSG(any_valid, "wait_some on all-null requests");
-    std::this_thread::yield();
+    marcel::cooperative_yield();
   }
 }
 

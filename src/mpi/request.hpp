@@ -47,17 +47,25 @@ class RequestState {
 
   /// Non-blocking test (MPI_Test).
   bool test(MpiStatus* status_out) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (consumed_) {
-      if (status_out != nullptr) *status_out = status_;
-      return true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (consumed_) {
+        if (status_out != nullptr) *status_out = status_;
+        return true;
+      }
+      if (completed_) {
+        // Consume the semaphore permit so a later wait() does not block.
+        MADMPI_CHECK(done_.try_wait());
+        consumed_ = true;
+        if (status_out != nullptr) *status_out = status_;
+        return true;
+      }
     }
-    if (!completed_) return false;
-    // Consume the semaphore permit so a later wait() does not block.
-    MADMPI_CHECK(done_.try_wait());
-    consumed_ = true;
-    if (status_out != nullptr) *status_out = status_;
-    return true;
+    // Spinning on MPI_Test is a legitimate MPI program, and on the fiber
+    // engine the tested operation can only complete if the peer's fiber
+    // gets to run: yield the shard before reporting "not yet".
+    marcel::cooperative_yield();
+    return false;
   }
 
   bool completed() const {

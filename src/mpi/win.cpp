@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/datapath_stats.hpp"
+#include "marcel/engine.hpp"
 #include "mpi/adi.hpp"
 #include "mpi/comm_shared.hpp"
 #include "mpi/runtime.hpp"
@@ -432,8 +433,9 @@ Status Win::lock(RmaLockType type, rank_t target) {
                *granted = true;
              }
              win->cv.notify_all();
+             marcel::engine_notify();
            }});
-      win->cv.wait(guard, [&] { return *granted; });
+      marcel::engine_wait(guard, win->cv, [&] { return *granted; });
     }
   } else {
     Device& device = s.comm.device_to(target);

@@ -54,6 +54,7 @@ const char* sched_choice_name(SchedChoice choice) {
     case SchedChoice::kDeliveryOrder: return "delivery-order";
     case SchedChoice::kCreditBatch: return "credit-batch";
     case SchedChoice::kFaultOffset: return "fault-offset";
+    case SchedChoice::kFiberWake: return "fiber-wake";
     case SchedChoice::kCount: break;
   }
   return "?";
@@ -124,6 +125,15 @@ std::size_t ScheduleController::credit_batch_threshold(node_id_t me,
 usec_t ScheduleController::fault_offset_us(std::uint64_t plan_seed) {
   if (!enabled(SchedChoice::kFaultOffset)) return 0.0;
   return 500.0 * mix_unit(SchedChoice::kFaultOffset, plan_seed, 0, 0);
+}
+
+std::size_t ScheduleController::fiber_wake_start(std::size_t shard,
+                                                 std::uint64_t round,
+                                                 std::size_t n) {
+  if (n < 2 || !enabled(SchedChoice::kFiberWake)) return 0;
+  return static_cast<std::size_t>(
+      static_cast<double>(n) *
+      mix_unit(SchedChoice::kFiberWake, shard, round, 0));
 }
 
 ScheduleController* ScheduleController::current() {

@@ -38,6 +38,7 @@ enum class SchedChoice : std::uint8_t {
   kDeliveryOrder,    // bias among ready sources competing for delivery
   kCreditBatch,      // credit-return batching threshold
   kFaultOffset,      // fault-plan firing offset in virtual time
+  kFiberWake,        // which parked fiber a shard worker scans first
   kCount,
 };
 
@@ -97,6 +98,14 @@ class ScheduleController {
   /// [0, 500) microseconds — wide enough to move a kill across protocol
   /// phase boundaries (eager vs rendezvous handshake vs data push).
   usec_t fault_offset_us(std::uint64_t plan_seed);
+
+  /// Where shard worker `shard` starts its `round`-th scan over its `n`
+  /// fibers. Rotating the scan origin reorders which runnable (or
+  /// newly-ready parked) fiber wins the slice — the fiber engine's
+  /// wake-order choice point. Pure in (seed, shard, round); the
+  /// unperturbed default is 0 (stable round-robin from the front).
+  std::size_t fiber_wake_start(std::size_t shard, std::uint64_t round,
+                               std::size_t n);
 
   /// How many times each choice point has produced a decision.
   std::uint64_t decisions(SchedChoice choice) const {

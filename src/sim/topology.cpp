@@ -17,7 +17,9 @@ ClusterSpec ClusterSpec::homogeneous(int count, Protocol protocol,
     spec.nodes.push_back(node);
     net.members.push_back(node.name);
   }
-  spec.networks.push_back(std::move(net));
+  // A single machine has nothing to internetwork (and validate() rejects a
+  // one-member network): all-smp clusters just carry no network at all.
+  if (count > 1) spec.networks.push_back(std::move(net));
   return spec;
 }
 

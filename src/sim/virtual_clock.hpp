@@ -19,6 +19,19 @@
 // a node is still advancing (a cheap progress fingerprint) instead of
 // guessing from the high-water mark alone, which a single busy lane can
 // pin while every other lane is stuck.
+//
+// Execution contexts and lanes: a lane belongs to an *execution context*,
+// not to an OS thread. By default every OS thread owns one implicit
+// context (a thread-local LaneMap), which reproduces the historical
+// behavior exactly. The sharded fiber engine gives each rank fiber its own
+// LaneMap and installs it for the duration of a run slice, so a fiber
+// keeps its causal lanes when it migrates between park/resume cycles on a
+// worker thread. While a slice runs the engine opens a *batch*: lane
+// stores stay immediately visible (lanes() snapshots and fingerprints keep
+// working mid-slice), but the high-water CAS is deferred to the end of the
+// slice — one publication per touched clock per slice instead of one per
+// advance. high_water() folds the caller's own unpublished lanes back in,
+// so a context always observes its own progress.
 #pragma once
 
 #include <algorithm>
@@ -27,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -49,28 +63,88 @@ class VirtualClock {
     usec_t time = 0.0;
   };
 
-  /// The calling thread's causal time on this clock. A thread's first
+ private:
+  struct Lane {
+    std::atomic<usec_t> time{0.0};
+    std::uint64_t generation = 0;
+    std::uint64_t id = 0;
+    // True while this lane's latest time awaits its deferred high-water
+    // publication. Only ever touched by the worker thread currently
+    // running the owning execution context, so it needs no atomicity.
+    bool deferred = false;
+  };
+
+ public:
+  /// One execution context's lanes across every clock it has touched. OS
+  /// threads get an implicit one; the fiber engine owns one per fiber and
+  /// installs it around each run slice.
+  class LaneMap {
+   public:
+    LaneMap() = default;
+    LaneMap(const LaneMap&) = delete;
+    LaneMap& operator=(const LaneMap&) = delete;
+
+   private:
+    friend class VirtualClock;
+    std::unordered_map<const VirtualClock*, std::shared_ptr<Lane>> slots_;
+    bool batching_ = false;
+    // Lanes advanced during the open batch, awaiting high-water flush.
+    std::vector<std::pair<const VirtualClock*, std::shared_ptr<Lane>>>
+        deferred_;
+  };
+
+  /// Install `next` as the calling thread's active lane map (nullptr
+  /// restores the thread's implicit map). Returns the previous override so
+  /// callers can nest. Used only by the fiber engine around run slices.
+  static LaneMap* exchange_lane_map(LaneMap* next) {
+    LaneMap*& slot = active_override();
+    LaneMap* prev = slot;
+    slot = next;
+    return prev;
+  }
+
+  /// Open a batch on the calling thread's active map: high-water
+  /// publication is deferred until end_batch(). Lane stores remain
+  /// immediately visible.
+  static void begin_batch() { active_map().batching_ = true; }
+
+  /// Close the batch: publish each touched clock's final lane time once.
+  static void end_batch() {
+    LaneMap& map = active_map();
+    map.batching_ = false;
+    for (auto& [clock, slot] : map.deferred_) {
+      slot->deferred = false;
+      clock->raise_high_water(slot->time.load(std::memory_order_relaxed));
+    }
+    map.deferred_.clear();
+  }
+
+  /// The calling context's causal time on this clock. A context's first
   /// touch adopts the current high-water mark (right for observers and
   /// sequential phases; causally-spawned threads use bind_lane instead).
-  usec_t now() const { return lane().time.load(std::memory_order_relaxed); }
+  usec_t now() const {
+    return lane_in(active_map())->time.load(std::memory_order_relaxed);
+  }
 
   /// Charge `dt` microseconds of local work to the caller's lane.
   usec_t advance(usec_t dt) {
-    Lane& lane_ref = lane();
-    const usec_t t = lane_ref.time.load(std::memory_order_relaxed) + dt;
-    lane_ref.time.store(t, std::memory_order_release);
-    raise_high_water(t);
+    LaneMap& map = active_map();
+    const std::shared_ptr<Lane>& slot = lane_in(map);
+    const usec_t t = slot->time.load(std::memory_order_relaxed) + dt;
+    slot->time.store(t, std::memory_order_release);
+    publish(map, slot, t);
     return t;
   }
 
   /// Move the caller's lane forward to at least `t` (message arrival,
   /// semaphore release stamp, ...). Never moves backwards.
   usec_t sync_to(usec_t t) {
-    Lane& lane_ref = lane();
-    const usec_t current = lane_ref.time.load(std::memory_order_relaxed);
+    LaneMap& map = active_map();
+    const std::shared_ptr<Lane>& slot = lane_in(map);
+    const usec_t current = slot->time.load(std::memory_order_relaxed);
     if (current < t) {
-      lane_ref.time.store(t, std::memory_order_release);
-      raise_high_water(t);
+      slot->time.store(t, std::memory_order_release);
+      publish(map, slot, t);
       return t;
     }
     return current;
@@ -79,13 +153,24 @@ class VirtualClock {
   /// Set the caller's lane explicitly — used at thread spawn to hand the
   /// new thread its causal birth time.
   void bind_lane(usec_t t) {
-    lane().time.store(t, std::memory_order_release);
-    raise_high_water(t);
+    LaneMap& map = active_map();
+    const std::shared_ptr<Lane>& slot = lane_in(map);
+    slot->time.store(t, std::memory_order_release);
+    publish(map, slot, t);
   }
 
   /// Largest time any lane has reached (what tests and stats observe).
+  /// Folds in the caller's own batched-but-unpublished lane, so a context
+  /// mid-slice always observes at least its own progress.
   usec_t high_water() const {
-    return high_water_.load(std::memory_order_acquire);
+    usec_t hw = high_water_.load(std::memory_order_acquire);
+    if (const LaneMap* map = active_override(); map && map->batching_) {
+      auto it = map->slots_.find(this);
+      if (it != map->slots_.end() && it->second->deferred) {
+        hw = std::max(hw, it->second->time.load(std::memory_order_relaxed));
+      }
+    }
+    return hw;
   }
 
   /// Snapshot of every live lane of the current generation, sorted by lane
@@ -125,17 +210,23 @@ class VirtualClock {
   }
 
  private:
-  struct Lane {
-    std::atomic<usec_t> time{0.0};
-    std::uint64_t generation = 0;
-    std::uint64_t id = 0;
-  };
+  /// The thread-local override installed by the fiber engine (nullptr when
+  /// the thread runs its own implicit context).
+  static LaneMap*& active_override() {
+    thread_local LaneMap* override_map = nullptr;
+    return override_map;
+  }
 
-  Lane& lane() const {
-    thread_local std::unordered_map<const VirtualClock*,
-                                    std::shared_ptr<Lane>>
-        lanes;
-    std::shared_ptr<Lane>& slot = lanes[this];
+  /// The calling thread's active lane map: the installed override, or the
+  /// thread's implicit map.
+  static LaneMap& active_map() {
+    thread_local LaneMap implicit;
+    LaneMap* override_map = active_override();
+    return override_map != nullptr ? *override_map : implicit;
+  }
+
+  const std::shared_ptr<Lane>& lane_in(LaneMap& map) const {
+    std::shared_ptr<Lane>& slot = map.slots_[this];
     const std::uint64_t generation =
         generation_.load(std::memory_order_acquire);
     if (!slot || slot->generation != generation) {
@@ -145,14 +236,29 @@ class VirtualClock {
       slot = std::make_shared<Lane>();
       slot->generation = generation;
       slot->id = fresh_lane_id();
-      slot->time.store(high_water(), std::memory_order_release);
+      slot->time.store(high_water_.load(std::memory_order_acquire),
+                       std::memory_order_release);
       std::lock_guard<std::mutex> lock(registry_mutex_);
       registry_.push_back(slot);
     }
-    return *slot;
+    return slot;
   }
 
-  void raise_high_water(usec_t t) {
+  /// Publish a lane's new time: immediately outside a batch, deferred (one
+  /// flush per clock per slice) inside one.
+  void publish(LaneMap& map, const std::shared_ptr<Lane>& slot,
+               usec_t t) const {
+    if (map.batching_) {
+      if (!slot->deferred) {
+        slot->deferred = true;
+        map.deferred_.push_back({this, slot});
+      }
+      return;
+    }
+    raise_high_water(t);
+  }
+
+  void raise_high_water(usec_t t) const {
     usec_t observed = high_water_.load(std::memory_order_relaxed);
     while (observed < t &&
            !high_water_.compare_exchange_weak(observed, t,
@@ -177,7 +283,8 @@ class VirtualClock {
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  std::atomic<usec_t> high_water_{0.0};
+  // Mutable: deferred batch flushes publish through const clock pointers.
+  mutable std::atomic<usec_t> high_water_{0.0};
   std::atomic<std::uint64_t> generation_{fresh_generation()};
   mutable std::mutex registry_mutex_;
   mutable std::vector<std::weak_ptr<Lane>> registry_;

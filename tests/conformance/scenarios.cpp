@@ -2,8 +2,10 @@
 // designed to stay *correct under every legal schedule* — the sweep's job
 // is to find an interleaving where they are not.
 #include <array>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <string>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -728,6 +730,119 @@ void run_ft_collectives(Oracle& oracle) {
 
 // ---------------------------------------------------------------- selftest
 
+// --------------------------------------------------------------- scaleout
+
+/// 256 ranks under the sharded fiber engine: every rank streams a numbered
+/// message train to its ring neighbour with sizes straddling the
+/// eager/rendezvous switch, so the train crosses smp delivery inside nodes
+/// and ch_mad at the 8 node boundaries. Oracles: per-stream non-overtaking
+/// (the fiber scheduler must preserve MPI ordering however the seed
+/// interleaves shard scan origins) and credit conservation over every
+/// directed node pair at quiesce.
+void run_scaleout(Oracle& oracle) {
+  // The engine knob is read per Session::run(): pin the sharded engine for
+  // this scenario only, restoring whatever the sweep runner had set.
+  struct EngineEnv {
+    EngineEnv() {
+      if (const char* old = std::getenv("MADMPI_ENGINE")) {
+        had = true;
+        saved = old;
+      }
+      ::setenv("MADMPI_ENGINE", "sharded", 1);
+    }
+    ~EngineEnv() {
+      if (had) {
+        ::setenv("MADMPI_ENGINE", saved.c_str(), 1);
+      } else {
+        ::unsetenv("MADMPI_ENGINE");
+      }
+    }
+    std::string saved;
+    bool had = false;
+  } engine_env;
+
+  Session::Options options;
+  options.cluster =
+      sim::ClusterSpec::homogeneous(8, sim::Protocol::kTcp, 32);
+  options.switch_point_override = 512;  // 64 B eager, 2 KB rendezvous
+  Session session(std::move(options));
+
+  constexpr int kTrain = 4;
+  constexpr int kTag = 3;
+  const auto size_of = [](int seq) {
+    return static_cast<std::size_t>(seq % 2 == 0 ? 64 : 2048);
+  };
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    const int n = comm.size();
+    const int me = comm.rank();
+    const int right = (me + 1) % n;
+    const int left = (me + n - 1) % n;
+    // Post the whole inbound train up front with seq-dependent sizes: if
+    // the stream ever overtakes, a 2 KB message lands on a 64 B receive
+    // (or the pattern check fails) — either way the oracle trips.
+    std::vector<std::vector<std::uint8_t>> inbox(kTrain);
+    std::vector<mpi::Request> recvs;
+    for (int seq = 0; seq < kTrain; ++seq) {
+      inbox[static_cast<std::size_t>(seq)].resize(size_of(seq));
+      auto& buffer = inbox[static_cast<std::size_t>(seq)];
+      recvs.push_back(comm.irecv(buffer.data(),
+                                 static_cast<int>(buffer.size()),
+                                 Datatype::uint8(), left, kTag));
+    }
+    for (int seq = 0; seq < kTrain; ++seq) {
+      std::vector<std::uint8_t> payload(size_of(seq));
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = pattern_byte(me, static_cast<std::uint64_t>(seq), i);
+      }
+      comm.send(payload.data(), static_cast<int>(payload.size()),
+                Datatype::uint8(), right, kTag);
+    }
+    for (int seq = 0; seq < kTrain; ++seq) {
+      const auto status = recvs[static_cast<std::size_t>(seq)].wait();
+      const auto& buffer = inbox[static_cast<std::size_t>(seq)];
+      bool intact = status.error == ErrorCode::kOk &&
+                    status.bytes == static_cast<std::uint64_t>(buffer.size());
+      for (std::size_t i = 0; intact && i < buffer.size(); ++i) {
+        intact = buffer[i] ==
+                 pattern_byte(left, static_cast<std::uint64_t>(seq), i);
+      }
+      if (!intact) {
+        std::ostringstream what;
+        what << "rank " << me << " seq " << seq << " from " << left
+             << ": expected " << buffer.size() << " patterned bytes, got "
+             << status.bytes << " (error "
+             << static_cast<int>(status.error) << ")";
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        oracle.fail("non-overtaking", what.str());
+      }
+    }
+  });
+
+  core::ChMadDevice* device = session.ch_mad();
+  if (device == nullptr) {
+    oracle.fail("credit-conservation", "no ch_mad device in the session");
+    return;
+  }
+  const std::size_t window = device->credit_window();
+  session.finalize();  // join in-flight credit threads before the audit
+  for (node_id_t a = 0; a < 8; ++a) {
+    for (node_id_t b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      const std::size_t available = device->credits_available(a, b);
+      const std::size_t owed = device->credits_pending_return(b, a);
+      if (available + owed != window) {
+        std::ostringstream what;
+        what << "direction " << static_cast<int>(a) << "->"
+             << static_cast<int>(b) << ": available " << available
+             << " + owed " << owed << " != window " << window;
+        oracle.fail("credit-conservation", what.str());
+      }
+    }
+  }
+}
+
 /// Deliberately broken "application": it treats the delivery-order bias of
 /// one fixed message identity as an invariant, which half of all seeds
 /// violate. Exists to prove the kit END TO END: the sweep must catch it,
@@ -780,6 +895,10 @@ const std::vector<Scenario>& scenarios() {
       {"ft_collectives",
        "fault-tolerant collectives agree uniformly and survive link faults",
        &run_ft_collectives},
+      {"scaleout",
+       "256-rank trains under the sharded engine stay ordered and conserve "
+       "credits",
+       &run_scaleout},
       {"selftest",
        "planted violation: proves the sweep catches, replays and shrinks",
        &run_selftest},

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "marcel/engine.hpp"
 #include "mpi/compat.hpp"
 #include "sim/sched.hpp"
 
@@ -146,7 +147,7 @@ TEST(SchedMatching, CancelDetachesACreditDemotedSend) {
       // added for exactly this).
       for (int spins = 0; device->pending_send_count(0) == 0; ++spins) {
         ASSERT_LT(spins, 100000) << "send never parked";
-        std::this_thread::yield();
+        marcel::cooperative_yield();
       }
       EXPECT_TRUE(request.cancel());
       const auto status = request.wait();
@@ -207,7 +208,7 @@ TEST(SchedMatching, CompatCancelAndTestCancelled) {
                 &request);
       for (int spins = 0; device->pending_send_count(0) == 0; ++spins) {
         ASSERT_LT(spins, 100000) << "send never parked";
-        std::this_thread::yield();
+        marcel::cooperative_yield();
       }
       EXPECT_EQ(MPI_Cancel(&request), MPI_SUCCESS);
       MPI_Status status;
