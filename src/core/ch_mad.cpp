@@ -371,6 +371,70 @@ Status ChMadDevice::send(rank_t src, rank_t dst, const mpi::Envelope& env,
   return pending.result;
 }
 
+bool ChMadDevice::isend_rendezvous(rank_t src, rank_t dst,
+                                   const mpi::Envelope& env, byte_span packed,
+                                   std::vector<std::byte> owned,
+                                   std::shared_ptr<mpi::RequestState> state) {
+  sim::Node& src_node = directory_.node_of(src);
+  sim::Node& dst_node = directory_.node_of(dst);
+  rendezvous_sent_.fetch_add(1, std::memory_order_relaxed);
+  NodeState& node_state = state_of(src_node.id());
+
+  // Heap entry: nobody parks on it, so its lifetime is owned by whichever
+  // finishing path runs (data push, cancel, or the watchdog).
+  auto* pending = new PendingSend;
+  pending->data = packed;
+  pending->header.src_global = src;
+  pending->header.dst_global = dst;
+  pending->header.envelope = env;
+  pending->peer_node = dst_node.id();
+  pending->started_at = src_node.clock().now();
+  pending->completion = std::move(state);
+  pending->owned = std::move(owned);
+
+  {
+    std::lock_guard<std::mutex> lock(node_state.mutex);
+    pending->handle = node_state.next_send_handle++;
+    node_state.pending_sends[pending->handle] = pending;
+  }
+  PacketHeader header = pending->header;
+  header.type = PacketType::kRndvRequest;
+  header.sender_handle = pending->handle;
+  // The request goes out on the calling thread: injection order per
+  // source stays the program order the matching layer's FIFO relies on.
+  Status status = send_packet(src_node.id(), dst_node.id(), header, {});
+  if (!status.is_ok()) {
+    {
+      std::lock_guard<std::mutex> lock(node_state.mutex);
+      node_state.pending_sends.erase(pending->handle);
+    }
+    pending->result = status;
+    finish_pending_send(node_state, pending, /*still_registered=*/false);
+  }
+  return true;
+}
+
+void ChMadDevice::finish_pending_send(NodeState& state, PendingSend* pending,
+                                      bool still_registered) {
+  if (pending->completion == nullptr) {
+    // Blocking entry: the parked sender owns it and may return (destroying
+    // it) the instant the semaphore releases — never touch it afterwards.
+    pending->done->signal();
+    return;
+  }
+  if (still_registered) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.pending_sends.erase(pending->handle);
+  }
+  mpi::MpiStatus status;
+  status.source = pending->header.envelope.dst;  // send-side: peer and tag
+  status.tag = pending->header.envelope.tag;
+  status.bytes = pending->header.envelope.bytes;
+  status.error = pending->result.code();
+  pending->completion->complete(status);
+  delete pending;
+}
+
 Status ChMadDevice::rma(rank_t src, rank_t dst, const mpi::RmaDesc& desc,
                         byte_span payload, void* get_dest,
                         std::shared_ptr<mpi::RequestState> completion) {
@@ -616,14 +680,11 @@ bool ChMadDevice::try_cancel_send(rank_t src, rank_t dst,
     }
   }
   if (victim == nullptr) return false;  // data push started: too late
-  // Same completion discipline as watchdog_sweep: set the result, then
-  // signal, then never touch the entry again — the parked sender owns it
-  // and may return (destroying it) the instant the semaphore releases.
   victim->result = Status(ErrorCode::kCancelled,
                           "send cancelled before the receiver matched it");
   sim::trace(state.node->clock().now(), state.node->id(),
              sim::TraceCategory::kComplete, env.bytes, "cancel-send");
-  victim->done->signal();
+  finish_pending_send(state, victim, /*still_registered=*/false);
   return true;
 }
 
@@ -703,7 +764,7 @@ std::size_t ChMadDevice::watchdog_sweep(const RouteDead& route_dead,
                  "rendezvous abandoned: no route between node " +
                      std::to_string(me) + " and node " +
                      std::to_string(pending->peer_node));
-      pending->done->signal();
+      finish_pending_send(state, pending, /*still_registered=*/false);
       ++canceled;
     }
     for (Rhandle& rhandle : dead_rhandles) {
@@ -823,7 +884,10 @@ void ChMadDevice::spawn_data_thread(NodeState& state, node_id_t dst_node,
     header.type = PacketType::kRndvData;
     header.sync_address = sync_address;
     pending.result = send_packet(src_node, dst_node, header, pending.data);
-    pending.done->signal();  // unblocks the sender; `pending` dies after
+    // Unblocks a parked sender (which then destroys `pending`) or, for an
+    // asynchronous entry, completes its request and frees it.
+    finish_pending_send(state_of(src_node), &pending,
+                        /*still_registered=*/true);
   }).detach();
 }
 

@@ -99,6 +99,14 @@ class ChMadDevice final : public ManagedDevice {
   bool try_cancel_send(rank_t src, rank_t dst,
                        const mpi::Envelope& env) override;
 
+  /// Nonblocking rendezvous: the REQUEST is injected on the calling
+  /// thread (keeping per-source frame order intact for the matching
+  /// layer), and the data push completes `state` from the polling
+  /// machinery instead of unparking a waiting sender.
+  bool isend_rendezvous(rank_t src, rank_t dst, const mpi::Envelope& env,
+                        byte_span packed, std::vector<std::byte> owned,
+                        std::shared_ptr<mpi::RequestState> state) override;
+
   /// One-sided verbs (MPI-3 RMA over the slab pool). Data-bearing ops are
   /// fire-and-forget: the packet is injected (kRmaDirect where the driver
   /// supports it) and epoch completion travels through the kSync/kUnlock
@@ -176,6 +184,14 @@ class ChMadDevice final : public ManagedDevice {
     enum class Phase { kAwaitAck, kPushing } phase = Phase::kAwaitAck;
     node_id_t peer_node = kInvalidNode;
     usec_t started_at = 0.0;
+    /// Asynchronous (isend_rendezvous) entries: no parked sender thread
+    /// exists, so `done` is null and the finishing path completes
+    /// `completion` instead, erases `handle` from pending_sends itself,
+    /// and frees the heap-allocated entry. `owned`, when non-empty, is
+    /// the staging buffer backing `data`.
+    std::shared_ptr<mpi::RequestState> completion;
+    std::vector<std::byte> owned;
+    std::uint64_t handle = 0;
   };
 
   struct Rhandle {
@@ -258,6 +274,14 @@ class ChMadDevice final : public ManagedDevice {
                               PacketHeader header, ChunkRef body);
   void spawn_data_thread(NodeState& state, node_id_t dst_node,
                          PendingSend& pending, std::uint64_t sync_address);
+  /// Single completion discipline for a finished rendezvous send:
+  /// parked (blocking) entries are unblocked through their semaphore;
+  /// asynchronous entries complete their RequestState and are freed.
+  /// `still_registered` says the entry is still in pending_sends (the
+  /// data-push path) — asynchronous completion erases it first; the
+  /// cancel/watchdog paths pass false, having erased it already.
+  void finish_pending_send(NodeState& state, PendingSend* pending,
+                           bool still_registered);
   void spawn_credit_thread(NodeState& state, node_id_t dst_node,
                            std::size_t credit_bytes);
 

@@ -9,6 +9,7 @@
 
 #include "common/log.hpp"
 #include "marcel/engine.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/fault.hpp"
 
 namespace madmpi::core {
@@ -283,6 +284,42 @@ bool Session::peer_unreachable(rank_t from_global, rank_t to_global) {
   return from != to && route_dead(from, to);
 }
 
+mpi::CollLink Session::coll_link(rank_t a_global, rank_t b_global) {
+  mpi::CollLink link;
+  if (a_global == b_global) {
+    link.quality = 0;
+    return link;
+  }
+  const node_id_t a = directory_.node_of(a_global).id();
+  const node_id_t b = directory_.node_of(b_global).id();
+  if (a == b) {
+    // Shared memory: a class no network reaches, so islands always beat
+    // the interconnect in the digest's cluster detection.
+    link.quality = 100;
+    return link;
+  }
+  // Worst class (1) when a custom inter-node device is installed or the
+  // pair only talks through gateway forwarding — both look like one flat
+  // interconnect to the hierarchy.
+  link.quality = 1;
+  ChMadDevice* device = ch_mad();
+  if (device == nullptr) return link;
+  mad::Channel* channel = device->router().route(a, b);
+  if (channel == nullptr) return link;
+  link.quality = 2 + protocol_performance_rank(channel->protocol());
+  // Offload parameters come from the live NIC model (fault plans and
+  // per-session tweaks mutate it), falling back to the protocol defaults.
+  const sim::Nic* nic = fabric_.find_nic(a, channel->protocol());
+  const sim::LinkCostModel model =
+      nic != nullptr ? nic->model() : sim::model_for(channel->protocol());
+  link.offload = model.supports_coll_offload;
+  link.offload_post_us = model.coll_post_us;
+  link.offload_hop_us = model.coll_hop_us;
+  link.offload_bytes_per_us = model.coll_bytes_per_us;
+  link.offload_notify_us = model.coll_notify_us;
+  return link;
+}
+
 mpi::Device& Session::device_for(rank_t src, rank_t dst) {
   if (src == dst) return *ch_self_;
   if (directory_.same_node(src, dst)) return *smp_plug_;
@@ -304,6 +341,20 @@ int Session::derive_context_id(int parent_context, std::int64_t key) {
 
 void Session::run(const std::function<void(mpi::Comm)>& rank_main) {
   MADMPI_CHECK_MSG(!finalized_, "run() after finalize()");
+  // MADMPI_COLL_TUNE: micro-probe the collective algorithms once per
+  // session, ahead of the first run()'s rank_main, and install the
+  // decision table kAuto resolution consults.
+  const std::function<void(mpi::Comm)>* body = &rank_main;
+  std::function<void(mpi::Comm)> tuned_body;
+  if (env_flag("MADMPI_COLL_TUNE", false) && !coll_tuned_) {
+    coll_tuned_ = true;
+    tuned_body = [&rank_main](mpi::Comm comm) {
+      mpi::tune_collectives(comm);
+      rank_main(comm);
+    };
+    body = &tuned_body;
+  }
+  const std::function<void(mpi::Comm)>& main_fn = *body;
   if (marcel::engine_kind_from_env() == marcel::EngineKind::kSharded) {
     // Scale-out engine: rank fibers on a sharded worker pool. Capture each
     // rank's causal birth time serially before any fiber runs, so lane
@@ -318,10 +369,10 @@ void Session::run(const std::function<void(mpi::Comm)>& rank_main) {
     marcel::run_fiber_pool(
         ranks, marcel::engine_shards_from_env(),
         marcel::engine_stack_bytes_from_env(),
-        [this, &rank_main, &births](std::size_t rank) {
+        [this, &main_fn, &births](std::size_t rank) {
           const auto r = static_cast<rank_t>(rank);
           node_of(r).clock().bind_lane(births[rank]);
-          rank_main(comm_world(r));
+          main_fn(comm_world(r));
         });
     return;
   }
@@ -329,7 +380,7 @@ void Session::run(const std::function<void(mpi::Comm)>& rank_main) {
   threads.reserve(static_cast<std::size_t>(world_size()));
   for (rank_t rank = 0; rank < world_size(); ++rank) {
     threads.emplace_back(
-        [this, rank, &rank_main] { rank_main(comm_world(rank)); });
+        [this, rank, &main_fn] { main_fn(comm_world(rank)); });
   }
   for (auto& thread : threads) thread.join();
 }

@@ -98,6 +98,11 @@ class Session final : public mpi::Runtime {
   /// between the hosting nodes (same-node peers share memory and never
   /// fail independently here).
   bool peer_unreachable(rank_t from_global, rank_t to_global) override;
+  /// Link digest for the hierarchical collective engine: same-node peers
+  /// get the shared-memory class; inter-node pairs are classed by the
+  /// router's elected protocol, with the NIC-offload capability and cost
+  /// parameters copied from that protocol's cost model.
+  mpi::CollLink coll_link(rank_t a_global, rank_t b_global) override;
 
   // --- execution ----------------------------------------------------------
   /// Run `rank_main` once per rank, each on its own thread bound to its
@@ -191,6 +196,10 @@ class Session final : public mpi::Runtime {
   std::mutex context_mutex_;
   std::map<std::pair<int, std::int64_t>, int> derived_contexts_;
   int next_context_ = 2;  // 0/1 belong to the world communicator
+
+  // MADMPI_COLL_TUNE runs the collective auto-tuner ahead of the first
+  // run()'s rank_main, once per session.
+  bool coll_tuned_ = false;
 
   bool finalized_ = false;
 };

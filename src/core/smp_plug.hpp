@@ -31,6 +31,14 @@ class SmpPlugDevice final : public mpi::Device {
   Status send(rank_t src, rank_t dst, const mpi::Envelope& env,
               byte_span packed, mpi::TransferMode mode) override;
 
+  /// Nonblocking rendezvous: the announcement lands on the calling
+  /// thread (keeping per-source delivery order), and the single-copy
+  /// handoff runs from the match callback — charged to whichever side
+  /// performs the match — completing both requests there.
+  bool isend_rendezvous(rank_t src, rank_t dst, const mpi::Envelope& env,
+                        byte_span packed, std::vector<std::byte> owned,
+                        std::shared_ptr<mpi::RequestState> state) override;
+
   /// Shared-segment capacity: eager messages up to this size.
   static constexpr std::size_t kSegmentBytes = 32 * 1024;
   static constexpr usec_t kPostUs = 0.3;   // FIFO slot reservation

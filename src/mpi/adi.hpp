@@ -57,6 +57,30 @@ class Device {
     return true;
   }
 
+  /// Nonblocking rendezvous send. The device injects the rendezvous
+  /// REQUEST on the calling thread — preserving the per-source frame
+  /// order the matching layer's FIFO rule rests on (a detached sender
+  /// thread could otherwise inject its request after a later eager frame
+  /// from the same rank, and the receiver would match them in arrival
+  /// order) — then completes `state` from its own progress machinery once
+  /// the data push finishes. `packed` must stay valid until `state`
+  /// completes; `owned`, when non-empty, is the staging buffer backing
+  /// `packed` and transfers ownership to the device. Returns false when
+  /// the device has no asynchronous rendezvous — the generic layer then
+  /// falls back to parking a blocking send on a temporary thread.
+  virtual bool isend_rendezvous(rank_t src, rank_t dst, const Envelope& env,
+                                byte_span packed,
+                                std::vector<std::byte> owned,
+                                std::shared_ptr<RequestState> state) {
+    (void)src;
+    (void)dst;
+    (void)env;
+    (void)packed;
+    (void)owned;
+    (void)state;
+    return false;
+  }
+
   /// Best-effort cancellation of an in-flight send from `src` to `dst`
   /// whose envelope matches `env` (MPI_Cancel on a send request). True
   /// when the device detached the transfer — it then completes the

@@ -1,0 +1,76 @@
+#include "mpi/coll_offload.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.hpp"
+#include "marcel/engine.hpp"
+
+namespace madmpi::mpi {
+
+std::shared_ptr<CollOffloadBoard::Op> CollOffloadBoard::op_for(
+    std::uint64_t key, int expected) {
+  // Callers hold mutex_.
+  std::shared_ptr<Op>& slot = ops_[key];
+  if (!slot) {
+    slot = std::make_shared<Op>();
+    slot->expected = expected;
+  }
+  MADMPI_CHECK_MSG(slot->expected == expected,
+                   "offload participants disagree on the leader count");
+  return slot;
+}
+
+void CollOffloadBoard::depart(std::uint64_t key, Op& op) {
+  // Callers hold mutex_. The shared_ptr keeps the Op alive for any peer
+  // still unwinding its wait; erasing only drops the map entry.
+  if (++op.departed == op.expected) ops_.erase(key);
+}
+
+usec_t CollOffloadBoard::barrier(std::uint64_t key, int expected,
+                                 usec_t posted_us, usec_t tree_us) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::shared_ptr<Op> op = op_for(key, expected);
+  op->max_posted_us = std::max(op->max_posted_us, posted_us);
+  if (++op->arrived == op->expected) {
+    op->cv.notify_all();
+    marcel::engine_notify();
+  }
+  Op* raw = op.get();
+  marcel::engine_wait(lock, op->cv,
+                      [raw] { return raw->arrived == raw->expected; });
+  // max() over the posted stamps is order-independent, so every leader
+  // computes the same completion time no matter the host schedule.
+  const usec_t done = op->max_posted_us + tree_us;
+  depart(key, *op);
+  return done;
+}
+
+void CollOffloadBoard::bcast_put(std::uint64_t key, int expected,
+                                 usec_t posted_us, const std::byte* data,
+                                 std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<Op> op = op_for(key, expected);
+  op->payload.assign(data, data + bytes);
+  op->root_posted_us = posted_us;
+  op->root_posted = true;
+  op->cv.notify_all();
+  marcel::engine_notify();
+  depart(key, *op);
+}
+
+usec_t CollOffloadBoard::bcast_get(std::uint64_t key, int expected,
+                                   usec_t posted_us, usec_t tree_us,
+                                   std::byte* out, std::size_t bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::shared_ptr<Op> op = op_for(key, expected);
+  Op* raw = op.get();
+  marcel::engine_wait(lock, op->cv, [raw] { return raw->root_posted; });
+  MADMPI_CHECK(op->payload.size() == bytes);
+  if (bytes > 0) std::memcpy(out, op->payload.data(), bytes);
+  const usec_t done = std::max(posted_us, op->root_posted_us + tree_us);
+  depart(key, *op);
+  return done;
+}
+
+}  // namespace madmpi::mpi

@@ -1,0 +1,74 @@
+// The modeled NIC-offload rendezvous board for collective operations.
+//
+// An offloaded barrier/bcast (the Quadrics/Myrinet NIC-collective papers)
+// runs its combine/forward tree in NIC firmware: each island leader's host
+// posts one descriptor and goes idle; the NICs chain the operation among
+// themselves and raise a completion flag. In the simulation the "NIC tree"
+// is this board: leaders record the virtual time at which their descriptor
+// post finished, and the tree's completion time is computed *from those
+// stamps alone* — max() over arrivals plus the modeled firmware cost — so
+// it is independent of host scheduling order and replays deterministically.
+//
+// Real blocking (a leader whose peers have not posted yet) uses an
+// engine-aware condition wait, so the board is neutral across the threaded
+// and sharded engines. Virtual time flows only through the returned
+// completion stamps (callers sync_to() them), exactly like semaphore
+// release stamps.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace madmpi::mpi {
+
+class CollOffloadBoard {
+ public:
+  /// Offloaded barrier. `key` identifies one operation instance (context +
+  /// lockstep sequence number); `expected` leaders join; `posted_us` is the
+  /// caller's lane time after charging its descriptor post; `tree_us` is
+  /// the modeled NIC combine+release cost (identical on every caller).
+  /// Blocks until all leaders posted, then returns the uniform completion
+  /// stamp max(posted) + tree_us.
+  usec_t barrier(std::uint64_t key, int expected, usec_t posted_us,
+                 usec_t tree_us);
+
+  /// Offloaded bcast, root side: stage the payload and the root's post
+  /// stamp. Does not block — the NIC tree forwards without waiting for
+  /// receivers to arm.
+  void bcast_put(std::uint64_t key, int expected, usec_t posted_us,
+                 const std::byte* data, std::size_t bytes);
+
+  /// Offloaded bcast, leaf side: wait until the root posted, copy the
+  /// payload out, and return this leaf's completion stamp
+  /// max(own posted_us, root stamp + tree_us) — a leaf that armed late
+  /// sees the data the moment it arms; an early one waits for the tree.
+  usec_t bcast_get(std::uint64_t key, int expected, usec_t posted_us,
+                   usec_t tree_us, std::byte* out, std::size_t bytes);
+
+ private:
+  struct Op {
+    int expected = 0;
+    int arrived = 0;    // barrier: descriptors posted so far
+    int departed = 0;   // participants done with this entry (GC)
+    usec_t max_posted_us = 0.0;
+    bool root_posted = false;  // bcast: payload staged
+    usec_t root_posted_us = 0.0;
+    std::vector<std::byte> payload;
+    std::condition_variable cv;
+  };
+
+  std::shared_ptr<Op> op_for(std::uint64_t key, int expected);
+  void depart(std::uint64_t key, Op& op);
+
+  std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Op>> ops_;
+};
+
+}  // namespace madmpi::mpi

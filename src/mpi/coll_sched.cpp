@@ -1,0 +1,535 @@
+// Nonblocking collectives as progress-engine-driven schedules.
+//
+// Each MPI_Ibcast/Iallreduce/Ibarrier builds a per-rank state machine and
+// returns immediately; the machine advances from RequestState completion
+// hooks — i.e. from whatever context completes the underlying transfer (a
+// ch_mad poller, an smp sender, a fiber resume) — never from a hidden
+// blocking call. That makes the schedules engine-neutral: the threaded and
+// sharded engines drive them identically.
+//
+// The pump: `pending_` counts outstanding tracked sub-operations plus one
+// "issuing token" held while a round is being posted. Completions decrement;
+// whoever drops it to zero advances the machine to the next round. Rounds
+// are issued outside the schedule mutex, and every sub-operation primitive
+// (coll_isend/coll_irecv) is non-blocking by construction — eager completes
+// inline, rendezvous detaches — so hooks never stall their completer.
+//
+// Tags: each operation instance gets a private tag derived from a lockstep
+// per-rank counter (Shared::next_icoll_seq). Two outstanding iallreduces
+// sharing one tag could cross-match at a folded pair — the schedules have
+// no cross-op ordering — so the instance tag, not the algorithm, namespaces
+// the traffic. The window recycles after 64 concurrent instances, far past
+// any sane outstanding-op count. Blocking collectives use tags 1..8; the
+// instance space starts at 100, so the two never collide.
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/comm_shared.hpp"
+
+namespace madmpi::mpi {
+
+namespace {
+
+constexpr int kIcollTagBase = 100;
+constexpr std::uint64_t kIcollTagWindow = 64;
+
+int icoll_instance_tag(std::uint64_t seq) {
+  return kIcollTagBase + static_cast<int>(seq % kIcollTagWindow);
+}
+
+/// Binomial parent/children of `rank` within an explicit member list
+/// (members[0] is the tree root). Merges across calls: the first list in
+/// which the rank is a non-root member supplies the parent; children
+/// accumulate from every list (a leader receives once, then feeds every
+/// tree it roots).
+struct BcastEdges {
+  rank_t parent = kInvalidRank;
+  std::vector<rank_t> children;
+};
+
+/// Flat fan-out edges from members[0] — the interconnect level of the
+/// hierarchical tree, mirroring the blocking linear_bcast_members (one
+/// wire serialization on the deepest path instead of log2(reps)).
+void linear_edges(const std::vector<rank_t>& members, rank_t rank,
+                  BcastEdges& edges) {
+  if (members.size() <= 1) return;
+  if (rank == members.front()) {
+    edges.children.insert(edges.children.end(), members.begin() + 1,
+                          members.end());
+  } else if (std::find(members.begin(), members.end(), rank) !=
+                 members.end() &&
+             edges.parent == kInvalidRank) {
+    edges.parent = members.front();
+  }
+}
+
+void binomial_edges(const std::vector<rank_t>& members, rank_t rank,
+                    BcastEdges& edges) {
+  const auto it = std::find(members.begin(), members.end(), rank);
+  if (it == members.end()) return;
+  const int n = static_cast<int>(members.size());
+  const int me = static_cast<int>(it - members.begin());
+  int mask = 1;
+  while (mask < n) {
+    if (me & mask) {
+      if (edges.parent == kInvalidRank) {
+        edges.parent = members[static_cast<std::size_t>(me & ~mask)];
+      }
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (me + mask < n) {
+      edges.children.push_back(members[static_cast<std::size_t>(me + mask)]);
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace
+
+/// One in-flight nonblocking collective on one rank. Owns the staging
+/// buffers and the user-facing request; self-keeps-alive via the shared_ptr
+/// captured in each completion hook.
+class IcollSchedule : public std::enable_shared_from_this<IcollSchedule> {
+ public:
+  static Request start_bcast(Comm& comm, void* buf, int count,
+                             const Datatype& type, rank_t root);
+  static Request start_allreduce(Comm& comm, const void* send_buf,
+                                 void* recv_buf, int count,
+                                 const Datatype& type, const Op& op);
+  static Request start_barrier(Comm& comm);
+
+  IcollSchedule(const Comm& comm, int tag)
+      : comm_(comm),
+        tag_(tag),
+        user_(std::make_shared<RequestState>(comm_.my_node())) {}
+
+ private:
+  enum class Stage {
+    // bcast
+    kBcastRecv,
+    kBcastSend,
+    // allreduce
+    kFoldSend,      // folded-out odd rank: contribution sent, awaiting result
+    kFoldRecv,      // even fold partner: absorbing the odd rank's data
+    kExchange,      // recursive-doubling rounds over the pof2 core
+    kUnfoldSend,    // even fold partner returns the result
+    kUnfoldRecv,    // folded-out odd rank receives the result
+    // barrier
+    kDissemination,
+    kDone,
+  };
+
+  // --- pump ---
+
+  void track(Request request) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++pending_;
+    }
+    auto self = shared_from_this();
+    request.state()->set_on_complete(
+        [self](const MpiStatus& status) { self->on_done(status); });
+  }
+
+  /// Hold the issuing token while posting a round so an inline completion
+  /// (eager send) cannot advance the machine mid-post.
+  void begin_round() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  void end_round() { on_done(MpiStatus{}); }
+
+  void on_done(const MpiStatus& status) {
+    bool fire = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (status.error != ErrorCode::kOk && error_ == ErrorCode::kOk) {
+        error_ = status.error;
+      }
+      fire = (--pending_ == 0);
+    }
+    if (fire) advance();
+  }
+
+  void finish() {
+    stage_ = Stage::kDone;
+    MpiStatus status;
+    status.error = error_;
+    user_->complete(status);
+  }
+
+  void advance();
+
+  // --- per-kind rounds (each posts under the issuing token) ---
+
+  void bcast_post_recv();
+  void bcast_post_sends();
+  void bcast_finish();
+  void allreduce_post_fold();
+  void allreduce_post_round();
+  void allreduce_post_unfold();
+  void allreduce_absorb();
+  void barrier_post_round();
+
+  Comm comm_;
+  const int tag_;
+  std::shared_ptr<RequestState> user_;
+
+  std::mutex mutex_;
+  int pending_ = 0;
+  ErrorCode error_ = ErrorCode::kOk;
+  Stage stage_ = Stage::kDone;
+
+  // bcast state
+  void* user_buf_ = nullptr;
+  int count_ = 0;
+  Datatype type_ = Datatype::byte();
+  bool staged_ = false;
+  bool is_root_ = false;
+  std::vector<std::byte> wire_;
+  std::byte* payload_ = nullptr;
+  std::size_t bytes_ = 0;
+  BcastEdges edges_;
+
+  // allreduce state
+  Op op_ = Op::sum();
+  std::byte* accum_ = nullptr;
+  std::vector<std::byte> incoming_;
+  int pof2_ = 1;
+  int rem_ = 0;
+  int core_rank_ = -1;
+  int mask_ = 1;
+  bool absorb_pending_ = false;
+
+  // barrier state
+  int barrier_mask_ = 1;
+};
+
+// --- state machine -------------------------------------------------------
+
+void IcollSchedule::advance() {
+  // Runs with pending_ == 0: nothing else is in flight, so the stage
+  // transitions race-free. A recorded error short-circuits the remaining
+  // rounds — no sub-operation is outstanding, so finishing now is safe.
+  if (error_ != ErrorCode::kOk) {
+    finish();
+    return;
+  }
+  switch (stage_) {
+    case Stage::kBcastRecv:
+      bcast_post_sends();
+      break;
+    case Stage::kBcastSend:
+      bcast_finish();
+      break;
+    case Stage::kFoldSend:
+      // Contribution folded into the even partner; wait for the result.
+      stage_ = Stage::kUnfoldRecv;
+      begin_round();
+      track(comm_.coll_irecv(accum_, bytes_, comm_.rank() - 1, tag_));
+      end_round();
+      break;
+    case Stage::kFoldRecv:
+      allreduce_absorb();
+      allreduce_post_round();
+      break;
+    case Stage::kExchange:
+      allreduce_absorb();
+      mask_ <<= 1;
+      allreduce_post_round();
+      break;
+    case Stage::kUnfoldSend:
+    case Stage::kUnfoldRecv:
+      finish();
+      break;
+    case Stage::kDissemination:
+      barrier_mask_ <<= 1;
+      barrier_post_round();
+      break;
+    case Stage::kDone:
+      break;
+  }
+}
+
+// --- ibcast --------------------------------------------------------------
+
+void IcollSchedule::bcast_post_recv() {
+  stage_ = Stage::kBcastRecv;
+  begin_round();
+  if (edges_.parent != kInvalidRank) {
+    track(comm_.coll_irecv(payload_, bytes_, edges_.parent, tag_));
+  }
+  end_round();
+}
+
+void IcollSchedule::bcast_post_sends() {
+  stage_ = Stage::kBcastSend;
+  begin_round();
+  for (rank_t child : edges_.children) {
+    track(comm_.coll_isend(payload_, bytes_, child, tag_));
+  }
+  end_round();
+}
+
+void IcollSchedule::bcast_finish() {
+  if (staged_ && !is_root_) {
+    // Unpack on the completing context — the buffer hand-off to the user
+    // happens at wait/test, which orders after this hook's completion.
+    type_.unpack(payload_, count_, user_buf_);
+  }
+  finish();
+}
+
+Request IcollSchedule::start_bcast(Comm& comm, void* buf, int count,
+                                   const Datatype& type, rank_t root) {
+  const std::uint64_t seq = comm.shared_->next_icoll_seq(comm.rank());
+  auto sched =
+      std::make_shared<IcollSchedule>(comm, icoll_instance_tag(seq));
+  sched->user_buf_ = buf;
+  sched->count_ = count;
+  sched->type_ = type;
+  sched->is_root_ = comm.rank() == root;
+  sched->bytes_ = type.size() * static_cast<std::size_t>(count);
+  if (type.is_contiguous()) {
+    sched->payload_ = static_cast<std::byte*>(buf);
+  } else {
+    sched->staged_ = true;
+    sched->wire_.resize(sched->bytes_);
+    sched->payload_ = sched->wire_.data();
+    if (sched->is_root_) type.pack(buf, count, sched->payload_);
+  }
+
+  // The tree shape follows the same resolution as the blocking bcast; the
+  // NIC offload is a blocking rendezvous, so its resolution falls back to
+  // the hierarchical tree here.
+  const BcastAlgorithm algorithm = comm.resolve_bcast(sched->bytes_);
+  if (algorithm == BcastAlgorithm::kLinear) {
+    if (sched->is_root_) {
+      for (rank_t r = 0; r < comm.size(); ++r) {
+        if (r != root) sched->edges_.children.push_back(r);
+      }
+    } else {
+      sched->edges_.parent = root;
+    }
+  } else if (algorithm == BcastAlgorithm::kHierarchical ||
+             algorithm == BcastAlgorithm::kOffload) {
+    const CollTopo& topo = comm.coll_topo();
+    const int root_island = topo.island_of[static_cast<std::size_t>(root)];
+    const int root_cluster =
+        topo.islands[static_cast<std::size_t>(root_island)].cluster;
+    const int my_island =
+        topo.island_of[static_cast<std::size_t>(comm.rank())];
+    const int my_cluster =
+        topo.islands[static_cast<std::size_t>(my_island)].cluster;
+    if (!topo.single_cluster()) {
+      linear_edges(rep_list(topo, root_cluster, root), comm.rank(),
+                   sched->edges_);
+    }
+    binomial_edges(cluster_leader_list(topo, my_cluster, root_island, root),
+                   comm.rank(), sched->edges_);
+    binomial_edges(island_member_list(topo, my_island, root_island, root),
+                   comm.rank(), sched->edges_);
+  } else {
+    // Flat binomial over comm ranks rotated so the root maps to position 0.
+    std::vector<rank_t> members(static_cast<std::size_t>(comm.size()));
+    for (int i = 0; i < comm.size(); ++i) {
+      members[static_cast<std::size_t>(i)] = (root + i) % comm.size();
+    }
+    binomial_edges(members, comm.rank(), sched->edges_);
+  }
+
+  if (sched->is_root_) {
+    sched->bcast_post_sends();
+  } else {
+    sched->bcast_post_recv();
+  }
+  return Request(sched->user_);
+}
+
+// --- iallreduce ----------------------------------------------------------
+
+void IcollSchedule::allreduce_absorb() {
+  if (absorb_pending_) {
+    // Both halves of the exchange completed. The send lends the
+    // accumulator to the wire without staging, but it only reports
+    // completion after the bytes are injected (eager) or transferred
+    // (rendezvous), so mutating the accumulator here is safe.
+    op_.apply(incoming_.data(), accum_, count_, type_);
+    absorb_pending_ = false;
+  }
+}
+
+void IcollSchedule::allreduce_post_fold() {
+  const rank_t rank = comm_.rank();
+  if (rank % 2 == 1) {
+    stage_ = Stage::kFoldSend;
+    begin_round();
+    track(comm_.coll_isend(accum_, bytes_, rank - 1, tag_));
+    end_round();
+  } else {
+    stage_ = Stage::kFoldRecv;
+    absorb_pending_ = true;
+    begin_round();
+    track(comm_.coll_irecv(incoming_.data(), bytes_, rank + 1, tag_));
+    end_round();
+  }
+}
+
+void IcollSchedule::allreduce_post_round() {
+  if (mask_ >= pof2_) {
+    allreduce_post_unfold();
+    return;
+  }
+  stage_ = Stage::kExchange;
+  const int partner_core = core_rank_ ^ mask_;
+  const rank_t partner = partner_core < rem_
+                             ? static_cast<rank_t>(partner_core * 2)
+                             : static_cast<rank_t>(partner_core + rem_);
+  absorb_pending_ = true;
+  begin_round();
+  track(comm_.coll_irecv(incoming_.data(), bytes_, partner, tag_));
+  track(comm_.coll_isend(accum_, bytes_, partner, tag_));
+  end_round();
+}
+
+void IcollSchedule::allreduce_post_unfold() {
+  const rank_t rank = comm_.rank();
+  if (rank < 2 * rem_ && rank % 2 == 0) {
+    stage_ = Stage::kUnfoldSend;
+    begin_round();
+    track(comm_.coll_isend(accum_, bytes_, rank + 1, tag_));
+    end_round();
+  } else {
+    finish();
+  }
+}
+
+Request IcollSchedule::start_allreduce(Comm& comm, const void* send_buf,
+                                       void* recv_buf, int count,
+                                       const Datatype& type, const Op& op) {
+  MADMPI_CHECK_MSG(type.is_contiguous(),
+                   "iallreduce requires a contiguous datatype");
+  const std::uint64_t seq = comm.shared_->next_icoll_seq(comm.rank());
+  auto sched =
+      std::make_shared<IcollSchedule>(comm, icoll_instance_tag(seq));
+  sched->count_ = count;
+  sched->type_ = type;
+  sched->op_ = op;
+  sched->bytes_ = type.size() * static_cast<std::size_t>(count);
+  sched->accum_ = static_cast<std::byte*>(recv_buf);
+  std::memcpy(sched->accum_, send_buf, sched->bytes_);
+  sched->incoming_.resize(sched->bytes_);
+
+  // Flat recursive doubling with the standard pre/post fold for
+  // non-power-of-two sizes (the same schedule as the blocking algorithm,
+  // unrolled into completion-driven rounds).
+  const int n = comm.size();
+  while (sched->pof2_ * 2 <= n) sched->pof2_ *= 2;
+  sched->rem_ = n - sched->pof2_;
+  const rank_t rank = comm.rank();
+  if (rank < 2 * sched->rem_) {
+    sched->core_rank_ = rank % 2 == 1 ? -1 : rank / 2;
+    sched->allreduce_post_fold();
+  } else {
+    sched->core_rank_ = rank - sched->rem_;
+    sched->allreduce_post_round();
+  }
+  return Request(sched->user_);
+}
+
+// --- ibarrier ------------------------------------------------------------
+
+void IcollSchedule::barrier_post_round() {
+  if (barrier_mask_ >= comm_.size()) {
+    finish();
+    return;
+  }
+  stage_ = Stage::kDissemination;
+  const int n = comm_.size();
+  const rank_t to = (comm_.rank() + barrier_mask_) % n;
+  const rank_t from = (comm_.rank() - barrier_mask_ + n) % n;
+  begin_round();
+  track(comm_.coll_irecv(nullptr, 0, from, tag_));
+  track(comm_.coll_isend(nullptr, 0, to, tag_));
+  end_round();
+}
+
+Request IcollSchedule::start_barrier(Comm& comm) {
+  const std::uint64_t seq = comm.shared_->next_icoll_seq(comm.rank());
+  auto sched =
+      std::make_shared<IcollSchedule>(comm, icoll_instance_tag(seq));
+  sched->barrier_post_round();
+  return Request(sched->user_);
+}
+
+// --- public entry points -------------------------------------------------
+
+namespace {
+
+/// An already-decided request (single rank, FT fallback, entry error).
+Request completed_request(sim::Node& node, ErrorCode error) {
+  auto state = std::make_shared<RequestState>(node);
+  MpiStatus status;
+  status.error = error;
+  state->complete(status);
+  return Request(std::move(state));
+}
+
+}  // namespace
+
+Request Comm::ibcast(void* buf, int count, const Datatype& type,
+                     rank_t root) {
+  MADMPI_CHECK(root >= 0 && root < size());
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    raise_error(entry);
+    return completed_request(my_node(), entry.code());
+  }
+  if (size() == 1) return completed_request(my_node(), ErrorCode::kOk);
+  if (ft_should_wrap()) {
+    // FT mode degrades to the blocking survivable collective at initiation
+    // time, mirroring the blocking collectives' explicit FT fallback.
+    return completed_request(my_node(), bcast(buf, count, type, root).code());
+  }
+  return IcollSchedule::start_bcast(*this, buf, count, type, root);
+}
+
+Request Comm::iallreduce(const void* send_buf, void* recv_buf, int count,
+                         const Datatype& type, const Op& op) {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    raise_error(entry);
+    return completed_request(my_node(), entry.code());
+  }
+  if (size() == 1) {
+    std::memcpy(recv_buf, send_buf,
+                type.size() * static_cast<std::size_t>(count));
+    return completed_request(my_node(), ErrorCode::kOk);
+  }
+  if (ft_should_wrap()) {
+    return completed_request(
+        my_node(), allreduce(send_buf, recv_buf, count, type, op).code());
+  }
+  return IcollSchedule::start_allreduce(*this, send_buf, recv_buf, count,
+                                        type, op);
+}
+
+Request Comm::ibarrier() {
+  if (Status entry = ft_entry_check(); !entry.is_ok()) {
+    raise_error(entry);
+    return completed_request(my_node(), entry.code());
+  }
+  if (size() == 1) return completed_request(my_node(), ErrorCode::kOk);
+  if (ft_should_wrap()) {
+    return completed_request(my_node(), barrier().code());
+  }
+  return IcollSchedule::start_barrier(*this);
+}
+
+}  // namespace madmpi::mpi

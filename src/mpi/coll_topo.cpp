@@ -1,0 +1,143 @@
+#include "mpi/coll_topo.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mpi/runtime.hpp"
+
+namespace madmpi::mpi {
+
+std::shared_ptr<const CollTopo> build_coll_topo(
+    Runtime& runtime, const std::vector<rank_t>& group) {
+  auto topo = std::make_shared<CollTopo>();
+  const std::size_t n = group.size();
+  topo->island_of.resize(n, 0);
+
+  // Islands: group comm ranks by hosting node, ordered by first member
+  // (equivalently by leader, since ranks scan ascending).
+  std::map<const sim::Node*, int> island_index;
+  for (std::size_t r = 0; r < n; ++r) {
+    const sim::Node* node = &runtime.node_of(group[r]);
+    auto [it, inserted] =
+        island_index.try_emplace(node, static_cast<int>(topo->islands.size()));
+    if (inserted) topo->islands.emplace_back();
+    topo->islands[static_cast<std::size_t>(it->second)].members.push_back(
+        static_cast<rank_t>(r));
+    topo->island_of[r] = it->second;
+  }
+
+  const std::size_t isles = topo->islands.size();
+  if (isles <= 1) {
+    if (isles == 1) topo->clusters.push_back({0});
+    return topo;
+  }
+
+  // Leader-graph link qualities. The worst quality present is the
+  // "interconnect" class; clusters are the connected components over
+  // strictly-better links. Homogeneous leader graphs (min == max) form a
+  // single cluster.
+  auto leader_global = [&](std::size_t i) {
+    return group[static_cast<std::size_t>(topo->islands[i].members[0])];
+  };
+  int min_q = 0, max_q = 0;
+  std::vector<std::vector<int>> quality(isles, std::vector<int>(isles, 0));
+  bool first = true;
+  for (std::size_t i = 0; i < isles; ++i) {
+    for (std::size_t j = i + 1; j < isles; ++j) {
+      const CollLink link =
+          runtime.coll_link(leader_global(i), leader_global(j));
+      quality[i][j] = quality[j][i] = link.quality;
+      if (first || link.quality < min_q) min_q = link.quality;
+      if (first || link.quality > max_q) max_q = link.quality;
+      first = false;
+    }
+  }
+
+  std::vector<int> component(isles, -1);
+  int clusters = 0;
+  for (std::size_t seed = 0; seed < isles; ++seed) {
+    if (component[seed] >= 0) continue;
+    const int c = clusters++;
+    std::vector<std::size_t> frontier{seed};
+    component[seed] = c;
+    while (!frontier.empty()) {
+      const std::size_t at = frontier.back();
+      frontier.pop_back();
+      for (std::size_t next = 0; next < isles; ++next) {
+        if (component[next] >= 0 || next == at) continue;
+        const bool linked =
+            min_q == max_q || quality[at][next] > min_q;
+        if (!linked) continue;
+        component[next] = c;
+        frontier.push_back(next);
+      }
+    }
+  }
+  topo->clusters.resize(static_cast<std::size_t>(clusters));
+  for (std::size_t i = 0; i < isles; ++i) {
+    topo->islands[i].cluster = component[i];
+    topo->clusters[static_cast<std::size_t>(component[i])].push_back(
+        static_cast<int>(i));
+  }
+
+  // Offload capability: every inter-island leader edge must carry the
+  // same offload-capable protocol class (a NIC tree cannot span SCI and
+  // Myrinet firmware). Probe the edges from island 0's leader; the
+  // homogeneity requirement (min == max, so one cluster) covers the rest.
+  if (topo->single_cluster()) {
+    bool capable = true;
+    CollLink sample;
+    for (std::size_t j = 1; j < isles && capable; ++j) {
+      const CollLink link =
+          runtime.coll_link(leader_global(0), leader_global(j));
+      if (!link.offload) capable = false;
+      sample = link;
+    }
+    if (capable) {
+      topo->offload_capable = true;
+      topo->offload_post_us = sample.offload_post_us;
+      topo->offload_hop_us = sample.offload_hop_us;
+      topo->offload_bytes_per_us = sample.offload_bytes_per_us;
+      topo->offload_notify_us = sample.offload_notify_us;
+    }
+  }
+  return topo;
+}
+
+std::vector<rank_t> cluster_leader_list(const CollTopo& topo, int cluster,
+                                        int root_island, rank_t root) {
+  std::vector<rank_t> out;
+  const auto& isles = topo.clusters[static_cast<std::size_t>(cluster)];
+  const bool has_root =
+      std::find(isles.begin(), isles.end(), root_island) != isles.end();
+  if (has_root) out.push_back(root);
+  for (int isle : isles) {
+    if (isle != root_island) out.push_back(topo.leader_of_island(isle));
+  }
+  return out;
+}
+
+std::vector<rank_t> island_member_list(const CollTopo& topo, int island,
+                                       int root_island, rank_t root) {
+  const auto& members =
+      topo.islands[static_cast<std::size_t>(island)].members;
+  if (island != root_island) return members;
+  std::vector<rank_t> out{root};
+  for (rank_t r : members) {
+    if (r != root) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<rank_t> rep_list(const CollTopo& topo, int root_cluster,
+                             rank_t root) {
+  std::vector<rank_t> out{root};
+  for (std::size_t c = 0; c < topo.clusters.size(); ++c) {
+    if (static_cast<int>(c) != root_cluster) {
+      out.push_back(topo.rep_of_cluster(static_cast<int>(c)));
+    }
+  }
+  return out;
+}
+
+}  // namespace madmpi::mpi

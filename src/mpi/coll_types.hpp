@@ -1,0 +1,77 @@
+// Collective algorithm selection types, shared by the communicator layer
+// (which consumes them) and the runtime (which hosts the session-wide
+// auto-tuner decision table). Kept free of comm.hpp/runtime.hpp includes so
+// both can include this header.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace madmpi::mpi {
+
+/// Collective algorithm selection (settable per communicator; must be set
+/// identically on every rank, like any collective tuning knob). kAuto
+/// resolves per call from the communicator's topology digest, the tuner's
+/// decision table (when MADMPI_COLL_TUNE produced one) and the message
+/// size — on a single-island topology it resolves to the historical flat
+/// algorithm, so existing single-node sessions behave bit-identically.
+enum class AllreduceAlgorithm {
+  kReduceBcast,        // binomial reduce to 0 + binomial bcast
+  kRecursiveDoubling,  // log2(p) exchange-and-combine rounds
+  kRing,               // reduce-scatter + allgather rings (bandwidth-optimal)
+  kHierarchical,       // island reduce -> cluster tree -> rep exchange
+  kAuto,               // resolved per call (default)
+};
+
+enum class BcastAlgorithm {
+  kBinomial,      // log2(p) tree over flat comm ranks
+  kLinear,        // root sends to every rank (baseline for the ablation)
+  kHierarchical,  // rep tree -> cluster trees -> island release
+  kOffload,       // NIC-side forward tree among island leaders
+  kAuto,          // resolved per call (default)
+};
+
+enum class BarrierAlgorithm {
+  kDissemination,  // log2(p) rounds of zero-byte exchanges, flat
+  kHierarchical,   // island fan-in -> cluster -> rep dissemination -> release
+  kOffload,        // NIC-side combine/release tree among island leaders
+  kAuto,           // resolved per call (default)
+};
+
+const char* algorithm_name(AllreduceAlgorithm a);
+const char* algorithm_name(BcastAlgorithm a);
+const char* algorithm_name(BarrierAlgorithm a);
+
+/// Environment defaults for CollectiveConfig (README knob table):
+/// MADMPI_COLL_BCAST = binomial|linear|hier|offload|auto
+/// MADMPI_COLL_ALLREDUCE = reduce_bcast|rdbl|ring|hier|auto
+/// MADMPI_COLL_BARRIER = dissemination|hier|offload|auto
+/// MADMPI_COLL_OFFLOAD = 0|1 (whether kAuto may elect the NIC offload)
+AllreduceAlgorithm allreduce_algorithm_default();
+BcastAlgorithm bcast_algorithm_default();
+BarrierAlgorithm barrier_algorithm_default();
+bool coll_offload_default();
+
+/// The auto-tuner's verdict: one algorithm per collective per size class,
+/// split at switch_bytes — the same shape as the eager/rendezvous switch
+/// point, applied one layer up. Written once at session setup by
+/// tune_collectives() (MADMPI_COLL_TUNE), consulted by kAuto resolution.
+/// Trivially copyable on purpose: the tuner broadcasts it over the wire.
+struct CollDecisionTable {
+  bool valid = false;
+  std::size_t switch_bytes = 4096;
+  BcastAlgorithm bcast_small = BcastAlgorithm::kBinomial;
+  BcastAlgorithm bcast_large = BcastAlgorithm::kBinomial;
+  AllreduceAlgorithm allreduce_small = AllreduceAlgorithm::kReduceBcast;
+  AllreduceAlgorithm allreduce_large = AllreduceAlgorithm::kReduceBcast;
+  BarrierAlgorithm barrier = BarrierAlgorithm::kDissemination;
+
+  /// Canonical one-line text form ("bcast=binomial<4096<=hier ..."):
+  /// the tuner-smoke CI step asserts this string is identical across runs
+  /// with the same MADMPI_SCHED_SEED.
+  std::string serialize() const;
+};
+
+}  // namespace madmpi::mpi

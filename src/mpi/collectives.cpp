@@ -89,6 +89,24 @@ void Comm::coll_send(const void* buf, std::size_t bytes, rank_t dest,
   }
 }
 
+void Comm::coll_send_multi(const std::vector<rank_t>& children,
+                           const void* buf, std::size_t bytes, int tag) {
+  if (children.empty()) return;
+  if (ft::capture_active() || children.size() == 1) {
+    for (rank_t child : children) coll_send(buf, bytes, child, tag);
+    return;
+  }
+  // The caller blocks right here until every hop completes, so the
+  // rendezvous threads can borrow `buf` without staging (coll_isend's
+  // lifetime contract).
+  std::vector<Request> requests;
+  requests.reserve(children.size());
+  for (rank_t child : children) {
+    requests.push_back(coll_isend(buf, bytes, child, tag));
+  }
+  for (Request& request : requests) coll_wait(*request.state());
+}
+
 void Comm::coll_recv(void* buf, std::size_t bytes, rank_t source, int tag) {
   if (ft::capture_active() && rank_unreachable(source, rank_)) {
     ft::record(ErrorCode::kProcFailed);
@@ -145,6 +163,34 @@ void Comm::coll_sendrecv(const void* send, std::size_t send_bytes,
   coll_wait(*state);
 }
 
+void Comm::gather_packed_to_root(const void* send_buf, int send_count,
+                                 const Datatype& send_type, std::byte* wire,
+                                 const std::vector<std::size_t>& offsets,
+                                 rank_t root) {
+  const int n = size();
+  if (rank_ != root) {
+    std::vector<std::byte> staging;
+    const byte_span packed =
+        pack_for_send(send_buf, send_count, send_type, staging);
+    coll_send(packed.data(), packed.size(), root, kGatherTag);
+    return;
+  }
+  MADMPI_CHECK(offsets.size() == static_cast<std::size_t>(n) + 1);
+  for (rank_t src = 0; src < n; ++src) {
+    std::byte* dst = wire + offsets[static_cast<std::size_t>(src)];
+    const std::size_t bytes = offsets[static_cast<std::size_t>(src) + 1] -
+                              offsets[static_cast<std::size_t>(src)];
+    if (src == rank_) {
+      MADMPI_CHECK_MSG(
+          send_type.size() * static_cast<std::size_t>(send_count) == bytes,
+          "gather root's own block disagrees with its receive slot");
+      send_type.pack(send_buf, send_count, dst);
+    } else {
+      coll_recv(dst, bytes, src, kGatherTag);
+    }
+  }
+}
+
 void Comm::set_collective_config(const CollectiveConfig& config) {
   std::lock_guard<std::mutex> lock(shared_->seq_mutex);
   shared_->collectives = config;
@@ -161,6 +207,26 @@ Status Comm::barrier() {
   }
   if (ft_should_wrap()) {
     return ft_collective([&] { return barrier(); });
+  }
+  if (size() > 1) {
+    switch (resolve_barrier()) {
+      case BarrierAlgorithm::kHierarchical:
+        try {
+          hier_barrier();
+        } catch (const CollAbort& abort) {
+          return raise_error(abort.status);
+        }
+        return Status::ok();
+      case BarrierAlgorithm::kOffload:
+        try {
+          offload_barrier();
+        } catch (const CollAbort& abort) {
+          return raise_error(abort.status);
+        }
+        return Status::ok();
+      default:
+        break;  // dissemination below
+    }
   }
   try {
     // Dissemination barrier: log2(size) rounds of zero-byte exchanges.
@@ -210,13 +276,14 @@ void Comm::bcast_binomial(std::byte* wire, std::size_t bytes, rank_t root) {
     mask <<= 1;
   }
   mask >>= 1;
+  std::vector<rank_t> children;
   while (mask > 0) {
     if (vrank + mask < n) {
-      const rank_t dst = (vrank + mask + root) % n;
-      coll_send(wire, bytes, dst, kBcastTag);
+      children.push_back((vrank + mask + root) % n);
     }
     mask >>= 1;
   }
+  coll_send_multi(children, wire, bytes, kBcastTag);
 }
 
 void Comm::bcast_linear(std::byte* wire, std::size_t bytes, rank_t root) {
@@ -253,12 +320,18 @@ Status Comm::bcast(void* buf, int count, const Datatype& type, rank_t root) {
   }
 
   try {
-    switch (collective_config().bcast) {
-      case BcastAlgorithm::kBinomial:
-        bcast_binomial(wire, bytes, root);
-        break;
+    switch (resolve_bcast(bytes)) {
       case BcastAlgorithm::kLinear:
         bcast_linear(wire, bytes, root);
+        break;
+      case BcastAlgorithm::kHierarchical:
+        hier_bcast(wire, bytes, root);
+        break;
+      case BcastAlgorithm::kOffload:
+        offload_bcast(wire, bytes, root);
+        break;
+      default:
+        bcast_binomial(wire, bytes, root);
         break;
     }
   } catch (const CollAbort& abort) {
@@ -293,19 +366,24 @@ Status Comm::reduce(const void* send_buf, void* recv_buf, int count,
 
   const int vrank = (rank_ - root + n) % n;
   try {
-    for (int mask = 1; mask < n; mask <<= 1) {
-      if (vrank & mask) {
-        const rank_t dst = ((vrank & ~mask) + root) % n;
-        coll_send(accum.data(), bytes, dst, kReduceTag);
-        break;
-      }
-      const int src_v = vrank | mask;
-      if (src_v < n) {
-        const rank_t src = (src_v + root) % n;
-        coll_recv(incoming.data(), bytes, src, kReduceTag);
-        op.apply(incoming.data(), accum.data(), count, type);
-        my_node().clock().advance(static_cast<double>(bytes) *
-                                  sim::kHostCopyUsPerByte);
+    if (n > 1 && use_hier_reduce(bytes)) {
+      // Reduce rides the allreduce resolution (same communication shape).
+      hier_reduce(accum.data(), bytes, count, type, op, root);
+    } else {
+      for (int mask = 1; mask < n; mask <<= 1) {
+        if (vrank & mask) {
+          const rank_t dst = ((vrank & ~mask) + root) % n;
+          coll_send(accum.data(), bytes, dst, kReduceTag);
+          break;
+        }
+        const int src_v = vrank | mask;
+        if (src_v < n) {
+          const rank_t src = (src_v + root) % n;
+          coll_recv(incoming.data(), bytes, src, kReduceTag);
+          op.apply(incoming.data(), accum.data(), count, type);
+          my_node().clock().advance(static_cast<double>(bytes) *
+                                    sim::kHostCopyUsPerByte);
+        }
       }
     }
   } catch (const CollAbort& abort) {
@@ -438,7 +516,8 @@ Status Comm::allreduce(const void* send_buf, void* recv_buf, int count,
   if (ft_should_wrap()) {
     return ft_allreduce(send_buf, recv_buf, count, type, op);
   }
-  AllreduceAlgorithm algorithm = collective_config().allreduce;
+  const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+  AllreduceAlgorithm algorithm = resolve_allreduce(bytes);
   // The ring needs at least one element per rank to be worthwhile (and
   // correct chunking); degrade gracefully for tiny payloads.
   if (algorithm == AllreduceAlgorithm::kRing && count < size()) {
@@ -454,10 +533,11 @@ Status Comm::allreduce(const void* send_buf, void* recv_buf, int count,
 
   MADMPI_CHECK_MSG(type.is_contiguous(),
                    "allreduce requires a contiguous datatype");
-  const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
   std::memcpy(recv_buf, send_buf, bytes);
   try {
-    if (algorithm == AllreduceAlgorithm::kRecursiveDoubling) {
+    if (algorithm == AllreduceAlgorithm::kHierarchical) {
+      hier_allreduce(recv_buf, count, type, op);
+    } else if (algorithm == AllreduceAlgorithm::kRecursiveDoubling) {
       allreduce_recursive_doubling(recv_buf, count, type, op);
     } else {
       allreduce_ring(recv_buf, count, type, op);
@@ -483,34 +563,33 @@ Status Comm::gather(const void* send_buf, int send_count,
   const int n = size();
   const std::size_t bytes =
       send_type.size() * static_cast<std::size_t>(send_count);
-  try {
-    if (rank_ != root) {
-      std::vector<std::byte> staging;
-      const byte_span packed =
-          pack_for_send(send_buf, send_count, send_type, staging);
-      coll_send(packed.data(), packed.size(), root, kGatherTag);
-      return Status::ok();
-    }
-
+  std::vector<std::size_t> offsets;
+  std::vector<std::byte> wire;
+  if (rank_ == root) {
     MADMPI_CHECK_MSG(
         recv_type.size() * static_cast<std::size_t>(recv_count) == bytes,
         "gather send/recv type signatures disagree");
+    offsets.resize(static_cast<std::size_t>(n) + 1, 0);
+    for (int r = 0; r < n; ++r) {
+      offsets[static_cast<std::size_t>(r) + 1] =
+          offsets[static_cast<std::size_t>(r)] + bytes;
+    }
+    wire.resize(offsets.back());
+  }
+  try {
+    gather_packed_to_root(send_buf, send_count, send_type, wire.data(),
+                          offsets, root);
+  } catch (const CollAbort& abort) {
+    return raise_error(abort.status);
+  }
+  if (rank_ == root) {
     auto* out = static_cast<std::byte*>(recv_buf);
     const std::size_t slot =
         recv_type.extent() * static_cast<std::size_t>(recv_count);
-    std::vector<std::byte> wire(bytes);
     for (rank_t src = 0; src < n; ++src) {
-      std::byte* dst_elem = out + slot * static_cast<std::size_t>(src);
-      if (src == rank_) {
-        send_type.pack(send_buf, send_count, wire.data());
-        recv_type.unpack(wire.data(), recv_count, dst_elem);
-        continue;
-      }
-      coll_recv(wire.data(), bytes, src, kGatherTag);
-      recv_type.unpack(wire.data(), recv_count, dst_elem);
+      recv_type.unpack(wire.data() + offsets[static_cast<std::size_t>(src)],
+                       recv_count, out + slot * static_cast<std::size_t>(src));
     }
-  } catch (const CollAbort& abort) {
-    return raise_error(abort.status);
   }
   return Status::ok();
 }
@@ -530,36 +609,33 @@ Status Comm::gatherv(const void* send_buf, int send_count,
     });
   }
   const int n = size();
-  try {
-    if (rank_ != root) {
-      std::vector<std::byte> staging;
-      const byte_span packed =
-          pack_for_send(send_buf, send_count, send_type, staging);
-      coll_send(packed.data(), packed.size(), root, kGatherTag);
-      return Status::ok();
-    }
-
+  std::vector<std::size_t> offsets;
+  std::vector<std::byte> wire;
+  if (rank_ == root) {
     MADMPI_CHECK(recv_counts.size() == static_cast<std::size_t>(n));
     MADMPI_CHECK(displacements.size() == static_cast<std::size_t>(n));
-    auto* out = static_cast<std::byte*>(recv_buf);
-    for (rank_t src = 0; src < n; ++src) {
-      const std::size_t bytes =
-          recv_type.size() * static_cast<std::size_t>(recv_counts[src]);
-      std::byte* dst_elem =
-          out + recv_type.extent() * static_cast<std::size_t>(
-                                         displacements[src]);
-      std::vector<std::byte> wire(bytes);
-      if (src == rank_) {
-        MADMPI_CHECK(send_type.size() *
-                         static_cast<std::size_t>(send_count) == bytes);
-        send_type.pack(send_buf, send_count, wire.data());
-      } else {
-        coll_recv(wire.data(), bytes, src, kGatherTag);
-      }
-      recv_type.unpack(wire.data(), recv_counts[src], dst_elem);
+    offsets.resize(static_cast<std::size_t>(n) + 1, 0);
+    for (int r = 0; r < n; ++r) {
+      offsets[static_cast<std::size_t>(r) + 1] =
+          offsets[static_cast<std::size_t>(r)] +
+          recv_type.size() * static_cast<std::size_t>(recv_counts[r]);
     }
+    wire.resize(offsets.back());
+  }
+  try {
+    gather_packed_to_root(send_buf, send_count, send_type, wire.data(),
+                          offsets, root);
   } catch (const CollAbort& abort) {
     return raise_error(abort.status);
+  }
+  if (rank_ == root) {
+    auto* out = static_cast<std::byte*>(recv_buf);
+    for (rank_t src = 0; src < n; ++src) {
+      recv_type.unpack(wire.data() + offsets[static_cast<std::size_t>(src)],
+                       recv_counts[src],
+                       out + recv_type.extent() *
+                                 static_cast<std::size_t>(displacements[src]));
+    }
   }
   return Status::ok();
 }
@@ -762,22 +838,8 @@ Status Comm::allgatherv(const void* send_buf, int send_count,
   std::vector<std::byte> wire(offsets.back());
 
   try {
-    if (rank_ == 0) {
-      MADMPI_CHECK(send_type.size() * static_cast<std::size_t>(send_count) ==
-                   offsets[1] - offsets[0]);
-      send_type.pack(send_buf, send_count, wire.data());
-      for (rank_t src = 1; src < n; ++src) {
-        coll_recv(wire.data() + offsets[static_cast<std::size_t>(src)],
-                  offsets[static_cast<std::size_t>(src) + 1] -
-                      offsets[static_cast<std::size_t>(src)],
-                  src, kAllgatherTag);
-      }
-    } else {
-      std::vector<std::byte> staging;
-      const byte_span packed =
-          pack_for_send(send_buf, send_count, send_type, staging);
-      coll_send(packed.data(), packed.size(), 0, kAllgatherTag);
-    }
+    gather_packed_to_root(send_buf, send_count, send_type, wire.data(),
+                          offsets, 0);
   } catch (const CollAbort& abort) {
     return raise_error(abort.status);
   }

@@ -350,26 +350,35 @@ MpiStatus Comm::recv(void* buf, int count, const Datatype& type,
 namespace {
 
 /// Temporary-thread send used by the non-blocking rendezvous path: the
-/// paper dedicates one Marcel thread per MPI_Isend (§4.2.3). The payload is
-/// staged so the caller's buffer is free immediately (matching how the ADI
-/// keeps a reference otherwise; staging keeps this implementation simple
-/// and is charged as a host copy).
+/// paper dedicates one Marcel thread per MPI_Isend (§4.2.3). For user-facing
+/// sends the payload is staged so the caller's buffer is free immediately
+/// (matching how the ADI keeps a reference otherwise), charged as a host
+/// copy. Callers that guarantee the buffer outlives the request — the
+/// nonblocking-collective schedules pin theirs until every tracked
+/// sub-operation completes — pass stage=false and lend the buffer to the
+/// rendezvous thread directly, skipping the copy and its charge (a tree
+/// node forwarding 64 KiB to four children would otherwise serialize four
+/// staging copies on its lane before the last child's data departs).
 void spawn_rendezvous_send(sim::Node& node, Device& device, rank_t src,
                            rank_t dst, Envelope env, byte_span packed,
-                           std::shared_ptr<RequestState> state) {
-  auto payload = std::make_shared<std::vector<std::byte>>(packed.begin(),
-                                                          packed.end());
-  const usec_t birth =
-      node.clock().advance(marcel::ThreadCosts::kCreate +
-                           static_cast<double>(packed.size()) *
-                               sim::kHostCopyUsPerByte);
-  std::thread([&node, birth, &device, src, dst, env,
+                           std::shared_ptr<RequestState> state,
+                           bool stage = true) {
+  std::shared_ptr<std::vector<std::byte>> payload;
+  byte_span wire = packed;
+  usec_t spawn_cost = marcel::ThreadCosts::kCreate;
+  if (stage) {
+    payload = std::make_shared<std::vector<std::byte>>(packed.begin(),
+                                                       packed.end());
+    wire = byte_span{payload->data(), payload->size()};
+    spawn_cost +=
+        static_cast<double>(packed.size()) * sim::kHostCopyUsPerByte;
+  }
+  const usec_t birth = node.clock().advance(spawn_cost);
+  std::thread([&node, birth, &device, src, dst, env, wire,
                payload = std::move(payload), state = std::move(state)] {
     node.clock().bind_lane(birth);
     const Status result =
-        device.send(src, dst, env,
-                    byte_span{payload->data(), payload->size()},
-                    TransferMode::kRendezvous);
+        device.send(src, dst, env, wire, TransferMode::kRendezvous);
     MpiStatus status;
     status.source = env.dst;  // send-side status: peer and tag
     status.tag = env.tag;
@@ -408,15 +417,86 @@ Request Comm::isend(const void* buf, int count, const Datatype& type,
     state->complete(status);
   } else {
     // MPI_Cancel hook: ask the device to detach the rendezvous while it
-    // still waits for the receiver's ack. The temporary send thread then
-    // observes kCancelled and completes the request with it.
+    // still waits for the receiver's ack. The detached path then
+    // completes the request with kCancelled.
     state->set_cancel(
         [&device, src = global_rank_of(rank_), dst_global, env] {
           return device.try_cancel_send(src, dst_global, env);
         });
-    spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),
-                          dst_global, env, packed, state);
+    // Stage the payload so the caller's buffer is free on return (charged
+    // as a host copy), then hand the rendezvous to the device's
+    // asynchronous path: the REQUEST is injected on this thread, keeping
+    // it ordered behind any eager frames this rank already sent (MPI
+    // non-overtaking). A detached sender thread is the fallback only.
+    std::vector<std::byte> owned(packed.begin(), packed.end());
+    my_node().clock().advance(static_cast<double>(packed.size()) *
+                              sim::kHostCopyUsPerByte);
+    const byte_span wire{owned.data(), owned.size()};
+    if (!device.isend_rendezvous(global_rank_of(rank_), dst_global, env,
+                                 wire, std::move(owned), state)) {
+      spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),
+                            dst_global, env, packed, state,
+                            /*stage=*/true);
+    }
   }
+  return Request(std::move(state));
+}
+
+Request Comm::coll_isend(const void* buf, std::size_t bytes, rank_t dest,
+                         int tag) {
+  // Schedule hop on the collective context. Must never block the caller
+  // (it can run from a completion hook): eager completes inline, anything
+  // else detaches to the rendezvous thread (may_block false everywhere).
+  // The schedule keeps its payload buffer alive until every tracked
+  // sub-operation completes, so the rendezvous thread borrows it
+  // (stage=false) instead of paying a staging copy per tree hop.
+  Envelope env = make_envelope(dest, tag, bytes, false);
+  env.context = shared_->context + 1;
+  Device& device = device_to(dest);
+  const rank_t dst_global = global_rank_of(dest);
+  const TransferMode mode =
+      admit_or_demote(device, dst_global, env, false, /*may_block=*/false);
+  auto state = std::make_shared<RequestState>(my_node());
+  const byte_span packed{static_cast<const std::byte*>(buf), bytes};
+  if (mode == TransferMode::kEager) {
+    const Status result =
+        device.send(global_rank_of(rank_), dst_global, env, packed, mode);
+    if (!result.is_ok()) release_admission(dst_global, env, mode);
+    MpiStatus status;
+    status.source = dest;
+    status.tag = tag;
+    status.bytes = env.bytes;
+    status.error = result.code();
+    state->complete(status);
+  } else if (!device.isend_rendezvous(global_rank_of(rank_), dst_global,
+                                      env, packed, {}, state)) {
+    // No staging either way: the schedule pins the buffer until every
+    // tracked sub-operation completes, so the device (or the fallback
+    // thread) borrows it directly.
+    spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),
+                          dst_global, env, packed, state, /*stage=*/false);
+  }
+  return Request(std::move(state));
+}
+
+Request Comm::coll_irecv(void* buf, std::size_t bytes, rank_t source,
+                         int tag) {
+  auto state = std::make_shared<RequestState>(my_node());
+  PostedRecv posted;
+  posted.context = shared_->context + 1;
+  posted.source = source;
+  posted.tag = tag;
+  posted.buffer = buf;
+  posted.type = Datatype::byte();
+  posted.count = static_cast<int>(bytes);
+  posted.capacity_bytes = bytes;
+  posted.request = state;
+  posted.source_global = global_rank_of(source);
+  posted.posted_at = my_node().clock().now();
+  state->set_cancel([context = &my_context(), raw = state.get()] {
+    return context->cancel_posted(raw);
+  });
+  my_context().post_recv(std::move(posted));
   return Request(std::move(state));
 }
 
@@ -432,8 +512,18 @@ Request Comm::issend(const void* buf, int count, const Datatype& type,
                      dst = global_rank_of(dest), env] {
     return device.try_cancel_send(src, dst, env);
   });
-  spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),
-                        global_rank_of(dest), env, packed, state);
+  // Same staged asynchronous rendezvous as isend: the handshake request
+  // leaves on this thread, in program order with the rank's eager frames.
+  std::vector<std::byte> owned(packed.begin(), packed.end());
+  my_node().clock().advance(static_cast<double>(packed.size()) *
+                            sim::kHostCopyUsPerByte);
+  const byte_span wire{owned.data(), owned.size()};
+  if (!device.isend_rendezvous(global_rank_of(rank_), global_rank_of(dest),
+                               env, wire, std::move(owned), state)) {
+    spawn_rendezvous_send(my_node(), device, global_rank_of(rank_),
+                          global_rank_of(dest), env, packed, state,
+                          /*stage=*/true);
+  }
   return Request(std::move(state));
 }
 

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "mpi/adi.hpp"
+#include "mpi/coll_topo.hpp"
+#include "mpi/coll_types.hpp"
 #include "mpi/datatype.hpp"
 #include "mpi/errhandler.hpp"
 #include "mpi/group.hpp"
@@ -21,19 +23,6 @@
 
 namespace madmpi::mpi {
 
-/// Collective algorithm selection (settable per communicator; must be set
-/// identically on every rank, like any collective tuning knob).
-enum class AllreduceAlgorithm {
-  kReduceBcast,        // binomial reduce to 0 + binomial bcast (default)
-  kRecursiveDoubling,  // log2(p) exchange-and-combine rounds
-  kRing,               // reduce-scatter + allgather rings (bandwidth-optimal)
-};
-
-enum class BcastAlgorithm {
-  kBinomial,  // log2(p) tree (default)
-  kLinear,    // root sends to every rank (baseline for the ablation)
-};
-
 /// Default for CollectiveConfig::fault_tolerant — the MADMPI_FT_COLLECTIVES
 /// environment knob (off unless set to a truthy value, keeping the
 /// fault-free fast path byte-identical to the pre-FT stack by default).
@@ -43,8 +32,13 @@ bool ft_collectives_default();
 usec_t ft_agree_timeout_default();
 
 struct CollectiveConfig {
-  AllreduceAlgorithm allreduce = AllreduceAlgorithm::kReduceBcast;
-  BcastAlgorithm bcast = BcastAlgorithm::kBinomial;
+  AllreduceAlgorithm allreduce = allreduce_algorithm_default();
+  BcastAlgorithm bcast = bcast_algorithm_default();
+  BarrierAlgorithm barrier = barrier_algorithm_default();
+
+  /// Whether kAuto resolution may elect the modeled NIC offload (requires
+  /// an offload-capable homogeneous leader fabric; MADMPI_COLL_OFFLOAD).
+  bool offload = coll_offload_default();
 
   /// Fault-tolerant collectives: survivable trees (bcast re-routes dead
   /// subtrees through live peers) plus uniform error agreement — when a
@@ -153,6 +147,19 @@ class Comm {
   void set_collective_config(const CollectiveConfig& config);
   CollectiveConfig collective_config() const;
 
+  /// What algorithm the next call would actually run, after kAuto
+  /// resolution against the topology digest, the tuner's decision table
+  /// and the FT interop rule (FT mode always resolves to the flat
+  /// survivable algorithms — the explicit fallback the FT guard test
+  /// pins). Introspection for tests, benches and the tuner smoke.
+  BcastAlgorithm resolve_bcast(std::size_t bytes) const;
+  AllreduceAlgorithm resolve_allreduce(std::size_t bytes) const;
+  BarrierAlgorithm resolve_barrier() const;
+
+  /// The communicator's topology digest (islands / clusters / reps),
+  /// built lazily and cached. Exposed for tests and the tuner.
+  const CollTopo& coll_topo() const;
+
   // Collectives report failures through the communicator's error handler,
   // then return the Status (non-ok when a hop died mid-algorithm — the
   // MPI_ERRORS_RETURN propagation path through collectives; peers of a
@@ -201,6 +208,22 @@ class Comm {
               const Datatype& type, const Op& op);
   Status reduce_scatter_block(const void* send_buf, void* recv_buf,
                               int count, const Datatype& type, const Op& op);
+
+  // --- Nonblocking collectives ----------------------------------------
+  //
+  // Each operation is a progress-engine-driven schedule (coll_sched.cpp):
+  // the returned request completes when the per-rank state machine has
+  // run all its rounds, advanced from whatever context completes the
+  // underlying transfers (a ch_mad poller, an smp sender, a fiber resume)
+  // — never from a hidden blocking call. MPI_Test on the request yields
+  // the shard, so spin-loops make progress on the sharded engine. In FT
+  // mode the operation degrades to the blocking survivable algorithm at
+  // initiation time (completing the request inline), mirroring the
+  // blocking collectives' explicit FT fallback.
+  Request ibcast(void* buf, int count, const Datatype& type, rank_t root);
+  Request iallreduce(const void* send_buf, void* recv_buf, int count,
+                     const Datatype& type, const Op& op);
+  Request ibarrier();
 
   // --- ULFM-style fault tolerance --------------------------------------
 
@@ -264,15 +287,35 @@ class Comm {
   // One-sided windows live beside the communicator and need its runtime
   // plumbing (device dispatch, context registry, id derivation).
   friend class Win;
+  // The nonblocking-collective schedules (coll_sched.cpp) drive the
+  // private coll_isend/coll_irecv primitives from completion hooks.
+  friend class IcollSchedule;
+  // The session-setup auto-tuner (coll_tuner.cpp) installs its decision
+  // table on the communicator's runtime.
+  friend void tune_collectives(Comm world);
   Comm(std::shared_ptr<Shared> shared, rank_t rank)
       : shared_(std::move(shared)), rank_(rank) {}
 
   /// Internal p2p on the collective context (tags private to algorithms).
   void coll_send(const void* buf, std::size_t bytes, rank_t dest, int tag);
+  /// Fan the same payload out to every listed child concurrently and wait
+  /// for all (a blocking tree node would otherwise serialize one full
+  /// rendezvous handshake per child). Falls back to serialized coll_send
+  /// under FT capture, where the per-hop verdict logic lives.
+  void coll_send_multi(const std::vector<rank_t>& children, const void* buf,
+                       std::size_t bytes, int tag);
   void coll_recv(void* buf, std::size_t bytes, rank_t source, int tag);
   void coll_sendrecv(const void* send, std::size_t send_bytes, rank_t dest,
                      void* recv, std::size_t recv_bytes, rank_t source,
                      int tag);
+
+  /// Nonblocking internal p2p on the collective context: the building
+  /// blocks of the schedules (comm.cpp, beside the isend machinery they
+  /// share). Never block the caller — eager completes inline, rendezvous
+  /// detaches — so they are safe to issue from completion hooks.
+  Request coll_isend(const void* buf, std::size_t bytes, rank_t dest,
+                     int tag);
+  Request coll_irecv(void* buf, std::size_t bytes, rank_t source, int tag);
 
   void allreduce_recursive_doubling(void* recv_buf, int count,
                                     const Datatype& type, const Op& op);
@@ -280,6 +323,44 @@ class Comm {
                       const Op& op);
   void bcast_binomial(std::byte* wire, std::size_t bytes, rank_t root);
   void bcast_linear(std::byte* wire, std::size_t bytes, rank_t root);
+
+  // --- Hierarchical collective engine (coll_hier.cpp) ------------------
+
+  /// Binomial tree ops over an explicit member list (members[0] is the
+  /// source/sink); the three hierarchy levels all reduce to these. Only
+  /// ranks present in `members` may call; everyone else skips the stage.
+  void tree_bcast_members(const std::vector<rank_t>& members,
+                          std::byte* wire, std::size_t bytes, int tag);
+  /// Flat concurrent fan-out from members[0]; the interconnect level of
+  /// hier_bcast (rep count = cluster count, wire serialization dominates).
+  void linear_bcast_members(const std::vector<rank_t>& members,
+                            std::byte* wire, std::size_t bytes, int tag);
+  void tree_reduce_members(const std::vector<rank_t>& members,
+                           std::byte* accum, std::size_t bytes, int count,
+                           const Datatype& type, const Op* op, int tag);
+
+  void hier_bcast(std::byte* wire, std::size_t bytes, rank_t root);
+  void hier_reduce(std::byte* accum, std::size_t bytes, int count,
+                   const Datatype& type, const Op& op, rank_t root);
+  void hier_allreduce(void* recv_buf, int count, const Datatype& type,
+                      const Op& op);
+  void hier_barrier();
+  void offload_barrier();
+  void offload_bcast(std::byte* wire, std::size_t bytes, rank_t root);
+
+  /// Whether reduce() should take the hierarchical path for `bytes`
+  /// (reduce has no config enum of its own; it follows allreduce's
+  /// resolution, which shares its communication shape).
+  bool use_hier_reduce(std::size_t bytes) const;
+
+  /// Shared gather body: root collects each rank's packed block into
+  /// wire + offsets[src] (offsets has size()+1 entries, self block packed
+  /// locally); non-roots pack and send. gather/gatherv/allgatherv all
+  /// delegate here instead of repeating the pack/recv loop.
+  void gather_packed_to_root(const void* send_buf, int send_count,
+                             const Datatype& send_type, std::byte* wire,
+                             const std::vector<std::size_t>& offsets,
+                             rank_t root);
 
   Envelope make_envelope(rank_t dest, int tag, std::uint64_t bytes,
                          bool synchronous) const;
@@ -350,5 +431,11 @@ class Comm {
   std::shared_ptr<Shared> shared_;
   rank_t rank_ = kInvalidRank;
 };
+
+/// Session-setup auto-tuner (MADMPI_COLL_TUNE): collectively micro-probe
+/// the candidate algorithms on `world`, elect winners per collective per
+/// size class and install the decision table on the runtime. Must be
+/// called by every world rank (it is a collective). coll_tuner.cpp.
+void tune_collectives(Comm world);
 
 }  // namespace madmpi::mpi

@@ -2,9 +2,12 @@
 // Included by comm.cpp and collectives.cpp only.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "mpi/coll_topo.hpp"
 #include "mpi/comm.hpp"
 
 namespace madmpi::mpi {
@@ -38,6 +41,22 @@ struct Comm::Shared {
   // Shared creation path (world/dup/split/create/shrink) gets it for free.
   std::vector<int> coll_epoch;
 
+  // Per-rank count of nonblocking-collective starts. Like coll_epoch these
+  // stay equal across ranks (i-colls are collective calls), and the value
+  // stamps each operation's instance tag so concurrent outstanding i-colls
+  // never cross-match (two iallreduces sharing one tag can overtake each
+  // other at a folded pair — the schedules have no cross-op ordering).
+  std::vector<std::uint64_t> icoll_seq;
+
+  // Per-rank count of NIC-offloaded collective invocations; keys the
+  // runtime-wide offload board so back-to-back offloaded barriers on the
+  // same communicator land on distinct board slots.
+  std::vector<std::uint64_t> offload_seq;
+
+  // Topology digest for the hierarchical algorithms, built on first use.
+  // Deterministic per (runtime, group), so every rank's lazy build agrees.
+  std::shared_ptr<const CollTopo> topo;
+
   std::mutex seq_mutex;
   int next_seq(rank_t comm_rank) {
     std::lock_guard<std::mutex> lock(seq_mutex);
@@ -47,6 +66,16 @@ struct Comm::Shared {
     std::lock_guard<std::mutex> lock(seq_mutex);
     if (coll_epoch.size() < group.size()) coll_epoch.resize(group.size(), 0);
     return coll_epoch[static_cast<std::size_t>(comm_rank)]++;
+  }
+  std::uint64_t next_icoll_seq(rank_t comm_rank) {
+    std::lock_guard<std::mutex> lock(seq_mutex);
+    if (icoll_seq.size() < group.size()) icoll_seq.resize(group.size(), 0);
+    return icoll_seq[static_cast<std::size_t>(comm_rank)]++;
+  }
+  std::uint64_t next_offload_seq(rank_t comm_rank) {
+    std::lock_guard<std::mutex> lock(seq_mutex);
+    if (offload_seq.size() < group.size()) offload_seq.resize(group.size(), 0);
+    return offload_seq[static_cast<std::size_t>(comm_rank)]++;
   }
 };
 

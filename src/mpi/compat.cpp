@@ -580,6 +580,26 @@ int MPI_Allreduce(const void* send_buf, void* recv_buf, int count,
   return detail::map_error(status.code());
 }
 
+int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request) {
+  *request = detail::store_request(detail::comm_of(comm).ibarrier());
+  return MPI_SUCCESS;
+}
+
+int MPI_Ibcast(void* buf, int count, MPI_Datatype type, int root,
+               MPI_Comm comm, MPI_Request* request) {
+  *request = detail::store_request(
+      detail::comm_of(comm).ibcast(buf, count, detail::type_of(type), root));
+  return MPI_SUCCESS;
+}
+
+int MPI_Iallreduce(const void* send_buf, void* recv_buf, int count,
+                   MPI_Datatype type, MPI_Op op, MPI_Comm comm,
+                   MPI_Request* request) {
+  *request = detail::store_request(detail::comm_of(comm).iallreduce(
+      send_buf, recv_buf, count, detail::type_of(type), detail::op_of(op)));
+  return MPI_SUCCESS;
+}
+
 int MPI_Gather(const void* send_buf, int send_count, MPI_Datatype send_type,
                void* recv_buf, int recv_count, MPI_Datatype recv_type,
                int root, MPI_Comm comm) {

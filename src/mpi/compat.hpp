@@ -251,6 +251,15 @@ int MPI_Alltoallv(const void* send_buf, const int* send_counts,
                   const int* recv_displs, MPI_Datatype recv_type,
                   MPI_Comm comm);
 
+// Nonblocking collectives (MPI-3 §5.12 subset): progress-engine-driven
+// schedules; complete the returned request with MPI_Wait/MPI_Test.
+int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request);
+int MPI_Ibcast(void* buf, int count, MPI_Datatype type, int root,
+               MPI_Comm comm, MPI_Request* request);
+int MPI_Iallreduce(const void* send_buf, void* recv_buf, int count,
+                   MPI_Datatype type, MPI_Op op, MPI_Comm comm,
+                   MPI_Request* request);
+
 // One-sided communication (MPI-3 §11 subset over madmpi::mpi::Win). The
 // target side is addressed as `target_disp * disp_unit` bytes into the
 // window; the target datatype mirrors the origin's contiguously (the

@@ -24,13 +24,21 @@ class RequestState {
 
   /// Called by the completing thread.
   void complete(const MpiStatus& status) {
+    std::function<void(const MpiStatus&)> hook;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       MADMPI_CHECK_MSG(!completed_, "request completed twice");
       status_ = status;
       completed_ = true;
+      hook = std::move(on_complete_);
+      on_complete_ = nullptr;
     }
     done_.signal();
+    // The hook runs on the completing context (a poller, a device thread,
+    // a fiber resume) with the completer's virtual-time lane installed —
+    // this is how nonblocking-collective schedules advance from the
+    // progress engine instead of from a hidden blocking call.
+    if (hook) hook(status);
   }
 
   /// Blocking wait (MPI_Wait).
@@ -73,6 +81,24 @@ class RequestState {
     return completed_;
   }
 
+  /// Schedule-advancement hook: runs exactly once after the status is
+  /// recorded, from the completing context, outside the request mutex (it
+  /// may issue further operations). If the request already completed —
+  /// eager sends complete inline — the hook runs immediately on the
+  /// caller. Set at most one hook per request.
+  void set_on_complete(std::function<void(const MpiStatus&)> fn) {
+    MpiStatus status;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!completed_) {
+        on_complete_ = std::move(fn);
+        return;
+      }
+      status = status_;
+    }
+    fn(status);
+  }
+
   /// Register the operation-specific cancellation attempt (set once, by
   /// the operation that created this request, before the request handle is
   /// returned to the user). The hook returns true when it managed to
@@ -104,6 +130,7 @@ class RequestState {
   bool completed_ = false;
   bool consumed_ = false;
   std::function<bool()> cancel_fn_;
+  std::function<void(const MpiStatus&)> on_complete_;
 };
 
 /// Value-semantic handle (MPI_Request).

@@ -100,6 +100,15 @@ LinkCostModel sisci_sci_model() {
   // remote-mapped window, and the data lands without target-side work.
   m.rma_put_us = 0.4;
   m.rma_landing_us_per_byte = 0.0;
+  // Offloaded collectives: SCI exposes remote-mapped atomic segments, so a
+  // barrier/bcast tree can run as chained remote stores with no host on the
+  // interior path. Arming a slot is one PIO store; each hop is a ringlet
+  // traversal plus the remote-side fetch of the combine word.
+  m.supports_coll_offload = true;
+  m.coll_post_us = 0.6;
+  m.coll_hop_us = 1.6;
+  m.coll_bytes_per_us = 80.0;
+  m.coll_notify_us = 0.4;
   return m;
 }
 
@@ -128,6 +137,15 @@ LinkCostModel bip_myrinet_model() {
   // a light per-byte DMA touch at the target.
   m.rma_put_us = 2.5;
   m.rma_landing_us_per_byte = 0.0008;
+  // Offloaded collectives: the LANai is fully programmable, so combine and
+  // forward steps run in firmware (the NIC-based barrier literature). The
+  // descriptor post is pricier than SCI's PIO store but hops avoid the
+  // host entirely and stream at near link rate.
+  m.supports_coll_offload = true;
+  m.coll_post_us = 1.8;
+  m.coll_hop_us = 2.2;
+  m.coll_bytes_per_us = 120.0;
+  m.coll_notify_us = 0.8;
   return m;
 }
 

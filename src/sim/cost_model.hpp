@@ -91,6 +91,31 @@ struct LinkCostModel {
   /// PIO), a DMA touch on BIP, a full kernel bounce on TCP.
   usec_t rma_landing_us_per_byte = 0.0;
 
+  /// Collective-offload extension — the NIC-side combine/forward engine of
+  /// the Quadrics/Myrinet NIC-barrier papers, modeled for the hierarchical
+  /// collective engine. Only consulted by the offloaded barrier/bcast
+  /// path, so every two-sided and RMA charge stays bit-identical.
+  /// True when the NIC firmware can run a combine/forward tree itself
+  /// (programmable LANai, SCI mapped atomic segments); false for kernel
+  /// TCP, which has no NIC-resident engine to offload to.
+  bool supports_coll_offload = false;
+
+  /// Host-side cost to post one collective descriptor to the NIC (arm the
+  /// combine slot / write the trigger word).
+  usec_t coll_post_us = 0.0;
+
+  /// NIC-to-NIC cost of one combine/forward hop in the offloaded tree
+  /// (firmware dispatch + wire, no host involvement).
+  usec_t coll_hop_us = 0.0;
+
+  /// NIC-side forward bandwidth for offloaded bcast payloads, in bytes per
+  /// microsecond (payload staged once, streamed along the NIC tree).
+  double coll_bytes_per_us = 1.0;
+
+  /// Completion-notification cost charged on each host once the NIC tree
+  /// finishes (mapped flag observation / interrupt).
+  usec_t coll_notify_us = 0.0;
+
   /// Timing-fault injection: maximum extra per-frame delay, applied as a
   /// deterministic pseudo-random amount derived from the frame identity.
   /// Zero (default) disables it. Used by robustness tests to prove the

@@ -848,6 +848,162 @@ void run_scaleout(Oracle& oracle) {
 /// violate. Exists to prove the kit END TO END: the sweep must catch it,
 /// the recorded seed must replay it, and the shrinker must isolate the
 /// delivery-order choice point as the only one that matters.
+// ------------------------------------------------------- collectives_hier
+
+/// The hierarchical collective engine under schedule perturbation, on a
+/// mixed-endian cluster-of-clusters, with a p2p message train concurrently
+/// in flight on the user context. Oracles: (1) bcast/allreduce/ibcast
+/// results are bit-for-bit correct on every rank (integer payloads, so
+/// tree shape cannot excuse a difference; byte-swap peers must see
+/// converted values); (2) the p2p train obeys non-overtaking per
+/// (source, tag) even while collective traffic shares the wires —
+/// collective traffic lives on the shadow context and must never steal a
+/// user match.
+void run_collectives_hier(Oracle& oracle) {
+  Session::Options options;
+  // Two SCI clusters of two dual-rank nodes, TCP interconnect, with one
+  // big-endian node in each cluster (heterogeneity management on).
+  sim::NetworkSpec tcp;
+  tcp.protocol = sim::Protocol::kTcp;
+  for (int c = 0; c < 2; ++c) {
+    sim::NetworkSpec sci;
+    sci.protocol = sim::Protocol::kSisci;
+    sci.adapter = static_cast<adapter_id_t>(c);
+    for (int n = 0; n < 2; ++n) {
+      sim::NodeSpec node;
+      node.name = "c" + std::to_string(c) + "n" + std::to_string(n);
+      node.ranks = 2;
+      node.big_endian = (n == 1);
+      options.cluster.nodes.push_back(node);
+      sci.members.push_back(node.name);
+      tcp.members.push_back(node.name);
+    }
+    options.cluster.networks.push_back(std::move(sci));
+  }
+  options.cluster.networks.push_back(std::move(tcp));
+  options.switch_point_override = 1024;  // train spans eager + rendezvous
+  Session session(std::move(options));
+
+  constexpr int kRounds = 3;
+  constexpr int kTrain = 6;
+  constexpr int kTag = 11;
+  constexpr int kCount = 600;
+  const auto size_of = [](int seq) {
+    return static_cast<std::size_t>(seq % 2 == 0 ? 64 : 4096);
+  };
+
+  std::mutex oracle_mutex;
+  session.run([&](Comm comm) {
+    mpi::CollectiveConfig config;
+    config.bcast = mpi::BcastAlgorithm::kHierarchical;
+    config.allreduce = mpi::AllreduceAlgorithm::kHierarchical;
+    config.barrier = mpi::BarrierAlgorithm::kHierarchical;
+    comm.set_collective_config(config);
+    const int n = comm.size();
+    const int me = comm.rank();
+    const int src = (me + n - 1) % n;
+    const int dst = (me + 1) % n;
+
+    for (int round = 0; round < kRounds; ++round) {
+      const auto root = static_cast<rank_t>((round * 3) % n);
+
+      // Post the whole train's receives up front, in send order.
+      std::vector<std::vector<std::uint8_t>> inbox;
+      std::vector<mpi::Request> recvs;
+      for (int seq = 0; seq < kTrain; ++seq) {
+        inbox.emplace_back(size_of(seq));
+        auto& buffer = inbox.back();
+        recvs.push_back(comm.irecv(buffer.data(),
+                                   static_cast<int>(buffer.size()),
+                                   Datatype::uint8(), src, kTag));
+      }
+      std::vector<std::vector<std::uint8_t>> outbox;
+      std::vector<mpi::Request> sends;
+      for (int seq = 0; seq < kTrain; ++seq) {
+        outbox.emplace_back(size_of(seq));
+        auto& buffer = outbox.back();
+        for (std::size_t i = 0; i < buffer.size(); ++i) {
+          buffer[i] = pattern_byte(me, static_cast<std::uint64_t>(seq), i);
+        }
+        sends.push_back(comm.isend(buffer.data(),
+                                   static_cast<int>(buffer.size()),
+                                   Datatype::uint8(), dst, kTag));
+      }
+
+      // A nonblocking collective rides along with the train...
+      std::vector<std::int32_t> istream(257, -1);
+      if (me == root) {
+        for (int i = 0; i < 257; ++i) istream[i] = round * 1000 + i;
+      }
+      mpi::Request ibcast_req =
+          comm.ibcast(istream.data(), 257, Datatype::int32(), root);
+
+      // ...while blocking hierarchical collectives run on top.
+      std::vector<std::int32_t> wave(kCount, -1);
+      if (me == root) {
+        for (int i = 0; i < kCount; ++i) wave[i] = round * 100000 + i * 3;
+      }
+      comm.bcast(wave.data(), kCount, Datatype::int32(), root);
+
+      std::vector<std::int64_t> mine(kCount), total(kCount, -1);
+      for (int i = 0; i < kCount; ++i) mine[i] = me + i;
+      comm.allreduce(mine.data(), total.data(), kCount, Datatype::int64(),
+                     mpi::Op::sum());
+
+      const ErrorCode icode = ibcast_req.wait().error;
+
+      for (auto& request : sends) request.wait();
+      for (auto& request : recvs) request.wait();
+
+      std::lock_guard<std::mutex> lock(oracle_mutex);
+      for (int i = 0; i < kCount; ++i) {
+        oracle.expect(wave[i] == round * 100000 + i * 3, "hier-bcast-exact",
+                      "rank " + std::to_string(me) + " round " +
+                          std::to_string(round) + " element " +
+                          std::to_string(i) + " = " + std::to_string(wave[i]));
+        const std::int64_t expected =
+            static_cast<std::int64_t>(n) * (n - 1) / 2 +
+            static_cast<std::int64_t>(n) * i;
+        oracle.expect(total[i] == expected, "hier-allreduce-exact",
+                      "rank " + std::to_string(me) + " round " +
+                          std::to_string(round) + " element " +
+                          std::to_string(i) + " = " +
+                          std::to_string(total[i]));
+        if (!(wave[i] == round * 100000 + i * 3) || total[i] != expected) {
+          break;  // one detailed violation per round is enough
+        }
+      }
+      oracle.expect(icode == ErrorCode::kOk, "ibcast-completes",
+                    "rank " + std::to_string(me) + " round " +
+                        std::to_string(round));
+      for (int i = 0; i < 257; ++i) {
+        if (istream[i] != round * 1000 + i) {
+          oracle.fail("ibcast-exact",
+                      "rank " + std::to_string(me) + " round " +
+                          std::to_string(round) + " element " +
+                          std::to_string(i) + " = " +
+                          std::to_string(istream[i]));
+          break;
+        }
+      }
+      for (int seq = 0; seq < kTrain; ++seq) {
+        const auto& buffer = inbox[static_cast<std::size_t>(seq)];
+        bool intact = true;
+        for (std::size_t i = 0; i < buffer.size() && intact; ++i) {
+          intact = buffer[i] ==
+                   pattern_byte(src, static_cast<std::uint64_t>(seq), i);
+        }
+        oracle.expect(
+            intact, "nonovertaking-under-collectives",
+            "rank " + std::to_string(me) + " round " + std::to_string(round) +
+                " seq " + std::to_string(seq) +
+                " corrupted or out of order beside collective traffic");
+      }
+    }
+    comm.barrier();
+  });
+}
+
 void run_selftest(Oracle& oracle) {
   auto* sched = sim::ScheduleController::current();
   if (sched == nullptr) return;  // unperturbed runs are fine by definition
@@ -899,6 +1055,10 @@ const std::vector<Scenario>& scenarios() {
        "256-rank trains under the sharded engine stay ordered and conserve "
        "credits",
        &run_scaleout},
+      {"collectives_hier",
+       "hierarchical collectives stay bit-exact on a mixed-endian "
+       "meta-cluster with p2p trains in flight",
+       &run_collectives_hier},
       {"selftest",
        "planted violation: proves the sweep catches, replays and shrinks",
        &run_selftest},
