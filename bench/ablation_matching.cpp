@@ -1,0 +1,182 @@
+// Ablation: message-matching throughput under deep queues.
+//
+// Drives a RankContext directly (no session, no transport) with the
+// alltoall-ish worst case the ROADMAP's next workload item implies: N-1
+// peers each with D outstanding receives, where the peer drained *last*
+// was posted *first* — the pattern that makes a flat-deque matcher scan
+// past every other peer's receives on each delivery. Two phases per
+// configuration:
+//
+//   posted:  post D receives per peer (round-robin across peers, the
+//            natural loop order in an alltoall), then deliver each
+//            peer's D messages, peers in descending order (the sender
+//            you waited on longest answers first).
+//   drain:   deliver every message first (unexpected storm), then post
+//            the receives in the same skewed order and drain the store.
+//
+// The shallow 2-rank row repeats a post+deliver ping many times — the
+// latency-path guard: bucketing must not tax the common case.
+//
+// Wall-clock throughput (deliveries per second, std::chrono), not
+// virtual time: matching is host-side bookkeeping, invisible to the
+// cost model by design.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mpi/matching.hpp"
+
+namespace madmpi::bench {
+namespace {
+
+mpi::Envelope envelope(int ctx, rank_t src, int tag, std::uint64_t bytes) {
+  mpi::Envelope env;
+  env.context = ctx;
+  env.src = src;
+  env.tag = tag;
+  env.bytes = bytes;
+  return env;
+}
+
+void post_one(mpi::RankContext& context, sim::Node& node, rank_t src) {
+  mpi::PostedRecv posted;
+  posted.context = 0;
+  posted.source = src;
+  posted.tag = 7;
+  posted.buffer = nullptr;
+  posted.type = mpi::Datatype::byte();
+  posted.count = 0;
+  posted.capacity_bytes = 0;
+  posted.request = std::make_shared<mpi::RequestState>(node);
+  context.post_recv(std::move(posted));
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Row {
+  int ranks = 0;
+  int depth = 0;
+  double posted_per_sec = 0.0;
+  double drain_per_sec = 0.0;
+};
+
+/// Deep-queue configuration: N-1 peers, D outstanding receives each.
+Row run_deep(int ranks, int depth) {
+  Row row;
+  row.ranks = ranks;
+  row.depth = depth;
+  const int peers = ranks - 1;
+  const std::size_t total =
+      static_cast<std::size_t>(peers) * static_cast<std::size_t>(depth);
+
+  {  // posted-match phase
+    sim::Node node{0, "bench", 1};
+    mpi::RankContext context{0, node};
+    for (int d = 0; d < depth; ++d) {
+      for (rank_t src = 1; src <= peers; ++src) post_one(context, node, src);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (rank_t src = peers; src >= 1; --src) {
+      for (int d = 0; d < depth; ++d) {
+        context.deliver_eager(envelope(0, src, 7, 0), {});
+      }
+    }
+    row.posted_per_sec = static_cast<double>(total) / seconds_since(start);
+  }
+
+  {  // unexpected-drain phase
+    sim::Node node{0, "bench", 1};
+    mpi::RankContext context{0, node};
+    for (int d = 0; d < depth; ++d) {
+      for (rank_t src = 1; src <= peers; ++src) {
+        context.deliver_eager(envelope(0, src, 7, 0), {});
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (rank_t src = peers; src >= 1; --src) {
+      for (int d = 0; d < depth; ++d) post_one(context, node, src);
+    }
+    row.drain_per_sec = static_cast<double>(total) / seconds_since(start);
+  }
+  return row;
+}
+
+/// Shallow 2-rank configuration: a long post/deliver ping train.
+Row run_shallow(int reps) {
+  Row row;
+  row.ranks = 2;
+  row.depth = 1;
+
+  {
+    sim::Node node{0, "bench", 1};
+    mpi::RankContext context{0, node};
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      post_one(context, node, 1);
+      context.deliver_eager(envelope(0, 1, 7, 0), {});
+    }
+    row.posted_per_sec = static_cast<double>(reps) / seconds_since(start);
+  }
+  {
+    sim::Node node{0, "bench", 1};
+    mpi::RankContext context{0, node};
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      context.deliver_eager(envelope(0, 1, 7, 0), {});
+      post_one(context, node, 1);
+    }
+    row.drain_per_sec = static_cast<double>(reps) / seconds_since(start);
+  }
+  return row;
+}
+
+int run(int argc, char** argv) {
+  run_shallow(2000);  // warm-up: settle allocators and pools
+
+  std::vector<Row> rows;
+  rows.push_back(run_shallow(200000));
+  for (int ranks : {16, 64, 256, 1024}) {
+    rows.push_back(run_deep(ranks, 64));
+  }
+
+  std::printf("### ablation_matching\n");
+  std::printf("%8s %6s %18s %18s\n", "ranks", "depth", "posted_per_sec",
+              "drain_per_sec");
+  for (const Row& row : rows) {
+    std::printf("%8d %6d %18.0f %18.0f\n", row.ranks, row.depth,
+                row.posted_per_sec, row.drain_per_sec);
+  }
+
+  const std::string json_path = json_path_from_args(argc, argv);
+  if (!json_path.empty()) {
+    std::vector<double> xs, depths, posted, drain;
+    for (const Row& row : rows) {
+      xs.push_back(row.ranks);
+      depths.push_back(row.depth);
+      posted.push_back(row.posted_per_sec);
+      drain.push_back(row.drain_per_sec);
+    }
+    if (!write_json_series(json_path, "matching",
+                           {{"ranks", xs},
+                            {"depth", depths},
+                            {"posted_deliveries_per_sec", posted},
+                            {"unexpected_drains_per_sec", drain}})) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace madmpi::bench
+
+int main(int argc, char** argv) { return madmpi::bench::run(argc, argv); }

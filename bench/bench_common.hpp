@@ -150,6 +150,8 @@ inline std::string json_path_from_args(int argc, char** argv) {
 inline std::vector<JsonColumn> eager_sweep(
     sim::Protocol protocol = sim::Protocol::kTcp, int reps = 40) {
   std::vector<double> xs, lat, bw, copied, allocs, pool_allocs, modeled;
+  std::vector<double> probes, bucket_locks, rank_locks, posted_hw,
+      unexpected_hw;
   for (std::size_t size : power_of_two_sizes(1024)) {
     auto session = make_chmad_session(protocol);
     core::mpi_pingpong(*session, size, 40);  // settle first-use effects
@@ -166,6 +168,16 @@ inline std::vector<JsonColumn> eager_sweep(
     pool_allocs.push_back(
         static_cast<double>(d.slab_allocs + d.slab_fallbacks) / msgs);
     modeled.push_back(static_cast<double>(d.modeled_copy_bytes) / msgs);
+    // Matcher observability: scan steps and lock acquisitions per match
+    // attempt plus the queue-depth high-water marks for the window.
+    const double attempts =
+        d.match_attempts > 0 ? static_cast<double>(d.match_attempts) : 1.0;
+    probes.push_back(static_cast<double>(d.match_probe_steps) / attempts);
+    bucket_locks.push_back(static_cast<double>(d.match_bucket_locks) /
+                           attempts);
+    rank_locks.push_back(static_cast<double>(d.match_rank_locks) / attempts);
+    posted_hw.push_back(static_cast<double>(d.match_posted_depth_hw));
+    unexpected_hw.push_back(static_cast<double>(d.match_unexpected_depth_hw));
   }
   return {{"bytes", xs},
           {"one_way_us", lat},
@@ -173,7 +185,12 @@ inline std::vector<JsonColumn> eager_sweep(
           {"bytes_copied_per_msg", copied},
           {"staging_allocs_per_msg", allocs},
           {"pool_allocs_per_msg", pool_allocs},
-          {"modeled_copy_bytes_per_msg", modeled}};
+          {"modeled_copy_bytes_per_msg", modeled},
+          {"match_probes_per_attempt", probes},
+          {"match_bucket_locks_per_attempt", bucket_locks},
+          {"match_rank_locks_per_attempt", rank_locks},
+          {"match_posted_depth_hw", posted_hw},
+          {"match_unexpected_depth_hw", unexpected_hw}};
 }
 
 }  // namespace madmpi::bench

@@ -23,6 +23,16 @@ struct DatapathSnapshot {
   std::uint64_t slab_fallbacks = 0;  // oversize / disabled-pool heap grabs
   std::uint64_t modeled_copy_bytes = 0;  // copies the *cost model* charged
   std::uint64_t poll_wakeups = 0;  // poller wakeups charged (teardown excluded)
+
+  // Matching engine (RankContext): scan work and lock traffic. probe
+  // steps / attempts = average scan length per matching operation;
+  // bucket vs rank lock counts show how often the fast path held.
+  std::uint64_t match_attempts = 0;     // post/delivery matching operations
+  std::uint64_t match_probe_steps = 0;  // match-predicate evaluations
+  std::uint64_t match_bucket_locks = 0;
+  std::uint64_t match_rank_locks = 0;
+  std::uint64_t match_posted_depth_hw = 0;      // queue-depth high-water
+  std::uint64_t match_unexpected_depth_hw = 0;  // (monotonic since reset)
 };
 
 /// Process-wide counters. Cheap enough (relaxed atomics) to leave on in
@@ -59,6 +69,22 @@ class DatapathStats {
   void count_poll_wakeup() {
     poll_wakeups_.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_match_attempt(std::uint64_t steps) {
+    match_attempts_.fetch_add(1, std::memory_order_relaxed);
+    match_probe_steps_.fetch_add(steps, std::memory_order_relaxed);
+  }
+  void count_match_bucket_lock() {
+    match_bucket_locks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_match_rank_lock() {
+    match_rank_locks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_match_posted_depth(std::uint64_t depth) {
+    raise_max(match_posted_depth_hw_, depth);
+  }
+  void note_match_unexpected_depth(std::uint64_t depth) {
+    raise_max(match_unexpected_depth_hw_, depth);
+  }
 
   DatapathSnapshot snapshot() const {
     DatapathSnapshot s;
@@ -70,6 +96,15 @@ class DatapathStats {
     s.slab_fallbacks = slab_fallbacks_.load(std::memory_order_relaxed);
     s.modeled_copy_bytes = modeled_copy_bytes_.load(std::memory_order_relaxed);
     s.poll_wakeups = poll_wakeups_.load(std::memory_order_relaxed);
+    s.match_attempts = match_attempts_.load(std::memory_order_relaxed);
+    s.match_probe_steps = match_probe_steps_.load(std::memory_order_relaxed);
+    s.match_bucket_locks =
+        match_bucket_locks_.load(std::memory_order_relaxed);
+    s.match_rank_locks = match_rank_locks_.load(std::memory_order_relaxed);
+    s.match_posted_depth_hw =
+        match_posted_depth_hw_.load(std::memory_order_relaxed);
+    s.match_unexpected_depth_hw =
+        match_unexpected_depth_hw_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -82,9 +117,24 @@ class DatapathStats {
     slab_fallbacks_.store(0, std::memory_order_relaxed);
     modeled_copy_bytes_.store(0, std::memory_order_relaxed);
     poll_wakeups_.store(0, std::memory_order_relaxed);
+    match_attempts_.store(0, std::memory_order_relaxed);
+    match_probe_steps_.store(0, std::memory_order_relaxed);
+    match_bucket_locks_.store(0, std::memory_order_relaxed);
+    match_rank_locks_.store(0, std::memory_order_relaxed);
+    match_posted_depth_hw_.store(0, std::memory_order_relaxed);
+    match_unexpected_depth_hw_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  static void raise_max(std::atomic<std::uint64_t>& slot,
+                        std::uint64_t value) {
+    std::uint64_t current = slot.load(std::memory_order_relaxed);
+    while (current < value &&
+           !slot.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<std::uint64_t> bytes_copied_{0};
   std::atomic<std::uint64_t> copy_ops_{0};
   std::atomic<std::uint64_t> staging_allocs_{0};
@@ -93,6 +143,12 @@ class DatapathStats {
   std::atomic<std::uint64_t> slab_fallbacks_{0};
   std::atomic<std::uint64_t> modeled_copy_bytes_{0};
   std::atomic<std::uint64_t> poll_wakeups_{0};
+  std::atomic<std::uint64_t> match_attempts_{0};
+  std::atomic<std::uint64_t> match_probe_steps_{0};
+  std::atomic<std::uint64_t> match_bucket_locks_{0};
+  std::atomic<std::uint64_t> match_rank_locks_{0};
+  std::atomic<std::uint64_t> match_posted_depth_hw_{0};
+  std::atomic<std::uint64_t> match_unexpected_depth_hw_{0};
 };
 
 /// Shorthand for the common case.
@@ -112,6 +168,12 @@ inline DatapathSnapshot operator-(const DatapathSnapshot& b,
   d.slab_fallbacks = b.slab_fallbacks - a.slab_fallbacks;
   d.modeled_copy_bytes = b.modeled_copy_bytes - a.modeled_copy_bytes;
   d.poll_wakeups = b.poll_wakeups - a.poll_wakeups;
+  d.match_attempts = b.match_attempts - a.match_attempts;
+  d.match_probe_steps = b.match_probe_steps - a.match_probe_steps;
+  d.match_bucket_locks = b.match_bucket_locks - a.match_bucket_locks;
+  d.match_rank_locks = b.match_rank_locks - a.match_rank_locks;
+  d.match_posted_depth_hw = b.match_posted_depth_hw;
+  d.match_unexpected_depth_hw = b.match_unexpected_depth_hw;
   return d;
 }
 

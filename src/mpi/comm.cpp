@@ -572,6 +572,55 @@ bool Comm::iprobe(rank_t source, int tag, MpiStatus* status) {
   return found;
 }
 
+MpiStatus Comm::mprobe(rank_t source, int tag, MatchedMessage* message) {
+  MpiStatus status;
+  const rank_t source_global =
+      source == kAnySource ? kInvalidRank : global_rank_of(source);
+  my_context().mprobe(shared_->context, source, tag, source_global, message,
+                      &status);
+  if (status.error != ErrorCode::kOk) {
+    raise_error(Status(status.error,
+                       "mprobe of rank " + std::to_string(source)));
+  }
+  return status;
+}
+
+bool Comm::improbe(rank_t source, int tag, MatchedMessage* message,
+                   MpiStatus* status) {
+  const bool found =
+      my_context().improbe(shared_->context, source, tag, message, status);
+  if (!found) marcel::cooperative_yield();
+  return found;
+}
+
+Request Comm::imrecv(void* buf, int count, const Datatype& type,
+                     MatchedMessage message) {
+  MADMPI_CHECK_MSG(message.valid(), "imrecv on an invalid MatchedMessage");
+  auto state = std::make_shared<RequestState>(my_node());
+  PostedRecv posted;
+  posted.context = shared_->context;
+  posted.source = message.envelope().src;
+  posted.tag = message.envelope().tag;
+  posted.buffer = buf;
+  posted.type = type;
+  posted.count = count;
+  posted.capacity_bytes = type.size() * static_cast<std::size_t>(count);
+  posted.request = state;
+  posted.source_global = global_rank_of(message.envelope().src);
+  posted.posted_at = my_node().clock().now();
+  my_context().mrecv(std::move(message), std::move(posted));
+  return Request(std::move(state));
+}
+
+MpiStatus Comm::mrecv(void* buf, int count, const Datatype& type,
+                      MatchedMessage message) {
+  MpiStatus status = imrecv(buf, count, type, std::move(message)).wait();
+  if (status.error != ErrorCode::kOk) {
+    raise_error(Status(status.error, "mrecv"));
+  }
+  return status;
+}
+
 double Comm::wtime() const { return my_node().clock().now() * 1e-6; }
 usec_t Comm::wtime_us() const { return my_node().clock().now(); }
 void Comm::compute_us(usec_t us) { my_node().clock().advance(us); }

@@ -125,6 +125,24 @@ class Comm {
   MpiStatus probe(rank_t source, int tag);
   bool iprobe(rank_t source, int tag, MpiStatus* status = nullptr);
 
+  /// MPI_Mprobe: block until a matching message arrives, remove it from
+  /// the unexpected queue and hand back an owning handle. The message can
+  /// then only be completed through mrecv()/imrecv() with that handle —
+  /// no other receive (on any thread) can steal it.
+  MpiStatus mprobe(rank_t source, int tag, MatchedMessage* message);
+
+  /// MPI_Improbe: the nonblocking flavor. Returns true (with `message`
+  /// valid) when a matching message was removed, false otherwise.
+  bool improbe(rank_t source, int tag, MatchedMessage* message,
+               MpiStatus* status = nullptr);
+
+  /// MPI_Mrecv / MPI_Imrecv: complete a message previously matched by
+  /// mprobe()/improbe(). The handle is consumed.
+  MpiStatus mrecv(void* buf, int count, const Datatype& type,
+                  MatchedMessage message);
+  Request imrecv(void* buf, int count, const Datatype& type,
+                 MatchedMessage message);
+
   // --- Error handling --------------------------------------------------
 
   /// MPI_Comm_set_errhandler / MPI_Comm_get_errhandler, per rank. The

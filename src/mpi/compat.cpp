@@ -23,6 +23,14 @@ struct ThreadState {
   std::vector<mpi::Comm> comms;
   std::vector<mpi::Request> requests;
   std::vector<mpi::Datatype> derived_types;
+
+  /// Matched-probe handles: each slot pairs the owned message with the
+  /// comm it was probed on, so MPI_Mrecv completes it on the right comm.
+  struct MessageSlot {
+    mpi::MatchedMessage message;
+    MPI_Comm comm = -1;
+  };
+  std::vector<MessageSlot> messages;
   std::vector<mpi::PersistentRequest> persistents;
   std::map<int, mpi::CartComm> carts;  // keyed by the comm handle
   int bsend_attached_size = 0;
@@ -236,6 +244,25 @@ mpi::Request& request_of(MPI_Request handle) {
           s.requests[static_cast<std::size_t>(handle)].valid(),
       "invalid or completed MPI_Request handle");
   return s.requests[static_cast<std::size_t>(handle)];
+}
+
+MPI_Message store_message(mpi::MatchedMessage message, MPI_Comm comm) {
+  ThreadState& s = state();
+  s.messages.push_back({std::move(message), comm});
+  return static_cast<MPI_Message>(s.messages.size() - 1);
+}
+
+ThreadState::MessageSlot take_message(MPI_Message* handle) {
+  ThreadState& s = state();
+  MADMPI_CHECK_MSG(
+      *handle >= 0 &&
+          static_cast<std::size_t>(*handle) < s.messages.size() &&
+          s.messages[static_cast<std::size_t>(*handle)].message.valid(),
+      "invalid or already received MPI_Message handle");
+  ThreadState::MessageSlot slot =
+      std::move(s.messages[static_cast<std::size_t>(*handle)]);
+  *handle = MPI_MESSAGE_NULL;
+  return slot;
 }
 
 MPI_Datatype store_type(mpi::Datatype type) {
@@ -493,6 +520,51 @@ int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
   madmpi::mpi::MpiStatus result;
   *flag = detail::comm_of(comm).iprobe(source, tag, &result) ? 1 : 0;
   if (*flag) detail::fill_status(status, result);
+  return MPI_SUCCESS;
+}
+
+int MPI_Mprobe(int source, int tag, MPI_Comm comm, MPI_Message* message,
+               MPI_Status* status) {
+  madmpi::mpi::MatchedMessage matched;
+  const auto result = detail::comm_of(comm).mprobe(source, tag, &matched);
+  detail::fill_status(status, result);
+  if (result.error != madmpi::ErrorCode::kOk) {
+    *message = MPI_MESSAGE_NULL;
+    return detail::map_error(result.error);
+  }
+  *message = detail::store_message(std::move(matched), comm);
+  return MPI_SUCCESS;
+}
+
+int MPI_Improbe(int source, int tag, MPI_Comm comm, int* flag,
+                MPI_Message* message, MPI_Status* status) {
+  madmpi::mpi::MatchedMessage matched;
+  madmpi::mpi::MpiStatus result;
+  *flag =
+      detail::comm_of(comm).improbe(source, tag, &matched, &result) ? 1 : 0;
+  if (*flag) {
+    detail::fill_status(status, result);
+    *message = detail::store_message(std::move(matched), comm);
+  } else {
+    *message = MPI_MESSAGE_NULL;
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Mrecv(void* buf, int count, MPI_Datatype type, MPI_Message* message,
+              MPI_Status* status) {
+  auto slot = detail::take_message(message);
+  const auto result = detail::comm_of(slot.comm).mrecv(
+      buf, count, detail::type_of(type), std::move(slot.message));
+  detail::fill_status(status, result);
+  return detail::map_error(result.error);
+}
+
+int MPI_Imrecv(void* buf, int count, MPI_Datatype type, MPI_Message* message,
+               MPI_Request* request) {
+  auto slot = detail::take_message(message);
+  *request = detail::store_request(detail::comm_of(slot.comm).imrecv(
+      buf, count, detail::type_of(type), std::move(slot.message)));
   return MPI_SUCCESS;
 }
 

@@ -27,6 +27,7 @@ using MPI_Comm = int;
 using MPI_Datatype = int;
 using MPI_Op = int;
 using MPI_Request = int;
+using MPI_Message = int;
 using MPI_Errhandler = int;
 using MPI_Win = int;
 using MPI_Aint = long long;
@@ -87,6 +88,7 @@ inline constexpr MPI_Errhandler MPI_ERRORS_RETURN = 1;
 inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
 inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
 inline constexpr MPI_Request MPI_REQUEST_NULL = -1;
+inline constexpr MPI_Message MPI_MESSAGE_NULL = -1;
 
 inline constexpr MPI_Win MPI_WIN_NULL = -1;
 inline constexpr int MPI_LOCK_SHARED = 1;
@@ -140,6 +142,18 @@ int MPI_Sendrecv(const void* send_buf, int send_count, MPI_Datatype send_type,
 int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
 int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
                MPI_Status* status);
+
+// Matched probe (MPI-3 §3.8.2): the returned MPI_Message owns the matched
+// queue entry, so the follow-up MPI_Mrecv/MPI_Imrecv cannot race another
+// thread's receive for the same message.
+int MPI_Mprobe(int source, int tag, MPI_Comm comm, MPI_Message* message,
+               MPI_Status* status);
+int MPI_Improbe(int source, int tag, MPI_Comm comm, int* flag,
+                MPI_Message* message, MPI_Status* status);
+int MPI_Mrecv(void* buf, int count, MPI_Datatype type, MPI_Message* message,
+              MPI_Status* status);
+int MPI_Imrecv(void* buf, int count, MPI_Datatype type, MPI_Message* message,
+               MPI_Request* request);
 int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count);
 
 // Error handlers (MPI §8.3, communicator-attachable). The default is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/datapath_stats.hpp"
@@ -11,6 +12,67 @@
 #include "sim/trace.hpp"
 
 namespace madmpi::mpi {
+
+namespace {
+
+/// MADMPI_MATCH_BUCKETS: bucket count per rank, rounded up to a power of
+/// two and clamped to [1, 4096]. The default keeps per-rank footprint
+/// small while giving 1024-rank sessions essentially collision-free
+/// specific-source matching.
+std::size_t match_buckets_from_env() {
+  std::size_t buckets = 64;
+  const char* value = std::getenv("MADMPI_MATCH_BUCKETS");
+  if (value != nullptr && *value != '\0') {
+    const unsigned long long parsed = std::strtoull(value, nullptr, 10);
+    if (parsed >= 1) buckets = static_cast<std::size_t>(parsed);
+  }
+  buckets = std::min<std::size_t>(buckets, 4096);
+  std::size_t rounded = 1;
+  while (rounded < buckets) rounded <<= 1;
+  return rounded;
+}
+
+/// Fibonacci-style spread of the (context, source) key across buckets.
+std::size_t bucket_index(std::uint64_t key, std::size_t mask) {
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) & mask;
+}
+
+void sub_clamped(std::atomic<std::size_t>& counter, std::size_t amount) {
+  std::size_t current = counter.load(std::memory_order_relaxed);
+  while (current != 0 && amount != 0 &&
+         !counter.compare_exchange_weak(
+             current, current - std::min(current, amount),
+             std::memory_order_relaxed)) {
+  }
+}
+
+void raise_high_water(std::atomic<std::size_t>& high_water,
+                      std::size_t value) {
+  std::size_t current = high_water.load(std::memory_order_relaxed);
+  while (current < value &&
+         !high_water.compare_exchange_weak(current, value,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+/// Decrements the probe-waiter count on every exit path of probe/mprobe.
+struct WaiterGuard {
+  std::atomic<std::size_t>& waiters;
+  ~WaiterGuard() { waiters.fetch_sub(1, std::memory_order_release); }
+};
+
+}  // namespace
+
+RankContext::RankContext(rank_t global_rank, sim::Node& node)
+    : global_rank_(global_rank),
+      node_(node),
+      buckets_(match_buckets_from_env()) {
+  bucket_mask_ = buckets_.size() - 1;
+}
+
+RankContext::Bucket& RankContext::bucket_of(std::uint64_t key) {
+  return buckets_[bucket_index(key, bucket_mask_)];
+}
 
 void RankContext::finish_recv(const PostedRecv& posted, const Envelope& env,
                               byte_span payload) {
@@ -72,52 +134,286 @@ void RankContext::finish_recv(const PostedRecv& posted, const Envelope& env,
   posted.request->complete(status);
 }
 
-void RankContext::post_recv(PostedRecv posted) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    if (!matches(posted, it->env)) continue;
-    Unexpected message = std::move(*it);
-    unexpected_.erase(it);
-    stored_ -= std::min(stored_, message.charge);
-    lock.unlock();
+// ---------------------------------------------------------------- lookups
 
-    // Causal edge: the match cannot happen before the message was
-    // delivered, whatever the posting thread's own lane says.
-    node_.clock().sync_to(message.available_at);
-    if (message.rendezvous) {
-      // Late receive for an early rendezvous request: fire the stored
-      // acknowledgement action (paper §4.2.2, step 2).
-      message.on_match(message.env, std::move(posted));
-    } else {
-      node_.clock().advance(static_cast<double>(message.payload.size()) *
-                            sim::kHostCopyUsPerByte);
-      // Credits first, completion second: once finish_recv() completes the
-      // request the application may reach finalize(), and a credit-return
-      // thread spawned after that loses the shutdown-drain race (its
-      // packet lands behind the termination marker and is never read).
-      if (message.on_consumed) message.on_consumed();
-      finish_recv(posted, message.env, message.payload.span());
+bool RankContext::take_matching_posted(
+    const Envelope& env, std::unique_lock<std::mutex>& rank_lock,
+    std::unique_lock<std::mutex>& bucket_lock, KeyQueues** queues,
+    PostedRecv* out) {
+  auto& stats = DatapathStats::global();
+  const std::uint64_t key = key_of(env.context, env.src);
+  Bucket& bucket = bucket_of(key);
+  bucket_lock = std::unique_lock<std::mutex>(bucket.mutex);
+  stats.count_match_bucket_lock();
+  // The wildcard poster increments wildcard_count_ *before* taking any
+  // bucket lock, so reading it under ours is race-free: either we see the
+  // count and upgrade, or the poster's later sweep of this bucket sees
+  // whatever we append (DESIGN.md §13).
+  if (wildcard_count_.load(std::memory_order_acquire) != 0) {
+    bucket_lock.unlock();
+    rank_lock = std::unique_lock<std::mutex>(mutex_);
+    stats.count_match_rank_lock();
+    bucket_lock.lock();
+    stats.count_match_bucket_lock();
+  }
+
+  std::uint64_t steps = 0;
+  KeyQueues& key_queues = bucket.keys[key];  // single lookup; the miss
+                                             // path appends here anyway
+  std::deque<PostedRecv>* bucket_queue = &key_queues.posted;
+  auto bucket_hit = bucket_queue->end();
+  for (auto scan = bucket_queue->begin(); scan != bucket_queue->end();
+       ++scan) {
+    ++steps;
+    if (matches(*scan, env)) {
+      bucket_hit = scan;
+      break;
     }
+  }
+  auto wildcard_hit = wildcard_posted_.end();
+  if (rank_lock.owns_lock()) {
+    for (auto scan = wildcard_posted_.begin();
+         scan != wildcard_posted_.end(); ++scan) {
+      ++steps;
+      if (matches(*scan, env)) {
+        wildcard_hit = scan;
+        break;
+      }
+    }
+  }
+  stats.count_match_attempt(steps);
+
+  const bool bucket_found = bucket_hit != bucket_queue->end();
+  const bool wildcard_found = wildcard_hit != wildcard_posted_.end();
+  if (!bucket_found && !wildcard_found) {
+    *queues = &key_queues;
+    return false;
+  }
+  // Both structures have a candidate: the lower post seq is the receive
+  // the flat arrival-order scan would have matched (FIFO non-overtaking).
+  if (bucket_found &&
+      (!wildcard_found || bucket_hit->seq < wildcard_hit->seq)) {
+    *out = std::move(*bucket_hit);
+    bucket_queue->erase(bucket_hit);
+  } else {
+    *out = std::move(*wildcard_hit);
+    wildcard_posted_.erase(wildcard_hit);
+    wildcard_count_.fetch_sub(1, std::memory_order_release);
+  }
+  posted_count_.fetch_sub(1, std::memory_order_relaxed);
+  bucket_lock.unlock();
+  if (rank_lock.owns_lock()) rank_lock.unlock();
+  return true;
+}
+
+RankContext::UnexpectedHit RankContext::peek_unexpected(
+    const PostedRecv& pattern) {
+  auto& stats = DatapathStats::global();
+  UnexpectedHit hit;
+  std::uint64_t steps = 0;
+  if (pattern.source != kAnySource) {
+    const std::uint64_t key = key_of(pattern.context, pattern.source);
+    Bucket& bucket = bucket_of(key);
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    stats.count_match_bucket_lock();
+    auto it = bucket.keys.find(key);
+    if (it != bucket.keys.end()) {
+      for (const UnexpectedMessage& message : it->second.unexpected) {
+        ++steps;
+        if (matches(pattern, message.env)) {
+          hit.bucket = &bucket;
+          hit.key = key;
+          hit.env = message.env;
+          hit.available_at = message.available_at;
+          hit.seq = message.seq;
+          hit.found = true;
+          break;
+        }
+      }
+    }
+    stats.count_match_attempt(steps);
+    return hit;
+  }
+  // Wildcard source: sweep every bucket (mutex_ held by the caller, so no
+  // wildcard post races us) and keep the lowest-seq candidate. Within one
+  // key the deque is seq-sorted, so the first match per key suffices.
+  for (Bucket& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    stats.count_match_bucket_lock();
+    for (auto& [key, queues] : bucket.keys) {
+      for (const UnexpectedMessage& message : queues.unexpected) {
+        ++steps;
+        if (!matches(pattern, message.env)) continue;
+        if (!hit.found || message.seq < hit.seq) {
+          hit.bucket = &bucket;
+          hit.key = key;
+          hit.env = message.env;
+          hit.available_at = message.available_at;
+          hit.seq = message.seq;
+          hit.found = true;
+        }
+        break;  // later entries for this key have higher seqs
+      }
+    }
+  }
+  stats.count_match_attempt(steps);
+  return hit;
+}
+
+bool RankContext::take_unexpected(const PostedRecv& pattern,
+                                  UnexpectedMessage* out) {
+  auto& stats = DatapathStats::global();
+  if (pattern.source != kAnySource) {
+    const std::uint64_t key = key_of(pattern.context, pattern.source);
+    Bucket& bucket = bucket_of(key);
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    stats.count_match_bucket_lock();
+    auto it = bucket.keys.find(key);
+    if (it == bucket.keys.end()) {
+      stats.count_match_attempt(0);
+      return false;
+    }
+    std::uint64_t steps = 0;
+    auto& queue = it->second.unexpected;
+    for (auto scan = queue.begin(); scan != queue.end(); ++scan) {
+      ++steps;
+      if (!matches(pattern, scan->env)) continue;
+      *out = std::move(*scan);
+      queue.erase(scan);
+      unexpected_count_.fetch_sub(1, std::memory_order_relaxed);
+      sub_clamped(stored_, out->charge);
+      stats.count_match_attempt(steps);
+      return true;
+    }
+    stats.count_match_attempt(steps);
+    return false;
+  }
+  // Wildcard source (mutex_ held by the caller): find the global
+  // lowest-seq candidate, then re-lock its bucket to pop it. The entry
+  // cannot vanish in between — only this rank's own thread removes
+  // unexpected entries — and it stays the first match of its key's
+  // seq-sorted deque.
+  UnexpectedHit hit = peek_unexpected(pattern);
+  if (!hit.found) return false;
+  std::lock_guard<std::mutex> lock(hit.bucket->mutex);
+  stats.count_match_bucket_lock();
+  auto& queue = hit.bucket->keys[hit.key].unexpected;
+  for (auto scan = queue.begin(); scan != queue.end(); ++scan) {
+    if (!matches(pattern, scan->env)) continue;
+    *out = std::move(*scan);
+    queue.erase(scan);
+    unexpected_count_.fetch_sub(1, std::memory_order_relaxed);
+    sub_clamped(stored_, out->charge);
+    return true;
+  }
+  MADMPI_CHECK_MSG(false, "matched unexpected entry vanished mid-take");
+  return false;
+}
+
+void RankContext::consume_unexpected(UnexpectedMessage message,
+                                     PostedRecv posted) {
+  // Causal edge: the match cannot happen before the message was
+  // delivered, whatever the posting thread's own lane says.
+  node_.clock().sync_to(message.available_at);
+  if (message.rendezvous) {
+    // Late receive for an early rendezvous request: fire the stored
+    // acknowledgement action (paper §4.2.2, step 2).
+    message.on_match(message.env, std::move(posted));
     return;
   }
-  posted_.push_back(std::move(posted));
+  node_.clock().advance(static_cast<double>(message.payload.size()) *
+                        sim::kHostCopyUsPerByte);
+  // Credits first, completion second: once finish_recv() completes the
+  // request the application may reach finalize(), and a credit-return
+  // thread spawned after that loses the shutdown-drain race (its
+  // packet lands behind the termination marker and is never read).
+  if (message.on_consumed) message.on_consumed();
+  finish_recv(posted, message.env, message.payload.span());
 }
+
+void RankContext::wake_probes_after_append() {
+  if (probe_waiters_.load(std::memory_order_acquire) == 0) return;
+  // Serialize with the waiter's scan-to-wait transition: a prober that
+  // missed our append registered itself before scanning, so we see its
+  // count; locking the rank mutex here means it has reached the condvar
+  // (or the park) before our notify fires.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  unexpected_arrived_.notify_all();
+  marcel::engine_notify();
+}
+
+// ------------------------------------------------------------------ post
+
+void RankContext::post_recv(PostedRecv posted) {
+  if (posted.source != kAnySource) {
+    // Scan-or-queue happens inside ONE bucket critical section: a delivery
+    // that misses the posted queue appends its unexpected entry under the
+    // same lock, so post and delivery can never both miss each other.
+    const std::uint64_t key = key_of(posted.context, posted.source);
+    Bucket& bucket = bucket_of(key);
+    auto& stats = DatapathStats::global();
+    std::unique_lock<std::mutex> lock(bucket.mutex);
+    stats.count_match_bucket_lock();
+    auto& queues = bucket.keys[key];
+    std::uint64_t steps = 0;
+    for (auto scan = queues.unexpected.begin();
+         scan != queues.unexpected.end(); ++scan) {
+      ++steps;
+      if (!matches(posted, scan->env)) continue;
+      UnexpectedMessage message = std::move(*scan);
+      queues.unexpected.erase(scan);
+      unexpected_count_.fetch_sub(1, std::memory_order_relaxed);
+      sub_clamped(stored_, message.charge);
+      stats.count_match_attempt(steps);
+      lock.unlock();
+      consume_unexpected(std::move(message), std::move(posted));
+      return;
+    }
+    stats.count_match_attempt(steps);
+    posted.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    queues.posted.push_back(std::move(posted));
+    const std::size_t depth =
+        posted_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    stats.note_match_posted_depth(depth);
+    return;
+  }
+
+  // Wildcard source: rank lock for the whole post. The count is raised
+  // BEFORE any bucket is inspected — a delivery that finds its bucket
+  // posted-queue empty while we are mid-sweep reads a nonzero count under
+  // its bucket lock and upgrades to the rank lock, where it blocks until
+  // this post either matched or queued itself. No lost match either way.
+  std::unique_lock<std::mutex> lock(mutex_);
+  DatapathStats::global().count_match_rank_lock();
+  wildcard_count_.fetch_add(1, std::memory_order_release);
+  UnexpectedMessage message;
+  if (take_unexpected(posted, &message)) {
+    wildcard_count_.fetch_sub(1, std::memory_order_release);
+    lock.unlock();
+    consume_unexpected(std::move(message), std::move(posted));
+    return;
+  }
+  posted.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  wildcard_posted_.push_back(std::move(posted));
+  const std::size_t depth =
+      posted_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  DatapathStats::global().note_match_posted_depth(depth);
+}
+
+// -------------------------------------------------------------- delivery
 
 void RankContext::deliver_eager(const Envelope& env, byte_span payload,
                                 EagerConsumed on_consumed, ChunkRef backing) {
   const std::size_t charge = payload.size() + kUnexpectedEntryOverhead;
-  std::unique_lock<std::mutex> lock(mutex_);
-  // The sender's admission reserved room for this message; delivery
-  // resolves the reservation — into the store if unmatched, or released
-  // outright on an immediate match. Clamped: directly-driven contexts
-  // (unit tests, self-sends) deliver without admitting first.
-  reserved_ -= std::min(reserved_, charge);
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (!matches(*it, env)) continue;
-    PostedRecv posted = std::move(*it);
-    posted_.erase(it);
-    lock.unlock();
-
+  std::unique_lock<std::mutex> rank_lock;
+  std::unique_lock<std::mutex> bucket_lock;
+  KeyQueues* queues = nullptr;
+  PostedRecv posted;
+  if (take_matching_posted(env, rank_lock, bucket_lock, &queues, &posted)) {
+    // The sender's admission reserved room for this message; an immediate
+    // match releases the reservation outright. Clamped: directly-driven
+    // contexts (unit tests, self-sends) deliver without admitting first.
+    sub_clamped(reserved_, charge);
     node_.clock().advance(static_cast<double>(payload.size()) *
                           sim::kHostCopyUsPerByte);
     sim::trace(node_.clock().now(), node_.id(), sim::TraceCategory::kMatch,
@@ -130,12 +426,13 @@ void RankContext::deliver_eager(const Envelope& env, byte_span payload,
     finish_recv(posted, env, payload);
     return;
   }
-  // No receive posted yet: buffer the payload. With a backing chunk the
-  // store just keeps the reference — the wire slab IS the unexpected
-  // buffer, no host bytes move. Without one (legacy/self-send callers) it
-  // stages through the slab pool, which counts the copy and — on a cache
-  // miss only — the allocation.
-  Unexpected message;
+  // No receive posted yet: buffer the payload, inside the same critical
+  // section the miss was observed in. With a backing chunk the store just
+  // keeps the reference — the wire slab IS the unexpected buffer, no host
+  // bytes move. Without one (legacy/self-send callers) it stages through
+  // the slab pool, which counts the copy and — on a cache miss only — the
+  // allocation.
+  UnexpectedMessage message;
   message.env = env;
   if (backing) {
     message.payload = std::move(backing);
@@ -144,40 +441,53 @@ void RankContext::deliver_eager(const Envelope& env, byte_span payload,
   }
   message.on_consumed = std::move(on_consumed);
   message.charge = charge;
-  stored_ += charge;
-  if (stored_ > stored_high_water_) stored_high_water_ = stored_;
+  // stored_ rises before reserved_ falls, so a concurrent admit_eager
+  // only ever sees the store at-or-above its true occupancy.
+  const std::size_t stored_now =
+      stored_.fetch_add(charge, std::memory_order_relaxed) + charge;
+  raise_high_water(stored_high_water_, stored_now);
+  sub_clamped(reserved_, charge);
   message.available_at =
       node_.clock().advance(static_cast<double>(payload.size()) *
                             sim::kHostCopyUsPerByte);
   sim::trace(message.available_at, node_.id(), sim::TraceCategory::kMatch,
              payload.size(), "unexpected");
-  unexpected_.push_back(std::move(message));
-  lock.unlock();
-  unexpected_arrived_.notify_all();
-  marcel::engine_notify();
+  message.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  queues->unexpected.push_back(std::move(message));
+  const std::size_t depth =
+      unexpected_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  DatapathStats::global().note_match_unexpected_depth(depth);
+  bucket_lock.unlock();
+  if (rank_lock.owns_lock()) rank_lock.unlock();
+  wake_probes_after_append();
 }
 
 void RankContext::deliver_rendezvous(const Envelope& env,
                                      RendezvousMatch on_match) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (!matches(*it, env)) continue;
-    PostedRecv posted = std::move(*it);
-    posted_.erase(it);
-    lock.unlock();
+  std::unique_lock<std::mutex> rank_lock;
+  std::unique_lock<std::mutex> bucket_lock;
+  KeyQueues* queues = nullptr;
+  PostedRecv posted;
+  if (take_matching_posted(env, rank_lock, bucket_lock, &queues, &posted)) {
     on_match(env, std::move(posted));
     return;
   }
-  Unexpected message;
+  UnexpectedMessage message;
   message.env = env;
   message.rendezvous = true;
   message.on_match = std::move(on_match);
   message.available_at = node_.clock().now();
-  unexpected_.push_back(std::move(message));
-  lock.unlock();
-  unexpected_arrived_.notify_all();
-  marcel::engine_notify();
+  message.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  queues->unexpected.push_back(std::move(message));
+  const std::size_t depth =
+      unexpected_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  DatapathStats::global().note_match_unexpected_depth(depth);
+  bucket_lock.unlock();
+  if (rank_lock.owns_lock()) rank_lock.unlock();
+  wake_probes_after_append();
 }
+
+// ----------------------------------------------------------------- probe
 
 bool RankContext::iprobe(int context, rank_t source, int tag,
                          MpiStatus* status) {
@@ -185,18 +495,22 @@ bool RankContext::iprobe(int context, rank_t source, int tag,
   pattern.context = context;
   pattern.source = source;
   pattern.tag = tag;
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& message : unexpected_) {
-    if (!matches(pattern, message.env)) continue;
-    node_.clock().sync_to(message.available_at);
-    if (status != nullptr) {
-      status->source = message.env.src;
-      status->tag = message.env.tag;
-      status->bytes = message.env.bytes;
-    }
-    return true;
+  UnexpectedHit hit;
+  if (source == kAnySource) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DatapathStats::global().count_match_rank_lock();
+    hit = peek_unexpected(pattern);
+  } else {
+    hit = peek_unexpected(pattern);
   }
-  return false;
+  if (!hit.found) return false;
+  node_.clock().sync_to(hit.available_at);
+  if (status != nullptr) {
+    status->source = hit.env.src;
+    status->tag = hit.env.tag;
+    status->bytes = hit.env.bytes;
+  }
+  return true;
 }
 
 void RankContext::probe(int context, rank_t source, int tag,
@@ -207,14 +521,19 @@ void RankContext::probe(int context, rank_t source, int tag,
   pattern.tag = tag;
   const usec_t probed_at = node_.clock().now();
   std::unique_lock<std::mutex> lock(mutex_);
+  DatapathStats::global().count_match_rank_lock();
+  // Registered before the first scan: a delivery that appends after our
+  // scan missed it reads a nonzero waiter count and notifies.
+  probe_waiters_.fetch_add(1, std::memory_order_release);
+  WaiterGuard guard{probe_waiters_};
   for (;;) {
-    for (const auto& message : unexpected_) {
-      if (!matches(pattern, message.env)) continue;
-      node_.clock().sync_to(message.available_at);
+    const UnexpectedHit hit = peek_unexpected(pattern);
+    if (hit.found) {
+      node_.clock().sync_to(hit.available_at);
       if (status != nullptr) {
-        status->source = message.env.src;
-        status->tag = message.env.tag;
-        status->bytes = message.env.bytes;
+        status->source = hit.env.src;
+        status->tag = hit.env.tag;
+        status->bytes = hit.env.bytes;
       }
       return;
     }
@@ -241,10 +560,8 @@ void RankContext::probe(int context, rank_t source, int tag,
       marcel::park_until([this, &pattern, source_global] {
         std::function<bool(rank_t)> detector;
         {
-          std::lock_guard<std::mutex> guard(mutex_);
-          for (const auto& message : unexpected_) {
-            if (matches(pattern, message.env)) return true;
-          }
+          std::lock_guard<std::mutex> scan_lock(mutex_);
+          if (peek_unexpected(pattern).found) return true;
           detector = peer_unreachable_;
         }
         return detector != nullptr && source_global != kInvalidRank &&
@@ -259,57 +576,134 @@ void RankContext::probe(int context, rank_t source, int tag,
   }
 }
 
-std::size_t RankContext::posted_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return posted_.size();
+// --------------------------------------------------------- matched probe
+
+bool RankContext::improbe(int context, rank_t source, int tag,
+                          MatchedMessage* message, MpiStatus* status) {
+  PostedRecv pattern;
+  pattern.context = context;
+  pattern.source = source;
+  pattern.tag = tag;
+  UnexpectedMessage taken;
+  bool found = false;
+  if (source == kAnySource) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DatapathStats::global().count_match_rank_lock();
+    found = take_unexpected(pattern, &taken);
+  } else {
+    found = take_unexpected(pattern, &taken);
+  }
+  if (!found) return false;
+  node_.clock().sync_to(taken.available_at);
+  if (status != nullptr) {
+    status->source = taken.env.src;
+    status->tag = taken.env.tag;
+    status->bytes = taken.env.bytes;
+  }
+  message->message_ = std::move(taken);
+  message->valid_ = true;
+  return true;
 }
 
-std::size_t RankContext::unexpected_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return unexpected_.size();
+void RankContext::mprobe(int context, rank_t source, int tag,
+                         rank_t source_global, MatchedMessage* message,
+                         MpiStatus* status) {
+  PostedRecv pattern;
+  pattern.context = context;
+  pattern.source = source;
+  pattern.tag = tag;
+  const usec_t probed_at = node_.clock().now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  DatapathStats::global().count_match_rank_lock();
+  probe_waiters_.fetch_add(1, std::memory_order_release);
+  WaiterGuard guard{probe_waiters_};
+  for (;;) {
+    UnexpectedMessage taken;
+    if (take_unexpected(pattern, &taken)) {
+      node_.clock().sync_to(taken.available_at);
+      if (status != nullptr) {
+        status->source = taken.env.src;
+        status->tag = taken.env.tag;
+        status->bytes = taken.env.bytes;
+      }
+      message->message_ = std::move(taken);
+      message->valid_ = true;
+      return;
+    }
+    if (peer_unreachable_ && source_global != kInvalidRank &&
+        peer_unreachable_(source_global)) {
+      node_.clock().sync_to(probed_at + watchdog_horizon_);
+      if (status != nullptr) {
+        status->source = source;
+        status->tag = tag;
+        status->bytes = 0;
+        status->error = ErrorCode::kTimedOut;
+      }
+      return;
+    }
+    if (marcel::on_fiber()) {
+      lock.unlock();
+      marcel::park_until([this, &pattern, source_global] {
+        std::function<bool(rank_t)> detector;
+        {
+          std::lock_guard<std::mutex> scan_lock(mutex_);
+          if (peek_unexpected(pattern).found) return true;
+          detector = peer_unreachable_;
+        }
+        return detector != nullptr && source_global != kInvalidRank &&
+               detector(source_global);
+      });
+      lock.lock();
+    } else if (peer_unreachable_) {
+      unexpected_arrived_.wait_for(lock, std::chrono::milliseconds(2));
+    } else {
+      unexpected_arrived_.wait(lock);
+    }
+  }
 }
+
+void RankContext::mrecv(MatchedMessage message, PostedRecv posted) {
+  MADMPI_CHECK_MSG(message.valid_, "mrecv on an invalid message handle");
+  message.valid_ = false;
+  consume_unexpected(std::move(message.message_), std::move(posted));
+}
+
+// ---------------------------------------------------------------- budget
 
 void RankContext::set_unexpected_budget(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  budget_ = bytes;
+  budget_.store(bytes, std::memory_order_relaxed);
 }
 
 std::size_t RankContext::unexpected_budget() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return budget_;
+  return budget_.load(std::memory_order_relaxed);
 }
 
 bool RankContext::admit_eager(std::size_t bytes) {
   const std::size_t charge = bytes + kUnexpectedEntryOverhead;
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (budget_ != 0 && stored_ + reserved_ + charge > budget_) {
-    ++eager_refused_;
-    return false;
+  const std::size_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    reserved_.fetch_add(charge, std::memory_order_relaxed);
+    return true;
   }
-  reserved_ += charge;
-  return true;
+  std::size_t reserved = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (stored_.load(std::memory_order_relaxed) + reserved + charge >
+        budget) {
+      eager_refused_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (reserved_.compare_exchange_weak(reserved, reserved + charge,
+                                        std::memory_order_relaxed)) {
+      return true;
+    }
+  }
 }
 
 void RankContext::release_eager_admission(std::size_t bytes) {
-  const std::size_t charge = bytes + kUnexpectedEntryOverhead;
-  std::lock_guard<std::mutex> lock(mutex_);
-  reserved_ -= std::min(reserved_, charge);
+  sub_clamped(reserved_, bytes + kUnexpectedEntryOverhead);
 }
 
-std::size_t RankContext::unexpected_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stored_;
-}
-
-std::size_t RankContext::unexpected_bytes_high_water() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stored_high_water_;
-}
-
-std::uint64_t RankContext::eager_refused() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return eager_refused_;
-}
+// -------------------------------------------------------------- watchdog
 
 void RankContext::set_watchdog(usec_t horizon,
                                std::function<bool(rank_t)> unreachable) {
@@ -330,39 +724,71 @@ std::size_t RankContext::cancel_unreachable(ErrorCode code) {
 
   // The failure detector may take channel/session locks, and delivery
   // paths hold those while calling into us — so consult it *without*
-  // holding the queue lock: snapshot the peers waited on, query the
-  // detector unlocked, then re-take the lock to remove victims.
-  std::vector<PostedRecv> victims;
+  // holding the queue locks: snapshot the peers waited on, query the
+  // detector unlocked, then re-take the locks to remove victims.
   std::vector<rank_t> peers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& posted : posted_) {
-      if (posted.source_global == kInvalidRank) continue;
+    const auto note_peer = [&peers](const PostedRecv& posted) {
+      if (posted.source_global == kInvalidRank) return;
       if (std::find(peers.begin(), peers.end(), posted.source_global) ==
           peers.end()) {
         peers.push_back(posted.source_global);
       }
+    };
+    for (Bucket& bucket : buckets_) {
+      std::lock_guard<std::mutex> bucket_guard(bucket.mutex);
+      for (auto& [key, queues] : bucket.keys) {
+        for (const PostedRecv& posted : queues.posted) note_peer(posted);
+      }
     }
+    for (const PostedRecv& posted : wildcard_posted_) note_peer(posted);
   }
   std::vector<rank_t> dead;
   for (rank_t peer : peers) {
     if (unreachable(peer)) dead.push_back(peer);
   }
   if (dead.empty()) return 0;
+
+  std::vector<PostedRecv> victims;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = posted_.begin(); it != posted_.end();) {
-      if (it->source_global != kInvalidRank &&
-          std::find(dead.begin(), dead.end(), it->source_global) !=
-              dead.end()) {
+    const auto is_dead = [&dead](const PostedRecv& posted) {
+      return posted.source_global != kInvalidRank &&
+             std::find(dead.begin(), dead.end(), posted.source_global) !=
+                 dead.end();
+    };
+    for (Bucket& bucket : buckets_) {
+      std::lock_guard<std::mutex> bucket_guard(bucket.mutex);
+      for (auto& [key, queues] : bucket.keys) {
+        for (auto it = queues.posted.begin(); it != queues.posted.end();) {
+          if (is_dead(*it)) {
+            victims.push_back(std::move(*it));
+            it = queues.posted.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    for (auto it = wildcard_posted_.begin(); it != wildcard_posted_.end();) {
+      if (is_dead(*it)) {
         victims.push_back(std::move(*it));
-        it = posted_.erase(it);
+        it = wildcard_posted_.erase(it);
+        wildcard_count_.fetch_sub(1, std::memory_order_release);
       } else {
         ++it;
       }
     }
   }
-
+  sub_clamped(posted_count_, victims.size());
+  // Buckets iterate in hash order; completing in post order keeps the
+  // cancellation sequence (and thus any schedule it perturbs)
+  // deterministic, exactly like the flat queue did.
+  std::sort(victims.begin(), victims.end(),
+            [](const PostedRecv& a, const PostedRecv& b) {
+              return a.seq < b.seq;
+            });
   for (PostedRecv& posted : victims) {
     // Deterministic stamp: the error is observed `horizon` after the
     // post, not whenever the wall-clock watchdog thread got scheduled.
@@ -380,14 +806,22 @@ std::size_t RankContext::cancel_unreachable(ErrorCode code) {
 }
 
 usec_t RankContext::min_ft_deadline() const {
+  auto* self = const_cast<RankContext*>(this);
   std::lock_guard<std::mutex> lock(mutex_);
   usec_t min_deadline = 0.0;
-  for (const PostedRecv& posted : posted_) {
-    if (posted.ft_deadline_us <= 0.0) continue;
+  const auto consider = [&min_deadline](const PostedRecv& posted) {
+    if (posted.ft_deadline_us <= 0.0) return;
     if (min_deadline == 0.0 || posted.ft_deadline_us < min_deadline) {
       min_deadline = posted.ft_deadline_us;
     }
+  };
+  for (Bucket& bucket : self->buckets_) {
+    std::lock_guard<std::mutex> bucket_guard(bucket.mutex);
+    for (auto& [key, queues] : bucket.keys) {
+      for (const PostedRecv& posted : queues.posted) consider(posted);
+    }
   }
+  for (const PostedRecv& posted : wildcard_posted_) consider(posted);
   return min_deadline;
 }
 
@@ -405,16 +839,38 @@ std::size_t RankContext::cancel_expired(ErrorCode code,
   std::vector<PostedRecv> victims;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = posted_.begin(); it != posted_.end();) {
-      if (it->ft_deadline_us > 0.0 &&
-          it->ft_deadline_us <= before_deadline_us) {
+    const auto expired = [before_deadline_us](const PostedRecv& posted) {
+      return posted.ft_deadline_us > 0.0 &&
+             posted.ft_deadline_us <= before_deadline_us;
+    };
+    for (Bucket& bucket : buckets_) {
+      std::lock_guard<std::mutex> bucket_guard(bucket.mutex);
+      for (auto& [key, queues] : bucket.keys) {
+        for (auto it = queues.posted.begin(); it != queues.posted.end();) {
+          if (expired(*it)) {
+            victims.push_back(std::move(*it));
+            it = queues.posted.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    for (auto it = wildcard_posted_.begin(); it != wildcard_posted_.end();) {
+      if (expired(*it)) {
         victims.push_back(std::move(*it));
-        it = posted_.erase(it);
+        it = wildcard_posted_.erase(it);
+        wildcard_count_.fetch_sub(1, std::memory_order_release);
       } else {
         ++it;
       }
     }
   }
+  sub_clamped(posted_count_, victims.size());
+  std::sort(victims.begin(), victims.end(),
+            [](const PostedRecv& a, const PostedRecv& b) {
+              return a.seq < b.seq;
+            });
   for (PostedRecv& posted : victims) {
     node_.clock().bind_lane(posted.ft_deadline_us);
     MpiStatus status;
@@ -433,15 +889,34 @@ std::size_t RankContext::cancel_context(int context, ErrorCode code) {
   std::vector<PostedRecv> victims;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = posted_.begin(); it != posted_.end();) {
+    for (Bucket& bucket : buckets_) {
+      std::lock_guard<std::mutex> bucket_guard(bucket.mutex);
+      for (auto& [key, queues] : bucket.keys) {
+        for (auto it = queues.posted.begin(); it != queues.posted.end();) {
+          if (it->context == context) {
+            victims.push_back(std::move(*it));
+            it = queues.posted.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    for (auto it = wildcard_posted_.begin(); it != wildcard_posted_.end();) {
       if (it->context == context) {
         victims.push_back(std::move(*it));
-        it = posted_.erase(it);
+        it = wildcard_posted_.erase(it);
+        wildcard_count_.fetch_sub(1, std::memory_order_release);
       } else {
         ++it;
       }
     }
   }
+  sub_clamped(posted_count_, victims.size());
+  std::sort(victims.begin(), victims.end(),
+            [](const PostedRecv& a, const PostedRecv& b) {
+              return a.seq < b.seq;
+            });
   for (PostedRecv& posted : victims) {
     node_.clock().bind_lane(posted.posted_at);
     MpiStatus status;
@@ -463,16 +938,39 @@ void RankContext::notify_waiters() {
 
 bool RankContext::cancel_posted(const RequestState* request) {
   PostedRecv victim;
+  bool found = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = std::find_if(posted_.begin(), posted_.end(),
-                           [request](const PostedRecv& posted) {
-                             return posted.request.get() == request;
-                           });
-    if (it == posted_.end()) return false;  // already matched: too late
-    victim = std::move(*it);
-    posted_.erase(it);
+    const auto owned = [request](const PostedRecv& posted) {
+      return posted.request.get() == request;
+    };
+    for (auto it = wildcard_posted_.begin();
+         !found && it != wildcard_posted_.end(); ++it) {
+      if (owned(*it)) {
+        victim = std::move(*it);
+        wildcard_posted_.erase(it);
+        wildcard_count_.fetch_sub(1, std::memory_order_release);
+        found = true;
+        break;
+      }
+    }
+    for (std::size_t b = 0; !found && b < buckets_.size(); ++b) {
+      Bucket& bucket = buckets_[b];
+      std::lock_guard<std::mutex> bucket_guard(bucket.mutex);
+      for (auto& [key, queues] : bucket.keys) {
+        auto it = std::find_if(queues.posted.begin(), queues.posted.end(),
+                               owned);
+        if (it != queues.posted.end()) {
+          victim = std::move(*it);
+          queues.posted.erase(it);
+          found = true;
+          break;
+        }
+      }
+    }
   }
+  if (!found) return false;  // already matched: too late
+  posted_count_.fetch_sub(1, std::memory_order_relaxed);
   // Completed outside the queue lock (complete() signals the waiter). The
   // canceller is the rank's own thread, so its lane already carries the
   // right virtual time — no deterministic re-stamping needed.
@@ -487,18 +985,20 @@ bool RankContext::cancel_posted(const RequestState* request) {
   return true;
 }
 
+// --------------------------------------------------------------- windows
+
 void RankContext::register_window(std::uint64_t win_id, WinTarget* target) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(win_mutex_);
   windows_[win_id] = target;
 }
 
 void RankContext::unregister_window(std::uint64_t win_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(win_mutex_);
   windows_.erase(win_id);
 }
 
 WinTarget* RankContext::find_window(std::uint64_t win_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(win_mutex_);
   auto it = windows_.find(win_id);
   return it == windows_.end() ? nullptr : it->second;
 }

@@ -3,11 +3,29 @@
 //
 // Devices deliver inbound messages here; receives are posted here. Matching
 // is on (context, source, tag) with MPI wildcard semantics, FIFO within a
-// (context, source) pair — devices deliver in order per source, and both
-// queues are scanned in arrival order, which preserves the MPI
-// non-overtaking rule.
+// (context, source) pair — devices deliver in order per source, which
+// preserves the MPI non-overtaking rule.
+//
+// Layout: both queues are sharded into per-(context, source) hash buckets,
+// so the common case — a specific-source receive meeting a delivery —
+// touches one bucket and one bucket lock, independent of how many other
+// peers have traffic in flight. Wildcard (ANY_SOURCE) receives live in a
+// separate rank-wide list; every queued entry carries a sequence number
+// from one per-rank counter, and a lookup that has candidates in both
+// structures takes the lower sequence number — exactly the entry the old
+// flat arrival-order scan would have picked.
+//
+// Lock hierarchy (DESIGN.md §13): the rank-wide mutex_ is always taken
+// before any bucket mutex, never after. Bucket-only paths: specific-source
+// post/delivery/iprobe when no wildcard receive is queued. Rank-lock
+// paths: wildcard posts, probe waits, cancellation sweeps, min_ft_deadline
+// and store-budget administration. Deliveries detect queued wildcards via
+// an atomic count read under the bucket lock (the wildcard poster
+// increments it before touching any bucket, so the mutex ordering makes a
+// lost match impossible) and upgrade to the rank lock.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -15,6 +33,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/slab_pool.hpp"
@@ -57,6 +77,11 @@ struct PostedRecv {
   /// reachability oracle cannot prove dead); the cancellation is stamped
   /// at the deadline, keeping the error deterministic in virtual time.
   usec_t ft_deadline_us = 0.0;
+
+  /// Post-order sequence number, assigned when the receive is queued.
+  /// Lookups with candidates in both a bucket and the wildcard list pick
+  /// the lower seq — the receive the flat arrival-order scan would match.
+  std::uint64_t seq = 0;
 };
 
 /// Called when a rendezvous request finds (or is found by) its posted
@@ -69,11 +94,60 @@ using RendezvousMatch = std::function<void(const Envelope&, PostedRecv)>;
 /// the sender only once the receiver has actually drained the message.
 using EagerConsumed = std::function<void()>;
 
+/// An unexpected message as the queues store it. Public only so a
+/// MatchedMessage (MPI_Mprobe handle) can own one after removal; devices
+/// never construct these directly.
+struct UnexpectedMessage {
+  Envelope env;
+  ChunkRef payload;  // eager only: refcounted view of the stored bytes —
+                     // either the delivering frame's own slab (zero-copy
+                     // handoff) or a pool chunk staged on arrival
+  bool rendezvous = false;
+  RendezvousMatch on_match;        // rendezvous only
+  EagerConsumed on_consumed;       // eager only; may be empty
+  std::size_t charge = 0;          // bytes held against the budget
+  /// Virtual time at which the message became available (the delivering
+  /// thread's lane). A later-posted receive synchronizes to this before
+  /// completing — the causal edge from delivery to matching.
+  usec_t available_at = 0.0;
+  /// Arrival-order sequence number (same counter as PostedRecv::seq).
+  std::uint64_t seq = 0;
+};
+
+/// The handle MPI_Mprobe/MPI_Improbe return: owns the unexpected message
+/// that was removed from the queues, so the follow-up mrecv() cannot race
+/// any other receive for it. Dropping a valid handle without mrecv()
+/// leaks the message (as the MPI standard's matched-probe semantics
+/// require the message to be received).
+class MatchedMessage {
+ public:
+  MatchedMessage() = default;
+  MatchedMessage(MatchedMessage&& other) noexcept
+      : message_(std::move(other.message_)), valid_(other.valid_) {
+    other.valid_ = false;  // moved-from handles read as already received
+  }
+  MatchedMessage& operator=(MatchedMessage&& other) noexcept {
+    message_ = std::move(other.message_);
+    valid_ = other.valid_;
+    other.valid_ = false;
+    return *this;
+  }
+  MatchedMessage(const MatchedMessage&) = delete;
+  MatchedMessage& operator=(const MatchedMessage&) = delete;
+
+  bool valid() const { return valid_; }
+  const Envelope& envelope() const { return message_.env; }
+
+ private:
+  friend class RankContext;
+  UnexpectedMessage message_;
+  bool valid_ = false;
+};
+
 /// One rank's matching engine.
 class RankContext {
  public:
-  RankContext(rank_t global_rank, sim::Node& node)
-      : global_rank_(global_rank), node_(node) {}
+  RankContext(rank_t global_rank, sim::Node& node);
 
   RankContext(const RankContext&) = delete;
   RankContext& operator=(const RankContext&) = delete;
@@ -123,6 +197,28 @@ class RankContext {
   void probe(int context, rank_t source, int tag, rank_t source_global,
              MpiStatus* status);
 
+  // ---- Matched probe (MPI_Mprobe / MPI_Improbe / MPI_Mrecv) ----------
+
+  /// MPI_Improbe: remove the earliest matching unexpected message and
+  /// return it in `message`. False (and `message` left invalid) when no
+  /// unexpected message matches right now. Unlike iprobe, a successful
+  /// improbe *consumes* the queue entry: only mrecv() can complete it,
+  /// which closes the probe-then-recv race.
+  bool improbe(int context, rank_t source, int tag, MatchedMessage* message,
+               MpiStatus* status);
+
+  /// MPI_Mprobe: block until a matching message is available, then remove
+  /// and return it. Watchdog-aware exactly like probe(): an unreachable
+  /// specific peer sets `status->error` and leaves `message` invalid.
+  void mprobe(int context, rank_t source, int tag, rank_t source_global,
+              MatchedMessage* message, MpiStatus* status);
+
+  /// MPI_Mrecv: deliver a matched message into `posted` (which carries the
+  /// buffer, datatype and request). Eager payloads are unpacked here with
+  /// the same credit-before-completion ordering as post_recv; a matched
+  /// rendezvous request fires its stored acknowledgement action.
+  void mrecv(MatchedMessage message, PostedRecv posted);
+
   // ---- Bounded unexpected store -------------------------------------
   //
   // The store budget caps the *bytes* the unexpected queue may buffer.
@@ -147,12 +243,24 @@ class RankContext {
   /// Drop a reservation whose eager send failed before delivery.
   void release_eager_admission(std::size_t bytes);
 
-  /// Counters for tests/diagnostics.
-  std::size_t posted_count() const;
-  std::size_t unexpected_count() const;
-  std::size_t unexpected_bytes() const;
-  std::size_t unexpected_bytes_high_water() const;
-  std::uint64_t eager_refused() const;
+  /// Counters for tests/diagnostics — O(1), maintained at queue
+  /// transitions (they feed hot test oracles and the watchdog
+  /// fingerprint; recomputing them under a lock was a scan per call).
+  std::size_t posted_count() const {
+    return posted_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t unexpected_count() const {
+    return unexpected_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t unexpected_bytes() const {
+    return stored_.load(std::memory_order_relaxed);
+  }
+  std::size_t unexpected_bytes_high_water() const {
+    return stored_high_water_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t eager_refused() const {
+    return eager_refused_.load(std::memory_order_relaxed);
+  }
 
   // ---- Progress watchdog hooks --------------------------------------
 
@@ -203,26 +311,38 @@ class RankContext {
   // The target-side state of every window this rank currently exposes,
   // keyed by the collectively-derived window id. Registration happens on
   // the rank's own thread (Win::create/free); lookup happens on the
-  // device polling thread resolving incoming RMA packets.
+  // device polling thread resolving incoming RMA packets — off the
+  // matcher locks entirely, on a reader/writer lock of their own.
 
   void register_window(std::uint64_t win_id, WinTarget* target);
   void unregister_window(std::uint64_t win_id);
   WinTarget* find_window(std::uint64_t win_id);
 
  private:
-  struct Unexpected {
+  /// Both queues for one (context, source) pair, in arrival/post order —
+  /// each deque is seq-sorted because entries are appended under the
+  /// bucket lock with the seq assigned inside the critical section.
+  struct KeyQueues {
+    std::deque<PostedRecv> posted;
+    std::deque<UnexpectedMessage> unexpected;
+  };
+
+  struct Bucket {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, KeyQueues> keys;
+  };
+
+  /// A wildcard-source candidate found during a bucket sweep: enough to
+  /// re-find the entry after dropping the bucket lock (iterators don't
+  /// survive concurrent appends; the entry itself does — only the rank's
+  /// own thread removes unexpected entries).
+  struct UnexpectedHit {
+    Bucket* bucket = nullptr;
+    std::uint64_t key = 0;
     Envelope env;
-    ChunkRef payload;  // eager only: refcounted view of the stored bytes —
-                       // either the delivering frame's own slab (zero-copy
-                       // handoff) or a pool chunk staged on arrival
-    bool rendezvous = false;
-    RendezvousMatch on_match;        // rendezvous only
-    EagerConsumed on_consumed;       // eager only; may be empty
-    std::size_t charge = 0;          // bytes held against the budget
-    /// Virtual time at which the message became available (the delivering
-    /// thread's lane). A later-posted receive synchronizes to this before
-    /// completing — the causal edge from delivery to matching.
     usec_t available_at = 0.0;
+    std::uint64_t seq = 0;
+    bool found = false;
   };
 
   static bool matches(const PostedRecv& posted, const Envelope& env) {
@@ -231,34 +351,102 @@ class RankContext {
            (posted.tag == kAnyTag || posted.tag == env.tag);
   }
 
+  static std::uint64_t key_of(int context, rank_t src) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(context))
+            << 32) ^
+           static_cast<std::uint32_t>(src);
+  }
+
+  Bucket& bucket_of(std::uint64_t key);
+
   /// Unpack `payload` into the posted buffer and complete its request,
   /// converting byte order when the sender's wire format differs from
   /// this node's (the ADI's heterogeneity management).
   void finish_recv(const PostedRecv& posted, const Envelope& env,
                    byte_span payload);
 
+  /// Remove and return the earliest-posted receive matching `env`.
+  /// On a miss, returns false with `bucket_lock` (and `rank_lock`, when
+  /// wildcards forced the slow path) still held and `queues` pointing at
+  /// the envelope's KeyQueues — the caller appends its unexpected entry
+  /// inside the same critical section, so a concurrent post cannot slip
+  /// between the miss and the append.
+  bool take_matching_posted(const Envelope& env,
+                            std::unique_lock<std::mutex>& rank_lock,
+                            std::unique_lock<std::mutex>& bucket_lock,
+                            KeyQueues** queues, PostedRecv* out);
+
+  /// Lowest-seq unexpected entry matching `pattern`, without removing it.
+  /// Wildcard-source patterns sweep every bucket and REQUIRE mutex_ held
+  /// by the caller (so no wildcard post races the sweep).
+  UnexpectedHit peek_unexpected(const PostedRecv& pattern);
+
+  /// Remove the lowest-seq matching unexpected entry. Same locking
+  /// contract as peek_unexpected.
+  bool take_unexpected(const PostedRecv& pattern, UnexpectedMessage* out);
+
+  /// Deliver a drained unexpected entry into `posted` (shared tail of
+  /// post_recv and mrecv): causal clock edge, copy charge, credits
+  /// before completion.
+  void consume_unexpected(UnexpectedMessage message, PostedRecv posted);
+
+  /// Post-append wakeup: only when a probe loop is actually waiting
+  /// (common deliveries skip the rank lock and the notify entirely).
+  void wake_probes_after_append();
+
   rank_t global_rank_;
   sim::Node& node_;
+
+  /// Rank-wide lock: wildcard posted list, probe waits, cancellation
+  /// sweeps, watchdog installation. Always acquired BEFORE bucket locks.
   mutable std::mutex mutex_;
   std::condition_variable unexpected_arrived_;
-  std::deque<PostedRecv> posted_;
-  std::deque<Unexpected> unexpected_;
 
-  // Store accounting (guarded by mutex_). stored_ counts bytes actually
-  // buffered in unexpected_; reserved_ counts admitted-but-not-yet-
-  // delivered eager transfers. Both are charged payload + overhead.
-  std::size_t budget_ = 0;  // 0 = unlimited
-  std::size_t stored_ = 0;
-  std::size_t reserved_ = 0;
-  std::size_t stored_high_water_ = 0;
-  std::uint64_t eager_refused_ = 0;
+  std::vector<Bucket> buckets_;  // size fixed at construction, power of two
+  std::size_t bucket_mask_ = 0;
 
-  // Watchdog (set once at session start, before ranks run).
+  /// Wildcard-source posted receives, in post order (guarded by mutex_).
+  std::deque<PostedRecv> wildcard_posted_;
+  /// wildcard_posted_.size(), readable without mutex_. Incremented BEFORE
+  /// the wildcard post scans any bucket; deliveries read it under their
+  /// bucket lock — the bucket mutex's happens-before edge guarantees a
+  /// delivery either sees the queued wildcard or the wildcard's sweep sees
+  /// the delivered message (DESIGN.md §13).
+  std::atomic<std::size_t> wildcard_count_{0};
+
+  /// Threads blocked in probe()/mprobe(). Deliveries only take the rank
+  /// lock + notify when this is nonzero; registered under mutex_ before
+  /// the waiter's first scan, so the same bucket-lock edge that makes
+  /// wildcard posts safe makes the wakeup safe.
+  std::atomic<std::size_t> probe_waiters_{0};
+
+  /// One counter feeds both posted and arrival sequence numbers; values
+  /// are only ever compared within one kind.
+  std::atomic<std::uint64_t> seq_{0};
+
+  // O(1) mirrors of the queue sizes.
+  std::atomic<std::size_t> posted_count_{0};
+  std::atomic<std::size_t> unexpected_count_{0};
+
+  // Store accounting, off the rank lock: stored_ counts bytes actually
+  // buffered in unexpected queues; reserved_ counts admitted-but-not-yet-
+  // delivered eager transfers. Both are charged payload + overhead. The
+  // unexpected path adds to stored_ BEFORE releasing reserved_, so a
+  // racing admit_eager only ever over-counts — the budget stays a bound.
+  std::atomic<std::size_t> budget_{0};  // 0 = unlimited
+  std::atomic<std::size_t> stored_{0};
+  std::atomic<std::size_t> reserved_{0};
+  std::atomic<std::size_t> stored_high_water_{0};
+  std::atomic<std::uint64_t> eager_refused_{0};
+
+  // Watchdog (set once at session start, before ranks run; mutex_).
   usec_t watchdog_horizon_ = 0.0;
   std::function<bool(rank_t)> peer_unreachable_;
 
-  // One-sided windows exposed by this rank (guarded by mutex_; the
-  // WinTarget objects themselves carry their own lock).
+  // One-sided windows exposed by this rank. Own reader/writer lock: the
+  // lookups run on device polling threads and must not contend with the
+  // matcher's locks.
+  mutable std::shared_mutex win_mutex_;
   std::map<std::uint64_t, WinTarget*> windows_;
 };
 

@@ -1004,6 +1004,172 @@ void run_collectives_hier(Oracle& oracle) {
   });
 }
 
+// --------------------------------------------------------------- matching
+
+/// Hub-pattern matcher torture, deadlock-free by construction: every peer
+/// streams two interleaved trains to rank 0 — a specific train on kTag
+/// (consumed by specific-source receives) and a wild train on kWildTag
+/// (consumed by ANY_SOURCE receives) — with sizes straddling the
+/// eager/rendezvous switch, followed by a varying-tag tail drained with
+/// full ANY_SOURCE/ANY_TAG wildcards. The tag split keeps the wildcard
+/// bookkeeping exact under every legal interleaving: with wildcards and
+/// specific receives competing for ONE message pool, which source a
+/// wildcard happens to match is schedule-dependent, and any skew starves a
+/// specific receive — a legal-deadlock landmine, not a matcher bug. Split
+/// by tag, the posted queues still mix wildcard and specific entries (the
+/// matcher must arbitrate by post seq on every arrival) but the counts
+/// balance regardless of arrival order. Oracles: statuses agree with the
+/// payload header, each source's seqs climb within each stream
+/// (non-overtaking), payload bytes intact, and every train completes.
+void run_matching(Oracle& oracle) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::cluster_of_clusters(2, 2);
+  options.switch_point_override = 1024;  // 64 B eager, 4 KB rendezvous
+  Session session(std::move(options));
+
+  constexpr int kTrain = 8;      // specific-stream length per source
+  constexpr int kWildTrain = 4;  // ANY_SOURCE-stream length per source
+  constexpr int kTail = 3;       // ANY_SOURCE/ANY_TAG drain per source
+  constexpr int kTag = 7;
+  constexpr int kWildTag = 9;
+  constexpr int kTailTagBase = 100;
+  constexpr std::size_t kCapacity = 4096;
+  const auto size_of = [](int seq) {
+    return static_cast<std::size_t>(seq % 2 == 0 ? 64 : 4096);
+  };
+  // Streams use disjoint pattern-byte lanes so a cross-matched payload
+  // shows up as corruption, not a coincidental pass.
+  constexpr int kWildLane = 64;
+  constexpr int kTailLane = 128;
+
+  session.run([&](Comm comm) {
+    const int n = comm.size();
+    const auto send_msg = [&](int seq, int lane, int tag) {
+      std::vector<std::uint8_t> payload(size_of(seq));
+      payload[0] = static_cast<std::uint8_t>(comm.rank());
+      payload[1] = static_cast<std::uint8_t>(seq);
+      for (std::size_t i = 2; i < payload.size(); ++i) {
+        payload[i] = pattern_byte(comm.rank(), lane + seq, i);
+      }
+      comm.send(payload.data(), static_cast<int>(payload.size()),
+                Datatype::uint8(), 0, tag);
+    };
+    if (comm.rank() != 0) {
+      // Interleave the two trains in one send order so the receiver's
+      // per-source FIFO crosses the tag streams, then fire the tail.
+      for (int seq = 0; seq < kTrain; ++seq) {
+        send_msg(seq, 0, kTag);
+        if (seq % 2 == 1) send_msg(seq / 2, kWildLane, kWildTag);
+      }
+      for (int seq = 0; seq < kTail; ++seq) {
+        send_msg(seq, kTailLane, kTailTagBase + seq);
+      }
+      return;
+    }
+
+    const auto check_payload = [&](const std::vector<std::uint8_t>& buffer,
+                                   const mpi::MpiStatus& status, int lane,
+                                   std::vector<int>& next_seq,
+                                   const std::string& stream, int post) {
+      const int src = buffer[0];
+      const int seq = buffer[1];
+      std::ostringstream at;
+      at << stream << " post " << post << " src " << src << " seq " << seq;
+      oracle.expect(src >= 1 && src < n, "matching-status",
+                    at.str() + ": payload names an impossible source");
+      if (src < 1 || src >= n) return;
+      oracle.expect(status.source == src, "matching-status",
+                    at.str() + ": status.source disagrees with payload");
+      oracle.expect(status.bytes == size_of(seq), "matching-status",
+                    at.str() + ": status.bytes disagrees with send size");
+      oracle.expect(seq == next_seq[src], "non-overtaking",
+                    at.str() + ": expected seq " +
+                        std::to_string(next_seq[src]) +
+                        " from this source next");
+      next_seq[src] = seq + 1;
+      bool intact = true;
+      for (std::size_t b = 2; b < size_of(seq); ++b) {
+        if (buffer[b] != pattern_byte(src, lane + seq, b)) {
+          intact = false;
+          break;
+        }
+      }
+      oracle.expect(intact, "payload-integrity",
+                    at.str() + ": payload bytes corrupted");
+    };
+
+    // Phase 1: wildcard and specific receives interleaved in one post
+    // sequence — after every odd round a burst of ANY_SOURCE posts lands
+    // between the specific ones, so bucket queues and the wildcard list
+    // are nonempty simultaneously and every delivery arbitrates by seq.
+    const int total = (n - 1) * (kTrain + kWildTrain);
+    std::vector<std::vector<std::uint8_t>> inbox;
+    std::vector<mpi::Request> recvs;
+    std::vector<bool> wildcard;
+    for (int round = 0; round < kTrain; ++round) {
+      for (int src = 1; src < n; ++src) {
+        inbox.emplace_back(kCapacity);
+        recvs.push_back(comm.irecv(inbox.back().data(),
+                                   static_cast<int>(kCapacity),
+                                   Datatype::uint8(), src, kTag));
+        wildcard.push_back(false);
+      }
+      if (round % 2 == 1) {
+        for (int burst = 1; burst < n; ++burst) {
+          inbox.emplace_back(kCapacity);
+          recvs.push_back(comm.irecv(inbox.back().data(),
+                                     static_cast<int>(kCapacity),
+                                     Datatype::uint8(), mpi::kAnySource,
+                                     kWildTag));
+          wildcard.push_back(true);
+        }
+      }
+    }
+    std::vector<int> next_seq(n, 0);
+    std::vector<int> wild_seq(n, 0);
+    for (int i = 0; i < total; ++i) {
+      auto status = recvs[i].wait();
+      if (wildcard[i]) {
+        oracle.expect(status.tag == kWildTag, "matching-status",
+                      "wildcard post " + std::to_string(i) +
+                          ": status.tag disagrees with the wild train tag");
+        check_payload(inbox[i], status, kWildLane, wild_seq, "wildcard", i);
+      } else {
+        oracle.expect(status.tag == kTag, "matching-status",
+                      "specific post " + std::to_string(i) +
+                          ": status.tag disagrees with the train tag");
+        check_payload(inbox[i], status, 0, next_seq, "specific", i);
+      }
+    }
+
+    // Phase 2: ANY_SOURCE/ANY_TAG drain of the varying-tag tail. Phase 1
+    // consumed tags 7/9 exactly, so only tail messages remain; an
+    // all-wildcard drain matches any arrival order — deadlock-free.
+    std::vector<int> tail_seq(n, 0);
+    for (int i = 0; i < (n - 1) * kTail; ++i) {
+      std::vector<std::uint8_t> buffer(kCapacity);
+      auto status = comm.recv(buffer.data(), static_cast<int>(kCapacity),
+                              Datatype::uint8(), mpi::kAnySource,
+                              mpi::kAnyTag);
+      oracle.expect(status.tag == kTailTagBase + buffer[1],
+                    "matching-status",
+                    "tail post " + std::to_string(i) +
+                        ": status.tag disagrees with the tail tag scheme");
+      check_payload(buffer, status, kTailLane, tail_seq, "tail", i);
+    }
+
+    for (int src = 1; src < n; ++src) {
+      const std::string who = "source " + std::to_string(src);
+      oracle.expect(next_seq[src] == kTrain, "completeness",
+                    who + " did not deliver its full specific train");
+      oracle.expect(wild_seq[src] == kWildTrain, "completeness",
+                    who + " did not deliver its full wild train");
+      oracle.expect(tail_seq[src] == kTail, "completeness",
+                    who + " did not deliver its full tail train");
+    }
+  });
+}
+
 void run_selftest(Oracle& oracle) {
   auto* sched = sim::ScheduleController::current();
   if (sched == nullptr) return;  // unperturbed runs are fine by definition
@@ -1055,6 +1221,10 @@ const std::vector<Scenario>& scenarios() {
        "256-rank trains under the sharded engine stay ordered and conserve "
        "credits",
        &run_scaleout},
+      {"matching",
+       "wildcard/specific receive interleavings preserve per-source order "
+       "and status correctness",
+       &run_matching},
       {"collectives_hier",
        "hierarchical collectives stay bit-exact on a mixed-endian "
        "meta-cluster with p2p trains in flight",

@@ -109,7 +109,9 @@ TEST(BenchJson, EagerSweepWritesExpectedSeries) {
   for (const char* key :
        {"bytes", "one_way_us", "bandwidth_mb_s", "bytes_copied_per_msg",
         "staging_allocs_per_msg", "pool_allocs_per_msg",
-        "modeled_copy_bytes_per_msg"}) {
+        "modeled_copy_bytes_per_msg", "match_probes_per_attempt",
+        "match_bucket_locks_per_attempt", "match_rank_locks_per_attempt",
+        "match_posted_depth_hw", "match_unexpected_depth_hw"}) {
     EXPECT_NE(text.find("\"" + std::string(key) + "\""), std::string::npos)
         << "missing series key " << key;
   }
@@ -120,6 +122,17 @@ TEST(BenchJson, EagerSweepWritesExpectedSeries) {
   EXPECT_EQ(points, 11u);
   for (const auto& column : columns) {
     EXPECT_EQ(column.values.size(), points) << column.key;
+  }
+
+  // Specific-source ping-pong traffic stays on the bucket fast path: the
+  // rank-wide lock is reserved for wildcards, probes and cancellation.
+  for (const auto& column : columns) {
+    if (column.key != "match_rank_locks_per_attempt") continue;
+    for (std::size_t i = 0; i < column.values.size(); ++i) {
+      EXPECT_EQ(column.values[i], 0.0)
+          << column.key << " at size index " << i
+          << ": eager ping-pong must not take the rank-wide lock";
+    }
   }
 
   // And the zero-copy datapath invariant holds in the sweep itself.

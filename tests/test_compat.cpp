@@ -206,6 +206,76 @@ TEST(Compat, ProbeAndIprobe) {
   });
 }
 
+TEST(Compat, MprobeMrecvDeliversOnce) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      int a[2] = {11, 12};
+      int b[2] = {21, 22};
+      MPI_Send(a, 2, MPI_INT, 1, 5, MPI_COMM_WORLD);
+      MPI_Send(b, 2, MPI_INT, 1, 5, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+      MPI_Message message;
+      MPI_Status status;
+      MPI_Mprobe(0, 5, MPI_COMM_WORLD, &message, &status);
+      EXPECT_NE(message, MPI_MESSAGE_NULL);
+      EXPECT_EQ(status.MPI_SOURCE, 0);
+      EXPECT_EQ(status.MPI_TAG, 5);
+      int count = -1;
+      MPI_Get_count(&status, MPI_INT, &count);
+      EXPECT_EQ(count, 2);
+      // The matched message is removed from the queue: a plain recv posted
+      // now must match the SECOND send, not the mprobed one.
+      int second[2] = {0, 0};
+      MPI_Recv(second, 2, MPI_INT, 0, 5, MPI_COMM_WORLD,
+               MPI_STATUS_IGNORE);
+      EXPECT_EQ(second[0], 21);
+      int first[2] = {0, 0};
+      MPI_Mrecv(first, 2, MPI_INT, &message, &status);
+      EXPECT_EQ(message, MPI_MESSAGE_NULL);
+      EXPECT_EQ(first[0], 11);
+      EXPECT_EQ(first[1], 12);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(Compat, ImprobeMissesThenMatchesWildcard) {
+  compat::run(four_nodes(), [] {
+    MPI_Init(nullptr, nullptr);
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 2) {
+      double payload = 2.75;
+      MPI_Send(&payload, 1, MPI_DOUBLE, 3, 17, MPI_COMM_WORLD);
+    } else if (rank == 3) {
+      MPI_Message message = MPI_MESSAGE_NULL;
+      MPI_Status status;
+      int flag = 0;
+      // A tag nothing was sent on never matches.
+      MPI_Improbe(MPI_ANY_SOURCE, 4242, MPI_COMM_WORLD, &flag, &message,
+                  &status);
+      EXPECT_EQ(flag, 0);
+      EXPECT_EQ(message, MPI_MESSAGE_NULL);
+      while (!flag) {
+        MPI_Improbe(MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD, &flag,
+                    &message, &status);
+      }
+      EXPECT_EQ(status.MPI_SOURCE, 2);
+      EXPECT_EQ(status.MPI_TAG, 17);
+      double payload = 0.0;
+      MPI_Request request;
+      MPI_Imrecv(&payload, 1, MPI_DOUBLE, &message, &request);
+      MPI_Wait(&request, &status);
+      EXPECT_EQ(payload, 2.75);
+      EXPECT_EQ(status.MPI_SOURCE, 2);
+    }
+    MPI_Finalize();
+  });
+}
+
 TEST(Compat, CallOutsideRunAborts) {
   int rank;
   EXPECT_DEATH(MPI_Comm_rank(MPI_COMM_WORLD, &rank), "outside");

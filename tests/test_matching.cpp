@@ -220,5 +220,136 @@ TEST_F(MatchFixture, TestBeforeCompletionReturnsFalse) {
   EXPECT_FALSE(request->completed());
 }
 
+TEST_F(MatchFixture, ImprobeRemovesFromQueue) {
+  context.deliver_eager(envelope(0, 1, 5, 3), bytes_of("one"));
+  context.deliver_eager(envelope(0, 1, 5, 3), bytes_of("two"));
+  EXPECT_EQ(context.unexpected_count(), 2u);
+
+  MatchedMessage message;
+  MpiStatus status;
+  ASSERT_TRUE(context.improbe(0, 1, 5, &message, &status));
+  EXPECT_TRUE(message.valid());
+  EXPECT_EQ(status.source, 1);
+  EXPECT_EQ(status.tag, 5);
+  EXPECT_EQ(status.bytes, 3u);
+  // The matched entry is gone: a plain recv now gets the SECOND message.
+  EXPECT_EQ(context.unexpected_count(), 1u);
+  char second[4] = {};
+  post(0, 1, 5, second, sizeof second);
+  EXPECT_STREQ(second, "two");
+
+  // mrecv completes the first message into its own buffer.
+  char first[4] = {};
+  auto state = std::make_shared<RequestState>(node);
+  PostedRecv posted;
+  posted.context = 0;
+  posted.source = 1;
+  posted.tag = 5;
+  posted.buffer = first;
+  posted.type = Datatype::byte();
+  posted.count = sizeof first;
+  posted.capacity_bytes = sizeof first;
+  posted.request = state;
+  context.mrecv(std::move(message), std::move(posted));
+  ASSERT_TRUE(state->completed());
+  EXPECT_STREQ(first, "one");
+  EXPECT_EQ(context.unexpected_count(), 0u);
+}
+
+TEST_F(MatchFixture, ImprobeMissLeavesHandleInvalid) {
+  MatchedMessage message;
+  MpiStatus status;
+  EXPECT_FALSE(context.improbe(0, 1, 5, &message, &status));
+  EXPECT_FALSE(message.valid());
+  context.deliver_eager(envelope(0, 2, 6, 1), bytes_of("x"));
+  // A specific pattern for a different (source, tag) still misses.
+  EXPECT_FALSE(context.improbe(0, 1, 5, &message, &status));
+  EXPECT_FALSE(context.improbe(0, 2, 7, &message, &status));
+  EXPECT_EQ(context.unexpected_count(), 1u);
+}
+
+TEST_F(MatchFixture, ImprobeWildcardTakesLowestSeq) {
+  context.deliver_eager(envelope(0, 4, 9, 1), bytes_of("a"));
+  context.deliver_eager(envelope(0, 2, 3, 1), bytes_of("b"));
+  MatchedMessage message;
+  MpiStatus status;
+  ASSERT_TRUE(context.improbe(0, kAnySource, kAnyTag, &message, &status));
+  // Arrival order wins across buckets, exactly like a wildcard recv.
+  EXPECT_EQ(status.source, 4);
+  EXPECT_EQ(status.tag, 9);
+}
+
+TEST_F(MatchFixture, MprobeBlocksUntilArrival) {
+  MatchedMessage message;
+  MpiStatus status;
+  std::thread sender([&] {
+    context.deliver_eager(envelope(0, 1, 2, 2), bytes_of("hi"));
+  });
+  context.mprobe(0, 1, 2, /*source_global=*/1, &message, &status);
+  sender.join();
+  ASSERT_TRUE(message.valid());
+  EXPECT_EQ(status.bytes, 2u);
+  EXPECT_EQ(context.unexpected_count(), 0u);
+
+  char buffer[4] = {};
+  auto state = std::make_shared<RequestState>(node);
+  PostedRecv posted;
+  posted.context = 0;
+  posted.source = 1;
+  posted.tag = 2;
+  posted.buffer = buffer;
+  posted.type = Datatype::byte();
+  posted.count = sizeof buffer;
+  posted.capacity_bytes = sizeof buffer;
+  posted.request = state;
+  context.mrecv(std::move(message), std::move(posted));
+  EXPECT_STREQ(buffer, "hi");
+}
+
+TEST_F(MatchFixture, MovedFromHandleReadsInvalid) {
+  context.deliver_eager(envelope(0, 1, 5, 1), bytes_of("x"));
+  MatchedMessage message;
+  MpiStatus status;
+  ASSERT_TRUE(context.improbe(0, 1, 5, &message, &status));
+  MatchedMessage stolen = std::move(message);
+  EXPECT_FALSE(message.valid());
+  EXPECT_TRUE(stolen.valid());
+  char buffer[2] = {};
+  auto state = std::make_shared<RequestState>(node);
+  PostedRecv posted;
+  posted.context = 0;
+  posted.source = 1;
+  posted.tag = 5;
+  posted.buffer = buffer;
+  posted.type = Datatype::byte();
+  posted.count = sizeof buffer;
+  posted.capacity_bytes = sizeof buffer;
+  posted.request = state;
+  context.mrecv(std::move(stolen), std::move(posted));
+  EXPECT_STREQ(buffer, "x");
+}
+
+TEST_F(MatchFixture, CountersTrackQueueDepths) {
+  EXPECT_EQ(context.posted_count(), 0u);
+  EXPECT_EQ(context.unexpected_count(), 0u);
+  EXPECT_EQ(context.unexpected_bytes(), 0u);
+  char a = 0, b = 0;
+  post(0, 1, 1, &a, 1);
+  post(0, kAnySource, kAnyTag, &b, 1);
+  EXPECT_EQ(context.posted_count(), 2u);
+  context.deliver_eager(envelope(0, 5, 99, 4), bytes_of("four"));
+  EXPECT_EQ(context.posted_count(), 1u);  // wildcard consumed
+  context.deliver_eager(envelope(0, 1, 1, 4), bytes_of("tail"));
+  EXPECT_EQ(context.posted_count(), 0u);  // specific consumed
+  context.deliver_eager(envelope(0, 7, 1, 4), bytes_of("rest"));
+  EXPECT_EQ(context.unexpected_count(), 1u);
+  // Charged bytes include the per-entry bookkeeping overhead.
+  EXPECT_GE(context.unexpected_bytes(), 4u);
+  char buffer[8] = {};
+  post(0, 7, 1, buffer, sizeof buffer);
+  EXPECT_EQ(context.unexpected_count(), 0u);
+  EXPECT_EQ(context.unexpected_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace madmpi::mpi

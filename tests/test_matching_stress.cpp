@@ -1,0 +1,215 @@
+// Matching-engine stress over full sessions: wildcard and specific-source
+// receives interleaved with dense isend trains from many peers, asserting
+// the MPI non-overtaking rule and status correctness under queue depths
+// that make the matcher's bucket/wildcard interplay do real work.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace madmpi {
+namespace {
+
+using core::Session;
+using mpi::Comm;
+using mpi::Datatype;
+using mpi::Request;
+
+std::unique_ptr<Session> cluster(int nodes, sim::Protocol protocol) {
+  Session::Options options;
+  options.cluster = sim::ClusterSpec::homogeneous(nodes, protocol);
+  return std::make_unique<Session>(std::move(options));
+}
+
+// Payloads encode (sender, sequence) so any receive can be audited.
+int encode(rank_t src, int seq) { return static_cast<int>(src) * 10000 + seq; }
+rank_t sender_of(int payload) { return payload / 10000; }
+int seq_of(int payload) { return payload % 10000; }
+
+// Every sender fires a train; the receiver posts one specific-source
+// receive per expected message, round-robin across senders, *before*
+// touching any of them — deep posted queues on every bucket.
+TEST(MatchingStress, SpecificSourceTrainsStayFifo) {
+  constexpr int kSenders = 4;
+  constexpr int kTrain = 32;
+  auto session = cluster(kSenders + 1, sim::Protocol::kTcp);
+  session->run([](Comm comm) {
+    if (comm.rank() > 0) {
+      std::vector<int> payloads(kTrain);
+      std::vector<Request> sends;
+      for (int seq = 0; seq < kTrain; ++seq) {
+        payloads[seq] = encode(comm.rank(), seq);
+        sends.push_back(comm.isend(&payloads[seq], 1, Datatype::int32(), 0,
+                                   17));
+      }
+      Request::wait_all(sends);
+      return;
+    }
+    std::vector<int> inbox(kSenders * kTrain, -1);
+    std::vector<Request> recvs;
+    for (int seq = 0; seq < kTrain; ++seq) {
+      for (rank_t src = 1; src <= kSenders; ++src) {
+        recvs.push_back(comm.irecv(&inbox[recvs.size()], 1,
+                                   Datatype::int32(), src, 17));
+      }
+    }
+    std::map<rank_t, int> last_seq;
+    for (std::size_t i = 0; i < recvs.size(); ++i) {
+      auto status = recvs[i].wait();
+      EXPECT_EQ(status.tag, 17);
+      EXPECT_EQ(status.bytes, sizeof(int));
+      ASSERT_GE(inbox[i], 0);
+      const rank_t src = sender_of(inbox[i]);
+      EXPECT_EQ(status.source, src);
+      // Non-overtaking: in post order, each source's sequence climbs by 1.
+      auto it = last_seq.find(src);
+      const int expected = it == last_seq.end() ? 0 : it->second + 1;
+      EXPECT_EQ(seq_of(inbox[i]), expected)
+          << "source " << src << " overtook at receive " << i;
+      last_seq[src] = seq_of(inbox[i]);
+    }
+    for (rank_t src = 1; src <= kSenders; ++src) {
+      EXPECT_EQ(last_seq[src], kTrain - 1);
+    }
+  });
+}
+
+// Wildcard receives interleaved with specific ones, split by tag so the
+// counts balance under every schedule. (With wildcards and specific
+// receives competing for ONE message pool, which source a wildcard grabs
+// is schedule-dependent and any skew starves a specific receive — a legal
+// deadlock, not a matcher bug.) The posted queues still hold wildcard and
+// specific entries simultaneously, so every delivery arbitrates between
+// the bucket hit and the wildcard list by post seq; per-source seqs must
+// climb independently within each stream.
+TEST(MatchingStress, WildcardInterleavedWithSpecific) {
+  constexpr int kSenders = 4;
+  constexpr int kTrain = 24;  // specific messages per sender, tag 5
+  constexpr int kWild = 8;    // wildcard messages per sender, tag 6
+  auto session = cluster(kSenders + 1, sim::Protocol::kSisci);
+  session->run([=](Comm comm) {
+    if (comm.rank() > 0) {
+      for (int seq = 0; seq < kTrain; ++seq) {
+        int payload = encode(comm.rank(), seq);
+        comm.send(&payload, 1, Datatype::int32(), 0, 5);
+        if (seq % 3 == 2) {
+          int wild_payload = encode(comm.rank(), seq / 3);
+          comm.send(&wild_payload, 1, Datatype::int32(), 0, 6);
+        }
+      }
+      return;
+    }
+    const int total = kSenders * (kTrain + kWild);
+    std::vector<int> inbox(total, -1);
+    std::vector<mpi::MpiStatus> statuses(total);
+    std::vector<Request> recvs;
+    std::vector<bool> wild_post;
+    // Per round: one specific receive per sender; every third round also
+    // lands a burst of ANY_SOURCE receives on the wild tag between them.
+    for (int round = 0; round < kTrain; ++round) {
+      for (rank_t src = 1; src <= kSenders; ++src) {
+        recvs.push_back(comm.irecv(&inbox[recvs.size()], 1,
+                                   Datatype::int32(), src, 5));
+        wild_post.push_back(false);
+      }
+      if (round % 3 == 2) {
+        for (int burst = 0; burst < kSenders; ++burst) {
+          recvs.push_back(comm.irecv(&inbox[recvs.size()], 1,
+                                     Datatype::int32(), mpi::kAnySource,
+                                     6));
+          wild_post.push_back(true);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < recvs.size(); ++i) {
+      statuses[i] = recvs[i].wait();
+    }
+    std::map<rank_t, int> next_seq;
+    std::map<rank_t, int> wild_seq;
+    for (int i = 0; i < total; ++i) {
+      ASSERT_GE(inbox[i], 0) << "receive " << i << " never filled";
+      const rank_t src = sender_of(inbox[i]);
+      EXPECT_EQ(statuses[i].source, src);
+      EXPECT_EQ(statuses[i].tag, wild_post[i] ? 6 : 5);
+      auto& cursor = wild_post[i] ? wild_seq : next_seq;
+      EXPECT_EQ(seq_of(inbox[i]), cursor[src])
+          << "source " << src << " overtaken at post index " << i;
+      ++cursor[src];
+    }
+    for (rank_t src = 1; src <= kSenders; ++src) {
+      EXPECT_EQ(next_seq[src], kTrain);
+      EXPECT_EQ(wild_seq[src], kWild);
+    }
+  });
+}
+
+// Wildcard-tag receives pinned to one source: tags must surface in send
+// order (per-source FIFO is independent of the tag pattern).
+TEST(MatchingStress, WildcardTagSeesTagsInSendOrder) {
+  constexpr int kTrain = 48;
+  auto session = cluster(2, sim::Protocol::kBip);
+  session->run([](Comm comm) {
+    if (comm.rank() == 1) {
+      for (int seq = 0; seq < kTrain; ++seq) {
+        int payload = encode(1, seq);
+        comm.send(&payload, 1, Datatype::int32(), 0, /*tag=*/seq * 3);
+      }
+      return;
+    }
+    for (int seq = 0; seq < kTrain; ++seq) {
+      int payload = -1;
+      auto status =
+          comm.recv(&payload, 1, Datatype::int32(), 1, mpi::kAnyTag);
+      EXPECT_EQ(status.tag, seq * 3);
+      EXPECT_EQ(seq_of(payload), seq);
+    }
+  });
+}
+
+// Unexpected storm: every sender floods before the receiver posts a
+// thing, then the receiver drains with a skewed mix of wildcard and
+// specific receives. Exercises the unexpected buckets and store charges.
+TEST(MatchingStress, UnexpectedStormDrainsInOrder) {
+  constexpr int kSenders = 6;
+  constexpr int kTrain = 16;
+  auto session = cluster(kSenders + 1, sim::Protocol::kTcp);
+  session->run([](Comm comm) {
+    if (comm.rank() > 0) {
+      for (int seq = 0; seq < kTrain; ++seq) {
+        int payload = encode(comm.rank(), seq);
+        comm.send(&payload, 1, Datatype::int32(), 0, 9);
+      }
+      int done = comm.rank();
+      comm.send(&done, 1, Datatype::int32(), 0, 99);
+      return;
+    }
+    // Wait until every train has fully landed (the tag-99 fences arrive
+    // last per source), so each drain below starts from a deep store.
+    for (int fences = 0; fences < kSenders; ++fences) {
+      int done = -1;
+      comm.recv(&done, 1, Datatype::int32(), mpi::kAnySource, 99);
+      EXPECT_GT(done, 0);
+    }
+    std::map<rank_t, int> next_seq;
+    // Drain: senders in descending order, half specific, half wildcard-tag.
+    for (rank_t src = kSenders; src >= 1; --src) {
+      for (int seq = 0; seq < kTrain; ++seq) {
+        int payload = -1;
+        auto status = seq % 2 == 0
+                          ? comm.recv(&payload, 1, Datatype::int32(), src, 9)
+                          : comm.recv(&payload, 1, Datatype::int32(), src,
+                                      mpi::kAnyTag);
+        EXPECT_EQ(status.source, src);
+        EXPECT_EQ(status.tag, 9);
+        EXPECT_EQ(sender_of(payload), src);
+        EXPECT_EQ(seq_of(payload), next_seq[src]) << "source " << src;
+        ++next_seq[src];
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace madmpi
